@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Float Hashtbl List Measure Printf Sys Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util Fun List Option Printf Sesame_apps Sesame_core Sesame_corpus Sesame_db Sesame_http Sesame_ml Sesame_sandbox Sesame_scrutinizer String Sys

@@ -1,0 +1,53 @@
+(* Shared measurement helpers for the experiment harness. *)
+
+let now () = Sys.time ()
+
+(* Collect [n] per-call latencies in seconds. *)
+let sample ?(warmup = 3) ~n f =
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  Array.init n (fun _ ->
+      let t0 = now () in
+      ignore (Sys.opaque_identity (f ()));
+      now () -. t0)
+
+let percentile p samples =
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let median = percentile 50.0
+let p95 = percentile 95.0
+
+let us s = s *. 1e6
+let ms s = s *. 1e3
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row4 a b c d = Printf.printf "%-34s %14s %14s %14s\n" a b c d
+
+(* One Bechamel Test.make per table: measured with the monotonic clock and
+   an OLS fit against the run count. *)
+let run_bechamel tests =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+      List.iter
+        (fun (name, r) ->
+          match Analyze.OLS.estimates r with
+          | Some [ t ] -> Printf.printf "  %-44s %14.1f ns/run\n" name t
+          | Some _ | None -> Printf.printf "  %-44s %14s\n" name "n/a")
+        (List.sort compare rows))
+    tests

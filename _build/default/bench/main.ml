@@ -1,0 +1,612 @@
+(* The experiment harness: one experiment per table/figure in the paper's
+   evaluation (§10). Run all with `dune exec bench/main.exe`, or name
+   experiments: `dune exec bench/main.exe -- fig8 fig9a`. EXPERIMENTS.md
+   records paper-vs-measured for each. *)
+
+module C = Sesame_core
+module Db = Sesame_db
+module Http = Sesame_http
+module Scrut = Sesame_scrutinizer
+module Sbx = Sesame_sandbox
+module Apps = Sesame_apps
+module Corpus = Sesame_corpus
+open Bench_util
+
+let req ?(cookies = "user=admin@school.edu") ?(body = "") meth target =
+  Http.Request.make
+    ~headers:
+      (Http.Headers.of_list
+         [ ("Cookie", cookies); ("Content-Type", "application/x-www-form-urlencoded") ])
+    ~body meth target
+
+let expect_status label response expected =
+  let got = Http.Status.to_int response.Http.Response.status in
+  if got <> expected then
+    Printf.printf "!! %s returned %d (expected %d): %s\n" label got expected
+      response.Http.Response.body
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: policy code size per application. *)
+
+let count_file_loc path =
+  if Sys.file_exists path then
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         let trimmed = String.trim line in
+         if trimmed <> "" && not (String.length trimmed >= 2 && String.sub trimmed 0 2 = "(*")
+         then incr n
+       done
+     with End_of_file -> close_in ic);
+    !n
+  else 0
+
+let app_loc_files =
+  [
+    ("youchat", [ "lib/apps/youchat.ml" ]);
+    ("voltron", [ "lib/apps/voltron.ml" ]);
+    ("portfolio", [ "lib/apps/portfolio.ml"; "lib/apps/crypto.ml" ]);
+    ("websubmit", [ "lib/apps/websubmit.ml"; "lib/apps/websubmit_schema.ml" ]);
+  ]
+
+let app_loc app =
+  match List.assoc_opt app app_loc_files with
+  | Some files -> List.fold_left (fun acc f -> acc + count_file_loc f) 0 files
+  | None -> 0
+
+let fig5 () =
+  header "Fig. 5: policy code size scales with policy complexity, not app size";
+  Printf.printf "%-12s %8s %8s %12s %10s\n" "App" "Policies" "App LoC" "Policy LoC" "CHECK LoC";
+  let print_app name inventory =
+    let policies = List.length inventory in
+    let policy_loc = List.fold_left (fun acc (_, p, _) -> acc + p) 0 inventory in
+    let check_loc = List.fold_left (fun acc (_, _, c) -> acc + c) 0 inventory in
+    Printf.printf "%-12s %8d %8d %12d %10d\n" name policies (app_loc name) policy_loc check_loc
+  in
+  print_app "youchat" Apps.Youchat.policy_inventory;
+  print_app "voltron" Apps.Voltron.policy_inventory;
+  print_app "portfolio" Apps.Portfolio.policy_inventory;
+  print_app "websubmit" Apps.Websubmit.policy_inventory
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6 and Fig. 7: region counts/sizes and critical-region review
+   burden, generated from the live region registry. *)
+
+let instantiate_apps () =
+  C.Registry.reset ();
+  (match Apps.Websubmit.create () with Ok _ -> () | Error m -> failwith m);
+  (match Apps.Youchat.create () with Ok _ -> () | Error m -> failwith m);
+  (match Apps.Voltron.create () with Ok _ -> () | Error m -> failwith m);
+  (match Apps.Portfolio.create () with Ok _ -> () | Error m -> failwith m)
+
+let fig6 () =
+  header "Fig. 6: counts and sizes of privacy regions per application";
+  instantiate_apps ();
+  Printf.printf "%-12s %-6s %8s %14s %10s\n" "App" "Region" "Count" "Total % of app" "Size (LoC)";
+  List.iter
+    (fun app ->
+      let total = app_loc app in
+      List.iter
+        (fun kind ->
+          let count = C.Registry.count ~app kind in
+          if count > 0 then begin
+            let entries =
+              List.filter
+                (fun (e : C.Registry.entry) -> e.kind = kind)
+                (C.Registry.entries ~app ())
+            in
+            let loc_sum = List.fold_left (fun acc (e : C.Registry.entry) -> acc + e.loc) 0 entries in
+            let lo, hi =
+              match C.Registry.loc_range ~app kind with Some r -> r | None -> (0, 0)
+            in
+            Printf.printf "%-12s %-6s %8d %13.1f%% %7d-%d\n" app
+              (C.Registry.kind_name kind) count
+              (100.0 *. float_of_int loc_sum /. float_of_int (max 1 total))
+              lo hi
+          end)
+        [ C.Registry.Verified; C.Registry.Sandboxed; C.Registry.Critical ])
+    [ "youchat"; "voltron"; "portfolio"; "websubmit" ]
+
+let fig7 () =
+  header "Fig. 7: critical-region count and review burden";
+  instantiate_apps ();
+  Printf.printf "%-12s %8s %8s %10s %12s\n" "App" "LoC" "# CRs" "Burden %" "Avg burden";
+  List.iter
+    (fun app ->
+      let total = app_loc app in
+      let crs = C.Registry.count ~app C.Registry.Critical in
+      let burden = C.Registry.review_burden ~app in
+      if crs = 0 then Printf.printf "%-12s %8d %8d %10s %12s\n" app total 0 "-" "-"
+      else
+        Printf.printf "%-12s %8d %8d %9.1f%% %8.1f LoC\n" app total crs
+          (100.0 *. float_of_int burden /. float_of_int (max 1 total))
+          (float_of_int burden /. float_of_int crs))
+    [ "youchat"; "voltron"; "portfolio"; "websubmit" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: WebSubmit endpoint latency, baseline vs Sesame. *)
+
+let fig8_samples = 15
+
+let fig8 () =
+  header "Fig. 8: WebSubmit end-to-end endpoint latency (100 students x 100 questions)";
+  let sesame =
+    match Apps.Websubmit.create () with Ok t -> t | Error m -> failwith m
+  in
+  (match Apps.Websubmit.seed sesame ~students:100 ~questions:100 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let baseline =
+    match Apps.Websubmit_baseline.create () with
+    | Ok t -> t
+    | Error m -> failwith m
+  in
+  (match Apps.Websubmit_baseline.seed baseline ~students:100 ~questions:100 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  (* Both sides pay a modeled 1 ms DB round trip per statement from here
+     on, standing in for the paper's MySQL testbed (seeding is free). *)
+  Db.Database.set_query_cost_ns (Apps.Websubmit.database sesame) 1_000_000;
+  Db.Database.set_query_cost_ns (Apps.Websubmit_baseline.database baseline) 1_000_000;
+  (* Prime the model for the predict endpoints. *)
+  expect_status "retrain (sesame)"
+    (Apps.Websubmit.retrain_model sesame (req ~body:"" Http.Meth.POST "/retrain"))
+    200;
+  expect_status "retrain (baseline)"
+    (Apps.Websubmit_baseline.retrain_model baseline (req Http.Meth.POST "/retrain"))
+    200;
+  let fresh_email =
+    let counter = ref 0 in
+    fun prefix ->
+      incr counter;
+      Printf.sprintf "%s%d@new.edu" prefix !counter
+  in
+  let dispatch_ws handler target ?body meth () =
+    let r = handler sesame (req ?body meth target) in
+    if Http.Status.to_int r.Http.Response.status >= 400 then
+      failwith ("sesame endpoint failed: " ^ r.Http.Response.body)
+  in
+  ignore dispatch_ws;
+  let endpoints =
+    [
+      ( "Get Aggregates",
+        (fun () -> Apps.Websubmit.get_aggregates sesame (req Http.Meth.GET "/aggregates")),
+        fun () -> Apps.Websubmit_baseline.get_aggregates baseline (req Http.Meth.GET "/aggregates") );
+      ( "Get Employer Info",
+        (fun () -> Apps.Websubmit.get_employer_info sesame (req Http.Meth.GET "/employer")),
+        fun () -> Apps.Websubmit_baseline.get_employer_info baseline (req Http.Meth.GET "/employer") );
+      ( "Predict Grades",
+        (fun () -> Apps.Websubmit.predict_grades sesame (req Http.Meth.GET "/predict/7")),
+        fun () -> Apps.Websubmit_baseline.predict_grades baseline (req Http.Meth.GET "/predict/7") );
+      ( "Register Users",
+        (fun () ->
+          Apps.Websubmit.register_user sesame
+            (req ~cookies:""
+               ~body:
+                 (Printf.sprintf "email=%s&apikey=k&consent=true" (fresh_email "s"))
+               Http.Meth.POST "/register")),
+        fun () ->
+          Apps.Websubmit_baseline.register_user baseline
+            (req ~cookies:""
+               ~body:(Printf.sprintf "email=%s&apikey=k&consent=true" (fresh_email "b"))
+               Http.Meth.POST "/register") );
+      ( "Retrain Model",
+        (fun () -> Apps.Websubmit.retrain_model sesame (req Http.Meth.POST "/retrain")),
+        fun () -> Apps.Websubmit_baseline.retrain_model baseline (req Http.Meth.POST "/retrain") );
+    ]
+  in
+  Printf.printf "%-20s %12s %12s %12s %12s %10s\n" "Endpoint" "base med" "base p95"
+    "sesame med" "sesame p95" "overhead";
+  List.iter
+    (fun (name, with_sesame, without) ->
+      let check label f expected = expect_status label (f ()) expected in
+      ignore check;
+      let base = sample ~n:fig8_samples (fun () -> ignore (without ())) in
+      let ses = sample ~n:fig8_samples (fun () -> ignore (with_sesame ())) in
+      let overhead = 100.0 *. ((median ses /. median base) -. 1.0) in
+      Printf.printf "%-20s %9.0f us %9.0f us %9.0f us %9.0f us %+9.1f%%\n" name
+        (us (median base)) (us (p95 base)) (us (median ses)) (us (p95 ses)) overhead)
+    endpoints;
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"fig8/get-aggregates-sesame"
+        (Bechamel.Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Apps.Websubmit.get_aggregates sesame (req Http.Meth.GET "/aggregates"))));
+      Bechamel.Test.make ~name:"fig8/get-aggregates-baseline"
+        (Bechamel.Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Apps.Websubmit_baseline.get_aggregates baseline
+                  (req Http.Meth.GET "/aggregates"))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9a: sandbox reuse optimizations (hashing region). *)
+
+let breakdown label timings_list =
+  let field f = median (Array.of_list (List.map f timings_list)) in
+  let open Sbx.Runtime in
+  Printf.printf "%-18s %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f\n" label
+    (us (field (fun t -> t.setup_s)))
+    (us (field (fun t -> t.copy_in_s)))
+    (us (field (fun t -> t.exec_s)))
+    (us (field (fun t -> t.copy_out_s)))
+    (us (field (fun t -> t.teardown_s)))
+    (us (field total_s))
+
+let fig9a () =
+  header "Fig. 9a: sandbox reuse optimizations (API-key hashing region)";
+  let app = match Apps.Websubmit.create () with Ok t -> t | Error m -> failwith m in
+  let region = Apps.Websubmit.sandbox_hash_region app in
+  let key = C.Mock.pcon "the-users-api-key-0123456789" in
+  let n = 25 in
+  let hash_direct () =
+    ignore (Sys.opaque_identity (Sesame_ml.Apikey.hash ~iterations:32 ~salt:"s" "the-users-api-key-0123456789"))
+  in
+  let baseline = sample ~n hash_direct in
+  Printf.printf "baseline (no sandbox): median %.1f us\n\n" (us (median baseline));
+  Printf.printf "%-18s %10s %10s %10s %10s %10s %12s\n" "mode" "setup" "copy-in" "exec"
+    "copy-out" "teardown" "total (us)";
+  let run_mode label mode =
+    let config = Sbx.Runtime.config ~mode ~strategy:Sbx.Copier.Swizzle () in
+    let region' =
+      (* Rebuild the region with this lifecycle mode. *)
+      ignore region;
+      C.Region.Sandboxed.make ~app:"bench" ~name:("fig9a::" ^ label) ~config ~loc:4
+        ~encode:(fun k -> Sbx.Value.Str k)
+        ~decode:(function Sbx.Value.Str s -> Ok s | _ -> Error "expected Str")
+        ~f:(function
+          | Sbx.Value.Str k -> Sbx.Value.Str (Sesame_ml.Apikey.hash ~iterations:32 ~salt:"s" k)
+          | v -> v)
+        ()
+    in
+    let timings = ref [] in
+    for _ = 1 to n do
+      match C.Region.Sandboxed.run region' key with
+      | Ok _ -> timings := Option.get (C.Region.Sandboxed.last_timings region') :: !timings
+      | Error e -> failwith (C.Region.error_to_string e)
+    done;
+    breakdown label !timings
+  in
+  run_mode "naive" Sbx.Runtime.Naive;
+  run_mode "pooled+wipe" (Sbx.Runtime.Pooled (Sbx.Pool.create ()));
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  let pooled_config = Sbx.Runtime.config () in
+  let pooled_region =
+    C.Region.Sandboxed.make ~app:"bench" ~name:"fig9a::bechamel" ~config:pooled_config ~loc:4
+      ~encode:(fun k -> Sbx.Value.Str k)
+      ~decode:(function Sbx.Value.Str s -> Ok s | _ -> Error "expected Str")
+      ~f:(function
+        | Sbx.Value.Str k -> Sbx.Value.Str (Sesame_ml.Apikey.hash ~iterations:32 ~salt:"s" k)
+        | v -> v)
+      ()
+  in
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"fig9a/pooled-sandbox-hash"
+        (Bechamel.Staged.stage (fun () ->
+             Sys.opaque_identity (C.Region.Sandboxed.run pooled_region key)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9b: copy optimizations (ML training region). *)
+
+let fig9b () =
+  header "Fig. 9b: sandbox copy optimizations (ML training over 4000 rows)";
+  let points = List.init 4000 (fun i -> (float_of_int (i mod 100), 40.0 +. float_of_int (i mod 61))) in
+  let pcons = List.map (fun p -> C.Mock.pcon p) points in
+  let train_value = function
+    | Sbx.Value.Vec elems ->
+        let pts =
+          List.filter_map
+            (function
+              | Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ] -> Some (x, y)
+              | _ -> None)
+            elems
+        in
+        (match Sesame_ml.Linreg.train_simple pts with
+        | Ok m -> Sbx.Value.floats [ m.Sesame_ml.Linreg.weights.(0); m.intercept ]
+        | Error _ -> Sbx.Value.floats [ 0.0; 0.0 ])
+    | v -> v
+  in
+  let baseline () =
+    ignore (Sys.opaque_identity (Sesame_ml.Linreg.train_simple points))
+  in
+  let base = sample ~n:9 baseline in
+  Printf.printf "baseline (no sandbox): median %.2f ms\n\n" (ms (median base));
+  Printf.printf "%-18s %10s %10s %10s %10s %10s %12s\n" "strategy" "setup" "copy-in" "exec"
+    "copy-out" "teardown" "total (ms)";
+  let run_strategy label strategy =
+    let config =
+      Sbx.Runtime.config ~mode:(Sbx.Runtime.Pooled (Sbx.Pool.create ())) ~strategy ()
+    in
+    let region =
+      C.Region.Sandboxed.make ~app:"bench" ~name:("fig9b::" ^ label) ~config ~loc:19
+        ~encode:(fun (x, y) -> Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ])
+        ~decode:(fun v ->
+          match Sbx.Value.to_floats v with Some fs -> Ok fs | None -> Error "bad shape")
+        ~f:train_value ()
+    in
+    let timings = ref [] in
+    for _ = 1 to 9 do
+      match C.Region.Sandboxed.run_list region pcons with
+      | Ok _ -> timings := Option.get (C.Region.Sandboxed.last_timings region) :: !timings
+      | Error e -> failwith (C.Region.error_to_string e)
+    done;
+    let field f = median (Array.of_list (List.map f !timings)) in
+    let open Sbx.Runtime in
+    Printf.printf "%-18s %10.2f %10.2f %10.2f %10.2f %10.2f %12.2f\n" label
+      (ms (field (fun t -> t.setup_s)))
+      (ms (field (fun t -> t.copy_in_s)))
+      (ms (field (fun t -> t.exec_s)))
+      (ms (field (fun t -> t.copy_out_s)))
+      (ms (field (fun t -> t.teardown_s)))
+      (ms (field total_s));
+    field (fun t -> t.copy_in_s +. t.copy_out_s)
+  in
+  let serialize_copy = run_strategy "serialize" Sbx.Copier.Serialize in
+  let swizzle_copy = run_strategy "swizzle-copy" Sbx.Copier.Swizzle in
+  Printf.printf "\ncopy-time reduction (serialize/swizzle): %.1fx\n"
+    (serialize_copy /. swizzle_copy);
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"fig9b/serialize-encode-decode"
+        (Bechamel.Staged.stage (fun () ->
+             let v =
+               Sbx.Value.Vec
+                 (List.map
+                    (fun (x, y) -> Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ])
+                    points)
+             in
+             Sys.opaque_identity (Sbx.Codec.decode (Sbx.Codec.encode v))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9c: policy composition vs repeated checks. *)
+
+let fig9c () =
+  header "Fig. 9c: policy composition (staff answers view; DB round-trip 50us)";
+  (* The DB cost knob models the round trip that each discussion-leader
+     lookup pays. *)
+  let query_cost_ns = 50_000 in
+  let app =
+    match Apps.Websubmit.create ~query_cost_ns () with Ok t -> t | Error m -> failwith m
+  in
+  (match Apps.Websubmit.seed app ~students:50 ~questions:2 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let baseline =
+    match Apps.Websubmit_baseline.create ~query_cost_ns () with
+    | Ok t -> t
+    | Error m -> failwith m
+  in
+  (match Apps.Websubmit_baseline.seed baseline ~students:50 ~questions:2 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let n = 11 in
+  let base =
+    sample ~n (fun () ->
+        ignore (Apps.Websubmit_baseline.view_answers baseline (req Http.Meth.GET "/answers/1")))
+  in
+  Printf.printf "policy-free baseline: median %.2f ms\n\n" (ms (median base));
+  Printf.printf "%-34s %12s %12s %10s\n" "variant" "median" "p95" "vs base";
+  let variant label cookies compose =
+    let run () =
+      let r =
+        Apps.Websubmit.view_answers app ~compose
+          (req ~cookies (Http.Meth.GET) "/answers/1")
+      in
+      expect_status label r 200
+    in
+    let samples = sample ~n run in
+    Printf.printf "%-34s %9.2f ms %9.2f ms %9.1fx\n" label (ms (median samples))
+      (ms (p95 samples))
+      (median samples /. median base)
+  in
+  variant "admin, no composition" "user=admin@school.edu" false;
+  variant "admin, with composition" "user=admin@school.edu" true;
+  variant "discussion leader, no comp." "user=leader@school.edu" false;
+  variant "discussion leader, with comp." "user=leader@school.edu" true;
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"fig9c/leader-composed-view"
+        (Bechamel.Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Apps.Websubmit.view_answers app ~compose:true
+                  (req ~cookies:"user=leader@school.edu" Http.Meth.GET "/answers/1"))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: Scrutinizer over the 98-region corpus. *)
+
+let fig10 ?(scale = Corpus.App_corpus.Full) () =
+  header "Fig. 10: Scrutinizer on the four applications' privacy regions";
+  let program = Corpus.App_corpus.program scale in
+  let cases = Corpus.App_corpus.cases () in
+  Printf.printf "%-12s %10s %10s %10s %12s %10s %8s\n" "App" "leak-free" "accepted"
+    "leaking" "rejected" "functions" "time";
+  List.iter
+    (fun app ->
+      let mine = List.filter (fun (c : Corpus.App_corpus.case) -> c.app = app) cases in
+      let t0 = Sys.time () in
+      let verdicts =
+        List.map
+          (fun (c : Corpus.App_corpus.case) -> (c, Scrut.Analysis.check program c.spec))
+          mine
+      in
+      let elapsed = Sys.time () -. t0 in
+      let leak_free, leaking =
+        List.partition
+          (fun ((c : Corpus.App_corpus.case), _) ->
+            c.expectation = Corpus.App_corpus.Leak_free)
+          verdicts
+      in
+      let accepted =
+        List.length (List.filter (fun (_, v) -> v.Scrut.Analysis.accepted) leak_free)
+      in
+      let rejected_leaking =
+        List.length
+          (List.filter (fun (_, v) -> not v.Scrut.Analysis.accepted) leaking)
+      in
+      let functions =
+        List.fold_left
+          (fun acc (_, v) -> acc + v.Scrut.Analysis.stats.functions_analyzed)
+          0 verdicts
+      in
+      Printf.printf "%-12s %10d %10d %10d %12s %10d %7.2fs\n" app (List.length leak_free)
+        accepted (List.length leaking)
+        (Printf.sprintf "%d/%d" rejected_leaking (List.length leaking))
+        functions elapsed)
+    Corpus.App_corpus.apps;
+  Printf.printf "(all leaking regions must be rejected; accepted counts mirror Fig. 10)\n"
+
+(* ------------------------------------------------------------------ *)
+(* §10.3 stdlib study. *)
+
+let stdlib_study () =
+  header "Std-collection methods under Scrutinizer (§10.3)";
+  let program = Corpus.Stdlib_corpus.program () in
+  let cases = Corpus.Stdlib_corpus.cases () in
+  let verdict (c : Corpus.Stdlib_corpus.case) = Scrut.Analysis.check program c.spec in
+  let leak_free = List.filter (fun (c : Corpus.Stdlib_corpus.case) -> c.leak_free) cases in
+  let leaking = List.filter (fun (c : Corpus.Stdlib_corpus.case) -> not c.leak_free) cases in
+  let accepted =
+    List.filter (fun c -> (verdict c).Scrut.Analysis.accepted) leak_free
+  in
+  let rejected_leaking =
+    List.filter (fun c -> not (verdict c).Scrut.Analysis.accepted) leaking
+  in
+  Printf.printf "leakage-free methods: %d, accepted: %d (false positives: %d)\n"
+    (List.length leak_free) (List.length accepted)
+    (List.length leak_free - List.length accepted);
+  Printf.printf "leaking methods: %d, rejected: %d\n" (List.length leaking)
+    (List.length rejected_leaking);
+  List.iter
+    (fun (c : Corpus.Stdlib_corpus.case) ->
+      if c.leak_free && not (verdict c).Scrut.Analysis.accepted then
+        Printf.printf "  false positive: %s\n" c.name)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* §5 micro-benchmark: PCon layout indirection. *)
+
+let pcon_micro () =
+  header "PCon layout micro-benchmark (section 5: obfuscated indirection)";
+  let n = 100_000 in
+  let ints = List.init n Fun.id in
+  let plain = List.map (fun i -> C.Mock.pcon ~policy:C.Policy.no_policy i) ints in
+  C.Pcon.set_default_storage C.Pcon.Plain;
+  let plain = List.map (fun p -> C.Pcon.Internal.map Fun.id p) plain in
+  C.Pcon.set_default_storage C.Pcon.Obfuscated;
+  let obfuscated = List.map (fun p -> C.Pcon.Internal.map Fun.id p) plain in
+  let raw = Array.of_list ints in
+  let sum_pcons ps = List.fold_left (fun acc p -> acc + C.Pcon.Internal.unwrap p) 0 ps in
+  let sum_raw () = Array.fold_left ( + ) 0 raw in
+  let t_raw = sample ~n:21 (fun () -> ignore (Sys.opaque_identity (sum_raw ()))) in
+  let t_plain = sample ~n:21 (fun () -> ignore (Sys.opaque_identity (sum_pcons plain))) in
+  let t_obf = sample ~n:21 (fun () -> ignore (Sys.opaque_identity (sum_pcons obfuscated))) in
+  Printf.printf "raw ints:           %10.1f us\n" (us (median t_raw));
+  Printf.printf "plain PCons:        %10.1f us (%.2fx raw)\n" (us (median t_plain))
+    (median t_plain /. median t_raw);
+  Printf.printf "obfuscated PCons:   %10.1f us (%.2fx raw; paper reports 1.7-2.1x)\n"
+    (us (median t_obf))
+    (median t_obf /. median t_raw);
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"pcon-micro/obfuscated-sum"
+        (Bechamel.Staged.stage (fun () -> Sys.opaque_identity (sum_pcons obfuscated)));
+      Bechamel.Test.make ~name:"pcon-micro/plain-sum"
+        (Bechamel.Staged.stage (fun () -> Sys.opaque_identity (sum_pcons plain)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the three shapes a conjunction of N policies can take —
+   distinct instances (stacked), one shared instance repeated (dedup
+   collapses it), and same-family joinable instances (join collapses
+   them) — and what each costs to build and check. *)
+
+module Viewer_family = struct
+  type s = { who : string }
+
+  let name = "bench::viewer"
+  let check s ctx = C.Context.user ctx = Some s.who
+  let join = None
+  let no_folding = false
+  let describe s = "Viewer(" ^ s.who ^ ")"
+end
+
+module Viewer = C.Policy.Make (Viewer_family)
+
+module Cohort_family = struct
+  type s = { members : int }
+
+  let name = "bench::cohort"
+  let check s _ = s.members > 0
+  let join = Some (fun a b -> Some { members = min a.members b.members })
+  let no_folding = false
+  let describe s = Printf.sprintf "Cohort(%d)" s.members
+end
+
+module Cohort = C.Policy.Make (Cohort_family)
+
+let conjoin_ablation () =
+  header "Ablation: policy conjunction — stacking vs dedup vs join (N = 10000)";
+  let n = 10_000 in
+  let ctx = C.Mock.context ~user:"who0" () in
+  let scenario label policies =
+    let t0 = Sys.time () in
+    let conj = C.Policy.conjoin_all policies in
+    let t1 = Sys.time () in
+    C.Policy.reset_check_count ();
+    ignore (C.Policy.check conj ctx);
+    let t2 = Sys.time () in
+    Printf.printf "%-28s %6d leaves %8.0f us build %8.0f us check %8d leaf checks
+"
+      label
+      (List.length (C.Policy.conjuncts conj))
+      (us (t1 -. t0)) (us (t2 -. t1)) (C.Policy.check_count ())
+  in
+  (* Fresh instances with identical state: no dedup (ids differ), and the
+     check passes every leaf so the full traversal cost is visible. *)
+  scenario "distinct (stacked)" (List.init n (fun _ -> Viewer.make { who = "who0" }));
+  let shared = Viewer.make { who = "who0" } in
+  scenario "one instance repeated (dedup)" (List.init n (fun _ -> shared));
+  scenario "same family (join)" (List.init n (fun i -> Cohort.make { members = i + 1 }))
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig5", "Policy code size per app", fig5);
+    ("fig6", "Privacy-region counts and sizes", fig6);
+    ("fig7", "Critical-region review burden", fig7);
+    ("fig8", "WebSubmit endpoint latency, baseline vs Sesame", fig8);
+    ("fig9a", "Sandbox reuse optimizations", fig9a);
+    ("fig9b", "Sandbox copy optimizations", fig9b);
+    ("fig9c", "Policy composition", fig9c);
+    ("fig10", "Scrutinizer over the region corpus", fun () -> fig10 ());
+    ("stdlib", "Scrutinizer over std-collection methods", stdlib_study);
+    ("pcon-micro", "PCon layout indirection", pcon_micro);
+    ("conjoin", "Policy conjunction ablation (stack/dedup/join)", conjoin_ablation);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Printf.printf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
+    requested

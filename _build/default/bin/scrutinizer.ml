@@ -1,0 +1,118 @@
+(* The standalone Scrutinizer CLI: run the leakage-freedom analysis over
+   the bundled region corpus, per app or in full, at either scale.
+
+     dune exec bin/scrutinizer.exe -- --app portfolio --scale full
+     dune exec bin/scrutinizer.exe -- --stdlib
+     dune exec bin/scrutinizer.exe -- --region 'pf::rank_region' --verbose *)
+
+module Scrut = Sesame_scrutinizer
+module Corpus = Sesame_corpus
+
+let run_app_corpus scale app_filter region_filter verbose =
+  let program = Corpus.App_corpus.program scale in
+  let cases =
+    Corpus.App_corpus.cases ()
+    |> List.filter (fun (c : Corpus.App_corpus.case) ->
+           (match app_filter with Some app -> c.app = app | None -> true)
+           && match region_filter with Some r -> c.name = r | None -> true)
+  in
+  if cases = [] then (
+    Format.eprintf "no regions match the given filters@.";
+    1)
+  else begin
+    let accepted = ref 0 in
+    List.iter
+      (fun (c : Corpus.App_corpus.case) ->
+        let v = Scrut.Analysis.check program c.spec in
+        if v.Scrut.Analysis.accepted then incr accepted;
+        Format.printf "%-10s %-38s %s (%d functions, %.3fs)@." c.app c.name
+          (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
+          v.Scrut.Analysis.stats.functions_analyzed v.Scrut.Analysis.stats.duration_s;
+        if verbose && not v.Scrut.Analysis.accepted then
+          List.iter
+            (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
+            v.Scrut.Analysis.rejections;
+        if verbose && region_filter <> None then
+          Format.printf "@[<v 2>source:@,%s@]@." (Scrut.Spec.source c.spec))
+      cases;
+    Format.printf "@.%d/%d regions verified.@." !accepted (List.length cases);
+    0
+  end
+
+let run_audit scale =
+  let program = Corpus.App_corpus.program scale in
+  let findings = Scrut.Encapsulation.audit program in
+  List.iter (fun f -> Format.printf "%a@." Scrut.Encapsulation.pp_finding f) findings;
+  (match Scrut.Encapsulation.breaking_packages program with
+  | [] -> Format.printf "@.no encapsulation-breaking packages.@."
+  | pkgs ->
+      Format.printf "@.packages needing review or the obfuscated layout: %s@."
+        (String.concat ", " pkgs));
+  0
+
+let run_stdlib verbose =
+  let program = Corpus.Stdlib_corpus.program () in
+  let cases = Corpus.Stdlib_corpus.cases () in
+  let accepted = ref 0 in
+  List.iter
+    (fun (c : Corpus.Stdlib_corpus.case) ->
+      let v = Scrut.Analysis.check program c.spec in
+      if v.Scrut.Analysis.accepted then incr accepted;
+      Format.printf "%-28s %s%s@." c.name
+        (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
+        (if (not v.Scrut.Analysis.accepted) && c.leak_free then "  (false positive)" else "");
+      if verbose && not v.Scrut.Analysis.accepted then
+        List.iter
+          (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
+          v.Scrut.Analysis.rejections)
+    cases;
+  Format.printf "@.%d/%d methods verified.@." !accepted (List.length cases);
+  0
+
+open Cmdliner
+
+let app_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun a -> (a, a)) Corpus.App_corpus.apps))) None
+    & info [ "app" ] ~docv:"APP" ~doc:"Analyze only this application's regions.")
+
+let region_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "region" ] ~docv:"NAME" ~doc:"Analyze only the named region.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("small", Corpus.App_corpus.Small); ("full", Corpus.App_corpus.Full) ])
+        Corpus.App_corpus.Small
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Dependency-tree scale: $(b,small) for quick runs, $(b,full) for Fig. 10-sized call graphs.")
+
+let stdlib_arg =
+  Arg.(value & flag & info [ "stdlib" ] ~doc:"Analyze the std-collection method corpus instead.")
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit-unsafe" ]
+        ~doc:"Whole-program unsafe-encapsulation audit (the section-12 analysis) instead of region checking.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print rejection reasons (and sources with --region).")
+
+let cmd =
+  let run stdlib audit scale app region verbose =
+    if audit then run_audit scale
+    else if stdlib then run_stdlib verbose
+    else run_app_corpus scale app region verbose
+  in
+  Cmd.v
+    (Cmd.info "scrutinizer" ~version:"1.0"
+       ~doc:"Check privacy regions for leakage-freedom (the paper's Scrutinizer)")
+    Term.(const run $ stdlib_arg $ audit_arg $ scale_arg $ app_arg $ region_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

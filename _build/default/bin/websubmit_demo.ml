@@ -1,0 +1,88 @@
+(* A driveable WebSubmit instance: seeds the course, then reads simple
+   request lines from stdin and dispatches them through the in-process
+   router. Useful for poking at the policy checks by hand.
+
+     dune exec bin/websubmit_demo.exe -- --students 20 --questions 3
+
+   Request syntax, one per line:
+     [user@email] METHOD /path[?query] [body]
+   e.g.
+     student0@school.edu GET /view/1
+     admin@school.edu GET /aggregates
+     student2@school.edu POST /submit/1/9 answer=hello
+     quit *)
+
+module Http = Sesame_http
+module Apps = Sesame_apps
+
+let dispatch app line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [] -> None
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | parts ->
+      let user, rest =
+        match parts with
+        | u :: rest when String.contains u '@' -> (Some u, rest)
+        | rest -> (None, rest)
+      in
+      (match rest with
+      | meth :: target :: body -> (
+          match Http.Meth.of_string meth with
+          | None -> Some (Http.Response.error Http.Status.Bad_request "unknown method")
+          | Some meth ->
+              let headers =
+                Http.Headers.of_list
+                  ((match user with
+                   | Some u -> [ ("Cookie", "user=" ^ u) ]
+                   | None -> [])
+                  @ [ ("Content-Type", "application/x-www-form-urlencoded") ])
+              in
+              let request =
+                Http.Request.make ~headers ~body:(String.concat " " body) meth target
+              in
+              Some (Apps.Websubmit.handle app request))
+      | _ -> Some (Http.Response.error Http.Status.Bad_request "usage: [user] METHOD /path [body]"))
+
+let run students questions =
+  match Apps.Websubmit.create () with
+  | Error m ->
+      Printf.eprintf "failed to start: %s\n" m;
+      1
+  | Ok app -> (
+      (match Apps.Websubmit.seed app ~students ~questions with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      Printf.printf
+        "WebSubmit ready: %d students x %d questions seeded.\n\
+         Principals: studentN@school.edu, admin@school.edu, leader@school.edu.\n\
+         Example: student0@school.edu GET /view/1   (quit to exit)\n%!"
+        students questions;
+      try
+        while true do
+          print_string "> ";
+          let line = read_line () in
+          match dispatch app line with
+          | None -> ()
+          | Some response ->
+              Printf.printf "%d %s\n%s\n%!"
+                (Http.Status.to_int response.Http.Response.status)
+                (Http.Status.reason response.Http.Response.status)
+                response.Http.Response.body
+        done;
+        0
+      with Exit | End_of_file -> 0)
+
+open Cmdliner
+
+let students_arg =
+  Arg.(value & opt int 20 & info [ "students" ] ~docv:"N" ~doc:"Students to seed.")
+
+let questions_arg =
+  Arg.(value & opt int 3 & info [ "questions" ] ~docv:"N" ~doc:"Questions per student.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "websubmit-demo" ~version:"1.0" ~doc:"Interactive WebSubmit instance")
+    Term.(const run $ students_arg $ questions_arg)
+
+let () = exit (Cmd.eval' cmd)

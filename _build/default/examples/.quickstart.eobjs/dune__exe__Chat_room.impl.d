@@ -1,0 +1,1 @@
+examples/chat_room.ml: Format Printf Sesame_apps Sesame_http

@@ -1,0 +1,1 @@
+examples/chat_room.mli:

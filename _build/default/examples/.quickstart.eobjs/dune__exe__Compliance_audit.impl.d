@@ -1,0 +1,1 @@
+examples/compliance_audit.ml: Format List Sesame_corpus Sesame_scrutinizer

@@ -1,0 +1,1 @@
+examples/compliance_audit.mli:

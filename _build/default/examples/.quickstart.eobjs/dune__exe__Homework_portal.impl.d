@@ -1,0 +1,1 @@
+examples/homework_portal.ml: Format List Printf Sesame_apps Sesame_core Sesame_http String

@@ -1,0 +1,1 @@
+examples/homework_portal.mli:

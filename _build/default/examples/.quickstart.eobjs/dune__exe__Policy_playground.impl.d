@@ -1,0 +1,1 @@
+examples/policy_playground.ml: Format List Sesame_core String

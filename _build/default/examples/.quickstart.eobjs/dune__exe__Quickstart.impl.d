@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Option Sesame_apps Sesame_core Sesame_scrutinizer Sesame_signing

@@ -1,0 +1,92 @@
+(* Policy playground: defining policy families, conjunction vs join,
+   folding, and the NoFolding escape hatch — the §4.1/§5 machinery in
+   isolation, without any web app around it.
+
+   Run with: dune exec examples/policy_playground.exe *)
+
+module C = Sesame_core
+
+(* A data-dependent policy with a join, like Fig. 3's AnswerAccessPolicy. *)
+module Readers_family = struct
+  type s = { readers : string list }
+
+  let name = "playground::readers"
+
+  let check s ctx =
+    match C.Context.user ctx with Some u -> List.mem u s.readers | None -> false
+
+  (* Joining unions the reader lists: "joining and stacking must be
+     semantically equivalent" holds here because conjunction of
+     same-document policies is how shared rows accumulate readers. *)
+  let join = Some (fun a b -> Some { readers = List.sort_uniq compare (a.readers @ b.readers) })
+  let no_folding = false
+  let describe s = "Readers(" ^ String.concat "," s.readers ^ ")"
+end
+
+module Readers = C.Policy.Make (Readers_family)
+
+(* A purpose-limitation policy with no join. *)
+module Purpose_family = struct
+  type s = { allowed_sink : string }
+
+  let name = "playground::purpose"
+
+  let check s ctx = C.Context.sink ctx = Some s.allowed_sink
+  let join = None
+  let no_folding = true
+  let describe s = "Purpose(" ^ s.allowed_sink ^ ")"
+end
+
+module Purpose = C.Policy.Make (Purpose_family)
+
+let show_check policy ctx label =
+  Format.printf "  %-34s %s@." label (if C.Policy.check policy ctx then "ALLOW" else "DENY")
+
+let () =
+  Format.printf "== Policy playground ==@.@.";
+  let ada = C.Mock.context ~user:"ada" () in
+  let eve = C.Mock.context ~user:"eve" () in
+
+  Format.printf "-- conjunction is AND --@.";
+  let p = C.Policy.conjoin (Readers.make { readers = [ "ada"; "eve" ] })
+      (Readers.make { readers = [ "ada" ] }) in
+  Format.printf "  joined to: %s@." (C.Policy.describe p);
+  show_check p ada "ada against the conjunction";
+  show_check p eve "eve against the conjunction";
+
+  Format.printf "@.-- join keeps big conjunctions compact --@.";
+  let many = List.init 1000 (fun i -> Readers.make { readers = [ "ada"; "u" ^ string_of_int i ] }) in
+  let joined = C.Policy.conjoin_all many in
+  Format.printf "  1000 same-family policies fold to %d leaf(s)@."
+    (List.length (C.Policy.conjuncts joined));
+  C.Policy.reset_check_count ();
+  ignore (C.Policy.check joined ada);
+  Format.printf "  checking it costs %d leaf check(s)@." (C.Policy.check_count ());
+
+  Format.printf "@.-- stacking heterogeneous policies --@.";
+  let stacked =
+    C.Policy.conjoin (Readers.make { readers = [ "ada" ] })
+      (Purpose.make { allowed_sink = "http::render" })
+  in
+  Format.printf "  stacked to: %s@." (C.Policy.describe stacked);
+  show_check stacked ada "ada, no sink";
+  show_check stacked (C.Context.with_sink ada "http::render") "ada at http::render";
+
+  Format.printf "@.-- folding --@.";
+  let cells =
+    List.map
+      (fun (who, v) -> C.Pcon.Internal.make (Readers.make { readers = [ who ] }) v)
+      [ ("ada", 1); ("ada", 2); ("eve", 3) ]
+  in
+  let folded = C.Fold.out_list cells in
+  Format.printf "  folded-out policy: %s@." (C.Policy.describe (C.Pcon.policy folded));
+  (match C.Fold.in_list folded with
+  | Ok parts -> Format.printf "  folding back in: %d parts, each under the full policy@." (List.length parts)
+  | Error e -> Format.printf "  %a@." C.Fold.pp_error e);
+
+  let locked = C.Pcon.Internal.make (Purpose.make { allowed_sink = "x" }) [ 1; 2; 3 ] in
+  (match C.Fold.in_list locked with
+  | Error e -> Format.printf "  NoFolding data refuses to fold in: %a@." C.Fold.pp_error e
+  | Ok _ -> assert false);
+
+  Format.printf "@.done.@."

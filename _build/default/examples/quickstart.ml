@@ -1,0 +1,152 @@
+(* Quickstart: the Fig. 1 flow end to end, against the public API.
+
+   A student submits a homework answer. The answer enters the application
+   inside a policy container; business logic runs in a verified privacy
+   region; the confirmation email leaves through a reviewed, signed
+   critical region whose context names the recipient the policy check
+   approved.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module C = Sesame_core
+module Scrut = Sesame_scrutinizer
+module Sign = Sesame_signing
+
+(* 1. Define a policy: who may receive a submitted answer. *)
+module Answer_policy_family = struct
+  type s = { author : string }
+
+  let name = "quickstart::answer-access"
+
+  let check s ctx =
+    (* The recipient of a custom sink comes from the critical region's
+       context (Fig. 1b line 15); otherwise the authenticated user. *)
+    let principal =
+      match C.Context.custom ctx "recipient" with
+      | Some r -> Some r
+      | None -> C.Context.user ctx
+    in
+    principal = Some s.author || principal = Some "instructor@school.edu"
+
+  let join = None
+  let no_folding = false
+  let describe s = "AnswerAccess(author=" ^ s.author ^ ")"
+end
+
+module Answer_policy = C.Policy.Make (Answer_policy_family)
+
+(* 2. Model the region bodies in the Region IR so Scrutinizer can check
+   them (the stand-in for rustc MIR; see DESIGN.md). *)
+let program =
+  let open Scrut.Ir in
+  let p = Scrut.Program.create () in
+  Scrut.Program.define_all p
+    [
+      func ~name:"fmt_confirmation" ~params:[ "answer" ]
+        [ Return (Some (Binop (Concat, Str_lit "submitted: ", Var "answer"))) ];
+      native ~package:"lettre" ~name:"lettre::send" ~params:[ "to"; "body" ] ();
+      func ~name:"send_confirmation" ~params:[ "body"; "to" ]
+        [ Expr_stmt (Call (Static "lettre::send", [ Var "to"; Var "body" ])) ];
+    ];
+  p
+
+let lockfile =
+  Sign.Lockfile.of_packages [ { name = "lettre"; version = "0.11.4"; deps = [] } ]
+
+let () =
+  Format.printf "== Sesame quickstart: Fig. 1's homework submission ==@.@.";
+
+  (* 3. Sensitive input arrives wrapped: a Sesame source would do this;
+     here we play the framework's role explicitly. *)
+  let student = "ada@school.edu" in
+  let answer : string C.Pcon.t =
+    C.Pcon.Internal.make (Answer_policy.make { author = student }) "42 because reasons"
+  in
+  Format.printf "answer arrived under policy: %s@." (C.Policy.describe (C.Pcon.policy answer));
+
+  (* Direct access is impossible: only regions and Sesame sinks unwrap. *)
+
+  (* 4. Format the confirmation body in a verified region. Scrutinizer
+     proves the closure leakage-free before it ever runs. *)
+  let fmt_region =
+    match
+      C.Region.Verified.make ~app:"quickstart" ~program
+        ~spec:
+          (Scrut.Spec.make ~name:"submit::fmt_confirmation" ~params:[ "answer" ]
+             Scrut.Ir.[ Return (Some (Call (Static "fmt_confirmation", [ Var "answer" ]))) ])
+        ~f:(fun raw -> "submitted: " ^ raw)
+        ()
+    with
+    | Ok region -> region
+    | Error e -> failwith (C.Region.error_to_string e)
+  in
+  let body = C.Region.Verified.run fmt_region answer in
+  Format.printf "verified region produced the body (still wrapped)@.";
+
+  (* 5. A region that intentionally externalizes is rejected by
+     Scrutinizer — try it. *)
+  (match
+     C.Region.Verified.make ~app:"quickstart" ~program
+       ~spec:
+         (Scrut.Spec.make ~name:"submit::sneaky_email" ~params:[ "body" ]
+            Scrut.Ir.[
+              Expr_stmt (Call (Static "send_confirmation", [ Var "body"; Str_lit "x@y" ]));
+            ])
+       ~f:(fun (_ : string) -> ())
+       ()
+   with
+  | Error (C.Region.Not_leakage_free v) ->
+      Format.printf "emailing from a privacy region rejected: %a@." Scrut.Analysis.pp_verdict v
+  | Ok _ -> failwith "the leaky region should have been rejected"
+  | Error e -> failwith (C.Region.error_to_string e));
+
+  (* 6. So the email goes through a critical region: reviewed and signed. *)
+  let keystore = Sign.Keystore.create () in
+  Sign.Keystore.register keystore ~reviewer:"lead@school.edu" ~secret:"review-key";
+  let email_region =
+    match
+      C.Region.Critical.make ~app:"quickstart" ~program
+        ~spec:
+          (Scrut.Spec.make ~name:"submit::email_confirmation" ~params:[ "body" ]
+             Scrut.Ir.[
+               Expr_stmt (Call (Static "send_confirmation", [ Var "body"; Var "recipient" ]));
+             ])
+        ~lockfile ~keystore
+        ~f:(fun ~context body ->
+          let recipient = Option.value (C.Context.custom context "recipient") ~default:"" in
+          Sesame_apps.Email.send ~recipient ~subject:"submission received" ~body)
+        ()
+    with
+    | Ok region -> region
+    | Error e -> failwith (C.Region.error_to_string e)
+  in
+  Format.printf "critical region digest: %a@."
+    Sign.Sha256.pp (C.Region.Critical.digest email_region);
+
+  (* Unsigned CRs do not run in release builds. *)
+  let context = C.Context.untrusted ~user:student ~custom:[ ("recipient", student) ] () in
+  (match C.Region.Critical.run email_region ~context body with
+  | Error (C.Region.Unsigned _) -> Format.printf "unsigned critical region refused to run@."
+  | _ -> failwith "unsigned CR must not run");
+
+  (* The reviewer signs after review; now it runs — but only for contexts
+     the answer's policy accepts. *)
+  (match C.Region.Critical.sign email_region ~reviewer:"lead@school.edu" ~at:1000 with
+  | Ok () -> Format.printf "reviewer signed the region@."
+  | Error e -> failwith (C.Region.error_to_string e));
+
+  let eavesdropper =
+    C.Context.untrusted ~user:student ~custom:[ ("recipient", "spy@evil.com") ] ()
+  in
+  (match C.Region.Critical.run email_region ~context:eavesdropper body with
+  | Error (C.Region.Policy_denied _) ->
+      Format.printf "policy check blocked mailing the answer to spy@@evil.com@."
+  | _ -> failwith "policy must deny the spy");
+
+  (match C.Region.Critical.run email_region ~context body with
+  | Ok () -> ()
+  | Error e -> failwith (C.Region.error_to_string e));
+  let mail = List.hd (Sesame_apps.Email.outbox ()) in
+  Format.printf "email sent to %s: %S@.@." mail.Sesame_apps.Email.recipient
+    mail.Sesame_apps.Email.body;
+  Format.printf "quickstart complete.@."

@@ -1,0 +1,1 @@
+lib/apps/crypto.ml: Buffer Char Sesame_signing String

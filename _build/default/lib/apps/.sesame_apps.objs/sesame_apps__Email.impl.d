@@ -1,0 +1,1 @@
+lib/apps/email.ml: List Sesame_sandbox

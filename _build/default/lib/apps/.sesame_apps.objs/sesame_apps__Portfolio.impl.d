@@ -1,0 +1,1 @@
+lib/apps/portfolio.ml: Char Crypto Fun List Option Printf Result Sesame_core Sesame_db Sesame_http Sesame_sandbox Sesame_scrutinizer Sesame_signing String

@@ -1,0 +1,1 @@
+lib/apps/portfolio.mli: Sesame_core Sesame_db Sesame_http

@@ -1,0 +1,1 @@
+lib/apps/voltron.ml: Email Fun List Option Printf Result Sesame_core Sesame_db Sesame_http Sesame_scrutinizer Sesame_signing String

@@ -1,0 +1,1 @@
+lib/apps/websubmit.ml: Array Email Format Hashtbl List Option Printf Result Sesame_core Sesame_db Sesame_http Sesame_ml Sesame_sandbox Sesame_scrutinizer Sesame_signing Set String Websubmit_schema

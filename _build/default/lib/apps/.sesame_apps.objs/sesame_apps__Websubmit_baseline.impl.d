@@ -1,0 +1,1 @@
+lib/apps/websubmit_baseline.ml: Array List Option Printf Result Sesame_db Sesame_http Sesame_ml String Websubmit_schema

@@ -1,0 +1,1 @@
+lib/apps/websubmit_baseline.mli: Sesame_db Sesame_http

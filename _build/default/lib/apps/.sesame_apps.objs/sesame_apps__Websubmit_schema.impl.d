@@ -1,0 +1,1 @@
+lib/apps/websubmit_schema.ml: Fun Hashtbl List Printf Result Sesame_db Sesame_ml

@@ -1,0 +1,1 @@
+lib/apps/websubmit_schema.mli: Sesame_db

@@ -1,0 +1,1 @@
+lib/apps/youchat.ml: Array Fun List Option Printf Result Sesame_core Sesame_db Sesame_http Sesame_scrutinizer String

@@ -1,0 +1,47 @@
+module Sha256 = Sesame_signing.Sha256
+
+let derive_key ~passphrase ~salt =
+  let hex = Sha256.to_hex (Sha256.digest_list [ "kdf"; passphrase; salt ]) in
+  (* 32 raw bytes from the 64 hex chars. *)
+  match Sha256.of_hex hex with
+  | Some _ -> String.init 32 (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2)))
+  | None -> assert false
+
+let keystream ~key len =
+  let buf = Buffer.create (len + 32) in
+  let counter = ref 0 in
+  while Buffer.length buf < len do
+    let block = Sha256.digest_list [ "ks"; key; string_of_int !counter ] in
+    Buffer.add_string buf (Sha256.to_hex block |> fun hex ->
+        String.init 32 (fun i -> Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2))));
+    incr counter
+  done;
+  Buffer.sub buf 0 len
+
+let xor_with plaintext stream =
+  String.init (String.length plaintext) (fun i ->
+      Char.chr (Char.code plaintext.[i] lxor Char.code stream.[i]))
+
+let tag ~key data = Sha256.to_hex (Sha256.digest_list [ "tag"; key; data ])
+
+let encrypt ~key plaintext =
+  if String.length key <> 32 then invalid_arg "Crypto.encrypt: key must be 32 bytes";
+  let stream = keystream ~key (String.length plaintext) in
+  let ciphertext = xor_with plaintext stream in
+  tag ~key ciphertext ^ ciphertext
+
+let decrypt ~key data =
+  if String.length key <> 32 then Error "key must be 32 bytes"
+  else if String.length data < 64 then Error "ciphertext too short"
+  else
+    let stored_tag = String.sub data 0 64 in
+    let ciphertext = String.sub data 64 (String.length data - 64) in
+    if not (String.equal stored_tag (tag ~key ciphertext)) then
+      Error "integrity check failed (wrong key or corrupted data)"
+    else Ok (xor_with ciphertext (keystream ~key (String.length ciphertext)))
+
+let keypair ~seed =
+  let priv = Sha256.to_hex (Sha256.digest_list [ "priv"; seed ]) in
+  let publ = String.sub (Sha256.to_hex (Sha256.digest_list [ "pub"; priv ])) 0 16 in
+  (publ, priv)

@@ -1,0 +1,21 @@
+(** The "external crypto library" Portfolio depends on (§9). The paper's
+    Portfolio encrypts uploaded documents with an async crypto crate that
+    Scrutinizer cannot verify and WebAssembly cannot host — which is why
+    Portfolio ends up with 20 critical regions. We model it with a
+    SHA-256-based stream cipher: real key-dependent work with an exact
+    decrypt inverse, standing in for the crate's functionality. *)
+
+val derive_key : passphrase:string -> salt:string -> string
+(** 32-byte key. *)
+
+val encrypt : key:string -> string -> string
+(** Deterministic keystream cipher with an integrity tag prepended.
+    Raises [Invalid_argument] if the key is not 32 bytes. *)
+
+val decrypt : key:string -> string -> (string, string) result
+(** Fails on a wrong key or corrupted ciphertext (integrity tag
+    mismatch). *)
+
+val keypair : seed:string -> string * string
+(** [(public_id, private_key)] for a candidate account — Portfolio stores
+    the private key in the DB and reveals it only in the owner's cookie. *)

@@ -1,0 +1,11 @@
+type message = { recipient : string; subject : string; body : string }
+
+let messages : message list ref = ref []
+
+let send ~recipient ~subject ~body =
+  Sesame_sandbox.Runtime.guard_syscall "email::send";
+  messages := { recipient; subject; body } :: !messages
+
+let outbox () = List.rev !messages
+let clear_outbox () = messages := []
+let sent_count () = List.length !messages

@@ -1,0 +1,16 @@
+(** The third-party email library of Fig. 1 — a custom sink outside
+    Sesame's built-ins, reachable only from critical regions.
+
+    Delivery is modelled with an in-process outbox so tests and examples
+    can observe exactly what left the application. Sending from inside a
+    sandbox raises {!Sesame_sandbox.Runtime.Forbidden_syscall}, modelling
+    RLBox's syscall interposition. *)
+
+type message = { recipient : string; subject : string; body : string }
+
+val send : recipient:string -> subject:string -> body:string -> unit
+val outbox : unit -> message list
+(** Oldest first. *)
+
+val clear_outbox : unit -> unit
+val sent_count : unit -> int

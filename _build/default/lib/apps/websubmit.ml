@@ -1,0 +1,990 @@
+module C = Sesame_core
+module Db = Sesame_db
+module Http = Sesame_http
+module Scrut = Sesame_scrutinizer
+module Sign = Sesame_signing
+module Sbx = Sesame_sandbox
+module Policy = C.Policy
+module Pcon = C.Pcon
+module Context = C.Context
+module Region = C.Region
+module Conn = C.Sesame_conn
+module Web = C.Sesame_web
+
+let app_name = "websubmit"
+let admins = [ "admin@school.edu" ]
+let hash_salt = Websubmit_schema.hash_salt
+let hash_iterations = Websubmit_schema.hash_iterations
+
+let is_admin user = List.mem user admins
+
+(* The acting principal of a check: the recipient named by a critical
+   region's context if present (Fig. 1b line 15), else the authenticated
+   user. *)
+let principal ctx =
+  match Context.custom ctx "recipient" with
+  | Some r -> Some r
+  | None -> Context.user ctx
+
+(* ------------------------------------------------------------------ *)
+(* Policies (§9: WebSubmit's seven policies). Each [*_loc] constant
+   records the size of the policy's definition for the Fig. 5 table. *)
+
+module Sset = Set.Make (String)
+
+(* (i) Answers are visible to the author, admins/instructors, and the
+   lecture's discussion leaders. Discussion leaders live in the database,
+   so every check costs a query; joining same-lecture policies shares it
+   (Fig. 9c). *)
+module Answer_access_family = struct
+  type s = { authors : Sset.t; lecture : int; db : Db.Database.t }
+
+  let name = "websubmit::answer-access"
+
+  let discussion_leads db lecture =
+    match
+      Db.Database.exec db "SELECT email FROM discussion_leaders WHERE lecture = ?"
+        ~params:[ Db.Value.Int lecture ]
+    with
+    | Ok (Db.Database.Rows { rows; _ }) ->
+        List.filter_map
+          (fun row -> match row.(0) with Db.Value.Text e -> Some e | _ -> None)
+          rows
+    | Ok (Db.Database.Affected _) | Error _ -> []
+
+  let check s ctx =
+    match principal ctx with
+    | None -> false
+    | Some who ->
+        Sset.mem who s.authors || is_admin who
+        || List.mem who (discussion_leads s.db s.lecture)
+
+  let join =
+    Some
+      (fun a b ->
+        if a.lecture = b.lecture then
+          Some { a with authors = Sset.union a.authors b.authors }
+        else None)
+
+  let no_folding = false
+
+  let describe s =
+    Printf.sprintf "AnswerAccess(lecture=%d, authors=%d)" s.lecture
+      (Sset.cardinal s.authors)
+end
+
+module Answer_access = Policy.Make (Answer_access_family)
+
+let answer_access_loc = (26, 9) (* (policy_loc, check_loc) *)
+
+(* (ii) Individual grades: the student and the instructor only. Employers
+   never see individual grades; they are admitted here only so that the
+   conjoined Employer_release policy (iii) can gate released averages by
+   consent. *)
+module Grade_access_family = struct
+  type s = { student : string }
+
+  let name = "websubmit::grade-access"
+
+  let check s ctx =
+    Context.custom ctx "role" = Some "employer"
+    ||
+    match principal ctx with
+    | None -> false
+    | Some who -> who = s.student || is_admin who
+
+  let join = None (* different students cannot be folded together (§10.2) *)
+  let no_folding = false
+  let describe s = Printf.sprintf "GradeAccess(%s)" s.student
+end
+
+module Grade_access = Policy.Make (Grade_access_family)
+
+let grade_access_loc = (13, 6)
+
+(* (iii) Average grade and email go to employers only with consent. *)
+module Employer_release_family = struct
+  type s = { student : string; consent : bool }
+
+  let name = "websubmit::employer-release"
+
+  let check s ctx =
+    match Context.custom ctx "role" with
+    | Some "employer" -> s.consent
+    | Some _ | None -> (
+        match principal ctx with
+        | None -> false
+        | Some who -> who = s.student || is_admin who)
+
+  let join = None
+  let no_folding = false
+
+  let describe s =
+    Printf.sprintf "EmployerRelease(%s, consent=%b)" s.student s.consent
+end
+
+module Employer_release = Policy.Make (Employer_release_family)
+
+let employer_release_loc = (15, 8)
+
+(* (iv) Grades feed model training only with consent. Consent lives in the
+   users table; the policy queries it lazily at check time and memoizes per
+   student (policy code is trusted and may cache, §4.1). *)
+module Ml_training_family = struct
+  type s = {
+    student : string;
+    db : Db.Database.t;
+    cache : (string, bool) Hashtbl.t;
+  }
+
+  let name = "websubmit::ml-training"
+
+  let consents s =
+    match Hashtbl.find_opt s.cache s.student with
+    | Some consent -> consent
+    | None ->
+        let consent =
+          match
+            Db.Database.exec s.db "SELECT consent_ml FROM users WHERE email = ?"
+              ~params:[ Db.Value.Text s.student ]
+          with
+          | Ok (Db.Database.Rows { rows = [ [| Db.Value.Bool b |] ]; _ }) -> b
+          | _ -> false
+        in
+        Hashtbl.add s.cache s.student consent;
+        consent
+
+  let check s ctx =
+    match Context.sink ctx with
+    | Some "ml::train" -> consents s
+    | Some _ | None -> true (* other sinks are governed by the other policies *)
+
+  let join = None
+  let no_folding = false
+  let describe s = Printf.sprintf "MlTraining(%s)" s.student
+end
+
+module Ml_training = Policy.Make (Ml_training_family)
+
+let ml_training_loc = (12, 5)
+
+(* (v) Protected demographics must not be aggregated by administrators. *)
+module Demographics_family = struct
+  type s = { student : string }
+
+  let name = "websubmit::demographics"
+
+  let check s ctx =
+    if Context.custom ctx "purpose" = Some "aggregate" then false
+    else
+      match principal ctx with
+      | None -> false
+      | Some who -> who = s.student || is_admin who
+
+  let join = None
+  let no_folding = true (* shape of demographic data must not leak either *)
+  let describe s = Printf.sprintf "Demographics(%s)" s.student
+end
+
+module Demographics = Policy.Make (Demographics_family)
+
+let demographics_loc = (13, 7)
+
+(* (vi) Released aggregates must cover at least k students. *)
+module K_anonymity_family = struct
+  type s = { k : int; members : int }
+
+  let name = "websubmit::k-anonymity"
+
+  let check s _ctx = s.members >= s.k
+
+  let join =
+    Some (fun a b -> Some { k = max a.k b.k; members = min a.members b.members })
+
+  let no_folding = false
+  let describe s = Printf.sprintf "KAnonymity(k=%d, members=%d)" s.k s.members
+end
+
+module K_anonymity = Policy.Make (K_anonymity_family)
+
+let k_anonymity_loc = (11, 1)
+
+(* (vii) API-key hashes are visible to their owner only. *)
+module Api_key_family = struct
+  type s = { owner : string }
+
+  let name = "websubmit::api-key"
+
+  let check s ctx =
+    match principal ctx with None -> false | Some who -> who = s.owner
+
+  let join = None
+  let no_folding = true
+  let describe s = Printf.sprintf "ApiKey(%s)" s.owner
+end
+
+module Api_key = Policy.Make (Api_key_family)
+
+let api_key_loc = (10, 2)
+
+let policy_inventory =
+  [
+    ("AnswerAccess", fst answer_access_loc, snd answer_access_loc);
+    ("GradeAccess", fst grade_access_loc, snd grade_access_loc);
+    ("EmployerRelease", fst employer_release_loc, snd employer_release_loc);
+    ("MlTraining", fst ml_training_loc, snd ml_training_loc);
+    ("Demographics", fst demographics_loc, snd demographics_loc);
+    ("KAnonymity", fst k_anonymity_loc, snd k_anonymity_loc);
+    ("ApiKey", fst api_key_loc, snd api_key_loc);
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* The IR program modelling the regions' code (see DESIGN.md on the
+   MIR → Region-IR substitution). *)
+
+let build_program () =
+  let open Scrut.Ir in
+  let program = Scrut.Program.create () in
+  Scrut.Program.define_all program
+    [
+      func ~name:"ws::fmt_submitted" ~params:[ "answer" ]
+        [ Return (Some (Binop (Concat, Str_lit "submitted: ", Var "answer"))) ];
+      func ~name:"ws::join_lines" ~params:[ "lines" ]
+        [
+          Let ("out", Str_lit "");
+          For
+            ( "line",
+              Var "lines",
+              [ Assign (Lvar "out", Binop (Concat, Var "out", Var "line")) ] );
+          Return (Some (Var "out"));
+        ];
+      func ~name:"ws::mean" ~params:[ "values" ]
+        [
+          Let ("sum", Float_lit 0.0);
+          Let ("count", Int_lit 0);
+          For
+            ( "v",
+              Var "values",
+              [
+                Assign (Lvar "sum", Binop (Add, Var "sum", Var "v"));
+                Assign (Lvar "count", Binop (Add, Var "count", Int_lit 1));
+              ] );
+          Return (Some (Binop (Div, Var "sum", Var "count")));
+        ];
+      func ~name:"ws::predict" ~params:[ "model"; "x" ]
+        [
+          Let ("w", Field (Var "model", "weight"));
+          Let ("b", Field (Var "model", "intercept"));
+          Return (Some (Binop (Add, Binop (Mul, Var "w", Var "x"), Var "b")));
+        ];
+      (* The hashing and training regions call into native crates, which is
+         why Scrutinizer rejects them and they run as sandboxed regions. *)
+      native ~package:"sha2" ~name:"sha2::digest" ~params:[ "data" ] ();
+      func ~name:"ws::hash_key" ~params:[ "key" ]
+        [
+          Let ("digest", Call (Static "sha2::digest", [ Var "key" ]));
+          Return (Some (Var "digest"));
+        ];
+      native ~package:"nalgebra" ~name:"nalgebra::solve" ~params:[ "a"; "b" ] ();
+      func ~name:"ws::train" ~params:[ "points" ]
+        [
+          Let ("weights", Call (Static "nalgebra::solve", [ Var "points"; Var "points" ]));
+          Return (Some (Var "weights"));
+        ];
+      (* Critical-region bodies: they intentionally externalize. *)
+      native ~package:"lettre" ~name:"lettre::send" ~params:[ "to"; "subject"; "body" ] ();
+      func ~name:"ws::email_confirmation" ~params:[ "body"; "recipient" ]
+        [
+          Expr_stmt
+            (Call
+               ( Static "lettre::send",
+                 [ Var "recipient"; Str_lit "submission received"; Var "body" ] ));
+        ];
+      native ~package:"csv" ~name:"csv::write_record" ~params:[ "record" ] ();
+      func ~name:"ws::export_employer_row" ~params:[ "email"; "average" ]
+        [
+          Let ("record", Tuple [ Var "email"; Var "average" ]);
+          Expr_stmt (Call (Static "csv::write_record", [ Var "record" ]));
+        ];
+    ];
+  program
+
+let lockfile =
+  Sign.Lockfile.of_packages
+    [
+      { name = "lettre"; version = "0.11.4"; deps = [ "base64"; "mime" ] };
+      { name = "base64"; version = "0.22.1"; deps = [] };
+      { name = "mime"; version = "0.3.17"; deps = [] };
+      { name = "csv"; version = "1.3.0"; deps = [ "serde" ] };
+      { name = "serde"; version = "1.0.203"; deps = [] };
+      { name = "sha2"; version = "0.10.8"; deps = [ "digest" ] };
+      { name = "digest"; version = "0.10.7"; deps = [] };
+      { name = "nalgebra"; version = "0.32.5"; deps = [] };
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+type regions = {
+  fmt_confirmation : (string, string) Region.Verified.t;
+  join_answers : (string list, string) Region.Verified.t;
+  mean_grades : (float list, float) Region.Verified.t;
+  predict : ((float * float) * float, float) Region.Verified.t;
+  hash_key : (string, string) Region.Sandboxed.t;
+  train : (float * float, float list) Region.Sandboxed.t;
+  email_confirmation : (string, unit) Region.Critical.t;
+  export_employer : (string * float, string) Region.Critical.t;
+}
+
+type t = {
+  conn : Conn.t;
+  db : Db.Database.t;
+  keystore : Sign.Keystore.t;
+  program : Scrut.Program.t;
+  k : int;
+  regions : regions;
+  consent_cache : (string, bool) Hashtbl.t;
+      (** memo used by the MlTraining policy; invalidated on consent change *)
+  mutable model : (float * float) Pcon.t option;  (** (weight, intercept) *)
+  mutable next_answer_id : int;
+}
+
+let conn t = t.conn
+let database t = t.db
+let sandbox_hash_region t = t.regions.hash_key
+let sandbox_train_region t = t.regions.train
+
+let ( let* ) = Result.bind
+
+let region_error e = Error (Region.error_to_string e)
+
+let spec ?captures name params body = Scrut.Spec.make ~name ~params ?captures body
+
+let make_regions program keystore db =
+  let open Scrut.Ir in
+  let* fmt_confirmation =
+    Result.map_error Region.error_to_string
+      (Region.Verified.make ~app:app_name ~program
+         ~spec:
+           (spec "submit::fmt_confirmation" [ "answer" ]
+              [ Return (Some (Call (Static "ws::fmt_submitted", [ Var "answer" ]))) ])
+         ~f:(fun answer -> "submitted: " ^ answer)
+         ())
+  in
+  let* join_answers =
+    Result.map_error Region.error_to_string
+      (Region.Verified.make ~app:app_name ~program
+         ~spec:
+           (spec "staff::join_answers" [ "answers" ]
+              [ Return (Some (Call (Static "ws::join_lines", [ Var "answers" ]))) ])
+         ~f:(fun answers -> String.concat "\n" answers)
+         ())
+  in
+  let* mean_grades =
+    Result.map_error Region.error_to_string
+      (Region.Verified.make ~app:app_name ~program
+         ~spec:
+           (spec "aggregate::mean_grades" [ "grades" ]
+              [ Return (Some (Call (Static "ws::mean", [ Var "grades" ]))) ])
+         ~f:(fun grades -> Sesame_ml.Stats.mean grades)
+         ())
+  in
+  let* predict =
+    Result.map_error Region.error_to_string
+      (Region.Verified.make ~app:app_name ~program
+         ~spec:
+           (spec "ml::predict" [ "model"; "x" ]
+              [ Return (Some (Call (Static "ws::predict", [ Var "model"; Var "x" ]))) ])
+         ~f:(fun ((weight, intercept), x) -> (weight *. x) +. intercept)
+         ())
+  in
+  (* Sandboxed regions: their IR models are genuinely rejected (they call
+     native code); tests assert this. The executable closures run under
+     the sandbox runtime. *)
+  let hash_key =
+    Region.Sandboxed.make ~app:app_name ~name:"register::hash_key" ~loc:4
+      ~encode:(fun key -> Sbx.Value.Str key)
+      ~decode:(function
+        | Sbx.Value.Str digest -> Ok digest
+        | other -> Error (Format.asprintf "expected Str, got %a" Sbx.Value.pp other))
+      ~f:(function
+        | Sbx.Value.Str key ->
+            Sbx.Value.Str (Sesame_ml.Apikey.hash ~iterations:hash_iterations ~salt:hash_salt key)
+        | other -> other)
+      ()
+  in
+  let train =
+    Region.Sandboxed.make ~app:app_name ~name:"ml::train" ~loc:19
+      ~encode:(fun (x, y) -> Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ])
+      ~decode:(fun value ->
+        match Sbx.Value.to_floats value with
+        | Some weights -> Ok weights
+        | None -> Error "expected a float vector")
+      ~f:(fun value ->
+        let point = function
+          | Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ] -> Some (x, y)
+          | _ -> None
+        in
+        let points =
+          match value with
+          | Sbx.Value.Vec elems -> List.filter_map point elems
+          | single -> Option.to_list (point single)
+        in
+        match Sesame_ml.Linreg.train_simple points with
+        | Ok model ->
+            Sbx.Value.floats [ model.Sesame_ml.Linreg.weights.(0); model.intercept ]
+        | Error _ -> Sbx.Value.floats [ 0.0; Sesame_ml.Stats.mean (List.map snd points) ])
+      ()
+  in
+  let* email_confirmation =
+    Result.map_error Region.error_to_string
+      (Region.Critical.make ~app:app_name ~program
+         ~spec:
+           (spec "submit::email_confirmation" [ "body" ]
+              ~captures:[ { cap_var = "recipient"; mode = By_value } ]
+              [
+                Expr_stmt
+                  (Call (Static "ws::email_confirmation", [ Var "body"; Var "recipient" ]));
+              ])
+         ~lockfile ~keystore
+         ~f:(fun ~context body ->
+           (* Reviewer obligation: the recipient must be the address the
+              policy check approved in the context. *)
+           let recipient = Option.value (Context.custom context "recipient") ~default:"" in
+           Email.send ~recipient ~subject:"submission received" ~body)
+         ())
+  in
+  let* export_employer =
+    Result.map_error Region.error_to_string
+      (Region.Critical.make ~app:app_name ~program
+         ~spec:
+           (spec "employer::export_row" [ "email"; "average" ]
+              [
+                Expr_stmt
+                  (Call (Static "ws::export_employer_row", [ Var "email"; Var "average" ]));
+              ])
+         ~lockfile ~keystore
+         ~f:(fun ~context:_ (email, average) ->
+           Printf.sprintf "%s,%.2f" email average)
+         ())
+  in
+  ignore db;
+  Ok
+    {
+      fmt_confirmation;
+      join_answers;
+      mean_grades;
+      predict;
+      hash_key;
+      train;
+      email_confirmation;
+      export_employer;
+    }
+
+let reviewer = "alice@school.edu"
+
+let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
+  let db = Db.Database.create ~query_cost_ns () in
+  let* () = Db.Database.create_table db Websubmit_schema.users in
+  let* () = Db.Database.create_table db Websubmit_schema.answers in
+  let* () = Db.Database.create_table db Websubmit_schema.leaders in
+  let conn = Conn.create db in
+  (* Column policy bindings (the db_policy annotations of Fig. 3). *)
+  (* Policy instances are immutable, so the bindings memoize them per
+     protected entity: wrapping 10k result rows costs 10k table lookups,
+     not 10k policy constructions (policy code is trusted, §4.1). *)
+  let answer_policies : (string * int, Policy.t) Hashtbl.t = Hashtbl.create 256 in
+  Conn.attach_policy conn ~table:"answers" ~column:"answer" (fun schema row ->
+      let author = Db.Value.to_text (Db.Row.get schema row "email") in
+      let lecture = Db.Value.to_int (Db.Row.get schema row "lecture") in
+      match Hashtbl.find_opt answer_policies (author, lecture) with
+      | Some policy -> policy
+      | None ->
+          let policy =
+            Answer_access.make { authors = Sset.singleton author; lecture; db }
+          in
+          Hashtbl.add answer_policies (author, lecture) policy;
+          policy);
+  let consent_cache = Hashtbl.create 256 in
+  let grade_policies : (string, Policy.t) Hashtbl.t = Hashtbl.create 256 in
+  Conn.attach_policy conn ~table:"answers" ~column:"grade" (fun schema row ->
+      let student = Db.Value.to_text (Db.Row.get schema row "email") in
+      match Hashtbl.find_opt grade_policies student with
+      | Some policy -> policy
+      | None ->
+          let policy =
+            Policy.conjoin
+              (Grade_access.make { student })
+              (Ml_training.make { student; db; cache = consent_cache })
+          in
+          Hashtbl.add grade_policies student policy;
+          policy);
+  Conn.attach_policy conn ~table:"users" ~column:"email" (fun schema row ->
+      Employer_release.make
+        {
+          student = Db.Value.to_text (Db.Row.get schema row "email");
+          consent = Db.Value.to_bool (Db.Row.get schema row "consent_employer");
+        });
+  Conn.attach_policy conn ~table:"users" ~column:"gender" (fun schema row ->
+      Demographics.make
+        { student = Db.Value.to_text (Db.Row.get schema row "email") });
+  Conn.attach_policy conn ~table:"users" ~column:"apikey_hash" (fun schema row ->
+      Api_key.make { owner = Db.Value.to_text (Db.Row.get schema row "email") });
+  let keystore = Sign.Keystore.create () in
+  Sign.Keystore.register keystore ~reviewer ~secret:"alice-reviewer-secret";
+  let program = build_program () in
+  let* regions = make_regions program keystore db in
+  (* The team lead reviews and signs the critical regions before release. *)
+  let* () =
+    match Region.Critical.sign regions.email_confirmation ~reviewer ~at:1000 with
+    | Ok () -> Ok ()
+    | Error e -> region_error e
+  in
+  let* () =
+    match Region.Critical.sign regions.export_employer ~reviewer ~at:1000 with
+    | Ok () -> Ok ()
+    | Error e -> region_error e
+  in
+  Ok
+    {
+      conn;
+      db;
+      keystore;
+      program;
+      k = k_anonymity;
+      regions;
+      consent_cache;
+      model = None;
+      next_answer_id = 1;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Seeding (the Fig. 8 workload: a medium-sized course). *)
+
+let seed t ~students ~questions =
+  Websubmit_schema.seed t.db ~students ~questions ~next_id:(fun () ->
+      let id = t.next_answer_id in
+      t.next_answer_id <- id + 1;
+      id)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints *)
+
+let bad_request msg = Http.Response.error Http.Status.Bad_request msg
+
+let web_error e = Web.error_response e
+
+let conn_error e =
+  match e with
+  | Conn.Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
+  | Conn.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
+  | Conn.Db_error msg -> Http.Response.error Http.Status.Internal_error msg
+
+let region_err e =
+  match e with
+  | Region.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
+  | other -> Http.Response.error Http.Status.Internal_error (Region.error_to_string other)
+
+(* The Sesame authentication guard (framework-level, like Fig. 2's
+   [student: Student] cookie guard): resolves the session cookie to a
+   known user. Trusted code. *)
+let authenticate t request =
+  match Http.Request.cookie request "user" with
+  | None -> None
+  | Some email -> (
+      match
+        Db.Database.exec t.db "SELECT email FROM users WHERE email = ?"
+          ~params:[ Db.Value.Text email ]
+      with
+      | Ok (Db.Database.Rows { rows = [ _ ]; _ }) -> Some email
+      | _ -> if is_admin email || email = "leader@school.edu" then Some email else None)
+
+let require_auth t request k =
+  match authenticate t request with
+  | Some user -> k user
+  | None -> Http.Response.error Http.Status.Unauthorized "not signed in"
+
+(* POST /register: body form [email], [apikey], [consent]. The API key is
+   hashed inside the sandboxed region ("Register Users", Fig. 9a). *)
+let register_user t request =
+  match (Http.Request.form_param request "email", Http.Request.form_param request "apikey")
+  with
+  | Some email, Some apikey -> (
+      let consent = Http.Request.form_param request "consent" = Some "true" in
+      let gender = Option.value (Http.Request.form_param request "gender") ~default:"" in
+      let key_pcon =
+        C.Pcon.Internal.make (Api_key.make { owner = email }) apikey
+      in
+      match Region.Sandboxed.run t.regions.hash_key key_pcon with
+      | Error e -> region_err e
+      | Ok hash_pcon -> (
+          let context = Web.context_for request ~user:email () in
+          match
+            Conn.insert t.conn ~context ~table:"users"
+              [
+                ("email", Pcon.wrap_no_policy (Db.Value.Text email));
+                ( "apikey_hash",
+                  C.Pcon.Internal.map (fun h -> Db.Value.Text h) hash_pcon );
+                ("consent_employer", Pcon.wrap_no_policy (Db.Value.Bool consent));
+                ("consent_ml", Pcon.wrap_no_policy (Db.Value.Bool consent));
+                ("gender", Pcon.wrap_no_policy (Db.Value.Text gender));
+              ]
+          with
+          | Ok () -> Http.Response.text ~status:Http.Status.Created "registered"
+          | Error e -> conn_error e))
+  | _ -> bad_request "email and apikey are required"
+
+(* POST /submit/<lecture>/<question>: Fig. 1's endpoint. *)
+let submit_answer t request =
+  require_auth t request (fun user ->
+      let answer_policy =
+        Answer_access.make
+          {
+            authors = Sset.singleton user;
+            lecture =
+              int_of_string_opt (Option.value (Http.Request.path_param request "lecture") ~default:"1")
+              |> Option.value ~default:1;
+            db = t.db;
+          }
+      in
+      match Web.form_param request "answer" ~policy:(fun _ -> answer_policy) with
+      | None -> bad_request "answer is required"
+      | Some answer_pcon -> (
+          let lecture =
+            Option.value (Http.Request.path_param request "lecture") ~default:"1"
+          in
+          let question =
+            Option.value (Http.Request.path_param request "question") ~default:"0"
+          in
+          let id = t.next_answer_id in
+          t.next_answer_id <- id + 1;
+          let context = Web.context_for request ~user () in
+          match
+            Conn.insert t.conn ~context ~table:"answers"
+              [
+                ("id", Pcon.wrap_no_policy (Db.Value.Int id));
+                ("email", Pcon.wrap_no_policy (Db.Value.Text user));
+                ( "lecture",
+                  Pcon.wrap_no_policy (Db.Value.Int (int_of_string lecture)) );
+                ( "question",
+                  Pcon.wrap_no_policy (Db.Value.Int (int_of_string question)) );
+                ( "answer",
+                  C.Pcon.Internal.map (fun a -> Db.Value.Text a) answer_pcon );
+                ("grade", Pcon.wrap_no_policy Db.Value.Null);
+              ]
+          with
+          | Error e -> conn_error e
+          | Ok () -> (
+              (* Fig. 1b lines 10-21: format in a VR, email via the CR. *)
+              let body = Region.Verified.run t.regions.fmt_confirmation answer_pcon in
+              let cr_context =
+                Context.untrusted ~endpoint:request.Http.Request.path ~user
+                  ~custom:[ ("recipient", user) ]
+                  ()
+              in
+              match
+                Region.Critical.run t.regions.email_confirmation ~context:cr_context body
+              with
+              | Ok () -> Http.Response.text ~status:Http.Status.Created "submitted"
+              | Error e -> region_err e)))
+
+(* GET /view/<answer_id>: Fig. 2's endpoint. *)
+let view_answer_template =
+  Http.Template.compile_exn
+    "<html><body><h1>Answer</h1><p>{{answer}}</p></body></html>"
+
+let view_answer t request =
+  require_auth t request (fun user ->
+      match Http.Request.path_param request "answer_id" with
+      | None -> bad_request "answer_id is required"
+      | Some id -> (
+          let context = Web.context_for request ~user () in
+          match
+            Conn.query t.conn ~context
+              "SELECT * FROM answers WHERE id = ? AND email = ?"
+              ~params:
+                [
+                  Pcon.wrap_no_policy (Db.Value.Int (int_of_string id));
+                  Pcon.wrap_no_policy (Db.Value.Text user);
+                ]
+          with
+          | Error e -> conn_error e
+          | Ok [] -> Http.Response.error Http.Status.Not_found "no such answer"
+          | Ok (row :: _) -> (
+              match
+                Web.render ~context view_answer_template
+                  [ ("answer", Web.Sensitive (C.Pcon_row.text row "answer")) ]
+              with
+              | Ok response -> response
+              | Error e -> web_error e)))
+
+(* GET /answers/<lecture>[?compose=true]: the staff view behind Fig. 9c.
+   Without composition each answer's policy is checked separately (one
+   discussion-leader query per answer); with composition the same-lecture
+   policies join and a single check suffices. *)
+let answers_template =
+  Http.Template.compile_exn "<html><body><pre>{{answers}}</pre></body></html>"
+
+let answers_list_template =
+  Http.Template.compile_exn
+    "<html><body><pre>{{#answers}}{{line}}\n{{/answers}}</pre></body></html>"
+
+let view_answers t ~compose request =
+  require_auth t request (fun user ->
+      let lecture =
+        Option.value (Http.Request.path_param request "lecture") ~default:"1"
+      in
+      let context = Web.context_for request ~user () in
+      match
+        Conn.query t.conn ~context "SELECT * FROM answers WHERE lecture = ?"
+          ~params:[ Pcon.wrap_no_policy (Db.Value.Int (int_of_string lecture)) ]
+      with
+      | Error e -> conn_error e
+      | Ok rows ->
+          let answers = List.map (fun row -> C.Pcon_row.text row "answer") rows in
+          if compose then begin
+            (* Fold: conjunction joins same-lecture policies into one. *)
+            let joined = Region.Verified.run_list t.regions.join_answers answers in
+            match
+              Web.render ~context answers_template [ ("answers", Web.Sensitive joined) ]
+            with
+            | Ok response -> response
+            | Error e -> web_error e
+          end
+          else begin
+            let bindings = List.map (fun a -> [ ("line", a) ]) answers in
+            match
+              Web.render ~context answers_list_template
+                [ ("answers", Web.Sensitive_list bindings) ]
+            with
+            | Ok response -> response
+            | Error e -> web_error e
+          end)
+
+(* GET /aggregates: administrators see per-lecture average grades,
+   k-anonymized ("Get Aggregates"). *)
+let aggregates_template =
+  Http.Template.compile_exn
+    "<html><body>{{#groups}}<div>lecture {{lecture}}: {{avg}}</div>{{/groups}}</body></html>"
+
+let get_aggregates t request =
+  require_auth t request (fun user ->
+      if not (is_admin user) then
+        Http.Response.error Http.Status.Forbidden "administrators only"
+      else
+        let context = Web.context_for request ~user () in
+        match
+          Conn.query_agg t.conn ~context
+            "SELECT AVG(grade), COUNT(grade) FROM answers GROUP BY lecture" ~params:[]
+        with
+        | Error e -> conn_error e
+        | Ok rows -> (
+            let groups =
+              List.map
+                (fun row ->
+                  let lecture = List.assoc "lecture" row in
+                  let avg = List.assoc "AVG(grade)" row in
+                  let members =
+                    match C.Pcon.Internal.unwrap (List.assoc "COUNT(grade)" row) with
+                    | Db.Value.Int n -> n
+                    | _ -> 0
+                  in
+                  (* Aggregates released only when ≥ k students contribute. *)
+                  let kanon = K_anonymity.make { k = t.k; members } in
+                  let avg = Pcon.with_policy avg kanon in
+                  [
+                    ( "lecture",
+                      C.Pcon.Internal.map Db.Value.to_string lecture );
+                    ("avg", C.Pcon.Internal.map Db.Value.to_string avg);
+                  ])
+                rows
+            in
+            match
+              Web.render ~context aggregates_template
+                [ ("groups", Web.Sensitive_list groups) ]
+            with
+            | Ok response -> response
+            | Error e -> web_error e))
+
+(* GET /employer: averages + emails of consenting students ("Get Employer
+   Info"). The caller is an employer; consent is enforced by
+   Employer_release, and the released rows leave through the signed
+   export CR. *)
+let get_employer_info t request =
+  let context =
+    Web.context_for request ~user:"recruiter@corp.com" ~custom:[ ("role", "employer") ] ()
+  in
+  match
+    Conn.query t.conn ~context "SELECT * FROM users WHERE consent_employer = ?"
+      ~params:[ Pcon.wrap_no_policy (Db.Value.Bool true) ]
+  with
+  | Error e -> conn_error e
+  | Ok users -> (
+      let rows =
+        List.map
+          (fun row ->
+            let email = C.Pcon_row.text row "email" in
+            let raw_email =
+              (* Needed to look up this student's grades; flows only into
+                 the policy-checked query parameters. *)
+              C.Pcon.Internal.map (fun e -> Db.Value.Text e) email
+            in
+            (email, raw_email))
+          users
+      in
+      let export_rows =
+        List.filter_map
+          (fun (email, raw_email) ->
+            match
+              Conn.query t.conn ~context "SELECT * FROM answers WHERE email = ?"
+                ~params:[ raw_email ]
+            with
+            | Error _ -> None
+            | Ok answer_rows ->
+                let grades =
+                  List.filter_map
+                    (fun row ->
+                      match C.Pcon.Internal.unwrap (C.Pcon_row.get row "grade") with
+                      | Db.Value.Null -> None
+                      | _ -> Some (C.Pcon_row.float row "grade"))
+                    answer_rows
+                in
+                if grades = [] then None
+                else
+                  let avg = Region.Verified.run_list t.regions.mean_grades grades in
+                  Some (Pcon.pair email avg))
+          rows
+      in
+      let cr_context =
+        Context.untrusted ~endpoint:request.Http.Request.path ~custom:[ ("role", "employer") ] ()
+      in
+      let lines =
+        List.filter_map
+          (fun pair ->
+            match
+              Region.Critical.run t.regions.export_employer ~context:cr_context pair
+            with
+            | Ok line -> Some line
+            | Error _ -> None)
+          export_rows
+      in
+      Http.Response.text (String.concat "\n" lines))
+
+(* POST /retrain: train the grade model on consenting students' grades in
+   the training sandbox ("Retrain Model", Fig. 9b). *)
+let retrain_model t request =
+  require_auth t request (fun user ->
+      if not (is_admin user) then
+        Http.Response.error Http.Status.Forbidden "administrators only"
+      else
+        let context =
+          Context.with_sink (Web.context_for request ~user ()) "ml::train"
+        in
+        match
+          Conn.query t.conn ~context "SELECT * FROM answers WHERE grade IS NOT NULL"
+            ~params:[]
+        with
+        | Error e -> conn_error e
+        | Ok rows -> (
+            (* Keep only rows whose MlTraining policy admits this sink.
+               Memoized per-student policy instances repeat across rows,
+               so cache verdicts by policy id. *)
+            let verdicts = Hashtbl.create 128 in
+            let admits policy =
+              let key = Policy.id policy in
+              match Hashtbl.find_opt verdicts key with
+              | Some v -> v
+              | None ->
+                  let v = Policy.check policy context in
+                  Hashtbl.add verdicts key v;
+                  v
+            in
+            let points =
+              List.filter_map
+                (fun row ->
+                  let grade = C.Pcon_row.get row "grade" in
+                  if admits (Pcon.policy grade) then
+                    let question = C.Pcon_row.int row "question" in
+                    Some
+                      (C.Pcon.Internal.map2
+                         (fun q g -> (float_of_int q, Db.Value.to_float g))
+                         question grade)
+                  else None)
+                rows
+            in
+            if points = [] then bad_request "no consenting training data"
+            else
+              match Region.Sandboxed.run_list t.regions.train points with
+              | Error e -> region_err e
+              | Ok weights_pcon -> (
+                  match C.Pcon.Internal.unwrap weights_pcon with
+                  | [ w; b ] ->
+                      t.model <-
+                        Some (C.Pcon.Internal.map (fun _ -> (w, b)) weights_pcon);
+                      Http.Response.text "model retrained"
+                  | _ -> Http.Response.error Http.Status.Internal_error "bad model shape")))
+
+(* GET /predict/<question>: model inference in a verified region ("Predict
+   Grades"). *)
+let predict_grades t request =
+  require_auth t request (fun user ->
+      match t.model with
+      | None -> Http.Response.error Http.Status.Not_found "model not trained"
+      | Some model -> (
+          let question =
+            Http.Request.path_param request "question"
+            |> Option.map int_of_string_opt |> Option.join |> Option.value ~default:0
+          in
+          let x = Pcon.wrap_no_policy (float_of_int question) in
+          let prediction = Region.Verified.run t.regions.predict (Pcon.pair model x) in
+          let prediction = C.Pcon.Internal.map (fun p -> Printf.sprintf "%.2f" p) prediction in
+          let context = Web.context_for request ~user () in
+          match Web.respond_text ~context prediction with
+          | Ok response -> response
+          | Error e -> web_error e))
+
+(* POST /consent: the user's consent choice (§9). Consent gates both the
+   employer release and ML training; the MlTraining policy memoizes
+   consent lookups, so a change must invalidate that cache or stale
+   consent would keep flowing into training. *)
+let update_consent t request =
+  require_auth t request (fun user ->
+      match Http.Request.form_param request "consent" with
+      | None -> bad_request "consent=true|false is required"
+      | Some value -> (
+          let consent = value = "true" in
+          let context = Web.context_for request ~user () in
+          match
+            Conn.execute t.conn ~context
+              "UPDATE users SET consent_employer = ?, consent_ml = ? WHERE email = ?"
+              ~params:
+                [
+                  Pcon.wrap_no_policy (Db.Value.Bool consent);
+                  Pcon.wrap_no_policy (Db.Value.Bool consent);
+                  Pcon.wrap_no_policy (Db.Value.Text user);
+                ]
+          with
+          | Error e -> conn_error e
+          | Ok 0 -> Http.Response.error Http.Status.Not_found "no such user"
+          | Ok _ ->
+              Hashtbl.remove t.consent_cache user;
+              Http.Response.text "consent updated"))
+
+(* ------------------------------------------------------------------ *)
+
+let router t =
+  let router = Http.Router.create () in
+  Http.Router.post router "/register" (register_user t);
+  Http.Router.post router "/consent" (update_consent t);
+  Http.Router.post router "/submit/<lecture>/<question>" (submit_answer t);
+  Http.Router.get router "/view/<answer_id>" (view_answer t);
+  Http.Router.get router "/answers/<lecture>" (fun request ->
+      let compose = Http.Request.query_param request "compose" = Some "true" in
+      view_answers t ~compose request);
+  Http.Router.get router "/aggregates" (get_aggregates t);
+  Http.Router.get router "/employer" (get_employer_info t);
+  Http.Router.post router "/retrain" (retrain_model t);
+  Http.Router.get router "/predict/<question>" (predict_grades t);
+  router
+
+let handle t request = Http.Router.dispatch (router t) request

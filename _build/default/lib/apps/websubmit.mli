@@ -1,0 +1,79 @@
+(** WebSubmit: the homework-submission case study (§9, §10).
+
+    The paper's WebSubmit is a class-submission system extended with a
+    grade-prediction model, aggregate statistics for administrators and
+    employers, and consent choices. It carries seven policies (§9) and is
+    the application behind the end-to-end performance figures (Fig. 8),
+    the sandbox drill-downs (Fig. 9a/9b), and the policy-composition
+    experiment (Fig. 9c).
+
+    Endpoints mirror the paper's:
+    - [POST /register] — register with an API key, hashed in a {e sandboxed
+      region} ("Register Users");
+    - [POST /submit/<lecture>/<question>] — Fig. 1's flow: store the
+      answer, format a confirmation in a {e verified region}, email it via
+      a signed {e critical region};
+    - [GET /view/<answer_id>] — Fig. 2's flow;
+    - [GET /answers/<lecture>] — staff view; [?compose=true] folds the
+      answers' policies (Fig. 9c ablation);
+    - [GET /aggregates] — per-lecture average grades under k-anonymity
+      ("Get Aggregates");
+    - [GET /employer] — consenting students' averages for employers ("Get
+      Employer Info");
+    - [POST /consent] — the user's consent choice for employer release and
+      model training;
+    - [POST /retrain] — trains the grade model in a sandbox ("Retrain
+      Model");
+    - [GET /predict/<email>] — model inference in a verified region
+      ("Predict Grades"). *)
+
+module C := Sesame_core
+module Db := Sesame_db
+module Http := Sesame_http
+
+type t
+
+val app_name : string
+(** ["websubmit"] — the registry key. *)
+
+val create : ?query_cost_ns:int -> ?k_anonymity:int -> unit -> (t, string) result
+(** Builds schemas, policies, regions (running Scrutinizer on the verified
+    ones), and signs the critical regions with the built-in reviewer key.
+    [query_cost_ns] models the DB round trip (Fig. 9c); [k_anonymity]
+    defaults to 5. *)
+
+val conn : t -> C.Sesame_conn.t
+val database : t -> Db.Database.t
+val router : t -> Http.Router.t
+
+val seed : t -> students:int -> questions:int -> (unit, string) result
+(** Loads the Fig. 8 workload: [students] users (every third consents to
+    both employer release and ML training) and one graded answer per
+    (student, question) for a single lecture, plus a second lecture with
+    discussion leaders. *)
+
+val handle : t -> Http.Request.t -> Http.Response.t
+
+(** Direct handles used by benchmarks (bypassing routing, not policy): *)
+
+val get_aggregates : t -> Http.Request.t -> Http.Response.t
+val get_employer_info : t -> Http.Request.t -> Http.Response.t
+val predict_grades : t -> Http.Request.t -> Http.Response.t
+val register_user : t -> Http.Request.t -> Http.Response.t
+val retrain_model : t -> Http.Request.t -> Http.Response.t
+val submit_answer : t -> Http.Request.t -> Http.Response.t
+val view_answer : t -> Http.Request.t -> Http.Response.t
+val view_answers : t -> compose:bool -> Http.Request.t -> Http.Response.t
+val update_consent : t -> Http.Request.t -> Http.Response.t
+(** [POST /consent] with form [consent=true|false]: the §9 consent choice.
+    Invalidates the MlTraining policy's consent memo for the user. *)
+
+val policy_inventory : (string * int * int) list
+(** [(policy, policy_loc, check_loc)] accounting used for Fig. 5. *)
+
+val sandbox_hash_region : t -> (string, string) C.Region.Sandboxed.t
+(** The "Register Users" hashing region, exposed for the Fig. 9a
+    drill-down. *)
+
+val sandbox_train_region : t -> (float * float, float list) C.Region.Sandboxed.t
+(** The "Retrain Model" region, exposed for Fig. 9b. *)

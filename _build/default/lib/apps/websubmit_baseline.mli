@@ -1,0 +1,23 @@
+(** Baseline WebSubmit: the same endpoints implemented {e without} Sesame —
+    no policy containers, no policy checks, no regions or sandboxes — the
+    "baseline WebSubmit" side of Fig. 8. Access control is the ad-hoc,
+    easily-forgotten kind the paper's introduction warns about. *)
+
+module Http := Sesame_http
+module Db := Sesame_db
+
+type t
+
+val create : ?query_cost_ns:int -> unit -> (t, string) result
+val database : t -> Db.Database.t
+val seed : t -> students:int -> questions:int -> (unit, string) result
+(** Identical workload to {!Websubmit.seed}. *)
+
+val handle : t -> Http.Request.t -> Http.Response.t
+
+val get_aggregates : t -> Http.Request.t -> Http.Response.t
+val get_employer_info : t -> Http.Request.t -> Http.Response.t
+val predict_grades : t -> Http.Request.t -> Http.Response.t
+val register_user : t -> Http.Request.t -> Http.Response.t
+val retrain_model : t -> Http.Request.t -> Http.Response.t
+val view_answers : t -> Http.Request.t -> Http.Response.t

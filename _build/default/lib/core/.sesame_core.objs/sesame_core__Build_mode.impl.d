@@ -1,0 +1,1 @@
+lib/core/build_mode.ml: Fun

@@ -1,0 +1,1 @@
+lib/core/fold.ml: Format Lazy List Option Pcon Policy Result

@@ -1,0 +1,1 @@
+lib/core/fold.mli: Format Lazy Pcon

@@ -1,0 +1,1 @@
+lib/core/mock.ml: Context Pcon Policy

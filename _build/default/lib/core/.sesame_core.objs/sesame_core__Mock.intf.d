@@ -1,0 +1,1 @@
+lib/core/mock.mli: Context Pcon Policy

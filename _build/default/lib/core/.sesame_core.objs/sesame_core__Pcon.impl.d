@@ -1,0 +1,1 @@
+lib/core/pcon.ml: Option Policy String

@@ -1,0 +1,1 @@
+lib/core/pcon_row.ml: List Pcon Printf Sesame_db

@@ -1,0 +1,1 @@
+lib/core/pcon_row.mli: Pcon Sesame_db

@@ -1,0 +1,1 @@
+lib/core/region.ml: Build_mode Context Fold Format List Pcon Policy Registry Result Sesame_sandbox Sesame_scrutinizer Sesame_signing

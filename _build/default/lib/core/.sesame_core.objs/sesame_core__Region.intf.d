@@ -1,0 +1,1 @@
+lib/core/region.mli: Context Format Pcon Sesame_sandbox Sesame_scrutinizer Sesame_signing

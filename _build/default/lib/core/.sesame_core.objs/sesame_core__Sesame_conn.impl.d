@@ -1,0 +1,1 @@
+lib/core/sesame_conn.ml: Array Context Format Fun Hashtbl List Option Pcon Pcon_row Policy Printf Result Sesame_db

@@ -1,0 +1,1 @@
+lib/core/sesame_conn.mli: Context Format Pcon Pcon_row Policy Sesame_db

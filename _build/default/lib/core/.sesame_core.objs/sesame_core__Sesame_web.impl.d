@@ -1,0 +1,1 @@
+lib/core/sesame_web.ml: Context Format Hashtbl List Pcon Policy Result Sesame_http

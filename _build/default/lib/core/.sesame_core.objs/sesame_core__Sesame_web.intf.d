@@ -1,0 +1,1 @@
+lib/core/sesame_web.mli: Context Format Pcon Policy Sesame_http

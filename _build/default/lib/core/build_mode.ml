@@ -1,0 +1,12 @@
+type t = Debug | Release
+
+let mode = ref Release
+
+let current () = !mode
+let set m = mode := m
+let is_release () = !mode = Release
+
+let with_mode m f =
+  let previous = !mode in
+  mode := m;
+  Fun.protect ~finally:(fun () -> mode := previous) f

@@ -1,0 +1,15 @@
+(** Build modes (§7.3 "Ergonomics"): Sesame omits critical-region signature
+    checks in debug mode so developers can implement and test regions
+    before requesting review; release builds enforce them. *)
+
+type t = Debug | Release
+
+val current : unit -> t
+val set : t -> unit
+(** Defaults to [Release] — enforcement on unless explicitly relaxed. *)
+
+val is_release : unit -> bool
+
+val with_mode : t -> (unit -> 'a) -> 'a
+(** Runs a thunk under a temporary mode, restoring the previous one even on
+    exceptions (used by tests). *)

@@ -1,0 +1,41 @@
+type trust = Trusted | Untrusted
+
+type t = {
+  trust : trust;
+  endpoint : string option;
+  user : string option;
+  source : string option;
+  sink : string option;
+  custom : (string * string) list;
+}
+
+let make trust ?endpoint ?user ?source ?sink ?(custom = []) () =
+  { trust; endpoint; user; source; sink; custom }
+
+let untrusted ?endpoint ?user ?source ?sink ?custom () =
+  make Untrusted ?endpoint ?user ?source ?sink ?custom ()
+
+let trust t = t.trust
+let is_trusted t = t.trust = Trusted
+let endpoint t = t.endpoint
+let user t = t.user
+let source t = t.source
+let sink t = t.sink
+let custom t name = List.assoc_opt name t.custom
+let custom_fields t = t.custom
+let with_sink t sink = { t with sink = Some sink }
+
+let describe t =
+  let field name = function Some v -> [ name ^ "=" ^ v ] | None -> [] in
+  let parts =
+    [ (match t.trust with Trusted -> "trusted" | Untrusted -> "untrusted") ]
+    @ field "endpoint" t.endpoint @ field "user" t.user @ field "source" t.source
+    @ field "sink" t.sink
+    @ List.map (fun (k, v) -> k ^ "=" ^ v) t.custom
+  in
+  String.concat " " parts
+
+module Internal = struct
+  let trusted ?endpoint ?user ?source ?sink ?custom () =
+    make Trusted ?endpoint ?user ?source ?sink ?custom ()
+end

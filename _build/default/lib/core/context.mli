@@ -1,0 +1,63 @@
+(** Policy-check contexts (§6).
+
+    A context describes the circumstances of a policy check: the active
+    endpoint, the authenticated user, the data's source, the sink the check
+    is for, plus application-defined metadata. Contexts are immutable.
+
+    Trust follows the paper exactly: contexts created by Sesame libraries
+    are {e trusted} and accepted by built-in sinks; contexts created by
+    application developers are {e untrusted} and accepted only by critical
+    regions, whose reviewers must check the context is consistent with the
+    region's behaviour.
+
+    The Rust prototype stores context fields in PCons so applications
+    cannot read them; here the type is abstract and only policy code (which
+    the paper trusts, §4.2) and Sesame internals read fields through this
+    interface. *)
+
+type t
+
+type trust = Trusted | Untrusted
+
+val untrusted :
+  ?endpoint:string ->
+  ?user:string ->
+  ?source:string ->
+  ?sink:string ->
+  ?custom:(string * string) list ->
+  unit ->
+  t
+(** The developer-facing constructor: always {!Untrusted}. *)
+
+val trust : t -> trust
+val is_trusted : t -> bool
+
+val endpoint : t -> string option
+val user : t -> string option
+(** The authenticated principal (an email in the case studies). *)
+
+val source : t -> string option
+val sink : t -> string option
+val custom : t -> string -> string option
+val custom_fields : t -> (string * string) list
+
+val with_sink : t -> string -> t
+(** A copy naming the sink under check; preserves trust (sinks are named
+    by Sesame itself). *)
+
+val describe : t -> string
+(** One-line rendering for error messages. *)
+
+(** Sesame-internal constructor. Application code must not call this —
+    mirroring the paper's reliance on lints and organizational rules (§4.2
+    "Proper Usage") for the parts Rust's type system cannot police. *)
+module Internal : sig
+  val trusted :
+    ?endpoint:string ->
+    ?user:string ->
+    ?source:string ->
+    ?sink:string ->
+    ?custom:(string * string) list ->
+    unit ->
+    t
+end

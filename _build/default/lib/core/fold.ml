@@ -1,0 +1,47 @@
+type error = Folding_disabled of string
+
+let pp_error fmt (Folding_disabled what) =
+  Format.fprintf fmt "folding in is disabled by policy %s" what
+
+let out_list pcons =
+  let policy = Policy.conjoin_all (List.map Pcon.policy pcons) in
+  Pcon.Internal.make policy (List.map Pcon.Internal.unwrap pcons)
+
+let out_option = function
+  | None -> Pcon.Internal.make Policy.no_policy None
+  | Some pcon -> Pcon.Internal.make (Pcon.policy pcon) (Some (Pcon.Internal.unwrap pcon))
+
+let out_pair (a, b) = Pcon.pair a b
+
+let out_assoc bindings =
+  let policy = Policy.conjoin_all (List.map (fun (_, p) -> Pcon.policy p) bindings) in
+  Pcon.Internal.make policy
+    (List.map (fun (k, p) -> (k, Pcon.Internal.unwrap p)) bindings)
+
+let guard pcon =
+  let policy = Pcon.policy pcon in
+  if Policy.no_folding policy then Error (Folding_disabled (Policy.describe policy))
+  else Ok policy
+
+let ( let* ) = Result.bind
+
+let in_list pcon =
+  let* policy = guard pcon in
+  Ok (List.map (Pcon.Internal.make policy) (Pcon.Internal.unwrap pcon))
+
+let in_option pcon =
+  let* policy = guard pcon in
+  Ok (Option.map (Pcon.Internal.make policy) (Pcon.Internal.unwrap pcon))
+
+let in_pair pcon =
+  let* policy = guard pcon in
+  let a, b = Pcon.Internal.unwrap pcon in
+  Ok (Pcon.Internal.make policy a, Pcon.Internal.make policy b)
+
+let in_result pcon =
+  let* policy = guard pcon in
+  match Pcon.Internal.unwrap pcon with
+  | Ok v -> Ok (Ok (Pcon.Internal.make policy v))
+  | Error e -> Ok (Error e)
+
+let force_lazy pcon = Pcon.Internal.map Lazy.force pcon

@@ -1,0 +1,43 @@
+(** The Fold API (§5): moving PCons in and out of data structures.
+
+    {e Folding out} (structure of PCons → PCon of structure) is always
+    safe; the result carries the conjunction of the input policies.
+
+    {e Folding in} (PCon of structure → structure of PCons) leaks the
+    shape of the data — a vector's length, whether an option is [Some] —
+    so it fails with {!Folding_disabled} when any constituent policy is
+    marked [NoFolding]. Every folded-in fragment keeps the full original
+    policy. *)
+
+type error = Folding_disabled of string  (** describes the refusing policy *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Folding out} *)
+
+val out_list : 'a Pcon.t list -> 'a list Pcon.t
+val out_option : 'a Pcon.t option -> 'a option Pcon.t
+val out_pair : 'a Pcon.t * 'b Pcon.t -> ('a * 'b) Pcon.t
+val out_assoc : (string * 'a Pcon.t) list -> (string * 'a) list Pcon.t
+(** Keys are treated as insensitive structure; values fold out. *)
+
+(** {1 Folding in} *)
+
+val in_list : 'a list Pcon.t -> ('a Pcon.t list, error) result
+(** Leaks the length. *)
+
+val in_option : 'a option Pcon.t -> ('a Pcon.t option, error) result
+(** Leaks [Some]/[None]. *)
+
+val in_pair : ('a * 'b) Pcon.t -> (('a Pcon.t * 'b Pcon.t), error) result
+(** Leaks nothing beyond arity, but kept behind the same gate for
+    uniformity with the paper's FoldIn. *)
+
+val in_result : ('a, 'e) result Pcon.t -> ((('a Pcon.t, 'e) result), error) result
+(** The §9 early-return pattern: exposes [Ok]/[Error] (the error payload
+    is revealed raw — reviewers treat validation errors as insensitive)
+    so the surrounding endpoint can early-return. *)
+
+val force_lazy : 'a Lazy.t Pcon.t -> 'a Pcon.t
+(** Await-outside-the-region (§9 "Anti-Patterns"): forces a wrapped
+    suspended computation; safe because the result stays wrapped. *)

@@ -1,0 +1,6 @@
+let unwrap = Pcon.Internal.unwrap
+
+let context ?endpoint ?user ?source ?sink ?custom () =
+  Context.Internal.trusted ?endpoint ?user ?source ?sink ?custom ()
+
+let pcon ?(policy = Policy.no_policy) v = Pcon.Internal.make policy v

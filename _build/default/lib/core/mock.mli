@@ -1,0 +1,25 @@
+(** Test doubles (§8): "Sesame provides mock versions of its built-in
+    sources and sinks for end-to-end application tests. These versions
+    strip policy containers from application outputs, and allow testing
+    code to create synthetic contexts."
+
+    The Rust prototype gates these behind conditional compilation; here
+    they are a clearly-named module that production code must not import
+    (the organizational-rule mechanism of §4.2). *)
+
+val unwrap : 'a Pcon.t -> 'a
+(** Strip a policy container without any check. Tests only. *)
+
+val context :
+  ?endpoint:string ->
+  ?user:string ->
+  ?source:string ->
+  ?sink:string ->
+  ?custom:(string * string) list ->
+  unit ->
+  Context.t
+(** A synthetic {e trusted} context for exercising policy CHECK functions
+    and built-in sinks from tests. *)
+
+val pcon : ?policy:Policy.t -> 'a -> 'a Pcon.t
+(** Wrap test data; defaults to [NoPolicy]. *)

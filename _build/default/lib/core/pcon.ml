@@ -1,0 +1,62 @@
+type storage = Plain | Obfuscated
+
+(* The obfuscation key plays the role of §5's global XOR secret: reading
+   an obfuscated container costs an extra dereference plus the key check,
+   and a container whose key was corrupted by stray writes traps instead
+   of yielding the value. *)
+let secret = 0x2F9AC3D15E781B42 land max_int
+
+type 'a repr =
+  | Plain_repr of 'a
+  | Obfuscated_repr of { cell : 'a ref; key : int }
+
+type 'a t = { repr : 'a repr; policy : Policy.t }
+
+let default = ref Obfuscated
+let default_storage () = !default
+let set_default_storage s = default := s
+
+let make_repr storage v =
+  match storage with
+  | Plain -> Plain_repr v
+  | Obfuscated -> Obfuscated_repr { cell = ref v; key = secret }
+
+let read = function
+  | Plain_repr v -> v
+  | Obfuscated_repr { cell; key } ->
+      if key lxor secret <> 0 then failwith "Pcon: obfuscation key corrupted";
+      !cell
+
+let policy t = t.policy
+
+let storage_of t =
+  match t.repr with Plain_repr _ -> Plain | Obfuscated_repr _ -> Obfuscated
+
+let wrap_no_policy ?storage v =
+  let storage = Option.value storage ~default:!default in
+  { repr = make_repr storage v; policy = Policy.no_policy }
+
+module Internal = struct
+  let make ?storage policy v =
+    let storage = Option.value storage ~default:!default in
+    { repr = make_repr storage v; policy }
+
+  let unwrap t = read t.repr
+
+  let map f t = { repr = make_repr (storage_of t) (f (read t.repr)); policy = t.policy }
+
+  let map2 f a b =
+    {
+      repr = make_repr (storage_of a) (f (read a.repr) (read b.repr));
+      policy = Policy.conjoin (policy a) (policy b);
+    }
+end
+
+let string_of_int_pcon t = Internal.map string_of_int t
+let float_of_int_pcon t = Internal.map float_of_int t
+let int_of_string_pcon t = Internal.map int_of_string_opt t
+let string_length t = Internal.map String.length t
+let pair a b = Internal.map2 (fun x y -> (x, y)) a b
+let equal_pcon a b = Internal.map2 (fun x y -> x = y) a b
+
+let with_policy t extra = { t with policy = Policy.conjoin t.policy extra }

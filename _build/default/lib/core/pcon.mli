@@ -1,0 +1,64 @@
+(** Policy containers (§5): [PCon<T, P>] as an abstract OCaml type.
+
+    A ['a Pcon.t] pairs a private value with the {!Policy.t} that governs
+    it. Application code cannot reach the value: the type is abstract, and
+    the unwrap operations live in {!Internal}, which only Sesame framework
+    code (regions, Sesame-enabled sources and sinks) may call — the OCaml
+    equivalent of Rust's private struct members, backed by the same
+    organizational rules the paper relies on for lint-enforced properties
+    (§8).
+
+    Storage modes model §5's "PCon Layout": [Obfuscated] (the default)
+    keeps the value behind an extra heap indirection guarded by an
+    obfuscation key — the XOR-pointer defence against byte-dumping unsafe
+    code — at the cost the pcon-micro benchmark measures; [Plain] stores it
+    inline. *)
+
+type 'a t
+
+type storage = Plain | Obfuscated
+
+val default_storage : unit -> storage
+val set_default_storage : storage -> unit
+(** Initially [Obfuscated]. *)
+
+val policy : 'a t -> Policy.t
+(** The policy is public metadata; the data is not. *)
+
+val storage_of : 'a t -> storage
+
+val wrap_no_policy : ?storage:storage -> 'a -> 'a t
+(** Explicitly mark insensitive data (§4.1: data intentionally not covered
+    by a policy must carry [NoPolicy]). *)
+
+(** {1 Built-in primitives}
+
+    The enumerated "common primitives" of §5. Each preserves the policy of
+    its input(s), conjoining when there are several. A general [map] is
+    deliberately absent — arbitrary computation must go through a privacy
+    region. *)
+
+val string_of_int_pcon : int t -> string t
+val float_of_int_pcon : int t -> float t
+val int_of_string_pcon : string t -> int option t
+val string_length : string t -> int t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val equal_pcon : 'a t -> 'a t -> bool t
+(** Structural equality of the wrapped values, wrapped under the
+    conjunction of both policies. *)
+
+val with_policy : 'a t -> Policy.t -> 'a t
+(** Strengthen: the result carries the conjunction of the existing policy
+    and the new one. (Policies can never be removed or replaced.) *)
+
+(** Sesame-internal operations; calling these from application code is the
+    moral equivalent of unsafe Rust. *)
+module Internal : sig
+  val make : ?storage:storage -> Policy.t -> 'a -> 'a t
+  val unwrap : 'a t -> 'a
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  (** Result keeps the input's policy. *)
+
+  val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+  (** Result carries the conjunction. *)
+end

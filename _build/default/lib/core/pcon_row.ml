@@ -1,0 +1,24 @@
+type t = {
+  columns : string list;
+  lookup : string -> Sesame_db.Value.t Pcon.t option;
+}
+
+let columns t = t.columns
+
+let get t column =
+  match t.lookup column with
+  | Some cell -> cell
+  | None -> invalid_arg (Printf.sprintf "row has no column %s" column)
+
+let get_opt t column = t.lookup column
+
+let text t column = Pcon.Internal.map Sesame_db.Value.to_text (get t column)
+let int t column = Pcon.Internal.map Sesame_db.Value.to_int (get t column)
+let float t column = Pcon.Internal.map Sesame_db.Value.to_float (get t column)
+
+module Internal = struct
+  let make cells =
+    { columns = List.map fst cells; lookup = (fun c -> List.assoc_opt c cells) }
+
+  let make_lazy ~columns lookup = { columns; lookup }
+end

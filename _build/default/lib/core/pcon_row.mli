@@ -1,0 +1,28 @@
+(** Database rows whose cells are policy containers — the [Vec<PConRow>]
+    the paper's [SesameDB.query] returns (Fig. 2). *)
+
+type t
+
+val columns : t -> string list
+val get : t -> string -> Sesame_db.Value.t Pcon.t
+(** Raises [Invalid_argument] on an unknown column. *)
+
+val get_opt : t -> string -> Sesame_db.Value.t Pcon.t option
+
+val text : t -> string -> string Pcon.t
+(** Cell coerced to text (raises on type mismatch, like
+    {!Sesame_db.Value.to_text}). *)
+
+val int : t -> string -> int Pcon.t
+val float : t -> string -> float Pcon.t
+
+module Internal : sig
+  val make : (string * Sesame_db.Value.t Pcon.t) list -> t
+
+  val make_lazy :
+    columns:string list -> (string -> Sesame_db.Value.t Pcon.t option) -> t
+  (** Cells are wrapped on access: queries returning wide rows only pay
+      policy instantiation for the columns the endpoint actually touches.
+      Unwrapping remains impossible without the container, so laziness is
+      invisible to the application. *)
+end

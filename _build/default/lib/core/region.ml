@@ -1,0 +1,174 @@
+module Scrut = Sesame_scrutinizer
+module Sbx = Sesame_sandbox
+module Sign = Sesame_signing
+
+type error =
+  | Not_leakage_free of Scrut.Analysis.verdict
+  | Policy_denied of { policy : string; context : string }
+  | Unsigned of { region : string }
+  | Signature_invalid of Sign.Keystore.error
+  | Hashing_failed of string
+  | Decode_failed of string
+
+let pp_error fmt = function
+  | Not_leakage_free v ->
+      Format.fprintf fmt "region is not leakage-free: %a" Scrut.Analysis.pp_verdict v
+  | Policy_denied { policy; context } ->
+      Format.fprintf fmt "policy check failed: %s against context [%s]" policy context
+  | Unsigned { region } ->
+      Format.fprintf fmt "critical region %s has no reviewer signature" region
+  | Signature_invalid e ->
+      Format.fprintf fmt "signature invalid: %a" Sign.Keystore.pp_error e
+  | Hashing_failed msg -> Format.fprintf fmt "region hashing failed: %s" msg
+  | Decode_failed msg -> Format.fprintf fmt "sandbox output decode failed: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let check_policy policy context =
+  match Policy.check_verbose policy context with
+  | Ok () -> Ok ()
+  | Error msg ->
+      Error (Policy_denied { policy = msg; context = Context.describe context })
+
+module Verified = struct
+  type ('a, 'b) t = {
+    name : string;
+    f : 'a -> 'b;
+    verdict : Scrut.Analysis.verdict;
+  }
+
+  let make ~app ~program ?allowlist ~spec ~f () =
+    let verdict = Scrut.Analysis.check ?allowlist program spec in
+    if not verdict.Scrut.Analysis.accepted then Error (Not_leakage_free verdict)
+    else begin
+      Registry.register
+        {
+          Registry.app;
+          region = spec.Scrut.Spec.name;
+          kind = Registry.Verified;
+          loc = Scrut.Spec.loc spec;
+          review_loc = 0;
+        };
+      Ok { name = spec.Scrut.Spec.name; f; verdict }
+    end
+
+  let verdict t = t.verdict
+  let name t = t.name
+
+  let run t pcon = Pcon.Internal.map t.f pcon
+  let run2 t a b = Pcon.Internal.map2 (fun x y -> t.f (x, y)) a b
+
+  let run_list t pcons =
+    let folded = Fold.out_list pcons in
+    Pcon.Internal.map t.f folded
+end
+
+module Sandboxed = struct
+  type ('a, 'b) t = {
+    name : string;
+    config : Sbx.Runtime.config;
+    encode : 'a -> Sbx.Value.t;
+    decode : Sbx.Value.t -> ('b, string) result;
+    f : Sbx.Value.t -> Sbx.Value.t;
+    mutable last : Sbx.Runtime.timings option;
+  }
+
+  let make ~app ~name ?(config = Sbx.Runtime.default_config) ~loc ~encode ~decode ~f () =
+    Registry.register
+      { Registry.app; region = name; kind = Registry.Sandboxed; loc; review_loc = 0 };
+    { name; config; encode; decode; f; last = None }
+
+  let name t = t.name
+
+  let run_value t policy value =
+    let outcome = Sbx.Runtime.run t.config ~input:value ~f:t.f in
+    t.last <- Some outcome.Sbx.Runtime.timings;
+    match t.decode outcome.Sbx.Runtime.result with
+    | Ok result -> Ok (Pcon.Internal.make policy result)
+    | Error msg -> Error (Decode_failed msg)
+
+  let run t pcon =
+    run_value t (Pcon.policy pcon) (t.encode (Pcon.Internal.unwrap pcon))
+
+  let run_list t pcons =
+    let folded = Fold.out_list pcons in
+    let elems = List.map t.encode (Pcon.Internal.unwrap folded) in
+    run_value t (Pcon.policy folded) (Sbx.Value.Vec elems)
+
+  let last_timings t = t.last
+end
+
+module Critical = struct
+  type ('a, 'b) t = {
+    name : string;
+    f : context:Context.t -> 'a -> 'b;
+    digest : Sign.Sha256.t;
+    review_loc : int;
+    keystore : Sign.Keystore.t;
+    mutable signature : Sign.Signature.t option;
+  }
+
+  let make ~app ~program ?(allowlist = Scrut.Allowlist.default) ~spec ~lockfile ~keystore
+      ~f () =
+    let graph = Scrut.Callgraph.collect program ~allowlist spec in
+    let input =
+      {
+        Sign.Region_hash.entry = spec.Scrut.Spec.name;
+        functions = Scrut.Callgraph.in_crate_sources graph spec;
+        external_deps = Scrut.Callgraph.external_packages graph;
+        lockfile;
+      }
+    in
+    match Sign.Region_hash.compute input with
+    | Error msg -> Error (Hashing_failed msg)
+    | Ok digest ->
+        let review_loc = Sign.Region_hash.review_burden_loc input in
+        Registry.register
+          {
+            Registry.app;
+            region = spec.Scrut.Spec.name;
+            kind = Registry.Critical;
+            loc = Scrut.Spec.loc spec;
+            review_loc;
+          };
+        Ok
+          {
+            name = spec.Scrut.Spec.name;
+            f;
+            digest;
+            review_loc;
+            keystore;
+            signature = None;
+          }
+
+  let name t = t.name
+  let digest t = t.digest
+  let review_burden_loc t = t.review_loc
+
+  let sign t ~reviewer ~at =
+    match Sign.Keystore.sign t.keystore ~reviewer ~at t.digest with
+    | Ok signature ->
+        t.signature <- Some signature;
+        Ok ()
+    | Error e -> Error (Signature_invalid e)
+
+  let attach_signature t signature = t.signature <- Some signature
+  let signature t = t.signature
+
+  let validate_signature t =
+    match t.signature with
+    | None -> Error (Unsigned { region = t.name })
+    | Some signature -> (
+        match Sign.Keystore.verify t.keystore signature ~digest:t.digest with
+        | Ok () -> Ok ()
+        | Error e -> Error (Signature_invalid e))
+
+  let ( let* ) = Result.bind
+
+  let run t ~context pcon =
+    let* () =
+      if Build_mode.is_release () then validate_signature t else Ok ()
+    in
+    let* () = check_policy (Pcon.policy pcon) context in
+    Ok (t.f ~context (Pcon.Internal.unwrap pcon))
+end

@@ -1,0 +1,46 @@
+type kind = Verified | Sandboxed | Critical
+
+let kind_name = function Verified -> "VR" | Sandboxed -> "SR" | Critical -> "CR"
+
+type entry = {
+  app : string;
+  region : string;
+  kind : kind;
+  loc : int;
+  review_loc : int;
+}
+
+let table : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register entry = Hashtbl.replace table (entry.app, entry.region) entry
+
+let entries ?app () =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      match app with
+      | Some a when a <> entry.app -> acc
+      | Some _ | None -> entry :: acc)
+    table []
+  |> List.sort (fun a b ->
+         match String.compare a.app b.app with
+         | 0 -> String.compare a.region b.region
+         | c -> c)
+
+let count ?app kind =
+  entries ?app () |> List.filter (fun e -> e.kind = kind) |> List.length
+
+let loc_range ~app kind =
+  let locs =
+    entries ~app () |> List.filter (fun e -> e.kind = kind) |> List.map (fun e -> e.loc)
+  in
+  match locs with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left min first rest, List.fold_left max first rest)
+
+let review_burden ~app =
+  entries ~app ()
+  |> List.filter (fun e -> e.kind = Critical)
+  |> List.fold_left (fun acc e -> acc + e.review_loc) 0
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,34 @@
+(** Region registry: records every privacy region an application declares,
+    so the developer-effort tables (Fig. 6 region counts/sizes, Fig. 7
+    critical-region review burden) can be generated from live code. *)
+
+type kind = Verified | Sandboxed | Critical
+
+val kind_name : kind -> string
+(** "VR" / "SR" / "CR". *)
+
+type entry = {
+  app : string;
+  region : string;
+  kind : kind;
+  loc : int;  (** size of the top-level closure *)
+  review_loc : int;  (** in-crate code a reviewer must read (CRs; 0 otherwise) *)
+}
+
+val register : entry -> unit
+(** Idempotent per (app, region): re-registering replaces the entry, so
+    constructing the same region twice (e.g. in benchmarks) does not
+    inflate counts. *)
+
+val entries : ?app:string -> unit -> entry list
+(** Sorted by app then region name. *)
+
+val count : ?app:string -> kind -> int
+val loc_range : app:string -> kind -> (int * int) option
+(** Min and max closure size among regions of that kind, as Fig. 6
+    reports. *)
+
+val review_burden : app:string -> int
+(** Total reviewer-facing LoC across the app's critical regions. *)
+
+val reset : unit -> unit

@@ -1,0 +1,170 @@
+module Db = Sesame_db
+
+type error =
+  | Untrusted_context
+  | Policy_denied of { policy : string; context : string }
+  | Db_error of string
+
+let pp_error fmt = function
+  | Untrusted_context ->
+      Format.pp_print_string fmt "built-in sinks require a Sesame-created (trusted) context"
+  | Policy_denied { policy; context } ->
+      Format.fprintf fmt "policy check failed: %s against context [%s]" policy context
+  | Db_error msg -> Format.fprintf fmt "database error: %s" msg
+
+type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
+
+type t = {
+  db : Db.Database.t;
+  bindings : (string * string, policy_source) Hashtbl.t;  (* (table, column) *)
+}
+
+let create db = { db; bindings = Hashtbl.create 16 }
+let database t = t.db
+
+let attach_policy t ~table ~column source =
+  Hashtbl.replace t.bindings (table, column) source
+
+let cell_policy t ~table schema row column =
+  match Hashtbl.find_opt t.bindings (table, column) with
+  | Some source -> source schema row
+  | None -> Policy.no_policy
+
+let ( let* ) = Result.bind
+
+let require_trusted context =
+  if Context.is_trusted context then Ok () else Error Untrusted_context
+
+let check_param context ~sink pcon =
+  let context = Context.with_sink context sink in
+  match Policy.check_verbose (Pcon.policy pcon) context with
+  | Ok () -> Ok ()
+  | Error msg ->
+      Error (Policy_denied { policy = msg; context = Context.describe context })
+
+let rec check_params context ~sink = function
+  | [] -> Ok ()
+  | p :: rest ->
+      let* () = check_param context ~sink p in
+      check_params context ~sink rest
+
+let unwrap_params params = List.map Pcon.Internal.unwrap params
+
+let query t ~context sql ~params =
+  let* () = require_trusted context in
+  let* () = check_params context ~sink:"db::query" params in
+  match Db.Database.select_rows t.db sql ~params:(unwrap_params params) with
+  | Error msg -> Error (Db_error msg)
+  | Ok (schema, rows) ->
+      let table = Db.Schema.name schema in
+      let column_names =
+        List.map (fun (c : Db.Schema.column) -> c.name) (Db.Schema.columns schema)
+      in
+      let wrap_row row =
+        Pcon_row.Internal.make_lazy ~columns:column_names (fun column ->
+            Option.map
+              (fun i ->
+                Pcon.Internal.make (cell_policy t ~table schema row column) row.(i))
+              (Db.Schema.column_index schema column))
+      in
+      Ok (List.map wrap_row rows)
+
+(* For aggregates we need the matching raw rows to build the conjunction of
+   the aggregated column's per-row policies, so re-run the match as a
+   SELECT * with the same WHERE clause. *)
+let query_agg t ~context sql ~params =
+  let* () = require_trusted context in
+  let* () = check_params context ~sink:"db::query" params in
+  let raw_params = unwrap_params params in
+  match Db.Sql.parse sql ~params:raw_params with
+  | Error msg -> Error (Db_error msg)
+  | Ok (Db.Sql.Select_agg { table; aggregates; where; group_by } as stmt) -> (
+      match Db.Database.table t.db table with
+      | None -> Error (Db_error (Printf.sprintf "no table named %s" table))
+      | Some tbl -> (
+          let schema = Db.Table.schema tbl in
+          let matching = Db.Table.select tbl ~where in
+          let policy_over_rows column rows =
+            if not (Hashtbl.mem t.bindings (table, column)) then Policy.no_policy
+            else
+              Policy.conjoin_all
+                (List.map (fun row -> cell_policy t ~table schema row column) rows)
+          in
+          let agg_column = function
+            | Db.Sql.Count_all -> None
+            | Db.Sql.Count c | Db.Sql.Sum c | Db.Sql.Avg c | Db.Sql.Min c | Db.Sql.Max c ->
+                Some c
+          in
+          match Db.Database.exec_stmt t.db stmt with
+          | Error msg -> Error (Db_error msg)
+          | Ok (Db.Database.Affected _) -> Error (Db_error "aggregate returned no rows")
+          | Ok (Db.Database.Rows { columns; rows }) ->
+              let group_count = List.length group_by in
+              let wrap_row out_row =
+                (* Rows contributing to this output row: all matching rows
+                   whose group-key equals this row's key columns. *)
+                let members =
+                  if group_by = [] then matching
+                  else
+                    List.filter
+                      (fun row ->
+                        List.for_all2
+                          (fun col idx -> Db.Value.equal (Db.Row.get schema row col) out_row.(idx))
+                          group_by
+                          (List.init group_count Fun.id))
+                      matching
+                in
+                (* Several cells may aggregate the same column (e.g. AVG
+                   and COUNT over grades); they share one conjunction. *)
+                let column_policies = Hashtbl.create 4 in
+                let policy_for col =
+                  match Hashtbl.find_opt column_policies col with
+                  | Some policy -> policy
+                  | None ->
+                      let policy = policy_over_rows col members in
+                      Hashtbl.add column_policies col policy;
+                      policy
+                in
+                List.mapi
+                  (fun i column_label ->
+                    let policy =
+                      if i < group_count then policy_for (List.nth group_by i)
+                      else
+                        match agg_column (List.nth aggregates (i - group_count)) with
+                        | Some col -> policy_for col
+                        | None -> Policy.no_policy
+                    in
+                    (column_label, Pcon.Internal.make policy out_row.(i)))
+                  columns
+              in
+              Ok (List.map wrap_row rows)))
+  | Ok (Db.Sql.Select _ | Db.Sql.Insert _ | Db.Sql.Update _ | Db.Sql.Delete _) ->
+      Error (Db_error "query_agg expects an aggregate SELECT")
+
+let insert t ~context ~table cells =
+  let* () = require_trusted context in
+  let* () = check_params context ~sink:"db::insert" (List.map snd cells) in
+  (* Goes through the statement executor so it pays the same (possibly
+     modeled) round-trip cost as any other write. *)
+  let stmt =
+    Db.Sql.Insert
+      {
+        table;
+        columns = Some (List.map fst cells);
+        values = List.map (fun (_, p) -> Pcon.Internal.unwrap p) cells;
+      }
+  in
+  match Db.Database.exec_stmt t.db stmt with
+  | Ok (Db.Database.Affected _) -> Ok ()
+  | Ok (Db.Database.Rows _) -> Error (Db_error "INSERT returned rows")
+  | Error msg -> Error (Db_error msg)
+
+let execute t ~context sql ~params =
+  let* () = require_trusted context in
+  let* () = check_params context ~sink:"db::execute" params in
+  match Db.Database.exec t.db sql ~params:(unwrap_params params) with
+  | Ok (Db.Database.Affected n) -> Ok n
+  | Ok (Db.Database.Rows _) -> Error (Db_error "execute expects UPDATE/DELETE/INSERT")
+  | Error msg -> Error (Db_error msg)
+
+let param _t v = Pcon.wrap_no_policy v

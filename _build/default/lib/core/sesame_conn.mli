@@ -1,0 +1,79 @@
+(** The Sesame-enabled database connector (§4 "Sources"/"Sinks", §8).
+
+    Wraps the relational engine so that (i) query results come back as
+    {!Pcon_row.t}s whose cells carry the policies attached to their columns
+    (the [#[db_policy(table, columns)]] bindings of Fig. 3, instantiated
+    per row via the binding's [from_row] function); and (ii) PCon-wrapped
+    parameters and inserts are policy-checked against a {e trusted} context
+    before the data reaches the database.
+
+    Aggregate queries return cells wrapped under the conjunction of the
+    aggregated column's per-row policies, so released aggregates remain
+    governed by every contributor's policy until a sink check passes. *)
+
+module Db = Sesame_db
+
+type error =
+  | Untrusted_context
+      (** built-in sinks accept only Sesame-created contexts (§6) *)
+  | Policy_denied of { policy : string; context : string }
+  | Db_error of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : Db.Database.t -> t
+val database : t -> Db.Database.t
+(** Escape hatch for schema setup and test fixtures; reading application
+    data through it bypasses Sesame and is the moral equivalent of not
+    using the mandated libraries. *)
+
+type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
+(** Instantiates a policy from the row it protects (Fig. 3's
+    [from_row]). *)
+
+val attach_policy : t -> table:string -> column:string -> policy_source -> unit
+(** Later attachments to the same column replace earlier ones. Columns
+    without a binding yield [NoPolicy] cells. *)
+
+val query :
+  t ->
+  context:Context.t ->
+  string ->
+  params:Db.Value.t Pcon.t list ->
+  (Pcon_row.t list, error) result
+(** A [SELECT *] statement. Each PCon parameter is policy-checked against
+    [context] (the read is a sink for the parameter data) before the query
+    runs. *)
+
+val query_agg :
+  t ->
+  context:Context.t ->
+  string ->
+  params:Db.Value.t Pcon.t list ->
+  ((string * Db.Value.t Pcon.t) list list, error) result
+(** An aggregate [SELECT]; each output row maps result columns to wrapped
+    cells (group-by keys under the conjunction of their column's policies
+    over the group, aggregates likewise). *)
+
+val insert :
+  t ->
+  context:Context.t ->
+  table:string ->
+  (string * Db.Value.t Pcon.t) list ->
+  (unit, error) result
+(** Policy-checks every cell against [context] (sink ["db::insert"]),
+    then inserts. *)
+
+val execute :
+  t ->
+  context:Context.t ->
+  string ->
+  params:Db.Value.t Pcon.t list ->
+  (int, error) result
+(** UPDATE / DELETE with PCon parameters; returns the affected-row count. *)
+
+val param : t -> Db.Value.t -> Db.Value.t Pcon.t
+(** Wraps a literal the application itself produced (e.g. a constant) as a
+    [NoPolicy] parameter. *)

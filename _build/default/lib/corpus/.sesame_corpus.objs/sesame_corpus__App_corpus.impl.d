@@ -1,0 +1,1 @@
+lib/corpus/app_corpus.ml: List Printf Sesame_scrutinizer Synthetic

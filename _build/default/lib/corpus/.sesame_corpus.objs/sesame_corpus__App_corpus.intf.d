@@ -1,0 +1,1 @@
+lib/corpus/app_corpus.mli: Sesame_scrutinizer

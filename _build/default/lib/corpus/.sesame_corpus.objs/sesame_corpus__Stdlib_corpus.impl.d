@@ -1,0 +1,1 @@
+lib/corpus/stdlib_corpus.ml: Fun List Sesame_scrutinizer

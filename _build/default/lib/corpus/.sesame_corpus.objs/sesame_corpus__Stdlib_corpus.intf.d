@@ -1,0 +1,1 @@
+lib/corpus/stdlib_corpus.mli: Sesame_scrutinizer

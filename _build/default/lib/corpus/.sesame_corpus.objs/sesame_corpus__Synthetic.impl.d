@@ -1,0 +1,1 @@
+lib/corpus/synthetic.ml: Printf Sesame_scrutinizer String

@@ -1,0 +1,1 @@
+lib/corpus/synthetic.mli: Sesame_scrutinizer

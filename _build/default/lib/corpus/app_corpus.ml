@@ -1,0 +1,567 @@
+module Scrut = Sesame_scrutinizer
+open Scrut.Ir
+
+type expectation = Leak_free | Leaking
+
+type case = {
+  app : string;
+  name : string;
+  spec : Scrut.Spec.t;
+  expectation : expectation;
+  expect_accept : bool;
+}
+
+type scale = Small | Full
+
+let apps = [ "youchat"; "voltron"; "portfolio"; "websubmit" ]
+
+let expected_counts =
+  [
+    ("youchat", (3, 3, 2));
+    ("voltron", (3, 3, 3));
+    ("portfolio", (55, 43, 8));
+    ("websubmit", (19, 17, 5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Program: shared helpers, native sinks, flawed external crates, and the
+   synthetic dependency trees. *)
+
+let tree_depths scale =
+  match scale with
+  | Small -> [ ("youchat", 3); ("websubmit", 4); ("portfolio", 5) ]
+  | Full -> [ ("youchat", 9); ("websubmit", 13); ("portfolio", 14) ]
+
+let lib_prefix app = app ^ "_lib"
+
+let program scale =
+  let program = Scrut.Program.create () in
+  (* Native sinks that leaking regions reach. *)
+  Scrut.Program.define_all program
+    [
+      native ~package:"log" ~name:"log::write" ~params:[ "line" ] ();
+      native ~package:"std-fs" ~name:"fs::write" ~params:[ "path"; "data" ] ();
+      native ~package:"socket2" ~name:"net::send" ~params:[ "socket"; "data" ] ();
+      native ~package:"std-io" ~name:"io::println" ~params:[ "line" ] ();
+      (* In-crate helpers. *)
+      func ~name:"corpus::double" ~params:[ "x" ]
+        [ Return (Some (Binop (Add, Var "x", Var "x"))) ];
+      func ~name:"corpus::trim_comment" ~params:[ "line" ]
+        [
+          If
+            ( Binop (Eq, Var "line", Str_lit "//"),
+              [ Return (Some (Str_lit "")) ],
+              [ Return (Some (Var "line")) ] );
+        ];
+      (* An innocent-looking helper that leaks into a global: regions
+         calling it with sensitive data must be rejected
+         (interprocedural case 1). *)
+      func ~name:"corpus::log_to_cache" ~params:[ "x" ]
+        [ Assign (Lglobal "CACHE", Var "x"); Return (Some (Var "x")) ];
+      (* An analyzable external crate that forwards into a native socket:
+         leaks, two hops deep. *)
+      external_fn ~package:"metrics" ~name:"metrics_impl::record" ~params:[ "x" ]
+        [ Expr_stmt (Call (Static "net::send", [ Int_lit 3; Var "x" ])) ];
+      (* Dynamic dispatch with one pure and one leaking implementation. *)
+      func ~name:"PlainFmt::fmt" ~params:[ "x" ]
+        [ Return (Some (Binop (Concat, Str_lit "", Var "x"))) ];
+      func ~name:"FileFmt::fmt" ~params:[ "x" ]
+        [
+          Expr_stmt (Call (Static "fs::write", [ Str_lit "/tmp/fmt.log"; Var "x" ]));
+          Return (Some (Var "x"));
+        ];
+    ];
+  Scrut.Program.register_impl program ~method_name:"Formatter::fmt" ~impl:"PlainFmt::fmt";
+  Scrut.Program.register_impl program ~method_name:"Formatter::fmt" ~impl:"FileFmt::fmt";
+  (* The eight "raw pointers for performance" crates (§10.3): leakage-free
+     in reality, but their unsafe pointer tricks defeat the analysis. *)
+  List.iter
+    (fun (package, name) ->
+      Scrut.Program.define program
+        (external_fn ~package ~name ~params:[ "data" ]
+           [
+             Let ("out", Var "data");
+             Opaque_unsafe [ Var "out" ];
+             Return (Some (Var "out"));
+           ]))
+    [
+      ("sha2", "sha2_impl::compress");
+      ("csv", "csv_impl::serialize");
+      ("ring", "ring_impl::encrypt_block");
+      ("ring", "ring_impl::decrypt_block");
+      ("zstd", "zstd_impl::compress");
+      ("lopdf", "pdf_impl::parse");
+      ("serde", "serde_impl::to_vec");
+      ("regex", "regex_impl::exec");
+    ];
+  (* Synthetic dependency trees. *)
+  List.iter
+    (fun (app, depth) ->
+      ignore (Synthetic.define_tree program ~package:(app ^ "-deps") ~prefix:(lib_prefix app) ~depth))
+    (tree_depths scale);
+  program
+
+(* ------------------------------------------------------------------ *)
+
+let mk ~app ~name ?captures ~params body ~expectation ~expect_accept =
+  {
+    app;
+    name;
+    spec = Scrut.Spec.make ~name ~params ?captures body;
+    expectation;
+    expect_accept;
+  }
+
+let accept = mk ~expectation:Leak_free ~expect_accept:true
+let conservative = mk ~expectation:Leak_free ~expect_accept:false
+let leaking = mk ~expectation:Leaking ~expect_accept:false
+
+(* Calls into a node of the app's synthetic library tree. [path] descends
+   from the root ("" = root, "0" = left child, ...). *)
+let lib_call app path arg =
+  Call (Static (Printf.sprintf "%s::hr%s" (lib_prefix app) path), [ arg ])
+
+(* ------------------------------------------------------------------ *)
+(* YouChat: 3 leak-free (all accepted) + 2 leaking. *)
+
+let youchat_cases =
+  [
+    accept ~app:"youchat" ~name:"yc::preview_region" ~params:[ "body" ]
+      [
+        Let ("copy", Call (Static "String::clone", [ Var "body" ]));
+        Return (Some (Var "copy"));
+      ];
+    accept ~app:"youchat" ~name:"yc::thread_join_region" ~params:[ "bodies" ]
+      [
+        Let ("out", Str_lit "");
+        For ("b", Var "bodies", [ Assign (Lvar "out", Binop (Concat, Var "out", Var "b")) ]);
+        Return (Some (Var "out"));
+      ];
+    accept ~app:"youchat" ~name:"yc::engagement_score_region" ~params:[ "lengths" ]
+      [
+        Let ("score", Int_lit 0);
+        For
+          ( "n",
+            Var "lengths",
+            [ Assign (Lvar "score", Binop (Add, Var "score", lib_call "youchat" "0" (Var "n"))) ]
+          );
+        Return (Some (Var "score"));
+      ];
+    leaking ~app:"youchat" ~name:"yc::log_message_region" ~params:[ "body" ]
+      [ Expr_stmt (Call (Static "log::write", [ Var "body" ])) ];
+    leaking ~app:"youchat" ~name:"yc::cache_region" ~params:[ "body" ]
+      [ Assign (Lglobal "LAST_MESSAGE", Var "body") ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Voltron: 3 leak-free (all accepted) + 3 leaking. *)
+
+let voltron_cases =
+  [
+    accept ~app:"voltron" ~name:"vt::merge_region" ~params:[ "code"; "edit" ]
+      [ Return (Some (Binop (Concat, Var "code", Var "edit"))) ];
+    accept ~app:"voltron" ~name:"vt::line_count_region" ~params:[ "code" ]
+      [
+        Let ("n", Int_lit 0);
+        For ("c", Var "code", [ Assign (Lvar "n", Binop (Add, Var "n", Int_lit 1)) ]);
+        Return (Some (Var "n"));
+      ];
+    accept ~app:"voltron" ~name:"vt::grade_region" ~params:[ "code" ]
+      [
+        Let ("clean", Call (Static "corpus::trim_comment", [ Var "code" ]));
+        If
+          ( Binop (Eq, Var "clean", Str_lit ""),
+            [ Return (Some (Int_lit 0)) ],
+            [ Return (Some (Int_lit 1)) ] );
+      ];
+    (* Case 1: a mutable capture, rejected up front. *)
+    leaking ~app:"voltron" ~name:"vt::append_audit_region" ~params:[ "code" ]
+      ~captures:[ { cap_var = "audit_log"; mode = By_mut_ref } ]
+      [ Assign (Lderef "audit_log", Var "code") ];
+    (* Case 1 via aliasing: writing through a by-ref capture. *)
+    leaking ~app:"voltron" ~name:"vt::patch_shared_region" ~params:[ "edit" ]
+      ~captures:[ { cap_var = "shared_buffer"; mode = By_ref } ]
+      [
+        Let ("slot", Ref "shared_buffer");
+        Assign (Lderef "slot", Var "edit");
+      ];
+    (* Implicit flow: a data-dependent branch with an observable effect. *)
+    leaking ~app:"voltron" ~name:"vt::conditional_sync_region" ~params:[ "code" ]
+      [
+        If
+          ( Binop (Eq, Var "code", Str_lit "fn main() {}"),
+            [ Expr_stmt (Call (Static "io::println", [ Str_lit "default buffer" ])) ],
+            [] );
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* WebSubmit: 19 leak-free (17 accepted, 2 conservatively rejected)
+   + 5 leaking. *)
+
+let websubmit_accepted =
+  let stat name expr_of =
+    accept ~app:"websubmit" ~name ~params:[ "grades" ]
+      [
+        Let ("acc", Float_lit 0.0);
+        Let ("n", Int_lit 0);
+        For
+          ( "g",
+            Var "grades",
+            [
+              Assign (Lvar "acc", expr_of (Var "acc") (Var "g"));
+              Assign (Lvar "n", Binop (Add, Var "n", Int_lit 1));
+            ] );
+        Return (Some (Binop (Div, Var "acc", Var "n")));
+      ]
+  in
+  [
+    accept ~app:"websubmit" ~name:"ws::fmt_submitted_region" ~params:[ "answer" ]
+      [ Return (Some (Binop (Concat, Str_lit "submitted: ", Var "answer"))) ];
+    stat "ws::mean_region" (fun acc g -> Binop (Add, acc, g));
+    stat "ws::abs_sum_region" (fun acc g -> Binop (Add, acc, Unop (Neg, g)));
+    accept ~app:"websubmit" ~name:"ws::max_region" ~params:[ "grades" ]
+      [
+        Let ("best", Float_lit 0.0);
+        For
+          ( "g",
+            Var "grades",
+            [ If (Binop (Gt, Var "g", Var "best"), [ Assign (Lvar "best", Var "g") ], []) ] );
+        Return (Some (Var "best"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::min_region" ~params:[ "grades" ]
+      [
+        Let ("worst", Float_lit 100.0);
+        For
+          ( "g",
+            Var "grades",
+            [ If (Binop (Lt, Var "g", Var "worst"), [ Assign (Lvar "worst", Var "g") ], []) ]
+          );
+        Return (Some (Var "worst"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::variance_region" ~params:[ "grades"; "mean" ]
+      [
+        Let ("acc", Float_lit 0.0);
+        For
+          ( "g",
+            Var "grades",
+            [
+              Let ("d", Binop (Sub, Var "g", Var "mean"));
+              Assign (Lvar "acc", Binop (Add, Var "acc", Binop (Mul, Var "d", Var "d")));
+            ] );
+        Return (Some (Var "acc"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::histogram_region" ~params:[ "grades" ]
+      [
+        Let ("buckets", Vec [ Int_lit 0; Int_lit 0; Int_lit 0 ]);
+        For
+          ( "g",
+            Var "grades",
+            [
+              If
+                ( Binop (Lt, Var "g", Float_lit 50.0),
+                  [ Expr_stmt (Call (Static "Vec::push", [ Ref_mut "buckets"; Var "g" ])) ],
+                  [ Expr_stmt (Call (Static "Vec::push", [ Ref_mut "buckets"; Var "g" ])) ]
+                );
+            ] );
+        Return (Some (Var "buckets"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::clamp_region" ~params:[ "grade" ]
+      [
+        If
+          ( Binop (Gt, Var "grade", Float_lit 100.0),
+            [ Return (Some (Float_lit 100.0)) ],
+            [ Return (Some (Var "grade")) ] );
+      ];
+    accept ~app:"websubmit" ~name:"ws::predict_region" ~params:[ "model"; "x" ]
+      [
+        Let ("w", Field (Var "model", "weight"));
+        Return (Some (Binop (Add, Binop (Mul, Var "w", Var "x"), Field (Var "model", "b"))));
+      ];
+    accept ~app:"websubmit" ~name:"ws::join_lines_region" ~params:[ "lines" ]
+      [
+        Let ("out", Str_lit "");
+        For ("l", Var "lines", [ Assign (Lvar "out", Binop (Concat, Var "out", Var "l")) ]);
+        Return (Some (Var "out"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::count_consenting_region" ~params:[ "consents" ]
+      [
+        Let ("n", Int_lit 0);
+        For
+          ( "c",
+            Var "consents",
+            [ If (Var "c", [ Assign (Lvar "n", Binop (Add, Var "n", Int_lit 1)) ], []) ] );
+        Return (Some (Var "n"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::letter_grade_region" ~params:[ "grade" ]
+      [
+        If
+          ( Binop (Ge, Var "grade", Float_lit 90.0),
+            [ Return (Some (Str_lit "A")) ],
+            [
+              If
+                ( Binop (Ge, Var "grade", Float_lit 80.0),
+                  [ Return (Some (Str_lit "B")) ],
+                  [ Return (Some (Str_lit "C")) ] );
+            ] );
+      ];
+    accept ~app:"websubmit" ~name:"ws::normalize_region" ~params:[ "grades"; "max" ]
+      [
+        Let ("out", Vec []);
+        For
+          ( "g",
+            Var "grades",
+            [
+              Expr_stmt
+                (Call (Static "Vec::push", [ Ref_mut "out"; Binop (Div, Var "g", Var "max") ]));
+            ] );
+        Return (Some (Var "out"));
+      ];
+    accept ~app:"websubmit" ~name:"ws::zscore_region" ~params:[ "g"; "mean"; "stddev" ]
+      [ Return (Some (Binop (Div, Binop (Sub, Var "g", Var "mean"), Var "stddev"))) ];
+    accept ~app:"websubmit" ~name:"ws::median_region" ~params:[ "grades" ]
+      [
+        Expr_stmt (Call (Static "Vec::sort", [ Ref_mut "grades" ]));
+        Return (Some (Index (Var "grades", Int_lit 0)));
+      ];
+    accept ~app:"websubmit" ~name:"ws::trim_comment_region" ~params:[ "answer" ]
+      [ Return (Some (Call (Static "corpus::trim_comment", [ Var "answer" ]))) ];
+    accept ~app:"websubmit" ~name:"ws::curve_region" ~params:[ "grades" ]
+      [
+        Let ("curved", Vec []);
+        For
+          ( "g",
+            Var "grades",
+            [
+              Let ("adj", lib_call "websubmit" "" (Var "g"));
+              Expr_stmt (Call (Static "Vec::push", [ Ref_mut "curved"; Var "adj" ]));
+            ] );
+        Return (Some (Var "curved"));
+      ];
+  ]
+
+let websubmit_conservative =
+  [
+    (* Leak-free in reality; rejected because the crates use raw-pointer
+       tricks (§10.3's hashing and CSV cases). *)
+    conservative ~app:"websubmit" ~name:"ws::hash_password_region" ~params:[ "password" ]
+      [ Return (Some (Call (Static "sha2_impl::compress", [ Var "password" ]))) ];
+    conservative ~app:"websubmit" ~name:"ws::csv_export_region" ~params:[ "rows" ]
+      [
+        Let ("out", Str_lit "");
+        For
+          ( "r",
+            Var "rows",
+            [
+              Let ("line", Call (Static "csv_impl::serialize", [ Var "r" ]));
+              Assign (Lvar "out", Binop (Concat, Var "out", Var "line"));
+            ] );
+        Return (Some (Var "out"));
+      ];
+  ]
+
+let websubmit_leaking =
+  [
+    leaking ~app:"websubmit" ~name:"ws::grade_dump_region" ~params:[ "grades" ]
+      [ Expr_stmt (Call (Static "fs::write", [ Str_lit "/tmp/grades"; Var "grades" ])) ];
+    leaking ~app:"websubmit" ~name:"ws::callback_region" ~params:[ "answer" ]
+      ~captures:[ { cap_var = "callback"; mode = By_value } ]
+      [ Expr_stmt (Call (Fn_ptr (Some "callback"), [ Var "answer" ])) ];
+    leaking ~app:"websubmit" ~name:"ws::debug_print_region" ~params:[ "answer" ]
+      [
+        Let ("line", Binop (Concat, Str_lit "got: ", Var "answer"));
+        Expr_stmt (Call (Static "io::println", [ Var "line" ]));
+      ];
+    leaking ~app:"websubmit" ~name:"ws::stats_cache_region" ~params:[ "grades" ]
+      [
+        Let ("sum", Float_lit 0.0);
+        For ("g", Var "grades", [ Assign (Lvar "sum", Binop (Add, Var "sum", Var "g")) ]);
+        Assign (Lglobal "STATS_CACHE", Var "sum");
+      ];
+    leaking ~app:"websubmit" ~name:"ws::telemetry_region" ~params:[ "answer" ]
+      (* The leak is two calls deep: an analyzable external crate that
+         forwards into a native socket. *)
+      [ Expr_stmt (Call (Static "metrics_impl::record", [ Var "answer" ])) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio: 55 leak-free (43 accepted, 12 conservatively rejected)
+   + 8 leaking. *)
+
+let portfolio_accepted =
+  (* 12 field formatters. *)
+  let formatters =
+    List.map
+      (fun field ->
+        accept ~app:"portfolio"
+          ~name:(Printf.sprintf "pf::fmt_%s_region" field)
+          ~params:[ field ]
+          [ Return (Some (Binop (Concat, Str_lit (field ^ ": "), Var field))) ])
+      [
+        "name"; "school"; "address"; "phone"; "birthdate"; "guardian";
+        "essay"; "transcript"; "reference"; "language"; "award"; "citizenship";
+      ]
+  in
+  (* 8 validators: branch on the sensitive value, return a verdict. *)
+  let validators =
+    List.map
+      (fun field ->
+        accept ~app:"portfolio"
+          ~name:(Printf.sprintf "pf::validate_%s_region" field)
+          ~params:[ field ]
+          [
+            If
+              ( Binop (Eq, Var field, Str_lit ""),
+                [ Return (Some (Bool_lit false)) ],
+                [ Return (Some (Bool_lit true)) ] );
+          ])
+      [ "email"; "name"; "school"; "grade_sheet"; "essay"; "id_number"; "photo"; "consent" ]
+  in
+  (* 8 numeric aggregations over exam scores. *)
+  let numerics =
+    List.map
+      (fun (name, init, op) ->
+        accept ~app:"portfolio" ~name:(Printf.sprintf "pf::%s_region" name)
+          ~params:[ "scores" ]
+          [
+            Let ("acc", Float_lit init);
+            For ("s", Var "scores", [ Assign (Lvar "acc", op (Var "acc") (Var "s")) ]);
+            Return (Some (Var "acc"));
+          ])
+      [
+        ("score_sum", 0.0, fun a s -> Binop (Add, a, s));
+        ("score_product", 1.0, fun a s -> Binop (Mul, a, s));
+        ("score_loss", 0.0, fun a s -> Binop (Add, a, Binop (Mul, s, s)));
+        ("score_spread", 0.0, fun a s -> Binop (Add, a, Binop (Sub, s, a)));
+        ("score_decay", 0.0, fun a s -> Binop (Add, Binop (Mul, a, Float_lit 0.9), s));
+        ("score_gap", 100.0, fun a s -> Binop (Sub, a, s));
+        ("score_ratio", 1.0, fun a s -> Binop (Div, a, s));
+        ("score_mod", 0.0, fun a s -> Binop (Add, a, Binop (Rem, s, Float_lit 7.0)));
+      ]
+  in
+  (* 6 document-metadata regions using allow-listed collections. *)
+  let documents =
+    List.map
+      (fun (name, field) ->
+        accept ~app:"portfolio" ~name:(Printf.sprintf "pf::doc_%s_region" name)
+          ~params:[ "docs" ]
+          [
+            Let ("out", Vec []);
+            For
+              ( "d",
+                Var "docs",
+                [
+                  Let ("meta", Field (Var "d", field));
+                  Expr_stmt (Call (Static "Vec::push", [ Ref_mut "out"; Var "meta" ]));
+                ] );
+            Return (Some (Var "out"));
+          ])
+      [
+        ("filenames", "filename"); ("sizes", "size"); ("pages", "pages");
+        ("titles", "title"); ("formats", "format"); ("dates", "uploaded_at");
+      ]
+  in
+  (* 5 profile mergers. *)
+  let mergers =
+    List.map
+      (fun (name, sep) ->
+        accept ~app:"portfolio" ~name:(Printf.sprintf "pf::merge_%s_region" name)
+          ~params:[ "first"; "second" ]
+          [
+            Return
+              (Some (Binop (Concat, Var "first", Binop (Concat, Str_lit sep, Var "second"))));
+          ])
+      [ ("profile", " / "); ("contact", ", "); ("header", " — "); ("label", ": "); ("csvline", ";") ]
+  in
+  (* 4 regions calling into the big dependency tree (the Fig. 10 function
+     counts come mostly from these). *)
+  let library_users =
+    List.map
+      (fun (name, path) ->
+        accept ~app:"portfolio" ~name:(Printf.sprintf "pf::%s_region" name)
+          ~params:[ "score" ]
+          [ Return (Some (lib_call "portfolio" path (Var "score"))) ])
+      [ ("rank", ""); ("weight", ""); ("percentile", "0"); ("scale", "1") ]
+  in
+  formatters @ validators @ numerics @ documents @ mergers @ library_users
+
+let portfolio_conservative =
+  (* 6 async regions: Future::poll has no resolvable candidate set. *)
+  let async_regions =
+    List.map
+      (fun name ->
+        conservative ~app:"portfolio" ~name:(Printf.sprintf "pf::%s_region" name)
+          ~params:[ "data" ]
+          [
+            Let
+              ( "fut",
+                Call
+                  ( Dynamic { method_name = "Future::poll"; receiver_hint = None },
+                    [ Var "data" ] ) );
+            Return (Some (Var "fut"));
+          ])
+      [
+        "async_encrypt"; "async_decrypt"; "async_upload"; "async_download";
+        "async_thumbnail"; "async_watermark";
+      ]
+  in
+  (* 6 crypto/compression regions whose crates dereference raw pointers. *)
+  let unsafe_crates =
+    List.map
+      (fun (name, callee) ->
+        conservative ~app:"portfolio" ~name:(Printf.sprintf "pf::%s_region" name)
+          ~params:[ "data" ]
+          [ Return (Some (Call (Static callee, [ Var "data" ]))) ])
+      [
+        ("encrypt_block", "ring_impl::encrypt_block");
+        ("decrypt_block", "ring_impl::decrypt_block");
+        ("compress", "zstd_impl::compress");
+        ("parse_pdf", "pdf_impl::parse");
+        ("serialize", "serde_impl::to_vec");
+        ("redact", "regex_impl::exec");
+      ]
+  in
+  async_regions @ unsafe_crates
+
+let portfolio_leaking =
+  [
+    leaking ~app:"portfolio" ~name:"pf::upload_log_region" ~params:[ "document" ]
+      [ Expr_stmt (Call (Static "fs::write", [ Str_lit "/tmp/uploads"; Var "document" ])) ];
+    leaking ~app:"portfolio" ~name:"pf::last_viewed_region" ~params:[ "name" ]
+      [ Assign (Lglobal "LAST_VIEWED", Var "name") ];
+    leaking ~app:"portfolio" ~name:"pf::mut_capture_region" ~params:[ "name" ]
+      ~captures:[ { cap_var = "review_notes"; mode = By_mut_ref } ]
+      [ Assign (Lderef "review_notes", Var "name") ];
+    leaking ~app:"portfolio" ~name:"pf::conditional_alert_region" ~params:[ "score" ]
+      [
+        If
+          ( Binop (Lt, Var "score", Float_lit 50.0),
+            [ Expr_stmt (Call (Static "net::send", [ Int_lit 1; Str_lit "low score seen" ])) ],
+            [] );
+      ];
+    leaking ~app:"portfolio" ~name:"pf::dyn_format_region" ~params:[ "name" ]
+      (* One candidate of the dispatch leaks, so the superset analysis
+         must reject. *)
+      [
+        Return
+          (Some
+             (Call (Dynamic { method_name = "Formatter::fmt"; receiver_hint = None }, [ Var "name" ])));
+      ];
+    leaking ~app:"portfolio" ~name:"pf::cache_via_helper_region" ~params:[ "name" ]
+      [ Return (Some (Call (Static "corpus::log_to_cache", [ Var "name" ]))) ];
+    leaking ~app:"portfolio" ~name:"pf::unsafe_capture_region" ~params:[ "key" ]
+      ~captures:[ { cap_var = "key_cache"; mode = By_ref } ]
+      [ Unsafe_write (Lderef "key_cache", Var "key") ];
+    leaking ~app:"portfolio" ~name:"pf::loop_exfil_region" ~params:[ "scores" ]
+      [
+        For
+          ( "s",
+            Var "scores",
+            [ Expr_stmt (Call (Static "log::write", [ Var "s" ])) ] );
+      ];
+  ]
+
+let cases () =
+  youchat_cases @ voltron_cases
+  @ portfolio_accepted @ portfolio_conservative @ portfolio_leaking
+  @ websubmit_accepted @ websubmit_conservative @ websubmit_leaking

@@ -1,0 +1,42 @@
+(** The Fig. 10 corpus: 98 privacy regions across the four case-study
+    apps — 80 manually verified leakage-free (of which Scrutinizer should
+    accept 66: all of YouChat's 3 and Voltron's 3, 43 of Portfolio's 55,
+    17 of WebSubmit's 19 — note the paper's prose says "68 of 80" but its
+    own Fig. 10 sums to 66, which is what this corpus encodes) and 18
+    known-leaking regions that must all be rejected.
+
+    The leak-free-but-rejected regions reproduce the paper's reasons: six
+    use async machinery (unresolvable [Future::poll] dispatch) and eight
+    call external crates that "dereference raw pointers for performance"
+    ({!Sesame_scrutinizer.Ir.Opaque_unsafe}). *)
+
+module Scrut := Sesame_scrutinizer
+
+type expectation = Leak_free | Leaking
+
+type case = {
+  app : string;  (** "youchat" | "voltron" | "portfolio" | "websubmit" *)
+  name : string;
+  spec : Scrut.Spec.t;
+  expectation : expectation;
+  expect_accept : bool;
+      (** Scrutinizer's expected verdict. Always false for {!Leaking};
+          false for the paper's conservative rejections. *)
+}
+
+type scale = Small | Full
+(** [Full] attaches the deep synthetic dependency trees (tens of
+    thousands of functions, matching Fig. 10's shape); [Small] keeps them
+    shallow for unit tests. *)
+
+val program : scale -> Scrut.Program.t
+(** Fresh program with all helper and library functions defined. *)
+
+val cases : unit -> case list
+(** The 98 region specs, grouped by app. Independent of scale. *)
+
+val apps : string list
+
+val expected_counts : (string * (int * int * int)) list
+(** Per app: (leak-free, of those accepted, leaking) — the Fig. 10
+    ground truth this corpus encodes. *)

@@ -1,0 +1,214 @@
+module Scrut = Sesame_scrutinizer
+open Scrut.Ir
+
+type case = {
+  name : string;
+  spec : Scrut.Spec.t;
+  leak_free : bool;
+  expect_accept : bool;
+}
+
+let program () =
+  let program = Scrut.Program.create () in
+  Scrut.Program.define_all program
+    [
+      native ~package:"std-io" ~name:"io::eprintln" ~params:[ "line" ] ();
+      native ~package:"std-fs" ~name:"fs::append" ~params:[ "path"; "data" ] ();
+      (* Internal grow helper: reallocates self's buffer with a
+         known-target unsafe copy. *)
+      func ~name:"raw_vec::grow" ~params:[ "self" ]
+        [
+          Let ("buf", Field (Var "self", "buf"));
+          Unsafe_write (Lfield ("self", "buf"), Var "buf");
+          Return (Some (Var "self"));
+        ];
+    ];
+  program
+
+let mk ~name ~params ~leak_free ~expect_accept body =
+  { name; spec = Scrut.Spec.make ~name ~params body; leak_free; expect_accept }
+
+(* A mutating method: bounds check, maybe grow, unsafe write into self's
+   buffer, bump a length field. All targets are known. *)
+let mutator name extra_stmts =
+  mk ~name ~params:[ "self"; "value" ] ~leak_free:true ~expect_accept:true
+    ([
+       Let ("len", Field (Var "self", "len"));
+       If
+         ( Binop (Eq, Var "len", Field (Var "self", "cap")),
+           [ Expr_stmt (Call (Static "raw_vec::grow", [ Ref_mut "self" ])) ],
+           [] );
+       Unsafe_write (Lindex ("self", Var "len"), Var "value");
+       Assign (Lfield ("self", "len"), Binop (Add, Var "len", Int_lit 1));
+     ]
+    @ extra_stmts)
+
+(* A read-only accessor: bounds check then unsafe read (modelled as a
+   plain index). *)
+let accessor name result =
+  mk ~name ~params:[ "self"; "index" ] ~leak_free:true ~expect_accept:true
+    [
+      If
+        ( Binop (Ge, Var "index", Field (Var "self", "len")),
+          [ Return (Some Unit) ],
+          [ Return (Some (result (Index (Var "self", Var "index")))) ] );
+    ]
+
+(* A whole-collection traversal. *)
+let traversal name combine =
+  mk ~name ~params:[ "self" ] ~leak_free:true ~expect_accept:true
+    [
+      Let ("acc", Int_lit 0);
+      For ("x", Var "self", [ Assign (Lvar "acc", combine (Var "acc") (Var "x")) ]);
+      Return (Some (Var "acc"));
+    ]
+
+let leak_free_cases =
+  (* 20 mutators across the collection types. *)
+  List.map
+    (fun coll -> mutator (coll ^ "::push") [ Return (Some Unit) ])
+    [ "Vec"; "String"; "VecDeque"; "BinaryHeap" ]
+  @ List.map
+      (fun coll ->
+        mutator (coll ^ "::insert") [ Return (Some (Field (Var "self", "len"))) ])
+      [ "Vec"; "HashMap"; "BTreeMap"; "HashSet"; "BTreeSet" ]
+  @ List.map
+      (fun coll ->
+        mk ~name:(coll ^ "::pop") ~params:[ "self" ] ~leak_free:true ~expect_accept:true
+          [
+            Let ("len", Field (Var "self", "len"));
+            If
+              ( Binop (Eq, Var "len", Int_lit 0),
+                [ Return (Some Unit) ],
+                [
+                  Assign (Lfield ("self", "len"), Binop (Sub, Var "len", Int_lit 1));
+                  Return (Some (Index (Var "self", Field (Var "self", "len"))));
+                ] );
+          ])
+      [ "Vec"; "String"; "VecDeque"; "BinaryHeap" ]
+  @ List.map
+      (fun coll ->
+        mk ~name:(coll ^ "::clear") ~params:[ "self" ] ~leak_free:true ~expect_accept:true
+          [ Assign (Lfield ("self", "len"), Int_lit 0); Return (Some Unit) ])
+      [ "Vec"; "String"; "HashMap"; "HashSet"; "VecDeque"; "BTreeMap"; "BinaryHeap" ]
+  (* 16 accessors. *)
+  @ List.map
+      (fun coll -> accessor (coll ^ "::get") Fun.id)
+      [ "Vec"; "HashMap"; "BTreeMap"; "VecDeque"; "String" ]
+  @ List.map
+      (fun coll -> accessor (coll ^ "::get_mut") (fun e -> Tuple [ e ]))
+      [ "Vec"; "HashMap"; "BTreeMap" ]
+  @ List.map
+      (fun coll ->
+        mk ~name:(coll ^ "::len") ~params:[ "self" ] ~leak_free:true ~expect_accept:true
+          [ Return (Some (Field (Var "self", "len"))) ])
+      [ "Vec"; "String"; "HashMap"; "HashSet"; "VecDeque"; "BTreeMap"; "BTreeSet"; "BinaryHeap" ]
+  (* 15 traversals. *)
+  @ List.map
+      (fun coll -> traversal (coll ^ "::count_elems") (fun acc _ -> Binop (Add, acc, Int_lit 1)))
+      [ "Vec"; "HashMap"; "HashSet"; "VecDeque"; "BTreeMap" ]
+  @ List.map
+      (fun coll -> traversal (coll ^ "::sum") (fun acc x -> Binop (Add, acc, x)))
+      [ "Vec"; "VecDeque"; "BinaryHeap" ]
+  @ List.map
+      (fun coll ->
+        mk ~name:(coll ^ "::contains") ~params:[ "self"; "needle" ] ~leak_free:true
+          ~expect_accept:true
+          [
+            Let ("found", Bool_lit false);
+            For
+              ( "x",
+                Var "self",
+                [
+                  If
+                    ( Binop (Eq, Var "x", Var "needle"),
+                      [ Assign (Lvar "found", Bool_lit true) ],
+                      [] );
+                ] );
+            Return (Some (Var "found"));
+          ])
+      [ "Vec"; "String"; "HashSet"; "VecDeque"; "BTreeSet"; "BinaryHeap"; "HashMap" ]
+  (* 4 truncating mutators. *)
+  @ List.map
+      (fun coll ->
+        mk ~name:(coll ^ "::truncate") ~params:[ "self"; "new_len" ] ~leak_free:true
+          ~expect_accept:true
+          [
+            If
+              ( Binop (Lt, Var "new_len", Field (Var "self", "len")),
+                [ Assign (Lfield ("self", "len"), Var "new_len") ],
+                [] );
+            Return (Some Unit);
+          ])
+      [ "Vec"; "String"; "VecDeque"; "BinaryHeap" ]
+  (* The two false positives: opaque pointer arithmetic defeats the
+     analysis even though the methods are leakage-free. *)
+  @ [
+      mk ~name:"Vec::swap_remove" ~params:[ "self"; "index" ] ~leak_free:true
+        ~expect_accept:false
+        [
+          Let ("last", Field (Var "self", "len"));
+          Opaque_unsafe [ Var "self"; Var "index"; Var "last" ];
+          Return (Some (Index (Var "self", Var "index")));
+        ];
+      mk ~name:"String::from_raw_parts" ~params:[ "ptr"; "len"; "cap" ] ~leak_free:true
+        ~expect_accept:false
+        [
+          Let ("s", Tuple [ Var "ptr"; Var "len"; Var "cap" ]);
+          Opaque_unsafe [ Var "s" ];
+          Return (Some (Var "s"));
+        ];
+    ]
+
+let leaking_cases =
+  [
+    mk ~name:"Vec::dbg_dump" ~params:[ "self" ] ~leak_free:false ~expect_accept:false
+      [ Expr_stmt (Call (Static "io::eprintln", [ Var "self" ])) ];
+    mk ~name:"HashMap::audit_insert" ~params:[ "self"; "key" ] ~leak_free:false
+      ~expect_accept:false
+      [
+        Expr_stmt (Call (Static "fs::append", [ Str_lit "/tmp/audit"; Var "key" ]));
+        Return (Some Unit);
+      ];
+    mk ~name:"String::log_push" ~params:[ "self"; "chunk" ] ~leak_free:false
+      ~expect_accept:false
+      [ Assign (Lglobal "STRING_LOG", Var "chunk") ];
+    mk ~name:"Vec::global_scratch" ~params:[ "self" ] ~leak_free:false ~expect_accept:false
+      [ Assign (Lglobal "SCRATCH", Field (Var "self", "buf")) ];
+    mk ~name:"VecDeque::trace_pop" ~params:[ "self" ] ~leak_free:false ~expect_accept:false
+      [
+        Let ("front", Index (Var "self", Int_lit 0));
+        Expr_stmt (Call (Static "io::eprintln", [ Var "front" ]));
+        Return (Some (Var "front"));
+      ];
+    mk ~name:"BTreeMap::shadow_copy" ~params:[ "self" ] ~leak_free:false
+      ~expect_accept:false
+      [ Expr_stmt (Call (Static "fs::append", [ Str_lit "/tmp/shadow"; Var "self" ])) ];
+    mk ~name:"HashSet::conditional_beacon" ~params:[ "self"; "needle" ] ~leak_free:false
+      ~expect_accept:false
+      [
+        For
+          ( "x",
+            Var "self",
+            [
+              If
+                ( Binop (Eq, Var "x", Var "needle"),
+                  [ Expr_stmt (Call (Static "io::eprintln", [ Str_lit "hit" ])) ],
+                  [] );
+            ] );
+      ];
+    mk ~name:"BinaryHeap::peek_publish" ~params:[ "self" ] ~leak_free:false
+      ~expect_accept:false
+      [
+        Let ("top", Index (Var "self", Int_lit 0));
+        Expr_stmt (Call (Static "fs::append", [ Str_lit "/tmp/top"; Var "top" ]));
+      ];
+  ]
+
+let cases () = leak_free_cases @ leaking_cases
+
+let counts () =
+  let all = cases () in
+  let leak_free = List.filter (fun c -> c.leak_free) all in
+  let accepted = List.filter (fun c -> c.expect_accept) leak_free in
+  (List.length leak_free, List.length accepted, List.length all - List.length leak_free)

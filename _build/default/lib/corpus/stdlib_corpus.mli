@@ -1,0 +1,26 @@
+(** The §10.3 standard-library study: Scrutinizer run over methods from
+    standard collections — "a challenging test, as the standard library
+    extensively uses unsafe code for performance". The paper reports two
+    false positives among 57 leakage-free methods, and every leaking
+    method rejected.
+
+    Methods are modelled as IR functions whose bodies perform
+    known-target unsafe writes into [self]'s buffers (accepted) except for
+    two that use opaque pointer arithmetic (the false positives). *)
+
+module Scrut := Sesame_scrutinizer
+
+type case = {
+  name : string;  (** e.g. ["Vec::push"] *)
+  spec : Scrut.Spec.t;
+  leak_free : bool;
+  expect_accept : bool;
+}
+
+val program : unit -> Scrut.Program.t
+val cases : unit -> case list
+(** 57 leak-free (55 expected accepted) + 8 leaking (all expected
+    rejected). *)
+
+val counts : unit -> int * int * int
+(** (leak-free, expected-accepted, leaking). *)

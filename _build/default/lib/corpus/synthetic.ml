@@ -1,0 +1,25 @@
+module Scrut = Sesame_scrutinizer
+open Scrut.Ir
+
+let define_tree program ~package ~prefix ~depth =
+  let rec node path d =
+    let name = Printf.sprintf "%s::h%s" prefix path in
+    let body =
+      if d = 0 then
+        [ Return (Some (Binop (Add, Var "x", Int_lit (String.length path)))) ]
+      else begin
+        let left = node (path ^ "0") (d - 1) in
+        let right = node (path ^ "1") (d - 1) in
+        [
+          Let ("a", Call (Static left, [ Var "x" ]));
+          Let ("b", Call (Static right, [ Var "a" ]));
+          Return (Some (Binop (Add, Var "a", Var "b")));
+        ]
+      end
+    in
+    Scrut.Program.define program (external_fn ~package ~name ~params:[ "x" ] body);
+    name
+  in
+  node "r" depth
+
+let tree_size ~depth = (1 lsl (depth + 1)) - 1

@@ -1,0 +1,18 @@
+(** Synthetic library call trees.
+
+    Fig. 10's "Functions Analyzed" column is dominated by the case-study
+    apps' dependency trees (774,624 functions for Portfolio). We cannot
+    ship those crates, so regions in the corpus call into generated
+    binary trees of pure helper functions whose size scales the same
+    way. *)
+
+module Scrut := Sesame_scrutinizer
+
+val define_tree :
+  Scrut.Program.t -> package:string -> prefix:string -> depth:int -> string
+(** Defines [2^(depth+1) - 1] external helper functions forming a binary
+    call tree and returns the root's name. Every helper is pure (analyzable
+    and leakage-free). *)
+
+val tree_size : depth:int -> int
+(** Number of functions [define_tree] creates. *)

@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Expr Hashtbl Int64 List Printf Result Row Schema Sql String Sys Table Value

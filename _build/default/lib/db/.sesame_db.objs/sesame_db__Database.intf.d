@@ -1,0 +1,1 @@
+lib/db/database.mli: Row Schema Sql Table Value

@@ -1,0 +1,1 @@
+lib/db/expr.ml: Format List Printf Row Schema String Value

@@ -1,0 +1,1 @@
+lib/db/expr.mli: Format Row Schema Value

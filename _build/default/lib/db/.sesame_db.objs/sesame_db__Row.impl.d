@@ -1,0 +1,1 @@
+lib/db/row.ml: Array Format List Option Printf Result Schema Value

@@ -1,0 +1,1 @@
+lib/db/row.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/db/schema.ml: Array Format Hashtbl List Option Printf Value

@@ -1,0 +1,1 @@
+lib/db/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/db/sql.ml: Buffer Expr List Printf String Value

@@ -1,0 +1,1 @@
+lib/db/sql.mli: Expr Value

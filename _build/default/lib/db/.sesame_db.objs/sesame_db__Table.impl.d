@@ -1,0 +1,1 @@
+lib/db/table.ml: Array Expr Fun Hashtbl List Option Printf Row Schema Value

@@ -1,0 +1,1 @@
+lib/db/table.mli: Expr Row Schema Value

@@ -1,0 +1,1 @@
+lib/db/value.ml: Bool Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/db/value.mli: Format

@@ -1,0 +1,222 @@
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable query_cost_ns : int;
+  mutable queries : int;
+}
+
+type exec_result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+
+let create ?(query_cost_ns = 0) () =
+  { tables = Hashtbl.create 8; query_cost_ns; queries = 0 }
+
+let set_query_cost_ns t ns = t.query_cost_ns <- ns
+let query_count t = t.queries
+let reset_query_count t = t.queries <- 0
+
+let create_table t schema =
+  let name = Schema.name schema in
+  if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    Hashtbl.add t.tables name (Table.create schema);
+    Ok ()
+  end
+
+let table t name = Hashtbl.find_opt t.tables name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "no table named %s" name)
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
+
+let drop_table t name =
+  if Hashtbl.mem t.tables name then begin
+    Hashtbl.remove t.tables name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "no table named %s" name)
+
+(* Busy-wait to model a round trip; monotonic clock via Unix-free spin on
+   a volatile counter is unreliable, so use wall-clock nanoseconds. *)
+let charge t =
+  t.queries <- t.queries + 1;
+  if t.query_cost_ns > 0 then begin
+    let deadline =
+      Int64.add (Int64.of_float (Sys.time () *. 1e9)) (Int64.of_int t.query_cost_ns)
+    in
+    while Int64.of_float (Sys.time () *. 1e9) < deadline do
+      ignore (Sys.opaque_identity ())
+    done
+  end
+
+let lookup t name =
+  match table t name with
+  | Some tbl -> Ok tbl
+  | None -> Error (Printf.sprintf "no table named %s" name)
+
+let ( let* ) = Result.bind
+
+let run_plain_select tbl ~columns ~where ~order_by ~limit =
+  let schema = Table.schema tbl in
+  let* () = Expr.validate schema where in
+  let* cols =
+    match columns with
+    | None -> Ok (List.map (fun (c : Schema.column) -> c.name) (Schema.columns schema))
+    | Some cols -> (
+        match List.find_opt (fun c -> not (Schema.mem schema c)) cols with
+        | Some c -> Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) c)
+        | None -> Ok cols)
+  in
+  let rows = Table.select tbl ~where in
+  let* rows =
+    match order_by with
+    | None -> Ok rows
+    | Some (col, dir) ->
+        if not (Schema.mem schema col) then
+          Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) col)
+        else
+          let key row = Row.get schema row col in
+          let cmp a b =
+            let c = Value.compare (key a) (key b) in
+            match dir with Sql.Asc -> c | Sql.Desc -> -c
+          in
+          Ok (List.stable_sort cmp rows)
+  in
+  let rows = match limit with None -> rows | Some n -> List.filteri (fun i _ -> i < n) rows in
+  let projected = List.map (fun row -> Row.project schema row cols) rows in
+  Ok (Rows { columns = cols; rows = projected })
+
+let aggregate_column = function
+  | Sql.Count_all -> None
+  | Sql.Count c | Sql.Sum c | Sql.Avg c | Sql.Min c | Sql.Max c -> Some c
+
+let compute_aggregate schema rows agg =
+  let values col =
+    List.filter_map
+      (fun row ->
+        let v = Row.get schema row col in
+        if Value.is_null v then None else Some v)
+      rows
+  in
+  match agg with
+  | Sql.Count_all -> Value.Int (List.length rows)
+  | Sql.Count col -> Value.Int (List.length (values col))
+  | Sql.Sum col ->
+      let vs = values col in
+      if vs = [] then Value.Null
+      else Value.Float (List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs)
+  | Sql.Avg col ->
+      let vs = values col in
+      if vs = [] then Value.Null
+      else
+        let sum = List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs in
+        Value.Float (sum /. float_of_int (List.length vs))
+  | Sql.Min col -> (
+      match values col with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs)
+  | Sql.Max col -> (
+      match values col with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)
+
+let run_agg_select tbl ~aggregates ~where ~group_by =
+  let schema = Table.schema tbl in
+  let* () = Expr.validate schema where in
+  let referenced = group_by @ List.filter_map aggregate_column aggregates in
+  let* () =
+    match List.find_opt (fun c -> not (Schema.mem schema c)) referenced with
+    | Some c -> Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) c)
+    | None -> Ok ()
+  in
+  let rows = Table.select tbl ~where in
+  let columns = group_by @ List.map Sql.aggregate_label aggregates in
+  if group_by = [] then
+    let out = Array.of_list (List.map (compute_aggregate schema rows) aggregates) in
+    Ok (Rows { columns; rows = [ out ] })
+  else begin
+    (* Group rows by the tuple of group-by values, preserving first-seen
+       order of groups. *)
+    let groups : (Value.t list, Row.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+        let key = List.map (Row.get schema row) group_by in
+        match Hashtbl.find_opt groups key with
+        | Some cell -> cell := row :: !cell
+        | None ->
+            Hashtbl.add groups key (ref [ row ]);
+            order := key :: !order)
+      rows;
+    let out =
+      List.rev_map
+        (fun key ->
+          let members = List.rev !(Hashtbl.find groups key) in
+          Array.of_list (key @ List.map (compute_aggregate schema members) aggregates))
+        !order
+    in
+    Ok (Rows { columns; rows = out })
+  end
+
+let run_insert tbl ~columns ~values =
+  let schema = Table.schema tbl in
+  let* row =
+    match columns with
+    | Some cols ->
+        if List.length cols <> List.length values then
+          Error "INSERT: column/value count mismatch"
+        else Row.of_assoc schema (List.combine cols values)
+    | None ->
+        if List.length values <> Schema.arity schema then
+          Error
+            (Printf.sprintf "INSERT: expected %d values for table %s" (Schema.arity schema)
+               (Schema.name schema))
+        else Ok (Array.of_list values)
+  in
+  let* () = Table.insert tbl row in
+  Ok (Affected 1)
+
+let exec_stmt t stmt =
+  charge t;
+  match stmt with
+  | Sql.Select { table; columns; where; order_by; limit } ->
+      let* tbl = lookup t table in
+      run_plain_select tbl ~columns ~where ~order_by ~limit
+  | Sql.Select_agg { table; aggregates; where; group_by } ->
+      let* tbl = lookup t table in
+      run_agg_select tbl ~aggregates ~where ~group_by
+  | Sql.Insert { table; columns; values } ->
+      let* tbl = lookup t table in
+      run_insert tbl ~columns ~values
+  | Sql.Update { table; set; where } ->
+      let* tbl = lookup t table in
+      let* () = Expr.validate (Table.schema tbl) where in
+      let* n = Table.update tbl ~where ~set in
+      Ok (Affected n)
+  | Sql.Delete { table; where } ->
+      let* tbl = lookup t table in
+      let* () = Expr.validate (Table.schema tbl) where in
+      Ok (Affected (Table.delete tbl ~where))
+
+let exec t src ~params =
+  let* stmt = Sql.parse src ~params in
+  exec_stmt t stmt
+
+let select_rows t src ~params =
+  let* stmt = Sql.parse src ~params in
+  match stmt with
+  | Sql.Select { table; columns = None; where; order_by; limit } -> (
+      let* tbl = lookup t table in
+      let* result =
+        (charge t;
+         run_plain_select tbl ~columns:None ~where ~order_by ~limit)
+      in
+      match result with
+      | Rows { rows; _ } -> Ok (Table.schema tbl, rows)
+      | Affected _ -> assert false)
+  | Sql.Select _ | Sql.Select_agg _ | Sql.Insert _ | Sql.Update _ | Sql.Delete _ ->
+      Error "select_rows expects a SELECT * statement"

@@ -1,0 +1,38 @@
+(** The database: named tables plus a SQL executor.
+
+    A configurable per-statement cost models the round trip to a remote
+    database server; the policy-composition experiment (Fig. 9c) depends on
+    the fact that each policy check that needs fresh data issues one such
+    round trip, so joining policies that share a query amortizes it. *)
+
+type t
+
+type exec_result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+
+val create : ?query_cost_ns:int -> unit -> t
+(** [query_cost_ns] (default 0) is busy-waited before every statement. *)
+
+val set_query_cost_ns : t -> int -> unit
+val query_count : t -> int
+(** Number of statements executed so far (for tests and benchmarks). *)
+
+val reset_query_count : t -> unit
+
+val create_table : t -> Schema.t -> (unit, string) result
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val table_names : t -> string list
+val drop_table : t -> string -> (unit, string) result
+
+val exec : t -> string -> params:Value.t list -> (exec_result, string) result
+(** Parses, binds, and runs one statement. *)
+
+val exec_stmt : t -> Sql.stmt -> (exec_result, string) result
+
+val select_rows :
+  t -> string -> params:Value.t list -> ((Schema.t * Row.t list), string) result
+(** Convenience for [SELECT *] queries: returns the table schema along with
+    the full rows, which the Sesame connector needs to instantiate
+    per-row policies. Fails if the statement is not a [SELECT *]. *)

@@ -1,0 +1,126 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | In of operand * Value.t list
+  | Like of operand * string
+  | Is_null of operand
+
+and operand = Col of string | Lit of Value.t
+
+(* LIKE matching: '%' matches any run (incl. empty), '_' any one char.
+   Classic two-pointer algorithm with backtracking to the last '%'. *)
+let like_matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si star_p star_s =
+    if si = ns then
+      (* Consume trailing '%'s. *)
+      let rec only_percents i = i >= np || (pattern.[i] = '%' && only_percents (i + 1)) in
+      only_percents pi
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_p star_s
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si (Some pi) si
+    else
+      match star_p with
+      | Some sp -> go (sp + 1) (star_s + 1) star_p (star_s + 1)
+      | None -> false
+  in
+  go 0 0 None 0
+
+let cmp_holds op a b =
+  match op with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Lt -> Value.compare a b < 0
+  | Le -> Value.compare a b <= 0
+  | Gt -> Value.compare a b > 0
+  | Ge -> Value.compare a b >= 0
+
+let eval schema row e =
+  let exception Unknown of string in
+  let operand = function
+    | Lit v -> v
+    | Col c -> (
+        match Row.get_opt schema row c with
+        | Some v -> v
+        | None -> raise (Unknown c))
+  in
+  let rec go = function
+    | True -> true
+    | Cmp (op, a, b) ->
+        let va = operand a and vb = operand b in
+        if Value.is_null va || Value.is_null vb then false else cmp_holds op va vb
+    | And (a, b) -> go a && go b
+    | Or (a, b) -> go a || go b
+    | Not a -> not (go a)
+    | In (a, vs) ->
+        let va = operand a in
+        (not (Value.is_null va)) && List.exists (Value.equal va) vs
+    | Like (a, pattern) -> (
+        match operand a with
+        | Value.Text s -> like_matches ~pattern s
+        | Value.Null | Value.Int _ | Value.Float _ | Value.Bool _ -> false)
+    | Is_null a -> Value.is_null (operand a)
+  in
+  match go e with
+  | holds -> Ok holds
+  | exception Unknown c ->
+      Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) c)
+
+let eval_exn schema row e =
+  match eval schema row e with Ok b -> b | Error msg -> invalid_arg msg
+
+let columns e =
+  let acc = ref [] in
+  let add = function
+    | Col c -> if not (List.mem c !acc) then acc := c :: !acc
+    | Lit _ -> ()
+  in
+  let rec go = function
+    | True -> ()
+    | Cmp (_, a, b) -> add a; add b
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+    | In (a, _) | Like (a, _) | Is_null a -> add a
+  in
+  go e;
+  List.rev !acc
+
+let validate schema e =
+  match List.find_opt (fun c -> not (Schema.mem schema c)) (columns e) with
+  | Some c -> Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) c)
+  | None -> Ok ()
+
+let rec equality_on e col =
+  match e with
+  | Cmp (Eq, Col c, Lit v) | Cmp (Eq, Lit v, Col c) when c = col -> Some v
+  | And (a, b) -> (
+      match equality_on a col with Some v -> Some v | None -> equality_on b col)
+  | True | Cmp _ | Or _ | Not _ | In _ | Like _ | Is_null _ -> None
+
+let pp_operand fmt = function
+  | Col c -> Format.pp_print_string fmt c
+  | Lit v -> Value.pp fmt v
+
+let cmp_symbol = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "TRUE"
+  | Cmp (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_operand a (cmp_symbol op) pp_operand b
+  | And (a, b) -> Format.fprintf fmt "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "NOT %a" pp a
+  | In (a, vs) ->
+      Format.fprintf fmt "%a IN (%a)" pp_operand a
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Value.pp)
+        vs
+  | Like (a, pattern) -> Format.fprintf fmt "%a LIKE %S" pp_operand a pattern
+  | Is_null a -> Format.fprintf fmt "%a IS NULL" pp_operand a

@@ -1,0 +1,37 @@
+(** Predicate expressions for WHERE clauses. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | In of operand * Value.t list
+  | Like of operand * string
+      (** SQL LIKE with [%] wildcards (and [_] for a single character) *)
+  | Is_null of operand
+and operand = Col of string | Lit of Value.t
+
+val eval : Schema.t -> Row.t -> t -> (bool, string) result
+(** [Error] on unknown columns. Comparisons involving [Null] are false
+    (except via [Is_null]); [Like] on a non-text operand is false. *)
+
+val eval_exn : Schema.t -> Row.t -> t -> bool
+
+val columns : t -> string list
+(** Column names referenced, without duplicates. *)
+
+val validate : Schema.t -> t -> (unit, string) result
+(** Checks every referenced column exists. *)
+
+val equality_on : t -> string -> Value.t option
+(** [equality_on e col] is [Some v] when [e] is a conjunction that pins
+    [col = v] — used by the table layer to route lookups through the
+    primary-key index. *)
+
+val like_matches : pattern:string -> string -> bool
+(** Exposed for direct reuse and property tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+(* Rows live in a growable array; deleted slots are marked dead and
+   compacted away on the next full scan that finds many of them. The
+   primary-key index maps key value -> slot. *)
+
+type t = {
+  schema : Schema.t;
+  mutable rows : Row.t option array;
+  mutable size : int;  (* slots used, including dead ones *)
+  mutable live : int;
+  pk_index : (Value.t, int) Hashtbl.t option;
+  pk_col : int option;
+}
+
+let create schema =
+  let pk_col = Option.map (Schema.column_index_exn schema) (Schema.primary_key schema) in
+  {
+    schema;
+    rows = Array.make 16 None;
+    size = 0;
+    live = 0;
+    pk_index = Option.map (fun _ -> Hashtbl.create 64) pk_col;
+    pk_col;
+  }
+
+let schema t = t.schema
+let length t = t.live
+
+let grow t =
+  if t.size = Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) None in
+    Array.blit t.rows 0 bigger 0 t.size;
+    t.rows <- bigger
+  end
+
+let pk_value t row = Option.map (fun i -> row.(i)) t.pk_col
+
+let insert t row =
+  match Schema.validate_row t.schema row with
+  | Error _ as e -> e
+  | Ok () -> (
+      let dup =
+        match (pk_value t row, t.pk_index) with
+        | Some key, Some index -> Hashtbl.mem index key
+        | _ -> false
+      in
+      if dup then
+        Error
+          (Printf.sprintf "table %s: duplicate primary key %s" (Schema.name t.schema)
+             (Value.to_string (Option.get (pk_value t row))))
+      else begin
+        grow t;
+        t.rows.(t.size) <- Some (Array.copy row);
+        (match (pk_value t row, t.pk_index) with
+        | Some key, Some index -> Hashtbl.replace index key t.size
+        | _ -> ());
+        t.size <- t.size + 1;
+        t.live <- t.live + 1;
+        Ok ()
+      end)
+
+let insert_exn t row =
+  match insert t row with Ok () -> () | Error msg -> invalid_arg msg
+
+let matching_slots t ~where =
+  (* Primary-key fast path. *)
+  let by_index =
+    match (t.pk_col, t.pk_index) with
+    | Some col, Some index -> (
+        let col_name = (Array.of_list (Schema.columns t.schema)).(col).Schema.name in
+        match Expr.equality_on where col_name with
+        | Some key -> (
+            match Hashtbl.find_opt index key with
+            | Some slot -> Some [ slot ]
+            | None -> Some [])
+        | None -> None)
+    | _ -> None
+  in
+  let candidates =
+    match by_index with
+    | Some slots -> slots
+    | None -> List.init t.size Fun.id
+  in
+  List.filter
+    (fun slot ->
+      match t.rows.(slot) with
+      | Some row -> Expr.eval_exn t.schema row where
+      | None -> false)
+    candidates
+
+let select t ~where =
+  matching_slots t ~where
+  |> List.filter_map (fun slot -> t.rows.(slot))
+
+let update t ~where ~set =
+  let slots = matching_slots t ~where in
+  (* Dry-run all updates first so a failure mutates nothing. *)
+  let updated =
+    List.map
+      (fun slot ->
+        let row = Option.get t.rows.(slot) in
+        let row' =
+          List.fold_left (fun r (col, v) -> Row.set t.schema r col v) row set
+        in
+        (slot, row'))
+      slots
+  in
+  let validation =
+    List.fold_left
+      (fun acc (_, row') ->
+        match acc with Error _ -> acc | Ok () -> Schema.validate_row t.schema row')
+      (Ok ()) updated
+  in
+  let pk_conflict =
+    (* A PK update may collide with an existing row outside the update set. *)
+    match (t.pk_col, t.pk_index) with
+    | Some col, Some index ->
+        List.find_opt
+          (fun (slot, row') ->
+            let key' = row'.(col) in
+            match Hashtbl.find_opt index key' with
+            | Some other -> other <> slot
+            | None -> false)
+          updated
+    | _ -> None
+  in
+  match (validation, pk_conflict) with
+  | (Error _ as e), _ -> e
+  | Ok (), Some (_, row') ->
+      Error
+        (Printf.sprintf "table %s: update would duplicate primary key %s"
+           (Schema.name t.schema)
+           (Value.to_string row'.(Option.get t.pk_col)))
+  | Ok (), None ->
+      List.iter
+        (fun (slot, row') ->
+          (match (t.pk_col, t.pk_index) with
+          | Some col, Some index ->
+              let old_key = (Option.get t.rows.(slot)).(col) in
+              if not (Value.equal old_key row'.(col)) then begin
+                Hashtbl.remove index old_key;
+                Hashtbl.replace index row'.(col) slot
+              end
+          | _ -> ());
+          t.rows.(slot) <- Some row')
+        updated;
+      Ok (List.length updated)
+
+let delete t ~where =
+  let slots = matching_slots t ~where in
+  List.iter
+    (fun slot ->
+      (match (t.pk_col, t.pk_index, t.rows.(slot)) with
+      | Some col, Some index, Some row -> Hashtbl.remove index row.(col)
+      | _ -> ());
+      t.rows.(slot) <- None;
+      t.live <- t.live - 1)
+    slots;
+  List.length slots
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for slot = 0 to t.size - 1 do
+    match t.rows.(slot) with
+    | Some row -> acc := f !acc row
+    | None -> ()
+  done;
+  !acc
+
+let iter t ~f = fold t ~init:() ~f:(fun () row -> f row)
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc row -> row :: acc))
+
+let clear t =
+  t.rows <- Array.make 16 None;
+  t.size <- 0;
+  t.live <- 0;
+  Option.iter Hashtbl.reset t.pk_index

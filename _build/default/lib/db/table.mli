@@ -1,0 +1,33 @@
+(** A mutable table: rows stored in insertion order, with a hash index on
+    the primary key (when the schema declares one) used to serve
+    equality lookups without a scan. *)
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val length : t -> int
+
+val insert : t -> Row.t -> (unit, string) result
+(** Validates the row against the schema and primary-key uniqueness. *)
+
+val insert_exn : t -> Row.t -> unit
+
+val select : t -> where:Expr.t -> Row.t list
+(** Matching rows in insertion order. Routes through the primary-key index
+    when [where] pins the key to a value. Raises [Invalid_argument] on
+    unknown columns (use {!Expr.validate} to check first). *)
+
+val update :
+  t -> where:Expr.t -> set:(string * Value.t) list -> (int, string) result
+(** Returns the number of rows updated; rejects updates that would violate
+    the schema or duplicate a primary key, in which case no row changes. *)
+
+val delete : t -> where:Expr.t -> int
+(** Returns the number of rows removed. *)
+
+val fold : t -> init:'a -> f:('a -> Row.t -> 'a) -> 'a
+val iter : t -> f:(Row.t -> unit) -> unit
+val to_list : t -> Row.t list
+
+val clear : t -> unit

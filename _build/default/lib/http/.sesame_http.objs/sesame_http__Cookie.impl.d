@@ -1,0 +1,1 @@
+lib/http/cookie.ml: Buffer List Option String

@@ -1,0 +1,1 @@
+lib/http/headers.ml: Format List Option String

@@ -1,0 +1,1 @@
+lib/http/headers.mli: Format

@@ -1,0 +1,1 @@
+lib/http/meth.ml: Format String

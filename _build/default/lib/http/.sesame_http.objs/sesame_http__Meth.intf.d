@@ -1,0 +1,1 @@
+lib/http/meth.mli: Format

@@ -1,0 +1,1 @@
+lib/http/request.ml: Buffer Char Cookie Format Headers List Meth Printf String

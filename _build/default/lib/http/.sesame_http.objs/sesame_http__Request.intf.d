@@ -1,0 +1,1 @@
+lib/http/request.mli: Format Headers Meth

@@ -1,0 +1,1 @@
+lib/http/response.ml: Cookie Format Headers Status

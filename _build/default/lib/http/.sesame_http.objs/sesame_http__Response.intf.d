@@ -1,0 +1,1 @@
+lib/http/response.mli: Cookie Format Headers Status

@@ -1,0 +1,1 @@
+lib/http/route.mli:

@@ -1,0 +1,1 @@
+lib/http/router.ml: List Meth Printexc Printf Request Response Route Status

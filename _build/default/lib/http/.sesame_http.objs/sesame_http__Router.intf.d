@@ -1,0 +1,1 @@
+lib/http/router.mli: Meth Request Response

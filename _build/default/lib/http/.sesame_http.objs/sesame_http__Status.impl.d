@@ -1,0 +1,1 @@
+lib/http/status.ml: Format Printf

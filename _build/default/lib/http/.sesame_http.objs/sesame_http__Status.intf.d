@@ -1,0 +1,1 @@
+lib/http/status.mli: Format

@@ -1,0 +1,1 @@
+lib/http/template.ml: Buffer List Option Printf Result String

@@ -1,0 +1,38 @@
+type attributes = {
+  path : string option;
+  max_age : int option;
+  http_only : bool;
+  secure : bool;
+}
+
+let default_attributes = { path = None; max_age = None; http_only = true; secure = true }
+
+let trim = String.trim
+
+let parse_header value =
+  String.split_on_char ';' value
+  |> List.filter_map (fun fragment ->
+         match String.index_opt fragment '=' with
+         | None -> None
+         | Some i ->
+             let name = trim (String.sub fragment 0 i) in
+             let v = trim (String.sub fragment (i + 1) (String.length fragment - i - 1)) in
+             if name = "" then None else Some (name, v))
+
+let render_set_cookie ?(attributes = default_attributes) ~name value =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf name;
+  Buffer.add_char buf '=';
+  Buffer.add_string buf value;
+  Option.iter (fun p -> Buffer.add_string buf ("; Path=" ^ p)) attributes.path;
+  Option.iter
+    (fun age -> Buffer.add_string buf ("; Max-Age=" ^ string_of_int age))
+    attributes.max_age;
+  if attributes.http_only then Buffer.add_string buf "; HttpOnly";
+  if attributes.secure then Buffer.add_string buf "; Secure";
+  Buffer.contents buf
+
+let expire ~name =
+  render_set_cookie
+    ~attributes:{ default_attributes with max_age = Some 0 }
+    ~name ""

@@ -1,0 +1,23 @@
+(** Cookies: parsing of [Cookie:] request headers and rendering of
+    [Set-Cookie:] response headers. *)
+
+type attributes = {
+  path : string option;
+  max_age : int option;
+  http_only : bool;
+  secure : bool;
+}
+
+val default_attributes : attributes
+(** [http_only = true], [secure = true], no path or max-age — the safe
+    default for session cookies. *)
+
+val parse_header : string -> (string * string) list
+(** Parses a [Cookie:] header value ("a=1; b=2") into pairs. Malformed
+    fragments are skipped. *)
+
+val render_set_cookie : ?attributes:attributes -> name:string -> string -> string
+(** Renders a [Set-Cookie:] header value. *)
+
+val expire : name:string -> string
+(** A [Set-Cookie:] value that deletes the cookie (Max-Age=0). *)

@@ -1,0 +1,28 @@
+type t = (string * string) list (* reversed insertion order internally? no: kept in order *)
+
+let canon = String.lowercase_ascii
+
+let empty = []
+let of_list l = l
+let to_list t = t
+let add t name value = t @ [ (name, value) ]
+
+let remove t name =
+  let key = canon name in
+  List.filter (fun (n, _) -> canon n <> key) t
+
+let replace t name value = add (remove t name) name value
+
+let get t name =
+  let key = canon name in
+  List.find_map (fun (n, v) -> if canon n = key then Some v else None) t
+
+let get_all t name =
+  let key = canon name in
+  List.filter_map (fun (n, v) -> if canon n = key then Some v else None) t
+
+let mem t name = Option.is_some (get t name)
+let length = List.length
+
+let pp fmt t =
+  List.iter (fun (n, v) -> Format.fprintf fmt "%s: %s@." n v) t

@@ -1,0 +1,24 @@
+(** HTTP header collections. Names are case-insensitive; insertion order is
+    preserved for rendering. *)
+
+type t
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_list : t -> (string * string) list
+(** Names are returned in their original spelling. *)
+
+val add : t -> string -> string -> t
+(** Appends; multiple values for one name are allowed (e.g. Set-Cookie). *)
+
+val replace : t -> string -> string -> t
+(** Removes existing values for the name, then adds. *)
+
+val get : t -> string -> string option
+(** First value, case-insensitive lookup. *)
+
+val get_all : t -> string -> string list
+val remove : t -> string -> t
+val mem : t -> string -> bool
+val length : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = GET | POST | PUT | DELETE | PATCH | HEAD | OPTIONS
+
+let to_string = function
+  | GET -> "GET"
+  | POST -> "POST"
+  | PUT -> "PUT"
+  | DELETE -> "DELETE"
+  | PATCH -> "PATCH"
+  | HEAD -> "HEAD"
+  | OPTIONS -> "OPTIONS"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "GET" -> Some GET
+  | "POST" -> Some POST
+  | "PUT" -> Some PUT
+  | "DELETE" -> Some DELETE
+  | "PATCH" -> Some PATCH
+  | "HEAD" -> Some HEAD
+  | "OPTIONS" -> Some OPTIONS
+  | _ -> None
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,10 @@
+(** HTTP request methods. *)
+
+type t = GET | POST | PUT | DELETE | PATCH | HEAD | OPTIONS
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Case-insensitive. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

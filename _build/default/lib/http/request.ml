@@ -1,0 +1,120 @@
+type t = {
+  meth : Meth.t;
+  path : string;
+  query : (string * string) list;
+  headers : Headers.t;
+  body : string;
+  path_params : (string * string) list;
+}
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex_digit s.[i + 1], hex_digit s.[i + 2]) with
+          | Some hi, Some lo ->
+              Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let is_unreserved c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '.' || c = '_' || c = '~'
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if is_unreserved c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let parse_urlencoded s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (percent_decode pair, "")
+             | Some i ->
+                 let name = percent_decode (String.sub pair 0 i) in
+                 let value =
+                   percent_decode (String.sub pair (i + 1) (String.length pair - i - 1))
+                 in
+                 Some (name, value))
+
+let make ?(query = []) ?(headers = Headers.empty) ?(body = "") meth target =
+  let path, target_query =
+    match String.index_opt target '?' with
+    | None -> (target, [])
+    | Some i ->
+        ( String.sub target 0 i,
+          parse_urlencoded (String.sub target (i + 1) (String.length target - i - 1)) )
+  in
+  { meth; path; query = target_query @ query; headers; body; path_params = [] }
+
+let query_param t name = List.assoc_opt name t.query
+let path_param t name = List.assoc_opt name t.path_params
+
+let path_param_exn t name =
+  match path_param t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "request has no path parameter %s" name)
+
+let header t name = Headers.get t.headers name
+
+let cookies t =
+  match header t "Cookie" with
+  | Some value -> Cookie.parse_header value
+  | None -> []
+
+let cookie t name = List.assoc_opt name (cookies t)
+
+let is_urlencoded t =
+  match header t "Content-Type" with
+  | Some ct ->
+      (* Ignore any ;charset=... suffix. *)
+      let base = List.hd (String.split_on_char ';' ct) in
+      String.trim base = "application/x-www-form-urlencoded"
+  | None -> false
+
+let form_params t = if is_urlencoded t then parse_urlencoded t.body else []
+let form_param t name = List.assoc_opt name (form_params t)
+let with_path_params t params = { t with path_params = params }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%a %s" Meth.pp t.meth t.path;
+  if t.query <> [] then begin
+    Format.pp_print_string fmt "?";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.pp_print_string fmt "&";
+        Format.fprintf fmt "%s=%s" k v)
+      t.query
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** HTTP requests.
+
+    Requests are plain values dispatched in-process; the evaluation measures
+    handler latency, so no socket layer is needed (see DESIGN.md). *)
+
+type t = {
+  meth : Meth.t;
+  path : string;  (** path only, no query string *)
+  query : (string * string) list;  (** decoded query parameters *)
+  headers : Headers.t;
+  body : string;
+  path_params : (string * string) list;  (** filled in by the router *)
+}
+
+val make :
+  ?query:(string * string) list ->
+  ?headers:Headers.t ->
+  ?body:string ->
+  Meth.t ->
+  string ->
+  t
+(** [make meth target] builds a request. If [target] contains a [?], its
+    query string is percent-decoded and merged with [query]. *)
+
+val query_param : t -> string -> string option
+val path_param : t -> string -> string option
+val path_param_exn : t -> string -> string
+val header : t -> string -> string option
+val cookie : t -> string -> string option
+val cookies : t -> (string * string) list
+
+val form_params : t -> (string * string) list
+(** Decodes an [application/x-www-form-urlencoded] body; empty list for
+    other content types. *)
+
+val form_param : t -> string -> string option
+
+val with_path_params : t -> (string * string) list -> t
+
+val percent_decode : string -> string
+(** Decodes [%XX] escapes and [+] as space; malformed escapes pass
+    through verbatim. *)
+
+val percent_encode : string -> string
+(** Encodes everything except unreserved characters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = { status : Status.t; headers : Headers.t; body : string }
+
+let make ?(headers = Headers.empty) ?(body = "") status = { status; headers; body }
+
+let with_content_type body ct status =
+  { status; headers = Headers.of_list [ ("Content-Type", ct) ]; body }
+
+let text ?(status = Status.Ok) body = with_content_type body "text/plain; charset=utf-8" status
+let html ?(status = Status.Ok) body = with_content_type body "text/html; charset=utf-8" status
+
+let redirect location =
+  { status = Status.See_other;
+    headers = Headers.of_list [ ("Location", location) ];
+    body = "" }
+
+let error status message = text ~status message
+
+let with_cookie ?attributes t ~name ~value =
+  let header = Cookie.render_set_cookie ?attributes ~name value in
+  { t with headers = Headers.add t.headers "Set-Cookie" header }
+
+let header t name = Headers.get t.headers name
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@,%a%s@]" Status.pp t.status Headers.pp t.headers t.body

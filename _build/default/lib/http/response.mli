@@ -1,0 +1,19 @@
+(** HTTP responses. *)
+
+type t = { status : Status.t; headers : Headers.t; body : string }
+
+val make : ?headers:Headers.t -> ?body:string -> Status.t -> t
+val text : ?status:Status.t -> string -> t
+val html : ?status:Status.t -> string -> t
+val redirect : string -> t
+(** 303 See Other with a Location header. *)
+
+val error : Status.t -> string -> t
+(** Plain-text error body. *)
+
+val with_cookie :
+  ?attributes:Cookie.attributes -> t -> name:string -> value:string -> t
+(** Appends a Set-Cookie header. *)
+
+val header : t -> string -> string option
+val pp : Format.formatter -> t -> unit

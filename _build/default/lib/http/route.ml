@@ -1,0 +1,76 @@
+type segment = Literal of string | Param of string | Rest of string
+
+type t = { pattern : string; segments : segment list }
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let parse pattern =
+  if pattern = "" || pattern.[0] <> '/' then
+    Error (Printf.sprintf "route %S must start with /" pattern)
+  else
+    let parse_segment s =
+      let n = String.length s in
+      if n >= 2 && s.[0] = '<' && s.[n - 1] = '>' then
+        let inner = String.sub s 1 (n - 2) in
+        let ni = String.length inner in
+        if ni > 2 && String.sub inner (ni - 2) 2 = ".." then
+          Ok (Rest (String.sub inner 0 (ni - 2)))
+        else if inner = "" then Error (Printf.sprintf "route %S: empty parameter" pattern)
+        else Ok (Param inner)
+      else if String.contains s '<' || String.contains s '>' then
+        Error (Printf.sprintf "route %S: malformed segment %S" pattern s)
+      else Ok (Literal s)
+    in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+          match parse_segment s with
+          | Error _ as e -> e
+          | Ok (Rest _ as seg) ->
+              if rest = [] then Ok (List.rev (seg :: acc))
+              else Error (Printf.sprintf "route %S: <..> must be the last segment" pattern)
+          | Ok seg -> build (seg :: acc) rest)
+    in
+    match build [] (split_path pattern) with
+    | Error _ as e -> e
+    | Ok segments ->
+        let names =
+          List.filter_map
+            (function Param p | Rest p -> Some p | Literal _ -> None)
+            segments
+        in
+        let rec has_dup = function
+          | [] -> None
+          | x :: rest -> if List.mem x rest then Some x else has_dup rest
+        in
+        (match has_dup names with
+        | Some name ->
+            Error (Printf.sprintf "route %S: duplicate parameter %s" pattern name)
+        | None -> Ok { pattern; segments })
+
+let parse_exn pattern =
+  match parse pattern with Ok t -> t | Error msg -> invalid_arg msg
+
+let pattern t = t.pattern
+
+let params t =
+  List.filter_map
+    (function Param p | Rest p -> Some p | Literal _ -> None)
+    t.segments
+
+let matches t path =
+  let rec go segments parts acc =
+    match (segments, parts) with
+    | [], [] -> Some (List.rev acc)
+    | [ Rest name ], parts ->
+        Some (List.rev ((name, String.concat "/" parts) :: acc))
+    | Literal lit :: segs, part :: rest when lit = part -> go segs rest acc
+    | Param name :: segs, part :: rest ->
+        go segs rest ((name, Request.percent_decode part) :: acc)
+    | _, _ -> None
+  in
+  go t.segments (split_path path) []
+
+let specificity t =
+  List.length (List.filter (function Literal _ -> true | Param _ | Rest _ -> false) t.segments)

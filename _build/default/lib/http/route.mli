@@ -1,0 +1,27 @@
+(** Route patterns with typed parameter segments, in the style of the
+    paper's [#[sesame::get("/view/<answer_id>")]] attributes (Fig. 2).
+
+    A pattern is a [/]-separated path where a segment of the form [<name>]
+    captures one path segment, and a trailing [<name..>] captures the rest
+    of the path (including [/]s). *)
+
+type t
+
+val parse : string -> (t, string) result
+(** Fails on empty patterns, duplicate parameter names, non-leading [/],
+    or a rest-parameter that is not last. *)
+
+val parse_exn : string -> t
+
+val pattern : t -> string
+(** The original pattern text. *)
+
+val params : t -> string list
+(** Parameter names in order of appearance. *)
+
+val matches : t -> string -> (string * string) list option
+(** [matches t path] is [Some bindings] when [path] matches the pattern;
+    captured segments are percent-decoded. *)
+
+val specificity : t -> int
+(** Number of literal segments; routers prefer more-specific routes. *)

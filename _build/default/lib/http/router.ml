@@ -1,0 +1,69 @@
+type handler = Request.t -> Response.t
+type middleware = handler -> handler
+
+type entry = { meth : Meth.t; route : Route.t; handler : handler; order : int }
+
+type t = {
+  mutable entries : entry list;  (* reverse registration order *)
+  mutable middlewares : middleware list;  (* innermost first *)
+  mutable next_order : int;
+}
+
+let create () = { entries = []; middlewares = []; next_order = 0 }
+
+let add t meth pattern handler =
+  let route = Route.parse_exn pattern in
+  let duplicate =
+    List.exists
+      (fun e -> Meth.equal e.meth meth && Route.pattern e.route = pattern)
+      t.entries
+  in
+  if duplicate then
+    invalid_arg (Printf.sprintf "duplicate route %s %s" (Meth.to_string meth) pattern);
+  t.entries <- { meth; route; handler; order = t.next_order } :: t.entries;
+  t.next_order <- t.next_order + 1
+
+let get t pattern handler = add t Meth.GET pattern handler
+let post t pattern handler = add t Meth.POST pattern handler
+let delete t pattern handler = add t Meth.DELETE pattern handler
+
+let use t middleware = t.middlewares <- middleware :: t.middlewares
+
+let apply_middleware t handler =
+  (* middlewares is newest-first; fold so the newest wraps outermost. *)
+  List.fold_right (fun mw acc -> mw acc) (List.rev t.middlewares) handler
+
+let dispatch t request =
+  let matches =
+    List.filter_map
+      (fun e ->
+        match Route.matches e.route request.Request.path with
+        | Some bindings -> Some (e, bindings)
+        | None -> None)
+      t.entries
+  in
+  let for_method =
+    List.filter (fun (e, _) -> Meth.equal e.meth request.Request.meth) matches
+  in
+  match
+    List.sort
+      (fun (a, _) (b, _) ->
+        match compare (Route.specificity b.route) (Route.specificity a.route) with
+        | 0 -> compare a.order b.order
+        | c -> c)
+      for_method
+  with
+  | (entry, bindings) :: _ -> (
+      let request = Request.with_path_params request bindings in
+      let handler = apply_middleware t entry.handler in
+      try handler request
+      with exn ->
+        Response.error Status.Internal_error
+          (Printf.sprintf "internal error: %s" (Printexc.to_string exn)))
+  | [] ->
+      if matches <> [] then
+        Response.error Status.Method_not_allowed "method not allowed"
+      else Response.error Status.Not_found "not found"
+
+let routes t =
+  List.rev_map (fun e -> (e.meth, Route.pattern e.route)) t.entries

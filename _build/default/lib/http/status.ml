@@ -1,0 +1,63 @@
+type t =
+  | Ok
+  | Created
+  | No_content
+  | See_other
+  | Bad_request
+  | Unauthorized
+  | Forbidden
+  | Not_found
+  | Method_not_allowed
+  | Unprocessable
+  | Internal_error
+  | Code of int
+
+let to_int = function
+  | Ok -> 200
+  | Created -> 201
+  | No_content -> 204
+  | See_other -> 303
+  | Bad_request -> 400
+  | Unauthorized -> 401
+  | Forbidden -> 403
+  | Not_found -> 404
+  | Method_not_allowed -> 405
+  | Unprocessable -> 422
+  | Internal_error -> 500
+  | Code c -> c
+
+let of_int = function
+  | 200 -> Ok
+  | 201 -> Created
+  | 204 -> No_content
+  | 303 -> See_other
+  | 400 -> Bad_request
+  | 401 -> Unauthorized
+  | 403 -> Forbidden
+  | 404 -> Not_found
+  | 405 -> Method_not_allowed
+  | 422 -> Unprocessable
+  | 500 -> Internal_error
+  | c -> Code c
+
+let reason t =
+  match t with
+  | Ok -> "OK"
+  | Created -> "Created"
+  | No_content -> "No Content"
+  | See_other -> "See Other"
+  | Bad_request -> "Bad Request"
+  | Unauthorized -> "Unauthorized"
+  | Forbidden -> "Forbidden"
+  | Not_found -> "Not Found"
+  | Method_not_allowed -> "Method Not Allowed"
+  | Unprocessable -> "Unprocessable Entity"
+  | Internal_error -> "Internal Server Error"
+  | Code c -> Printf.sprintf "Status %d" c
+
+let is_success t =
+  let c = to_int t in
+  c >= 200 && c < 300
+
+let equal a b = to_int a = to_int b
+let pp fmt t = Format.fprintf fmt "%d %s" (to_int t) (reason t)

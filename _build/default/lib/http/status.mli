@@ -1,0 +1,22 @@
+(** HTTP response statuses. *)
+
+type t =
+  | Ok
+  | Created
+  | No_content
+  | See_other
+  | Bad_request
+  | Unauthorized
+  | Forbidden
+  | Not_found
+  | Method_not_allowed
+  | Unprocessable
+  | Internal_error
+  | Code of int
+
+val to_int : t -> int
+val of_int : int -> t
+val reason : t -> string
+val is_success : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,178 @@
+type value =
+  | Str of string
+  | Bool of bool
+  | List of bindings list
+
+and bindings = (string * value) list
+
+type node =
+  | Text of string
+  | Escaped of string
+  | Raw of string
+  | Section of string * node list
+  | Inverted of string * node list
+
+type t = node list
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Tokens: literal text and {{...}} tags. *)
+type tag =
+  | Tvar of string
+  | Traw of string
+  | Topen of string
+  | Topen_inverted of string
+  | Tclose of string
+
+exception Bad_template of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad_template m)) fmt
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let parse_tags source =
+  let n = String.length source in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match find_sub source "{{" i with
+      | None -> List.rev (`Text (String.sub source i (n - i)) :: acc)
+      | Some open_at ->
+          let acc =
+            if open_at > i then `Text (String.sub source i (open_at - i)) :: acc
+            else acc
+          in
+          let raw = open_at + 2 < n && source.[open_at + 2] = '{' in
+          let close_marker = if raw then "}}}" else "}}" in
+          let content_start = open_at + (if raw then 3 else 2) in
+          (match find_sub source close_marker content_start with
+          | None -> fail "unterminated {{ tag"
+          | Some close_at ->
+              let inner =
+                String.trim (String.sub source content_start (close_at - content_start))
+              in
+              let tag =
+                if raw then Traw inner
+                else if inner = "" then fail "empty {{}} tag"
+                else
+                  match inner.[0] with
+                  | '#' -> Topen (String.trim (String.sub inner 1 (String.length inner - 1)))
+                  | '^' ->
+                      Topen_inverted
+                        (String.trim (String.sub inner 1 (String.length inner - 1)))
+                  | '/' -> Tclose (String.trim (String.sub inner 1 (String.length inner - 1)))
+                  | _ -> Tvar inner
+              in
+              go (close_at + String.length close_marker) (`Tag tag :: acc))
+  in
+  go 0 []
+
+let compile source =
+  match
+    let tokens = parse_tags source in
+    (* Recursive-descent over the token list, tracking open sections. *)
+    let rec build tokens : node list * tag option * _ =
+      match tokens with
+      | [] -> ([], None, [])
+      | `Text text :: rest ->
+          let nodes, stop, leftover = build rest in
+          (Text text :: nodes, stop, leftover)
+      | `Tag (Tvar name) :: rest ->
+          let nodes, stop, leftover = build rest in
+          (Escaped name :: nodes, stop, leftover)
+      | `Tag (Traw name) :: rest ->
+          let nodes, stop, leftover = build rest in
+          (Raw name :: nodes, stop, leftover)
+      | `Tag (Topen name) :: rest -> (
+          let body, stop, leftover = build rest in
+          match stop with
+          | Some (Tclose closer) when closer = name ->
+              let nodes, stop', leftover' = build leftover in
+              (Section (name, body) :: nodes, stop', leftover')
+          | _ -> fail "section {{#%s}} is not closed" name)
+      | `Tag (Topen_inverted name) :: rest -> (
+          let body, stop, leftover = build rest in
+          match stop with
+          | Some (Tclose closer) when closer = name ->
+              let nodes, stop', leftover' = build leftover in
+              (Inverted (name, body) :: nodes, stop', leftover')
+          | _ -> fail "section {{^%s}} is not closed" name)
+      | `Tag (Tclose name) :: rest -> ([], Some (Tclose name), rest)
+    in
+    let nodes, stop, leftover = build tokens in
+    (match stop with
+    | Some (Tclose name) -> fail "unexpected {{/%s}}" name
+    | Some _ -> assert false
+    | None -> ());
+    assert (leftover = []);
+    nodes
+  with
+  | nodes -> Ok nodes
+  | exception Bad_template msg -> Error msg
+
+let compile_exn source =
+  match compile source with Ok t -> t | Error msg -> invalid_arg msg
+
+let lookup scopes name =
+  List.find_map (fun scope -> List.assoc_opt name scope) scopes
+
+let to_text = function
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | List _ -> ""
+
+let truthy = function
+  | Str s -> s <> ""
+  | Bool b -> b
+  | List l -> l <> []
+
+let render t bindings =
+  let buf = Buffer.create 256 in
+  let rec go scopes nodes =
+    List.iter
+      (fun node ->
+        match node with
+        | Text text -> Buffer.add_string buf text
+        | Escaped name ->
+            Option.iter (fun v -> Buffer.add_string buf (html_escape (to_text v)))
+              (lookup scopes name)
+        | Raw name ->
+            Option.iter (fun v -> Buffer.add_string buf (to_text v)) (lookup scopes name)
+        | Section (name, body) -> (
+            match lookup scopes name with
+            | None -> ()
+            | Some (List items) ->
+                List.iter (fun item -> go (item :: scopes) body) items
+            | Some (Bool true) -> go scopes body
+            | Some (Str s) when s <> "" -> go ([ (".", Str s) ] :: scopes) body
+            | Some (Bool false) | Some (Str _) -> ())
+        | Inverted (name, body) -> (
+            match lookup scopes name with
+            | None -> go scopes body
+            | Some v -> if not (truthy v) then go scopes body))
+      nodes
+  in
+  go [ bindings ] t;
+  Buffer.contents buf
+
+let render_string source bindings =
+  Result.map (fun t -> render t bindings) (compile source)

@@ -1,0 +1,32 @@
+(** A small HTML template engine (the paper renders endpoint output with
+    [sesame::render("answer.html", ...)]; this is the substrate behind
+    that sink).
+
+    Syntax (mustache-like):
+    - [{{name}}] — substitute, HTML-escaped
+    - [{{{name}}}] — substitute raw
+    - [{{#name}} ... {{/name}}] — section: iterate a [List], render once
+      for [Bool true] or a non-empty [Str] (which also binds [{{.}}])
+    - [{{^name}} ... {{/name}}] — inverted section
+    Lookups see the innermost enclosing scope first. Unknown names render
+    as empty (sections as absent). *)
+
+type value =
+  | Str of string
+  | Bool of bool
+  | List of bindings list
+
+and bindings = (string * value) list
+
+type t
+
+val compile : string -> (t, string) result
+(** Fails on unbalanced or mismatched section tags. *)
+
+val compile_exn : string -> t
+val render : t -> bindings -> string
+val render_string : string -> bindings -> (string, string) result
+(** One-shot compile + render. *)
+
+val html_escape : string -> string
+(** Escapes ampersand, angle brackets, double quote, and apostrophe. *)

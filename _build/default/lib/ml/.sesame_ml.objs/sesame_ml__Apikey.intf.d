@@ -1,0 +1,1 @@
+lib/ml/apikey.mli:

@@ -1,0 +1,1 @@
+lib/ml/kanon.ml: Hashtbl List Stats

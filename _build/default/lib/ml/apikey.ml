@@ -1,0 +1,15 @@
+module Sha256 = Sesame_signing.Sha256
+
+let hash ?(iterations = 64) ~salt key =
+  if iterations < 1 then invalid_arg "Apikey.hash: iterations must be >= 1";
+  let rec go digest n =
+    if n = 0 then digest
+    else go (Sha256.to_hex (Sha256.digest_list [ salt; digest ])) (n - 1)
+  in
+  go key iterations
+
+let verify ?iterations ~salt ~key hashed = String.equal (hash ?iterations ~salt key) hashed
+
+let generate ~seed =
+  let digest = Sha256.digest_list [ "apikey"; string_of_int seed ] in
+  String.sub (Sha256.to_hex digest) 0 32

@@ -1,0 +1,14 @@
+(** API-key hashing for WebSubmit's "Register Users" endpoint — the cheap
+    sandboxed workload of Fig. 9a. Iterated, salted SHA-256 with a
+    configurable work factor. *)
+
+val hash : ?iterations:int -> salt:string -> string -> string
+(** Hex digest; default 64 iterations. Raises [Invalid_argument] when
+    [iterations < 1]. *)
+
+val verify : ?iterations:int -> salt:string -> key:string -> string -> bool
+(** [verify ~salt ~key hashed] checks [key] against the stored digest. *)
+
+val generate : seed:int -> string
+(** Deterministic pseudo-random 32-hex-character API key (no OS entropy in
+    the sealed environment). *)

@@ -1,0 +1,32 @@
+type 'a group = { key : 'a; members : int; value : float }
+
+let filter ~k groups =
+  if k < 1 then invalid_arg "k-anonymity requires k >= 1";
+  List.filter (fun g -> g.members >= k) groups
+
+let satisfies ~k groups =
+  if k < 1 then invalid_arg "k-anonymity requires k >= 1";
+  List.for_all (fun g -> g.members >= k) groups
+
+let group_means ~k samples =
+  if k < 1 then Error "k-anonymity requires k >= 1"
+  else begin
+    let buckets = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (key, v) ->
+        match Hashtbl.find_opt buckets key with
+        | Some cell -> cell := v :: !cell
+        | None ->
+            Hashtbl.add buckets key (ref [ v ]);
+            order := key :: !order)
+      samples;
+    let groups =
+      List.rev_map
+        (fun key ->
+          let vs = !(Hashtbl.find buckets key) in
+          { key; members = List.length vs; value = Stats.mean vs })
+        !order
+    in
+    Ok (filter ~k groups)
+  end

@@ -1,0 +1,15 @@
+(** k-anonymity filtering — WebSubmit policy (vi): "aggregate grades data
+    released must contain grades from at least k different students". *)
+
+type 'a group = { key : 'a; members : int; value : float }
+
+val filter : k:int -> 'a group list -> 'a group list
+(** Keeps only groups backed by at least [k] members. Raises
+    [Invalid_argument] when [k < 1]. *)
+
+val satisfies : k:int -> 'a group list -> bool
+(** True when every group is backed by at least [k] members. *)
+
+val group_means : k:int -> ('a * float) list -> ('a group list, string) result
+(** Buckets samples by key, computes each bucket's mean, and applies the
+    k-anonymity filter. Never fails for [k >= 1]; [Error] for [k < 1]. *)

@@ -1,0 +1,46 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      if n mod 2 = 1 then arr.(n / 2)
+      else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "percentile: p outside [0, 100]";
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      (* Nearest-rank. *)
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      arr.(max 0 (min (n - 1) (rank - 1)))
+
+let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "histogram: buckets must be positive";
+  if hi <= lo then invalid_arg "histogram: hi must exceed lo";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  List.iter
+    (fun x ->
+      let bucket = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let bucket = max 0 (min (buckets - 1) bucket) in
+      counts.(bucket) <- counts.(bucket) + 1)
+    xs;
+  counts

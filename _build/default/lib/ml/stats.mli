@@ -1,0 +1,23 @@
+(** Aggregate statistics for WebSubmit's administrator and employer
+    endpoints. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float list -> float
+
+val median : float list -> float
+(** 0 for the empty list; average of the middle pair for even lengths. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank on the sorted
+    data; 0 for the empty list. Raises [Invalid_argument] for [p] outside
+    the range. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array
+(** Counts per equal-width bucket over [lo, hi); out-of-range samples clamp
+    to the end buckets. Raises [Invalid_argument] if [buckets <= 0] or
+    [hi <= lo]. *)

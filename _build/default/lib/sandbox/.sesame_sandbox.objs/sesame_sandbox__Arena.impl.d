@@ -1,0 +1,1 @@
+lib/sandbox/arena.ml: Bytes Char Int32 Int64 Printf String

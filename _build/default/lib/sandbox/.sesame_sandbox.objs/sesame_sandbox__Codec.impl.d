@@ -1,0 +1,1 @@
+lib/sandbox/codec.ml: Buffer List Printf String Value

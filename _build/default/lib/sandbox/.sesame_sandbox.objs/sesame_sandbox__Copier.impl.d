@@ -1,0 +1,1 @@
+lib/sandbox/copier.ml: Arena Codec List Printf String Value

@@ -1,0 +1,1 @@
+lib/sandbox/copier.mli: Arena Value

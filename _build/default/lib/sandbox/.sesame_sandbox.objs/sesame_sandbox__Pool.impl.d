@@ -1,0 +1,1 @@
+lib/sandbox/pool.ml: Arena List

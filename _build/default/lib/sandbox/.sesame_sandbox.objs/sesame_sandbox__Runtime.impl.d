@@ -1,0 +1,1 @@
+lib/sandbox/runtime.ml: Arena Copier Fun Pool Printf Sys Value

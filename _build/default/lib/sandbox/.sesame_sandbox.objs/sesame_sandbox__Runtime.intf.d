@@ -1,0 +1,1 @@
+lib/sandbox/runtime.mli: Copier Pool Value

@@ -1,0 +1,1 @@
+lib/sandbox/value.ml: Float Format List String

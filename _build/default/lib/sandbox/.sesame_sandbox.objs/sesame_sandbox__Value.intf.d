@@ -1,0 +1,1 @@
+lib/sandbox/value.mli: Format

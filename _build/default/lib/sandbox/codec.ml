@@ -1,0 +1,106 @@
+(* Wire format: one-character tag, then a textual payload.
+     u            unit
+     i<dec>;      int
+     f<hex>;      float (%h rendering)
+     b0; / b1;    bool
+     s<len>:<bytes>
+     v<count>:e1e2...   vec
+     t<count>:e1e2...   tuple *)
+
+let encode value =
+  let buf = Buffer.create 256 in
+  let rec go v =
+    match v with
+    | Value.Unit -> Buffer.add_char buf 'u'
+    | Value.Int i ->
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ';'
+    | Value.Float f ->
+        Buffer.add_char buf 'f';
+        Buffer.add_string buf (Printf.sprintf "%h" f);
+        Buffer.add_char buf ';'
+    | Value.Bool b ->
+        Buffer.add_string buf (if b then "b1;" else "b0;")
+    | Value.Str s ->
+        Buffer.add_char buf 's';
+        Buffer.add_string buf (string_of_int (String.length s));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf s
+    | Value.Vec vs ->
+        Buffer.add_char buf 'v';
+        Buffer.add_string buf (string_of_int (List.length vs));
+        Buffer.add_char buf ':';
+        List.iter go vs
+    | Value.Tuple vs ->
+        Buffer.add_char buf 't';
+        Buffer.add_string buf (string_of_int (List.length vs));
+        Buffer.add_char buf ':';
+        List.iter go vs
+  in
+  go value;
+  Buffer.contents buf
+
+exception Bad of string
+
+let decode s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "decode error at %d: %s" !pos msg)) in
+  let next () =
+    if !pos >= n then fail "unexpected end of input";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let until stop =
+    let start = !pos in
+    while !pos < n && s.[!pos] <> stop do incr pos done;
+    if !pos >= n then fail (Printf.sprintf "expected %C" stop);
+    let text = String.sub s start (!pos - start) in
+    incr pos;
+    text
+  in
+  let int_until stop =
+    let text = until stop in
+    match int_of_string_opt text with
+    | Some i -> i
+    | None -> fail (Printf.sprintf "bad integer %S" text)
+  in
+  let rec go () =
+    match next () with
+    | 'u' -> Value.Unit
+    | 'i' -> Value.Int (int_until ';')
+    | 'f' -> (
+        let text = until ';' in
+        match float_of_string_opt text with
+        | Some f -> Value.Float f
+        | None -> fail (Printf.sprintf "bad float %S" text))
+    | 'b' -> (
+        match until ';' with
+        | "0" -> Value.Bool false
+        | "1" -> Value.Bool true
+        | other -> fail (Printf.sprintf "bad bool %S" other))
+    | 's' ->
+        let len = int_until ':' in
+        if len < 0 || !pos + len > n then fail "bad string length";
+        let text = String.sub s !pos len in
+        pos := !pos + len;
+        Value.Str text
+    | 'v' ->
+        let count = int_until ':' in
+        if count < 0 then fail "bad vec count";
+        Value.Vec (List.init count (fun _ -> go ()))
+    | 't' ->
+        let count = int_until ':' in
+        if count < 0 then fail "bad tuple count";
+        Value.Tuple (List.init count (fun _ -> go ()))
+    | c -> fail (Printf.sprintf "unknown tag %C" c)
+  in
+  match
+    let v = go () in
+    if !pos <> n then fail "trailing bytes";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg

@@ -1,0 +1,11 @@
+(** Fallback serialization codec (§7.2: "For types that do not implement
+    this [SandboxCopy] trait, Sesame falls back on serializing and
+    deserializing data").
+
+    The format is text-based in the style of serde-family encoders —
+    numbers rendered and reparsed — so its cost scales with data volume
+    much faster than the direct-copy path, which is exactly the effect
+    Fig. 9b measures. Floats round-trip exactly (hex-float rendering). *)
+
+val encode : Value.t -> string
+val decode : string -> (Value.t, string) result

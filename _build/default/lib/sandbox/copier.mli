@@ -1,0 +1,18 @@
+(** Copying data across the sandbox boundary.
+
+    [Swizzle] is the SandboxCopy fast path (§7.2): a direct structural
+    deep-copy into the 32-bit guest layout, translating every pointer.
+    [Serialize] is the fallback: encode with {!Codec}, copy the bytes,
+    decode on the other side. Fig. 9b ablates the two. *)
+
+type strategy = Serialize | Swizzle
+
+val strategy_name : strategy -> string
+
+val copy_in : strategy -> Arena.t -> Value.t -> int
+(** Materializes the value in guest memory; returns its guest address.
+    Raises {!Arena.Sandbox_trap} when the arena is too small. *)
+
+val copy_out : strategy -> Arena.t -> int -> Value.t
+(** Reads a value back from guest memory. Raises {!Arena.Sandbox_trap} on a
+    corrupt or out-of-bounds encoding. *)

@@ -1,0 +1,37 @@
+type stats = { created : int; acquired : int; reused : int; wiped : int }
+
+type t = {
+  capacity : int;
+  arena_size : int;
+  mutable free : Arena.t list;
+  mutable stats : stats;
+}
+
+let create ?(capacity = 2) ?(arena_size = 4 * 1024 * 1024) () =
+  let free = List.init capacity (fun _ -> Arena.create ~size:arena_size ()) in
+  {
+    capacity;
+    arena_size;
+    free;
+    stats = { created = capacity; acquired = 0; reused = 0; wiped = 0 };
+  }
+
+let acquire t =
+  let s = t.stats in
+  match t.free with
+  | arena :: rest ->
+      t.free <- rest;
+      t.stats <- { s with acquired = s.acquired + 1; reused = s.reused + 1 };
+      arena
+  | [] ->
+      t.stats <- { s with acquired = s.acquired + 1; created = s.created + 1 };
+      Arena.create ~size:t.arena_size ()
+
+let release t arena =
+  Arena.wipe arena;
+  let s = t.stats in
+  t.stats <- { s with wiped = s.wiped + 1 };
+  if List.length t.free < t.capacity then t.free <- arena :: t.free
+
+let stats t = t.stats
+let available t = List.length t.free

@@ -1,0 +1,28 @@
+(** The sandbox pool (§7.2 "Optimizations").
+
+    Firefox reuses one sandbox per trust domain; that would be unsafe for
+    Sesame because a later invocation over weakly-policied data could
+    observe residue of an earlier one. Sesame instead keeps a pool of
+    preallocated sandboxes and {e wipes} each one's memory after use. *)
+
+type t
+
+type stats = {
+  created : int;  (** arenas allocated (preallocation + overflow) *)
+  acquired : int;
+  reused : int;  (** acquisitions served from the pool *)
+  wiped : int;
+}
+
+val create : ?capacity:int -> ?arena_size:int -> unit -> t
+(** Preallocates [capacity] (default 2) arenas of [arena_size] bytes. *)
+
+val acquire : t -> Arena.t
+(** Pops a clean arena, or allocates a fresh one when the pool is empty. *)
+
+val release : t -> Arena.t -> unit
+(** Wipes the arena and returns it to the pool (dropped if the pool is at
+    capacity). *)
+
+val stats : t -> stats
+val available : t -> int

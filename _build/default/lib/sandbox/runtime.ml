@@ -1,0 +1,98 @@
+exception Forbidden_syscall of string
+
+type mode = Naive | Pooled of Pool.t
+
+type config = {
+  mode : mode;
+  strategy : Copier.strategy;
+  slowdown : float;
+  arena_size : int;
+}
+
+let config ?mode ?(strategy = Copier.Swizzle) ?(slowdown = 2.0) ?(arena_size = 4 * 1024 * 1024)
+    () =
+  let mode = match mode with Some m -> m | None -> Pooled (Pool.create ~arena_size ()) in
+  { mode; strategy; slowdown; arena_size }
+
+let default_config = config ()
+
+type timings = {
+  setup_s : float;
+  copy_in_s : float;
+  exec_s : float;
+  copy_out_s : float;
+  teardown_s : float;
+}
+
+let total_s t = t.setup_s +. t.copy_in_s +. t.exec_s +. t.copy_out_s +. t.teardown_s
+
+type outcome = { result : Value.t; timings : timings }
+
+let depth = ref 0
+
+let in_sandbox () = !depth > 0
+
+let guard_syscall what =
+  if in_sandbox () then
+    raise (Forbidden_syscall (Printf.sprintf "%s is forbidden inside a sandbox" what))
+
+let now () = Sys.time ()
+
+(* Busy-wait to model the guest's slower code. *)
+let simulate_slowdown elapsed slowdown =
+  if slowdown > 1.0 && elapsed > 0.0 then begin
+    let extra = elapsed *. (slowdown -. 1.0) in
+    let deadline = now () +. extra in
+    while now () < deadline do
+      ignore (Sys.opaque_identity ())
+    done
+  end
+
+let run config ~input ~f =
+  let t0 = now () in
+  let arena =
+    match config.mode with
+    | Naive -> Arena.create ~size:config.arena_size ()
+    | Pooled pool -> Pool.acquire pool
+  in
+  let t1 = now () in
+  let teardown () =
+    match config.mode with
+    | Naive -> ()  (* dropped; the GC reclaims it *)
+    | Pooled pool -> Pool.release pool arena
+  in
+  match
+    let addr_in = Copier.copy_in config.strategy arena input in
+    let guest_input = Copier.copy_out config.strategy arena addr_in in
+    let t2 = now () in
+    incr depth;
+    let guest_result =
+      Fun.protect ~finally:(fun () -> decr depth) (fun () ->
+          let e0 = now () in
+          let r = f guest_input in
+          simulate_slowdown (now () -. e0) config.slowdown;
+          r)
+    in
+    let t3 = now () in
+    let addr_out = Copier.copy_in config.strategy arena guest_result in
+    let result = Copier.copy_out config.strategy arena addr_out in
+    let t4 = now () in
+    (result, t2, t3, t4)
+  with
+  | result, t2, t3, t4 ->
+      teardown ();
+      let t5 = now () in
+      {
+        result;
+        timings =
+          {
+            setup_s = t1 -. t0;
+            copy_in_s = t2 -. t1;
+            exec_s = t3 -. t2;
+            copy_out_s = t4 -. t3;
+            teardown_s = t5 -. t4;
+          };
+      }
+  | exception exn ->
+      teardown ();
+      raise exn

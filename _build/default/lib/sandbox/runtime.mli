@@ -1,0 +1,51 @@
+(** The sandboxed-region runtime.
+
+    Runs a closure with RLBox-style isolation semantics: inputs are copied
+    into the sandbox arena and the closure sees only the copy; the result
+    is copied back out; syscalls (and printing — Sesame's RLBox
+    modification, §7.2) are forbidden while a sandbox is active; and the
+    guest runs at a configurable slowdown modelling WASM's ≈2× code-quality
+    penalty (§10.3). Two lifecycle modes reproduce Fig. 9a: [Naive]
+    creates and destroys an arena per invocation; [Pooled] acquires from a
+    pool and wipes on release. *)
+
+exception Forbidden_syscall of string
+
+type mode = Naive | Pooled of Pool.t
+
+type config = {
+  mode : mode;
+  strategy : Copier.strategy;
+  slowdown : float;  (** ≥ 1.0; 2.0 matches the paper's WASM observation *)
+  arena_size : int;  (** for [Naive] mode *)
+}
+
+val default_config : config
+(** Pooled (a fresh shared pool), Swizzle, slowdown 2.0, 4 MiB arenas. *)
+
+val config :
+  ?mode:mode -> ?strategy:Copier.strategy -> ?slowdown:float -> ?arena_size:int ->
+  unit -> config
+
+type timings = {
+  setup_s : float;
+  copy_in_s : float;
+  exec_s : float;  (** includes the simulated guest slowdown *)
+  copy_out_s : float;
+  teardown_s : float;
+}
+
+val total_s : timings -> float
+
+type outcome = { result : Value.t; timings : timings }
+
+val run : config -> input:Value.t -> f:(Value.t -> Value.t) -> outcome
+(** Executes [f] on the copied-in input. Exceptions from [f] propagate
+    after the sandbox is torn down (and wiped, in pooled mode). *)
+
+val in_sandbox : unit -> bool
+(** True while any sandbox invocation is active on this domain. *)
+
+val guard_syscall : string -> unit
+(** Called by Sesame's I/O layers: raises {!Forbidden_syscall} when
+    invoked from inside a sandbox. *)

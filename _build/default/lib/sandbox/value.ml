@@ -1,0 +1,51 @@
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Vec of t list
+  | Tuple of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Vec xs, Vec ys | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Unit | Int _ | Float _ | Bool _ | Str _ | Vec _ | Tuple _), _ -> false
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%h" f
+  | Bool b -> Format.pp_print_bool fmt b
+  | Str s -> Format.fprintf fmt "%S" s
+  | Vec vs -> Format.fprintf fmt "[%a]" pp_list vs
+  | Tuple vs -> Format.fprintf fmt "(%a)" pp_list vs
+
+and pp_list fmt vs =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ") pp fmt vs
+
+let rec size_bytes = function
+  | Unit -> 0
+  | Int _ -> 8
+  | Float _ -> 8
+  | Bool _ -> 1
+  | Str s -> String.length s
+  | Vec vs | Tuple vs -> List.fold_left (fun acc v -> acc + size_bytes v) 8 vs
+
+let floats fs = Vec (List.map (fun f -> Float f) fs)
+
+let to_floats = function
+  | Vec vs ->
+      List.fold_right
+        (fun v acc ->
+          match (v, acc) with
+          | Float f, Some fs -> Some (f :: fs)
+          | _, _ -> None)
+        vs (Some [])
+  | Unit | Int _ | Float _ | Bool _ | Str _ | Tuple _ -> None

@@ -1,0 +1,25 @@
+(** Structured values exchanged with the sandbox.
+
+    The sandbox cannot share memory with the host, so inputs and outputs
+    cross the boundary as values of this type, either serialized or
+    directly copied with layout translation (§7.2 "Optimizations"). *)
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Vec of t list
+  | Tuple of t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val size_bytes : t -> int
+(** Approximate payload size, used by benchmarks to report copy volume. *)
+
+val floats : float list -> t
+(** Convenience: a [Vec] of [Float]s. *)
+
+val to_floats : t -> float list option

@@ -1,0 +1,1 @@
+lib/scrutinizer/allowlist.ml: Set String

@@ -1,0 +1,1 @@
+lib/scrutinizer/analysis.ml: Allowlist Callgraph Format Hashtbl Ir List Option Program Set Spec String Sys

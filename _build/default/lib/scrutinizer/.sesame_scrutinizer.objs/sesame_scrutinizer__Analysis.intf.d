@@ -1,0 +1,1 @@
+lib/scrutinizer/analysis.mli: Allowlist Format Program Spec

@@ -1,0 +1,1 @@
+lib/scrutinizer/callgraph.ml: Allowlist Format Hashtbl Ir List Program Spec String

@@ -1,0 +1,1 @@
+lib/scrutinizer/callgraph.mli: Allowlist Format Program Spec

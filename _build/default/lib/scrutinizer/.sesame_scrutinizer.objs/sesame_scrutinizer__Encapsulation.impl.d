@@ -1,0 +1,1 @@
+lib/scrutinizer/encapsulation.ml: Format Ir List Printf Program String

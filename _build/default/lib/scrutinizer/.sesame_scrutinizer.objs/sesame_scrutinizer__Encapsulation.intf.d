@@ -1,0 +1,1 @@
+lib/scrutinizer/encapsulation.mli: Format Program

@@ -1,0 +1,1 @@
+lib/scrutinizer/ir.ml: Format List Option String

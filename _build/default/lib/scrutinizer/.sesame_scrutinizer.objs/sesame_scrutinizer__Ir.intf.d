@@ -1,0 +1,1 @@
+lib/scrutinizer/ir.mli: Format

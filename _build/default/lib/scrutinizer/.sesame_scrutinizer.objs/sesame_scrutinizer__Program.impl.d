@@ -1,0 +1,1 @@
+lib/scrutinizer/program.ml: Hashtbl Ir List Printf String

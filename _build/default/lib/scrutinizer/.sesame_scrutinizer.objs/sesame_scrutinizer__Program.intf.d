@@ -1,0 +1,1 @@
+lib/scrutinizer/program.mli: Ir

@@ -1,0 +1,1 @@
+lib/scrutinizer/spec.ml: Ir List Printf String

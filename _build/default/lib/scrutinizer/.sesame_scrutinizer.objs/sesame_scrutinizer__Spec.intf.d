@@ -1,0 +1,1 @@
+lib/scrutinizer/spec.mli: Ir

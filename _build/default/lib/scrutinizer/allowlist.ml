@@ -1,0 +1,49 @@
+module Sset = Set.Make (String)
+
+type t = Sset.t
+
+let default_names =
+  [
+    (* Formatting and panic machinery the paper manually vetted. *)
+    "core::fmt::format";
+    "core::fmt::write";
+    "core::panicking::panic";
+    "core::panicking::panic_fmt";
+    "std::string::format";
+    "alloc::string::ToString::to_string";
+    (* Standard collections: &mut self methods (see §7.1 for why this is
+       sound) and read-only accessors. *)
+    "Vec::push";
+    "Vec::pop";
+    "Vec::insert";
+    "Vec::remove";
+    "Vec::clear";
+    "Vec::extend";
+    "Vec::len";
+    "Vec::get";
+    "Vec::contains";
+    "Vec::iter";
+    "Vec::sort";
+    "String::push_str";
+    "String::push";
+    "String::len";
+    "String::clone";
+    "HashMap::insert";
+    "HashMap::remove";
+    "HashMap::get";
+    "HashMap::contains_key";
+    "HashMap::len";
+    "HashSet::insert";
+    "HashSet::contains";
+    "BTreeMap::insert";
+    "BTreeMap::get";
+    "VecDeque::push_back";
+    "VecDeque::pop_front";
+  ]
+
+let empty = Sset.empty
+let default = Sset.of_list default_names
+let add t name = Sset.add name t
+let remove t name = Sset.remove name t
+let mem t name = Sset.mem name t
+let to_list t = Sset.elements t

@@ -1,0 +1,22 @@
+(** The trusted-function allow list (§7.1 "Allow list").
+
+    Scrutinizer skips calls to allow-listed functions instead of analyzing
+    or rejecting them, treating their results as derived from their
+    arguments. The default list mirrors the paper's: string formatting,
+    panic machinery, and standard-collection methods that take [&mut self]
+    (sound because Scrutinizer separately rejects regions that could obtain
+    a mutable reference to a captured collection). *)
+
+type t
+
+val default : t
+(** The built-in trusted set. *)
+
+val empty : t
+val add : t -> string -> t
+val remove : t -> string -> t
+val mem : t -> string -> bool
+val to_list : t -> string list
+
+val default_names : string list
+(** The names in {!default}, for documentation and tests. *)

@@ -1,0 +1,55 @@
+(** Scrutinizer's leakage-freedom analysis (§7.1, Appendix A stage two).
+
+    Given a program and a region spec, decides whether the region can leak
+    its sensitive arguments (or data derived from them, directly or via
+    control flow) outside the region. The analysis is sound but incomplete:
+    it rejects on the paper's three cases, using the strengthened
+    easier-to-detect variants the paper describes —
+
+    + any mutable capture is rejected up front, whether or not it is
+      written;
+    + unsafe mutation of capture-derived data is rejected regardless of
+      mutability, and unsafe mutation through pointers whose target cannot
+      be resolved ({!Ir.Opaque_unsafe}) is rejected unconditionally —
+      known-target unsafe writes into locals and parameters are analyzed
+      like ordinary assignments, which is what lets most std-collection
+      methods pass the §10.3 study;
+    + calls into bodies the analyzer cannot see (native code, unknown
+      functions) are rejected when sensitive data flows into them or when
+      they execute under sensitive control flow; unresolvable dynamic
+      dispatch and function-pointer calls are rejected unconditionally at
+      collection time.
+
+    Writes to globals, and writes through references that may alias a
+    captured variable, are rejected when the written value or the ambient
+    control flow is sensitive. Calls whose arguments are all insensitive
+    (under insensitive control flow) are skipped, as in the paper. *)
+
+type rejection =
+  | Mutable_capture of { var : string }
+  | Capture_mutation of { func : string; var : string }
+  | Unsafe_mutation of { func : string }
+  | Tainted_native_call of { func : string; callee : string }
+  | Unknown_body_call of { func : string; callee : string }
+  | Unresolvable_dispatch of { func : string; method_name : string }
+  | Fn_pointer_call of { func : string }
+  | Tainted_global_write of { func : string; global : string }
+
+val pp_rejection : Format.formatter -> rejection -> unit
+val rejection_to_string : rejection -> string
+
+type stats = {
+  functions_analyzed : int;  (** distinct functions in the call tree *)
+  duration_s : float;
+}
+
+type verdict = {
+  accepted : bool;
+  rejections : rejection list;  (** empty iff [accepted] *)
+  stats : stats;
+}
+
+val check : ?allowlist:Allowlist.t -> Program.t -> Spec.t -> verdict
+(** Analyze one privacy region. Defaults to {!Allowlist.default}. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,111 @@
+type failure =
+  | Unresolvable_dispatch of { caller : string; method_name : string }
+  | Fn_pointer_call of { caller : string }
+
+let pp_failure fmt = function
+  | Unresolvable_dispatch { caller; method_name } ->
+      Format.fprintf fmt "%s: cannot resolve dynamic dispatch of %s" caller method_name
+  | Fn_pointer_call { caller } ->
+      Format.fprintf fmt "%s: call through an unresolved function pointer" caller
+
+type t = {
+  order : string list;  (* first-visit order, entry excluded *)
+  entry : string;
+  visited : (string, unit) Hashtbl.t;
+  program : Program.t;
+  failures : failure list;
+}
+
+let collect program ~allowlist (spec : Spec.t) =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let failures = ref [] in
+  let record_failure f = if not (List.mem f !failures) then failures := f :: !failures in
+  let rec visit_callee name =
+    if (not (Allowlist.mem allowlist name)) && not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      order := name :: !order;
+      match Program.find program name with
+      | None -> () (* unknown body: a leaf; the taint stage decides *)
+      | Some f -> (
+          match f.Ir.body with
+          | Ir.Native | Ir.Unresolved_generic -> ()
+          | Ir.Body stmts -> walk_stmts name stmts)
+    end
+  and walk_stmts fname stmts = List.iter (walk_stmt fname) stmts
+  and walk_stmt fname = function
+    | Ir.Let (_, e) | Ir.Expr_stmt e | Ir.Return (Some e) -> walk_expr fname e
+    | Ir.Assign (lhs, e) | Ir.Unsafe_write (lhs, e) ->
+        walk_lhs fname lhs;
+        walk_expr fname e
+    | Ir.If (c, a, b) ->
+        walk_expr fname c;
+        walk_stmts fname a;
+        walk_stmts fname b
+    | Ir.While (c, body) ->
+        walk_expr fname c;
+        walk_stmts fname body
+    | Ir.For (_, e, body) ->
+        walk_expr fname e;
+        walk_stmts fname body
+    | Ir.Return None -> ()
+    | Ir.Opaque_unsafe args -> List.iter (walk_expr fname) args
+  and walk_lhs fname = function
+    | Ir.Lindex (_, e) -> walk_expr fname e
+    | Ir.Lvar _ | Ir.Lfield _ | Ir.Lderef _ | Ir.Lglobal _ -> ()
+  and walk_expr fname = function
+    | Ir.Unit | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Str_lit _ | Ir.Bool_lit _
+    | Ir.Var _ | Ir.Global _ | Ir.Ref _ | Ir.Ref_mut _ ->
+        ()
+    | Ir.Field (e, _) | Ir.Unop (_, e) | Ir.Deref e -> walk_expr fname e
+    | Ir.Index (a, b) | Ir.Binop (_, a, b) ->
+        walk_expr fname a;
+        walk_expr fname b
+    | Ir.Tuple es | Ir.Vec es -> List.iter (walk_expr fname) es
+    | Ir.Call (callee, args) -> (
+        List.iter (walk_expr fname) args;
+        match callee with
+        | Ir.Static name -> visit_callee name
+        | Ir.Dynamic { method_name; receiver_hint } -> (
+            match Program.resolve_dynamic program ~method_name ~receiver_hint with
+            | None -> record_failure (Unresolvable_dispatch { caller = fname; method_name })
+            | Some candidates -> List.iter visit_callee candidates)
+        | Ir.Fn_ptr _ -> record_failure (Fn_pointer_call { caller = fname }))
+  in
+  walk_stmts spec.Spec.name spec.Spec.body;
+  {
+    order = List.rev !order;
+    entry = spec.Spec.name;
+    visited;
+    program;
+    failures = List.rev !failures;
+  }
+
+let failures t = t.failures
+let order t = t.entry :: t.order
+let functions_analyzed t = List.length (order t)
+let reaches t name = Hashtbl.mem t.visited name
+
+let in_crate_sources t (spec : Spec.t) =
+  assert (t.entry = spec.Spec.name);
+  let rest =
+    List.filter_map
+      (fun name ->
+        match Program.find t.program name with
+        | Some ({ Ir.kind = Ir.In_crate; _ } as f) -> Some (name, Ir.func_source f)
+        | Some { Ir.kind = Ir.External _; _ } | None -> None)
+      t.order
+  in
+  (spec.Spec.name, Spec.source spec) :: rest
+
+let external_packages t =
+  let packages =
+    List.filter_map
+      (fun name ->
+        match Program.find t.program name with
+        | Some { Ir.kind = Ir.External { package }; _ } -> Some package
+        | Some { Ir.kind = Ir.In_crate; _ } -> None
+        | None -> Some "unknown")
+      t.order
+  in
+  List.sort_uniq String.compare packages

@@ -1,0 +1,42 @@
+(** Call-tree collection (Appendix A, stage one).
+
+    Starting from a region's body, discover every function that could run:
+    static callees, all candidates of resolvable dynamic dispatch, and the
+    bodies those reach. Allow-listed functions are trusted leaves and not
+    traversed. Collection fails outright on dispatch whose candidate set
+    cannot be constructed and on function-pointer calls — the paper's
+    unconditional case-3 rejections.
+
+    The same traversal serves critical-region signing (§7.3): the in-crate
+    sources in traversal order plus the set of external packages reached
+    are exactly the hash inputs. *)
+
+type failure =
+  | Unresolvable_dispatch of { caller : string; method_name : string }
+  | Fn_pointer_call of { caller : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type t
+
+val collect : Program.t -> allowlist:Allowlist.t -> Spec.t -> t
+(** Collection never aborts: case-3 constructs that defeat it are recorded
+    in {!failures} (each makes the region unverifiable). *)
+
+val failures : t -> failure list
+
+val order : t -> string list
+(** Distinct functions reached, in first-visit (execution) order; the
+    region's own name comes first. *)
+
+val functions_analyzed : t -> int
+(** [List.length (order t)], the Fig. 10 "Functions Analyzed" count. *)
+
+val in_crate_sources : t -> Spec.t -> (string * string) list
+(** [(name, pseudo-source)] for the region closure and every in-crate
+    function reached, in traversal order — the signing payload. *)
+
+val external_packages : t -> string list
+(** Sorted, distinct packages of external/native functions reached. *)
+
+val reaches : t -> string -> bool

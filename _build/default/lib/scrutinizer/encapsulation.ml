@@ -1,0 +1,95 @@
+type severity = Contained | Breaking
+
+type finding = {
+  func : string;
+  package : string option;
+  severity : severity;
+  detail : string;
+}
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s%s: %s (%s)" f.func
+    (match f.package with Some p -> " [" ^ p ^ "]" | None -> "")
+    f.detail
+    (match f.severity with Contained -> "contained" | Breaking -> "breaking")
+
+(* Scan one body for unsafe constructs. Unsafe_write with a known base is
+   Contained (it can only reach storage the function already names);
+   Opaque_unsafe and function-pointer calls are Breaking: the target is
+   arbitrary, so PCon bytes are reachable. *)
+let scan_body fname package stmts =
+  let findings = ref [] in
+  let add severity detail = findings := { func = fname; package; severity; detail } :: !findings in
+  let rec walk_stmt = function
+    | Ir.Let (_, e) | Ir.Expr_stmt e | Ir.Return (Some e) -> walk_expr e
+    | Ir.Assign (lhs, e) -> walk_lhs lhs; walk_expr e
+    | Ir.Unsafe_write (lhs, e) ->
+        (match Ir.lhs_base lhs with
+        | Some base -> add Contained (Printf.sprintf "unsafe write into %s" base)
+        | None -> add Breaking "unsafe write to a global through a raw pointer");
+        walk_lhs lhs;
+        walk_expr e
+    | Ir.Opaque_unsafe args ->
+        add Breaking "pointer arithmetic with a statically-unknown target";
+        List.iter walk_expr args
+    | Ir.If (c, a, b) -> walk_expr c; List.iter walk_stmt a; List.iter walk_stmt b
+    | Ir.While (c, body) -> walk_expr c; List.iter walk_stmt body
+    | Ir.For (_, e, body) -> walk_expr e; List.iter walk_stmt body
+    | Ir.Return None -> ()
+  and walk_lhs = function
+    | Ir.Lindex (_, e) -> walk_expr e
+    | Ir.Lvar _ | Ir.Lfield _ | Ir.Lderef _ | Ir.Lglobal _ -> ()
+  and walk_expr = function
+    | Ir.Unit | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Str_lit _ | Ir.Bool_lit _
+    | Ir.Var _ | Ir.Global _ | Ir.Ref _ | Ir.Ref_mut _ ->
+        ()
+    | Ir.Field (e, _) | Ir.Unop (_, e) | Ir.Deref e -> walk_expr e
+    | Ir.Index (a, b) | Ir.Binop (_, a, b) -> walk_expr a; walk_expr b
+    | Ir.Tuple es | Ir.Vec es -> List.iter walk_expr es
+    | Ir.Call (callee, args) ->
+        (match callee with
+        | Ir.Fn_ptr _ ->
+            add Breaking "call through a function pointer (target unknown)"
+        | Ir.Static _ | Ir.Dynamic _ -> ());
+        List.iter walk_expr args
+  in
+  List.iter walk_stmt stmts;
+  List.rev !findings
+
+let audit program =
+  let findings =
+    List.concat_map
+      (fun (f : Ir.func) ->
+        let package =
+          match f.Ir.kind with Ir.In_crate -> None | Ir.External { package } -> Some package
+        in
+        match f.Ir.body with
+        | Ir.Body stmts -> scan_body f.Ir.fname package stmts
+        | Ir.Native | Ir.Unresolved_generic -> [])
+      (Program.functions program)
+  in
+  List.stable_sort
+    (fun a b ->
+      match (a.severity, b.severity) with
+      | Breaking, Contained -> -1
+      | Contained, Breaking -> 1
+      | (Breaking | Contained), _ -> String.compare a.func b.func)
+    findings
+
+type verdict = Clean | Needs_review of finding list
+
+let audit_package program ~package =
+  let breaking =
+    List.filter
+      (fun f -> f.package = Some package && f.severity = Breaking)
+      (audit program)
+  in
+  if breaking = [] then Clean else Needs_review breaking
+
+let breaking_packages program =
+  audit program
+  |> List.filter_map (fun f ->
+         match (f.severity, f.package) with
+         | Breaking, Some package -> Some package
+         | (Breaking | Contained), _ -> None)
+  |> List.sort_uniq String.compare

@@ -1,0 +1,46 @@
+(** Whole-program unsafe-encapsulation audit (§12 "Discussion and Future
+    Work").
+
+    Sesame's guarantee that unsafe library code cannot dump a PCon's bytes
+    rests on pointer obfuscation (§5). The paper proposes strengthening
+    it: "Sesame could instead apply a static analysis that detects unsafe
+    code that breaks encapsulation". This module is that analysis over the
+    Region IR: it scans {e every} function in a program — not just privacy
+    regions — for unsafe constructs that could reach memory they were not
+    handed, and classifies each package by the worst finding in it.
+
+    An organization can then allow-list packages audited [Clean] or
+    [Contained] and require review (or the obfuscated layout) only for
+    [Breaking] ones. *)
+
+type severity =
+  | Contained
+      (** known-target unsafe mutation confined to locals/parameters
+          (the std-collection pattern): cannot reach foreign memory *)
+  | Breaking
+      (** opaque pointer arithmetic or calls through function pointers:
+          could address arbitrary memory, i.e. defeat PCon encapsulation *)
+
+type finding = {
+  func : string;
+  package : string option;  (** [None] for in-crate functions *)
+  severity : severity;
+  detail : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val audit : Program.t -> finding list
+(** Findings sorted worst-first, then by function name. Functions with
+    native (invisible) bodies are not reported — they are already handled
+    by the case-3 taint rule; this audit is about code the analyzer {e
+    can} see. *)
+
+type verdict = Clean | Needs_review of finding list
+
+val audit_package : Program.t -> package:string -> verdict
+(** [Needs_review] iff the package contains any [Breaking] finding. *)
+
+val breaking_packages : Program.t -> string list
+(** Sorted, distinct packages with at least one [Breaking] finding — the
+    set that still needs the §5 obfuscated layout (or manual review). *)

@@ -1,0 +1,169 @@
+type var = string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type unop = Not | Neg
+
+type capture_mode = By_value | By_ref | By_mut_ref
+
+type capture = { cap_var : var; mode : capture_mode }
+
+type callee =
+  | Static of string
+  | Dynamic of { method_name : string; receiver_hint : string option }
+  | Fn_ptr of var option
+
+type expr =
+  | Unit
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Var of var
+  | Global of string
+  | Field of expr * string
+  | Index of expr * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Tuple of expr list
+  | Vec of expr list
+  | Call of callee * expr list
+  | Ref of var
+  | Ref_mut of var
+  | Deref of expr
+
+and lhs =
+  | Lvar of var
+  | Lfield of var * string
+  | Lindex of var * expr
+  | Lderef of var
+  | Lglobal of string
+
+and stmt =
+  | Let of var * expr
+  | Assign of lhs * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of var * expr * stmt list
+  | Return of expr option
+  | Expr_stmt of expr
+  | Unsafe_write of lhs * expr
+  | Opaque_unsafe of expr list
+
+type body =
+  | Body of stmt list
+  | Native
+  | Unresolved_generic
+
+type func_kind = In_crate | External of { package : string }
+
+type func = {
+  fname : string;
+  params : var list;
+  body : body;
+  kind : func_kind;
+}
+
+let func ?(kind = In_crate) ~name ~params body =
+  { fname = name; params; body = Body body; kind }
+
+let native ?(package = "native") ~name ~params () =
+  { fname = name; params; body = Native; kind = External { package } }
+
+let external_fn ~package ~name ~params body =
+  { fname = name; params; body = Body body; kind = External { package } }
+
+let lhs_base = function
+  | Lvar v | Lfield (v, _) | Lindex (v, _) | Lderef v -> Some v
+  | Lglobal _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-Rust rendering *)
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Concat -> "++"
+
+let unop_symbol = function Not -> "!" | Neg -> "-"
+
+let rec pp_expr fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Int_lit i -> Format.pp_print_int fmt i
+  | Float_lit f -> Format.fprintf fmt "%g" f
+  | Str_lit s -> Format.fprintf fmt "%S" s
+  | Bool_lit b -> Format.pp_print_bool fmt b
+  | Var v -> Format.pp_print_string fmt v
+  | Global g -> Format.fprintf fmt "GLOBAL.%s" g
+  | Field (e, f) -> Format.fprintf fmt "%a.%s" pp_expr e f
+  | Index (e, i) -> Format.fprintf fmt "%a[%a]" pp_expr e pp_expr i
+  | Unop (op, e) -> Format.fprintf fmt "%s%a" (unop_symbol op) pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Tuple es -> Format.fprintf fmt "(%a)" pp_exprs es
+  | Vec es -> Format.fprintf fmt "vec![%a]" pp_exprs es
+  | Call (Static f, args) -> Format.fprintf fmt "%s(%a)" f pp_exprs args
+  | Call (Dynamic { method_name; receiver_hint }, args) ->
+      let hint = match receiver_hint with Some h -> "<" ^ h ^ ">" | None -> "<dyn>" in
+      Format.fprintf fmt "%s::%s(%a)" hint method_name pp_exprs args
+  | Call (Fn_ptr v, args) ->
+      Format.fprintf fmt "(%s)(%a)" (Option.value v ~default:"?fnptr") pp_exprs args
+  | Ref v -> Format.fprintf fmt "&%s" v
+  | Ref_mut v -> Format.fprintf fmt "&mut %s" v
+  | Deref e -> Format.fprintf fmt "*%a" pp_expr e
+
+and pp_exprs fmt es =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_expr fmt es
+
+let pp_lhs fmt = function
+  | Lvar v -> Format.pp_print_string fmt v
+  | Lfield (v, f) -> Format.fprintf fmt "%s.%s" v f
+  | Lindex (v, i) -> Format.fprintf fmt "%s[%a]" v pp_expr i
+  | Lderef v -> Format.fprintf fmt "*%s" v
+  | Lglobal g -> Format.fprintf fmt "GLOBAL.%s" g
+
+let rec pp_stmt fmt = function
+  | Let (v, e) -> Format.fprintf fmt "@[<h>let %s = %a;@]" v pp_expr e
+  | Assign (l, e) -> Format.fprintf fmt "@[<h>%a = %a;@]" pp_lhs l pp_expr e
+  | If (cond, then_, else_) ->
+      Format.fprintf fmt "@[<v 2>if %a {@,%a@]@,}" pp_expr cond pp_stmts then_;
+      if else_ <> [] then Format.fprintf fmt "@[<v 2> else {@,%a@]@,}" pp_stmts else_
+  | While (cond, body) ->
+      Format.fprintf fmt "@[<v 2>while %a {@,%a@]@,}" pp_expr cond pp_stmts body
+  | For (v, e, body) ->
+      Format.fprintf fmt "@[<v 2>for %s in %a {@,%a@]@,}" v pp_expr e pp_stmts body
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "@[<h>return %a;@]" pp_expr e
+  | Expr_stmt e -> Format.fprintf fmt "@[<h>%a;@]" pp_expr e
+  | Unsafe_write (l, e) ->
+      Format.fprintf fmt "@[<h>unsafe { *(%a as *mut _) = %a; }@]" pp_lhs l pp_expr e
+  | Opaque_unsafe args ->
+      Format.fprintf fmt "@[<h>unsafe { ptr::write(ptr.offset(..), (%a)); }@]" pp_exprs args
+
+and pp_stmts fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
+
+let pp_func fmt f =
+  let params = String.concat ", " f.params in
+  match f.body with
+  | Body stmts ->
+      Format.fprintf fmt "@[<v 2>fn %s(%s) {@,%a@]@,}" f.fname params pp_stmts stmts
+  | Native -> Format.fprintf fmt "extern \"C\" fn %s(%s);" f.fname params
+  | Unresolved_generic -> Format.fprintf fmt "fn %s<T>(%s);" f.fname params
+
+let func_source f = Format.asprintf "%a" pp_func f
+
+let func_loc f =
+  func_source f
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let stmts_source stmts = Format.asprintf "@[<v>%a@]" pp_stmts stmts

@@ -1,0 +1,126 @@
+(** The Region IR: the analysis subject for Scrutinizer.
+
+    The paper's Scrutinizer consumes rustc's MIR; no MIR exists here, so
+    privacy regions carry a model of their body in this IR (see DESIGN.md's
+    substitution table). The IR keeps exactly the features the analysis is
+    defined over (§7.1, Appendix A):
+
+    - calls: statically-known, dynamic dispatch (trait-object style, with a
+      receiver hint that may or may not resolve), and function pointers;
+    - captures with modes (by value / by reference / by mutable reference);
+    - global variables (reads and writes);
+    - unsafe mutation primitives (raw-pointer writes / transmute);
+    - data-dependent control flow (if / while / for);
+    - bodies that are unavailable: native code and unresolvable generics.
+
+    {!pp_func} renders functions as pseudo-Rust; that rendering is the
+    "source" that critical-region signing normalizes and hashes, and the
+    unit in which region sizes (Fig. 6/7) are counted. *)
+
+type var = string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type unop = Not | Neg
+
+type capture_mode = By_value | By_ref | By_mut_ref
+
+type capture = { cap_var : var; mode : capture_mode }
+
+type callee =
+  | Static of string  (** direct call to a named function *)
+  | Dynamic of { method_name : string; receiver_hint : string option }
+      (** trait-object call: resolved against the program's impl registry,
+          narrowed to one impl when [receiver_hint] names a type *)
+  | Fn_ptr of var option
+      (** call through a function pointer; [Some v] names the variable
+          holding it (still unresolvable — Scrutinizer rejects) *)
+
+type expr =
+  | Unit
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Var of var
+  | Global of string  (** read of a global/static *)
+  | Field of expr * string
+  | Index of expr * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Tuple of expr list
+  | Vec of expr list
+  | Call of callee * expr list
+  | Ref of var  (** immutable borrow *)
+  | Ref_mut of var  (** mutable borrow *)
+  | Deref of expr
+
+and lhs =
+  | Lvar of var
+  | Lfield of var * string
+  | Lindex of var * expr
+  | Lderef of var  (** write through a reference held in [var] *)
+  | Lglobal of string
+
+and stmt =
+  | Let of var * expr
+  | Assign of lhs * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of var * expr * stmt list
+      (** [For (x, e, body)]: iterate the collection [e] binding [x] *)
+  | Return of expr option
+  | Expr_stmt of expr
+  | Unsafe_write of lhs * expr
+      (** unsafe mutation with a statically-known target (e.g. a raw-pointer
+          write into [self]'s buffer, as std collections do): analyzed like
+          an ordinary assignment, but mutating capture-derived data is
+          rejected regardless of mutability (§7.1 case 2) *)
+  | Opaque_unsafe of expr list
+      (** unsafe mutation whose target Scrutinizer cannot resolve (pointer
+          arithmetic, transmute tricks): always rejected — this is what
+          fells the crypto/CSV crates of §10.3 and the two std-collection
+          false positives *)
+
+type body =
+  | Body of stmt list
+  | Native  (** extern / native code: no body available *)
+  | Unresolved_generic  (** monomorphization unavailable *)
+
+type func_kind = In_crate | External of { package : string }
+
+type func = {
+  fname : string;
+  params : var list;
+  body : body;
+  kind : func_kind;
+}
+
+val func :
+  ?kind:func_kind -> name:string -> params:var list -> stmt list -> func
+(** In-crate function with a real body. *)
+
+val native : ?package:string -> name:string -> params:var list -> unit -> func
+(** A function whose body Scrutinizer cannot see. Default package
+    ["native"]. *)
+
+val external_fn : package:string -> name:string -> params:var list -> stmt list -> func
+(** A library function with an analyzable body (source available). *)
+
+val lhs_base : lhs -> var option
+(** The variable an assignment ultimately writes through ([None] for
+    globals). *)
+
+val pp_func : Format.formatter -> func -> unit
+val func_source : func -> string
+(** Pseudo-Rust rendering used for signing and LoC accounting. *)
+
+val func_loc : func -> int
+(** Non-empty source lines of {!func_source}. *)
+
+val stmts_source : stmt list -> string
+(** Rendering of a bare statement list (used for region closures). *)

@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  params : Ir.var list;
+  captures : Ir.capture list;
+  body : Ir.stmt list;
+}
+
+let make ~name ~params ?(captures = []) body = { name; params; captures; body }
+
+let capture_decl (c : Ir.capture) =
+  match c.mode with
+  | Ir.By_value -> c.cap_var
+  | Ir.By_ref -> "&" ^ c.cap_var
+  | Ir.By_mut_ref -> "&mut " ^ c.cap_var
+
+let source t =
+  let params = String.concat ", " t.params in
+  let captures =
+    match t.captures with
+    | [] -> ""
+    | cs -> Printf.sprintf " /* captures: %s */" (String.concat ", " (List.map capture_decl cs))
+  in
+  Printf.sprintf "|%s|%s {\n%s\n}" params captures (Ir.stmts_source t.body)
+
+let loc t =
+  Ir.stmts_source t.body
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let to_func t =
+  Ir.func ~name:t.name
+    ~params:(t.params @ List.map (fun (c : Ir.capture) -> c.cap_var) t.captures)
+    t.body

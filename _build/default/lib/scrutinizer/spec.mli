@@ -1,0 +1,24 @@
+(** A privacy-region specification: the top-level closure Scrutinizer
+    analyzes. Its parameters are the sensitive inputs (the unwrapped PCon
+    data); captured variables are not sensitive but must not be leaked
+    into (§7.1). *)
+
+type t = {
+  name : string;
+  params : Ir.var list;  (** sensitive arguments *)
+  captures : Ir.capture list;
+  body : Ir.stmt list;
+}
+
+val make :
+  name:string -> params:Ir.var list -> ?captures:Ir.capture list -> Ir.stmt list -> t
+
+val source : t -> string
+(** Pseudo-Rust rendering of the closure, used for signing and LoC. *)
+
+val loc : t -> int
+(** Non-empty lines of the closure body (the unit of Fig. 6's "Size"). *)
+
+val to_func : t -> Ir.func
+(** The closure viewed as an in-crate function (captures become trailing
+    parameters for rendering purposes only). *)

@@ -1,0 +1,1 @@
+lib/signing/keystore.ml: Format Hashtbl List Sha256 Signature String

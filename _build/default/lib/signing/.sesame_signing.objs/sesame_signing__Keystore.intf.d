@@ -1,0 +1,1 @@
+lib/signing/keystore.mli: Format Sha256 Signature

@@ -1,0 +1,1 @@
+lib/signing/lockfile.ml: Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/signing/normalize.ml: Buffer List String

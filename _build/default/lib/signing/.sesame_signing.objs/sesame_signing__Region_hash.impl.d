@@ -1,0 +1,1 @@
+lib/signing/region_hash.ml: List Lockfile Normalize Printf Sha256

@@ -1,0 +1,1 @@
+lib/signing/region_hash.mli: Lockfile Sha256

@@ -1,0 +1,1 @@
+lib/signing/sha256.ml: Array Buffer Bytes Char Format Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/signing/sha256.mli: Format

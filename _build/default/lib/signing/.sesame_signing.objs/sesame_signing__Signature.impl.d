@@ -1,0 +1,1 @@
+lib/signing/signature.ml: Format Sha256

@@ -1,0 +1,1 @@
+lib/signing/signature.mli: Format Sha256

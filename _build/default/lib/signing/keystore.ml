@@ -1,0 +1,71 @@
+type revocation_mode = Invalidate_all | Preserve_prior
+
+type error =
+  | Unknown_reviewer of string
+  | Revoked of { reviewer : string; revoked_at : int }
+  | Bad_mac
+  | Digest_mismatch
+
+let pp_error fmt = function
+  | Unknown_reviewer r -> Format.fprintf fmt "unknown reviewer %s" r
+  | Revoked { reviewer; revoked_at } ->
+      Format.fprintf fmt "reviewer %s revoked at %d" reviewer revoked_at
+  | Bad_mac -> Format.pp_print_string fmt "signature MAC does not verify"
+  | Digest_mismatch ->
+      Format.pp_print_string fmt "region changed since review (digest mismatch)"
+
+type entry = { secret : string; mutable revoked_at : int option }
+
+type t = { keys : (string, entry) Hashtbl.t; revocation_mode : revocation_mode }
+
+let create ?(revocation_mode = Invalidate_all) () =
+  { keys = Hashtbl.create 8; revocation_mode }
+
+let register t ~reviewer ~secret =
+  Hashtbl.replace t.keys reviewer { secret; revoked_at = None }
+
+let revoke t ~reviewer ~at =
+  match Hashtbl.find_opt t.keys reviewer with
+  | Some entry -> entry.revoked_at <- Some at
+  | None -> ()
+
+let is_registered t reviewer =
+  match Hashtbl.find_opt t.keys reviewer with
+  | Some { revoked_at = None; _ } -> true
+  | Some { revoked_at = Some _; _ } | None -> false
+
+let reviewers t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.keys [] |> List.sort String.compare
+
+let lookup t reviewer =
+  match Hashtbl.find_opt t.keys reviewer with
+  | None -> Error (Unknown_reviewer reviewer)
+  | Some entry -> Ok entry
+
+let sign t ~reviewer ~at digest =
+  match lookup t reviewer with
+  | Error _ as e -> e
+  | Ok { revoked_at = Some revoked_at; _ } -> Error (Revoked { reviewer; revoked_at })
+  | Ok { secret; revoked_at = None } ->
+      Ok (Signature.sign ~secret ~reviewer ~at digest)
+
+let verify t (signature : Signature.t) ~digest =
+  if not (Sha256.equal digest signature.digest) then Error Digest_mismatch
+  else
+    match lookup t signature.reviewer with
+    | Error _ as e -> e
+    | Ok entry ->
+        let revocation_blocks =
+          match (entry.revoked_at, t.revocation_mode) with
+          | None, _ -> None
+          | Some at, Invalidate_all -> Some at
+          | Some at, Preserve_prior ->
+              if signature.signed_at < at then None else Some at
+        in
+        if not (Signature.verifies_with ~secret:entry.secret signature) then
+          Error Bad_mac
+        else
+          match revocation_blocks with
+          | Some revoked_at ->
+              Error (Revoked { reviewer = signature.reviewer; revoked_at })
+          | None -> Ok ()

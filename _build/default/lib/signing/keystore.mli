@@ -1,0 +1,45 @@
+(** Reviewer key management and signature validation.
+
+    Mirrors the paper's prototype, which "uses GitHub as a key provider for
+    signatures and for identity management" and supports revoking review
+    privileges (§7.3). Two revocation semantics are offered, matching the
+    paper's discussion: rejecting all signatures from a revoked key, or
+    augmenting the mechanism with a timestamp to preserve signatures made
+    before revocation. *)
+
+type revocation_mode =
+  | Invalidate_all  (** reject every signature by a revoked reviewer *)
+  | Preserve_prior  (** keep signatures whose [signed_at] precedes revocation *)
+
+type error =
+  | Unknown_reviewer of string
+  | Revoked of { reviewer : string; revoked_at : int }
+  | Bad_mac
+  | Digest_mismatch  (** the region changed since review *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : ?revocation_mode:revocation_mode -> unit -> t
+(** Default revocation mode is [Invalidate_all]. *)
+
+val register : t -> reviewer:string -> secret:string -> unit
+(** Registers a reviewer (replacing any existing key and clearing any
+    revocation, as for a re-granted privilege). *)
+
+val revoke : t -> reviewer:string -> at:int -> unit
+(** No-op for unknown reviewers; a later {!register} un-revokes. *)
+
+val is_registered : t -> string -> bool
+val reviewers : t -> string list
+
+val sign : t -> reviewer:string -> at:int -> Sha256.t -> (Signature.t, error) result
+(** Fails with [Unknown_reviewer] or [Revoked] (regardless of mode — a
+    revoked reviewer can never produce {e new} signatures). *)
+
+val verify : t -> Signature.t -> digest:Sha256.t -> (unit, error) result
+(** [verify t signature ~digest] validates [signature] against the current
+    region digest: the digest must match the signed one, the MAC must check
+    out under the reviewer's registered key, and the reviewer must not be
+    revoked (subject to the revocation mode). *)

@@ -1,0 +1,56 @@
+type package = { name : string; version : string; deps : string list }
+
+module Smap = Map.Make (String)
+
+type t = package Smap.t
+
+let empty = Smap.empty
+let add t p = Smap.add p.name p t
+let of_packages ps = List.fold_left add empty ps
+let find t name = Smap.find_opt name t
+let packages t = Smap.bindings t |> List.map snd
+
+let closure t roots =
+  let visited = Hashtbl.create 16 in
+  let acc = ref [] in
+  let missing = ref None in
+  let rec visit name =
+    if (not (Hashtbl.mem visited name)) && !missing = None then (
+      Hashtbl.add visited name ();
+      match find t name with
+      | None -> missing := Some name
+      | Some p ->
+          acc := (p.name, p.version) :: !acc;
+          List.iter visit p.deps)
+  in
+  List.iter visit roots;
+  match !missing with
+  | Some name -> Error name
+  | None -> Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) !acc)
+
+let parse text =
+  let parse_line acc line =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [] -> Ok t
+        | [ _only_name ] -> Error (Printf.sprintf "missing version in %S" line)
+        | name :: version :: deps -> Ok (add t { name; version; deps }))
+  in
+  String.split_on_char '\n' text |> List.fold_left parse_line (Ok empty)
+
+let render t =
+  packages t
+  |> List.map (fun p -> String.concat " " (p.name :: p.version :: p.deps))
+  |> String.concat "\n"
+
+let equal a b =
+  Smap.equal
+    (fun p q -> p.version = q.version && List.sort compare p.deps = List.sort compare q.deps)
+    a b

@@ -1,0 +1,42 @@
+(** Dependency lockfile model (the Cargo.lock analogue).
+
+    A lockfile pins every package of the application to an exact version
+    and records each package's direct dependencies. Critical-region hashing
+    "traverses the Cargo.lock file to find the exact versions of these
+    dependencies and any transitive dependencies" (§7.3); {!closure}
+    implements that traversal. *)
+
+type package = {
+  name : string;
+  version : string;
+  deps : string list;  (** names of direct dependencies *)
+}
+
+type t
+
+val empty : t
+
+val add : t -> package -> t
+(** Adds or replaces a package entry (keyed by name). *)
+
+val of_packages : package list -> t
+
+val find : t -> string -> package option
+
+val packages : t -> package list
+(** All entries, sorted by name. *)
+
+val closure : t -> string list -> ((string * string) list, string) result
+(** [closure t roots] is the transitive dependency closure of [roots] as
+    [(name, version)] pairs sorted by name, or [Error missing] naming the
+    first package that the lockfile does not pin. Root packages themselves
+    are included in the closure. Dependency cycles are tolerated (each
+    package is visited once). *)
+
+val parse : string -> (t, string) result
+(** Parses the textual format written by {!render}: one [name version dep1
+    dep2 ...] line per package; [#] starts a comment. *)
+
+val render : t -> string
+
+val equal : t -> t -> bool

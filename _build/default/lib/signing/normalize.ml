@@ -1,0 +1,93 @@
+(* A small scanner with explicit modes: code, string literal, line comment,
+   C-style block comment, OCaml block comment (nesting). Comment text is
+   replaced by a single space so adjacent tokens do not fuse. *)
+
+type mode = Code | Str | Line_comment | C_block of int | Ml_block of int
+
+let strip_comments code =
+  let n = String.length code in
+  let buf = Buffer.create n in
+  let rec go i mode =
+    if i >= n then ()
+    else
+      let c = code.[i] in
+      let peek = if i + 1 < n then Some code.[i + 1] else None in
+      match mode with
+      | Code -> (
+          match (c, peek) with
+          | '/', Some '/' -> go (i + 2) Line_comment
+          | '/', Some '*' ->
+              Buffer.add_char buf ' ';
+              go (i + 2) (C_block 1)
+          | '(', Some '*' ->
+              Buffer.add_char buf ' ';
+              go (i + 2) (Ml_block 1)
+          | '"', _ ->
+              Buffer.add_char buf c;
+              go (i + 1) Str
+          | _ ->
+              Buffer.add_char buf c;
+              go (i + 1) Code)
+      | Str -> (
+          Buffer.add_char buf c;
+          match (c, peek) with
+          | '\\', Some e ->
+              Buffer.add_char buf e;
+              go (i + 2) Str
+          | '"', _ -> go (i + 1) Code
+          | _ -> go (i + 1) Str)
+      | Line_comment ->
+          if c = '\n' then (
+            Buffer.add_char buf '\n';
+            go (i + 1) Code)
+          else go (i + 1) Line_comment
+      | C_block depth -> (
+          match (c, peek) with
+          | '*', Some '/' ->
+              if depth = 1 then go (i + 2) Code else go (i + 2) (C_block (depth - 1))
+          | '/', Some '*' -> go (i + 2) (C_block (depth + 1))
+          | _ -> go (i + 1) (C_block depth))
+      | Ml_block depth -> (
+          match (c, peek) with
+          | '*', Some ')' ->
+              if depth = 1 then go (i + 2) Code else go (i + 2) (Ml_block (depth - 1))
+          | '(', Some '*' -> go (i + 2) (Ml_block (depth + 1))
+          | _ -> go (i + 1) (Ml_block depth))
+  in
+  go 0 Code;
+  Buffer.contents buf
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* Collapse whitespace runs to a single space, outside string literals. *)
+let collapse code =
+  let n = String.length code in
+  let buf = Buffer.create n in
+  let rec go i in_string pending_space =
+    if i >= n then ()
+    else
+      let c = code.[i] in
+      if in_string then (
+        Buffer.add_char buf c;
+        match c with
+        | '\\' when i + 1 < n ->
+            Buffer.add_char buf code.[i + 1];
+            go (i + 2) true false
+        | '"' -> go (i + 1) false false
+        | _ -> go (i + 1) true false)
+      else if is_space c then go (i + 1) false true
+      else (
+        if pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        Buffer.add_char buf c;
+        go (i + 1) (c = '"') false)
+  in
+  go 0 false false;
+  Buffer.contents buf
+
+let source code = collapse (strip_comments code)
+
+let line_count code =
+  strip_comments code
+  |> String.split_on_char '\n'
+  |> List.filter (fun line -> String.exists (fun c -> not (is_space c)) line)
+  |> List.length

@@ -1,0 +1,21 @@
+(** Source-code normalization for critical-region hashing.
+
+    The paper hashes a "normalized string (e.g., without comments and
+    extraneous white spaces)" of every function in the critical region's
+    call graph (§7.3). This module performs that normalization: it removes
+    line comments ([//]), block comments ([/* ... */] and [(* ... *)],
+    including nesting), and collapses whitespace runs, while leaving string
+    literals untouched.
+
+    Normalization is deliberately {e syntactic}: renaming a variable or
+    adding a new one still changes the hash. This reproduces the paper's
+    documented limitation that "false positive invalidations can occur on
+    merely syntactic code changes". *)
+
+val source : string -> string
+(** [source code] is the normalized form of [code]. Idempotent:
+    [source (source code) = source code]. *)
+
+val line_count : string -> int
+(** Number of non-empty, non-comment source lines — the unit in which the
+    paper reports review burden (Fig. 6/7). *)

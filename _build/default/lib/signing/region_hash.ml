@@ -1,0 +1,26 @@
+type input = {
+  entry : string;
+  functions : (string * string) list;
+  external_deps : string list;
+  lockfile : Lockfile.t;
+}
+
+let compute input =
+  if not (List.mem_assoc input.entry input.functions) then
+    Error (Printf.sprintf "entry function %S not present in call graph" input.entry)
+  else
+    match Lockfile.closure input.lockfile input.external_deps with
+    | Error missing ->
+        Error (Printf.sprintf "dependency %S is not pinned in the lockfile" missing)
+    | Ok pinned ->
+        let parts =
+          ("sesame-cr-v1" :: input.entry
+          :: List.concat_map
+               (fun (name, src) -> [ name; Normalize.source src ])
+               input.functions)
+          @ List.concat_map (fun (name, version) -> [ name; version ]) pinned
+        in
+        Ok (Sha256.digest_list parts)
+
+let review_burden_loc input =
+  List.fold_left (fun acc (_, src) -> acc + Normalize.line_count src) 0 input.functions

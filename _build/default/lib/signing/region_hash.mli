@@ -1,0 +1,26 @@
+(** Critical-region hashing (§7.3 "Hashing").
+
+    The digest of a critical region covers (i) the normalized source of the
+    region's top-level closure and of every in-crate function in its call
+    graph, and (ii) the exact versions of every external dependency it
+    calls, resolved transitively through the lockfile. Changes to any of
+    those inputs change the digest and hence invalidate signatures; changes
+    to unrelated application code or dependencies do not. *)
+
+type input = {
+  entry : string;  (** name of the critical region (the top-level closure) *)
+  functions : (string * string) list;
+      (** [(name, source)] for every in-crate function in the call graph,
+          in a deterministic traversal order; must include [entry] *)
+  external_deps : string list;
+      (** names of external packages the call graph reaches *)
+  lockfile : Lockfile.t;
+}
+
+val compute : input -> (Sha256.t, string) result
+(** [Error msg] if [entry] is missing from [functions] or an external
+    dependency is not pinned by the lockfile. *)
+
+val review_burden_loc : input -> int
+(** Total normalized in-crate lines a reviewer must read (Fig. 7's "Avg
+    Burden" unit): the sum of {!Normalize.line_count} over [functions]. *)

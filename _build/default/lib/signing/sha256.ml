@@ -1,0 +1,140 @@
+(* SHA-256 (FIPS 180-4). The message schedule and compression loop follow
+   the specification directly; all word arithmetic is on Int32. *)
+
+type t = string (* 32 raw bytes *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let digest_bytes (msg : Bytes.t) : t =
+  let len = Bytes.length msg in
+  (* Padded length: message ++ 0x80 ++ zeros ++ 64-bit bit length. *)
+  let rem = (len + 9) mod 64 in
+  let pad = if rem = 0 then 0 else 64 - rem in
+  let total = len + 9 + pad in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    let shift = (7 - i) * 8 in
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen shift) 0xFFL) in
+    Bytes.set buf (total - 8 + i) (Char.chr byte)
+  done;
+  let h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |] in
+  let w = Array.make 64 0l in
+  let nblocks = total / 64 in
+  for block = 0 to nblocks - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let b i = Int32.of_int (Char.code (Bytes.get buf (base + (t * 4) + i))) in
+      w.(t) <-
+        Int32.logor (Int32.shift_left (b 0) 24)
+          (Int32.logor (Int32.shift_left (b 1) 16)
+             (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    done;
+    for t = 16 to 63 do
+      let s0 =
+        Int32.logxor (rotr w.(t - 15) 7)
+          (Int32.logxor (rotr w.(t - 15) 18) (Int32.shift_right_logical w.(t - 15) 3))
+      in
+      let s1 =
+        Int32.logxor (rotr w.(t - 2) 17)
+          (Int32.logxor (rotr w.(t - 2) 19) (Int32.shift_right_logical w.(t - 2) 10))
+      in
+      w.(t) <- Int32.add (Int32.add w.(t - 16) s0) (Int32.add w.(t - 7) s1)
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for t = 0 to 63 do
+      let s1 = Int32.logxor (rotr !e 6) (Int32.logxor (rotr !e 11) (rotr !e 25)) in
+      let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+      let t1 = Int32.add !hh (Int32.add s1 (Int32.add ch (Int32.add k.(t) w.(t)))) in
+      let s0 = Int32.logxor (rotr !a 2) (Int32.logxor (rotr !a 13) (rotr !a 22)) in
+      let maj =
+        Int32.logxor (Int32.logand !a !b)
+          (Int32.logxor (Int32.logand !a !c) (Int32.logand !b !c))
+      in
+      let t2 = Int32.add s0 maj in
+      hh := !g; g := !f; f := !e;
+      e := Int32.add !d t1;
+      d := !c; c := !b; b := !a;
+      a := Int32.add t1 t2
+    done;
+    h.(0) <- Int32.add h.(0) !a; h.(1) <- Int32.add h.(1) !b;
+    h.(2) <- Int32.add h.(2) !c; h.(3) <- Int32.add h.(3) !d;
+    h.(4) <- Int32.add h.(4) !e; h.(5) <- Int32.add h.(5) !f;
+    h.(6) <- Int32.add h.(6) !g; h.(7) <- Int32.add h.(7) !hh
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let word = h.(i) in
+    for j = 0 to 3 do
+      let shift = (3 - j) * 8 in
+      let byte = Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl) in
+      Bytes.set out ((i * 4) + j) (Char.chr byte)
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let digest_list parts =
+  let buf = Buffer.create 256 in
+  let add_part p =
+    Buffer.add_string buf (string_of_int (String.length p));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf p
+  in
+  List.iter add_part parts;
+  digest_string (Buffer.contents buf)
+
+let hex_chars = "0123456789abcdef"
+
+let to_hex (t : t) =
+  let out = Bytes.create 64 in
+  String.iteri
+    (fun i c ->
+      let code = Char.code c in
+      Bytes.set out (2 * i) hex_chars.[code lsr 4];
+      Bytes.set out ((2 * i) + 1) hex_chars.[code land 0xF])
+    t;
+  Bytes.unsafe_to_string out
+
+let of_hex s =
+  if String.length s <> 64 then None
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let out = Bytes.create 32 in
+    let ok = ref true in
+    for i = 0 to 31 do
+      match (nibble s.[2 * i], nibble s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.unsafe_to_string out) else None
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (to_hex t)

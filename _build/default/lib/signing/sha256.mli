@@ -1,0 +1,28 @@
+(** SHA-256, implemented from scratch (FIPS 180-4).
+
+    Sesame hashes the normalized source of every critical region together
+    with its dependency closure; the paper uses an off-the-shelf hash, which
+    is not available in this sealed environment, so we provide our own
+    implementation validated against the FIPS test vectors. *)
+
+type t
+(** A 32-byte digest. *)
+
+val digest_string : string -> t
+(** [digest_string s] is the SHA-256 digest of [s]. *)
+
+val digest_list : string list -> t
+(** [digest_list parts] hashes the concatenation of [parts], with each part
+    length-prefixed so that distinct part boundaries yield distinct
+    digests (no extension-style ambiguity between ["ab"; "c"] and
+    ["a"; "bc"]). *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering (64 characters). *)
+
+val of_hex : string -> t option
+(** Parses a 64-character hex string; [None] if malformed. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

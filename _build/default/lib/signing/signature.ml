@@ -1,0 +1,20 @@
+type t = {
+  reviewer : string;
+  signed_at : int;
+  digest : Sha256.t;
+  mac : Sha256.t;
+}
+
+let compute_mac ~secret ~reviewer ~at digest =
+  Sha256.digest_list
+    [ "sesame-signature-v1"; secret; reviewer; string_of_int at; Sha256.to_hex digest ]
+
+let sign ~secret ~reviewer ~at digest =
+  { reviewer; signed_at = at; digest; mac = compute_mac ~secret ~reviewer ~at digest }
+
+let verifies_with ~secret t =
+  Sha256.equal t.mac
+    (compute_mac ~secret ~reviewer:t.reviewer ~at:t.signed_at t.digest)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%s@%d: %a@]" t.reviewer t.signed_at Sha256.pp t.digest

@@ -1,0 +1,23 @@
+(** Critical-region signatures.
+
+    A signature binds a reviewer identity and a signing time to a region
+    digest. The sealed environment has no asymmetric-crypto library, so a
+    signature is authenticated with a keyed hash (MAC) over the digest; the
+    {!Keystore} plays the role of the paper's key provider (GitHub in the
+    prototype) and holds the per-reviewer secrets used for verification. *)
+
+type t = {
+  reviewer : string;
+  signed_at : int;  (** seconds since epoch, supplied by the caller *)
+  digest : Sha256.t;  (** the region digest the reviewer approved *)
+  mac : Sha256.t;
+}
+
+val sign : secret:string -> reviewer:string -> at:int -> Sha256.t -> t
+
+val verifies_with : secret:string -> t -> bool
+(** Checks only MAC integrity: that [t] was produced with [secret] over its
+    own [reviewer]/[signed_at]/[digest] fields. Digest freshness and
+    revocation are the {!Keystore}'s job. *)
+
+val pp : Format.formatter -> t -> unit

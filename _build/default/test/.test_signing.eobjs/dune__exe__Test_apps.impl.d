@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Char List Option Result Sesame_apps Sesame_core Sesame_db Sesame_http Sesame_ml String

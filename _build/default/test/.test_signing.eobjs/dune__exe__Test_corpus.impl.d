@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Lazy List Printf Sesame_corpus Sesame_scrutinizer

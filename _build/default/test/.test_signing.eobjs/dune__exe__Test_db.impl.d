@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Database Expr List Result Row Schema Sesame_db Table Value

@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Cookie Headers List Meth Option Request Response Result Route Router Sesame_http Status String Template

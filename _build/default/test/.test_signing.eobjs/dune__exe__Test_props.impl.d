@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Format Gen List QCheck QCheck_alcotest Sesame_core Sesame_db Sesame_http Sesame_ml Sesame_sandbox Sesame_signing String

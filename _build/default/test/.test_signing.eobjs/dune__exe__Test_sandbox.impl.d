@@ -1,0 +1,1 @@
+test/test_sandbox.ml: Alcotest Arena Codec Copier Float Fun List Pool Result Runtime Sesame_sandbox String Sys Value

@@ -1,0 +1,1 @@
+test/test_scrutinizer.ml: Alcotest Allowlist Analysis Callgraph Encapsulation Ir List Program Sesame_corpus Sesame_scrutinizer Spec String

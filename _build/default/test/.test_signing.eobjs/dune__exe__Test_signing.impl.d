@@ -1,0 +1,1 @@
+test/test_signing.ml: Alcotest Keystore List Lockfile Normalize Option Region_hash Result Sesame_signing Sha256 Signature String

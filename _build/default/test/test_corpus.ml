@@ -1,0 +1,92 @@
+(* Every corpus region is an individual test case: the Fig. 10 ground truth
+   (98 app regions) and the §10.3 std-collection study (65 methods), each
+   checked against Scrutinizer's expected verdict at Small scale. *)
+
+module Scrut = Sesame_scrutinizer
+module Corpus = Sesame_corpus
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let app_program = lazy (Corpus.App_corpus.program Corpus.App_corpus.Small)
+let std_program = lazy (Corpus.Stdlib_corpus.program ())
+
+let app_case (c : Corpus.App_corpus.case) =
+  let label =
+    Printf.sprintf "%s %s (%s)" c.app c.name
+      (match (c.expectation, c.expect_accept) with
+      | Corpus.App_corpus.Leaking, _ -> "leaking: reject"
+      | Corpus.App_corpus.Leak_free, true -> "leak-free: accept"
+      | Corpus.App_corpus.Leak_free, false -> "leak-free: conservative reject")
+  in
+  Alcotest.test_case label `Quick (fun () ->
+      let v = Scrut.Analysis.check (Lazy.force app_program) c.spec in
+      check_bool "verdict" c.expect_accept v.Scrut.Analysis.accepted)
+
+let std_case (c : Corpus.Stdlib_corpus.case) =
+  let label =
+    Printf.sprintf "%s (%s)" c.name
+      (if not c.leak_free then "leaking: reject"
+       else if c.expect_accept then "leak-free: accept"
+       else "false positive")
+  in
+  Alcotest.test_case label `Quick (fun () ->
+      let v = Scrut.Analysis.check (Lazy.force std_program) c.spec in
+      check_bool "verdict" c.expect_accept v.Scrut.Analysis.accepted)
+
+let shape_tests =
+  [
+    Alcotest.test_case "corpus shape matches Fig. 10" `Quick (fun () ->
+        let cases = Corpus.App_corpus.cases () in
+        check_int "98 regions" 98 (List.length cases);
+        List.iter
+          (fun (app, (leak_free, accepted, leaking)) ->
+            let mine =
+              List.filter (fun (c : Corpus.App_corpus.case) -> c.app = app) cases
+            in
+            let lf =
+              List.filter
+                (fun (c : Corpus.App_corpus.case) ->
+                  c.expectation = Corpus.App_corpus.Leak_free)
+                mine
+            in
+            check_int (app ^ " leak-free") leak_free (List.length lf);
+            check_int (app ^ " accepted") accepted
+              (List.length (List.filter (fun (c : Corpus.App_corpus.case) -> c.expect_accept) lf));
+            check_int (app ^ " leaking") leaking (List.length mine - List.length lf))
+          Corpus.App_corpus.expected_counts);
+    Alcotest.test_case "stdlib study shape matches the paper" `Quick (fun () ->
+        let leak_free, accepted, leaking = Corpus.Stdlib_corpus.counts () in
+        check_int "57 leak-free" 57 leak_free;
+        check_int "55 accepted (2 false positives)" 55 accepted;
+        check_int "8 leaking" 8 leaking);
+    Alcotest.test_case "region names are unique" `Quick (fun () ->
+        let names =
+          List.map (fun (c : Corpus.App_corpus.case) -> c.name) (Corpus.App_corpus.cases ())
+        in
+        check_int "unique" (List.length names) (List.length (List.sort_uniq compare names)));
+    Alcotest.test_case "Full scale analyzes far more functions than Small" `Quick (fun () ->
+        (* One representative library-calling region at both scales. *)
+        let pick scale =
+          let program = Corpus.App_corpus.program scale in
+          let c =
+            List.find
+              (fun (c : Corpus.App_corpus.case) -> c.name = "pf::rank_region")
+              (Corpus.App_corpus.cases ())
+          in
+          (Scrut.Analysis.check program c.spec).Scrut.Analysis.stats.functions_analyzed
+        in
+        check_bool "scales" true (pick Corpus.App_corpus.Full > 10 * pick Corpus.App_corpus.Small));
+  ]
+
+let () =
+  let cases = Corpus.App_corpus.cases () in
+  let per_app app =
+    List.filter_map
+      (fun (c : Corpus.App_corpus.case) -> if c.app = app then Some (app_case c) else None)
+      cases
+  in
+  Alcotest.run "corpus"
+    ([ ("shape", shape_tests) ]
+    @ List.map (fun app -> ("fig10-" ^ app, per_app app)) Corpus.App_corpus.apps
+    @ [ ("stdlib-study", List.map std_case (Corpus.Stdlib_corpus.cases ())) ])

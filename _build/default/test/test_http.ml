@@ -1,0 +1,255 @@
+open Sesame_http
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let meth_status_tests =
+  [
+    test "method round-trip" (fun () ->
+        List.iter
+          (fun m -> check_bool "rt" true (Meth.of_string (Meth.to_string m) = Some m))
+          [ Meth.GET; Meth.POST; Meth.PUT; Meth.DELETE; Meth.PATCH; Meth.HEAD; Meth.OPTIONS ]);
+    test "method parse is case-insensitive" (fun () ->
+        check_bool "get" true (Meth.of_string "get" = Some Meth.GET);
+        check_bool "junk" true (Meth.of_string "YEET" = None));
+    test "status codes round-trip" (fun () ->
+        List.iter
+          (fun s -> check_bool "rt" true (Status.equal (Status.of_int (Status.to_int s)) s))
+          [ Status.Ok; Status.Created; Status.Forbidden; Status.Not_found; Status.Internal_error ]);
+    test "is_success covers the 2xx range only" (fun () ->
+        check_bool "200" true (Status.is_success Status.Ok);
+        check_bool "204" true (Status.is_success Status.No_content);
+        check_bool "303" false (Status.is_success Status.See_other);
+        check_bool "403" false (Status.is_success Status.Forbidden));
+  ]
+
+let headers_tests =
+  [
+    test "lookup is case-insensitive" (fun () ->
+        let h = Headers.of_list [ ("Content-Type", "text/html") ] in
+        check_bool "lower" true (Headers.get h "content-type" = Some "text/html");
+        check_bool "upper" true (Headers.mem h "CONTENT-TYPE"));
+    test "add keeps multiple values, replace collapses" (fun () ->
+        let h = Headers.add (Headers.add Headers.empty "Set-Cookie" "a=1") "Set-Cookie" "b=2" in
+        check_int "two" 2 (List.length (Headers.get_all h "set-cookie"));
+        let h = Headers.replace h "Set-Cookie" "c=3" in
+        Alcotest.(check (list string)) "one" [ "c=3" ] (Headers.get_all h "set-cookie"));
+    test "remove deletes all spellings" (fun () ->
+        let h = Headers.of_list [ ("X-A", "1"); ("x-a", "2"); ("X-B", "3") ] in
+        let h = Headers.remove h "X-A" in
+        check_bool "gone" false (Headers.mem h "x-a");
+        check_bool "kept" true (Headers.mem h "x-b"));
+  ]
+
+let cookie_tests =
+  [
+    test "parse cookie header" (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "pairs"
+          [ ("user", "ada"); ("theme", "dark") ]
+          (Cookie.parse_header "user=ada; theme=dark"));
+    test "parse skips malformed fragments" (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "pairs" [ ("ok", "1") ]
+          (Cookie.parse_header "garbage; =empty; ok=1"));
+    test "render attributes" (fun () ->
+        let rendered =
+          Cookie.render_set_cookie
+            ~attributes:{ Cookie.path = Some "/"; max_age = Some 60; http_only = true; secure = false }
+            ~name:"sid" "abc"
+        in
+        check_str "rendered" "sid=abc; Path=/; Max-Age=60; HttpOnly" rendered);
+    test "expire emits Max-Age=0" (fun () ->
+        check_bool "max-age 0" true (contains (Cookie.expire ~name:"sid") "Max-Age=0"));
+  ]
+
+let request_tests =
+  [
+    test "query string parsed and decoded" (fun () ->
+        let r = Request.make Meth.GET "/search?q=hello+world&lang=en%2Dus" in
+        check_str "path" "/search" r.Request.path;
+        check_bool "decoded" true (Request.query_param r "q" = Some "hello world");
+        check_bool "pct" true (Request.query_param r "lang" = Some "en-us"));
+    test "percent_decode handles malformed escapes" (fun () ->
+        check_str "trailing" "100%" (Request.percent_decode "100%");
+        check_str "bad hex" "%zz" (Request.percent_decode "%zz"));
+    test "percent encode/decode round-trip" (fun () ->
+        let s = "a b/c?&=%~" in
+        check_str "rt" s (Request.percent_decode (Request.percent_encode s)));
+    test "form params require urlencoded content type" (fun () ->
+        let headers = Headers.of_list [ ("Content-Type", "application/x-www-form-urlencoded") ] in
+        let r = Request.make ~headers ~body:"a=1&b=two+2" Meth.POST "/f" in
+        check_bool "a" true (Request.form_param r "a" = Some "1");
+        check_bool "b" true (Request.form_param r "b" = Some "two 2");
+        let r2 = Request.make ~body:"a=1" Meth.POST "/f" in
+        check_bool "no ct" true (Request.form_param r2 "a" = None));
+    test "content type with charset suffix accepted" (fun () ->
+        let headers =
+          Headers.of_list [ ("Content-Type", "application/x-www-form-urlencoded; charset=utf-8") ]
+        in
+        let r = Request.make ~headers ~body:"a=1" Meth.POST "/f" in
+        check_bool "a" true (Request.form_param r "a" = Some "1"));
+    test "cookies from header" (fun () ->
+        let headers = Headers.of_list [ ("Cookie", "user=ada; k=v") ] in
+        let r = Request.make ~headers Meth.GET "/" in
+        check_bool "user" true (Request.cookie r "user" = Some "ada");
+        check_bool "missing" true (Request.cookie r "nope" = None));
+  ]
+
+let route_tests =
+  [
+    test "literal route matches exactly" (fun () ->
+        let r = Route.parse_exn "/a/b" in
+        check_bool "match" true (Route.matches r "/a/b" = Some []);
+        check_bool "no match" true (Route.matches r "/a/b/c" = None);
+        check_bool "no prefix" true (Route.matches r "/a" = None));
+    test "parameters capture and decode" (fun () ->
+        let r = Route.parse_exn "/view/<answer_id>" in
+        check_bool "capture" true (Route.matches r "/view/42" = Some [ ("answer_id", "42") ]);
+        check_bool "decode" true
+          (Route.matches r "/view/a%20b" = Some [ ("answer_id", "a b") ]));
+    test "rest parameter swallows the tail" (fun () ->
+        let r = Route.parse_exn "/static/<path..>" in
+        check_bool "tail" true (Route.matches r "/static/css/site.css" = Some [ ("path", "css/site.css") ]));
+    test "rest must be last" (fun () ->
+        check_bool "reject" true (Result.is_error (Route.parse "/a/<x..>/b")));
+    test "duplicate parameter names rejected" (fun () ->
+        check_bool "dup" true (Result.is_error (Route.parse "/a/<x>/<x>")));
+    test "must start with slash" (fun () ->
+        check_bool "rooted" true (Result.is_error (Route.parse "a/b")));
+    test "specificity counts literals" (fun () ->
+        check_int "2" 2 (Route.specificity (Route.parse_exn "/a/b/<x>"));
+        check_int "0" 0 (Route.specificity (Route.parse_exn "/<x>")));
+  ]
+
+let router_tests =
+  [
+    test "dispatch routes by method and path" (fun () ->
+        let r = Router.create () in
+        Router.get r "/hi" (fun _ -> Response.text "hello");
+        Router.post r "/hi" (fun _ -> Response.text "posted");
+        let get = Router.dispatch r (Request.make Meth.GET "/hi") in
+        let post = Router.dispatch r (Request.make Meth.POST "/hi") in
+        check_str "get" "hello" get.Response.body;
+        check_str "post" "posted" post.Response.body);
+    test "404 vs 405" (fun () ->
+        let r = Router.create () in
+        Router.get r "/only-get" (fun _ -> Response.text "ok");
+        check_int "404" 404
+          (Status.to_int (Router.dispatch r (Request.make Meth.GET "/none")).Response.status);
+        check_int "405" 405
+          (Status.to_int (Router.dispatch r (Request.make Meth.POST "/only-get")).Response.status));
+    test "more specific route wins" (fun () ->
+        let r = Router.create () in
+        Router.get r "/a/<x>" (fun _ -> Response.text "param");
+        Router.get r "/a/b" (fun _ -> Response.text "literal");
+        check_str "literal" "literal"
+          (Router.dispatch r (Request.make Meth.GET "/a/b")).Response.body;
+        check_str "param" "param"
+          (Router.dispatch r (Request.make Meth.GET "/a/zzz")).Response.body);
+    test "path params reach the handler" (fun () ->
+        let r = Router.create () in
+        Router.get r "/u/<name>" (fun req -> Response.text (Request.path_param_exn req "name"));
+        check_str "name" "ada" (Router.dispatch r (Request.make Meth.GET "/u/ada")).Response.body);
+    test "handler exceptions become 500s" (fun () ->
+        let r = Router.create () in
+        Router.get r "/boom" (fun _ -> failwith "kaboom");
+        check_int "500" 500
+          (Status.to_int (Router.dispatch r (Request.make Meth.GET "/boom")).Response.status));
+    test "duplicate route registration rejected" (fun () ->
+        let r = Router.create () in
+        Router.get r "/a" (fun _ -> Response.text "1");
+        check_bool "dup" true
+          (try
+             Router.get r "/a" (fun _ -> Response.text "2");
+             false
+           with Invalid_argument _ -> true));
+    test "middleware wraps handlers, earliest outermost" (fun () ->
+        let r = Router.create () in
+        Router.get r "/m" (fun _ -> Response.text "core");
+        Router.use r (fun next req ->
+            let resp = next req in
+            { resp with Response.body = "[" ^ resp.Response.body ^ "]" });
+        Router.use r (fun next req ->
+            let resp = next req in
+            { resp with Response.body = "<" ^ resp.Response.body ^ ">" });
+        check_str "wrapped" "[<core>]"
+          (Router.dispatch r (Request.make Meth.GET "/m")).Response.body);
+  ]
+
+let template_tests =
+  [
+    test "variable substitution escapes HTML" (fun () ->
+        let t = Template.compile_exn "<p>{{x}}</p>" in
+        check_str "escaped" "<p>&lt;b&gt;&amp;</p>"
+          (Template.render t [ ("x", Template.Str "<b>&") ]));
+    test "triple braces render raw" (fun () ->
+        let t = Template.compile_exn "{{{x}}}" in
+        check_str "raw" "<b>" (Template.render t [ ("x", Template.Str "<b>") ]));
+    test "missing variables render empty" (fun () ->
+        let t = Template.compile_exn "a{{ghost}}b" in
+        check_str "empty" "ab" (Template.render t []));
+    test "sections iterate lists with scoping" (fun () ->
+        let t = Template.compile_exn "{{#xs}}({{n}}){{/xs}}" in
+        check_str "loop" "(1)(2)"
+          (Template.render t
+             [ ("xs", Template.List [ [ ("n", Template.Str "1") ]; [ ("n", Template.Str "2") ] ]) ]));
+    test "inner scope shadows outer" (fun () ->
+        let t = Template.compile_exn "{{#xs}}{{n}}{{/xs}}" in
+        check_str "shadow" "inner"
+          (Template.render t
+             [ ("n", Template.Str "outer");
+               ("xs", Template.List [ [ ("n", Template.Str "inner") ] ]) ]));
+    test "bool sections and inverted sections" (fun () ->
+        let t = Template.compile_exn "{{#on}}yes{{/on}}{{^on}}no{{/on}}" in
+        check_str "true" "yes" (Template.render t [ ("on", Template.Bool true) ]);
+        check_str "false" "no" (Template.render t [ ("on", Template.Bool false) ]);
+        check_str "missing is falsy" "no" (Template.render t []));
+    test "string section binds dot" (fun () ->
+        let t = Template.compile_exn "{{#name}}hi {{.}}{{/name}}" in
+        check_str "dot" "hi ada" (Template.render t [ ("name", Template.Str "ada") ]));
+    test "unbalanced sections rejected" (fun () ->
+        check_bool "open" true (Result.is_error (Template.compile "{{#a}}x"));
+        check_bool "mismatch" true (Result.is_error (Template.compile "{{#a}}x{{/b}}"));
+        check_bool "stray close" true (Result.is_error (Template.compile "x{{/a}}")));
+    test "unterminated tag rejected" (fun () ->
+        check_bool "open brace" true (Result.is_error (Template.compile "{{x")));
+    test "html_escape covers the five characters" (fun () ->
+        check_str "all" "&amp;&lt;&gt;&quot;&#39;" (Template.html_escape "&<>\"'"));
+  ]
+
+let response_tests =
+  [
+    test "text and html set content types" (fun () ->
+        check_bool "text" true
+          (Response.header (Response.text "x") "content-type" = Some "text/plain; charset=utf-8");
+        check_bool "html" true
+          (Response.header (Response.html "x") "content-type" = Some "text/html; charset=utf-8"));
+    test "redirect sets location and 303" (fun () ->
+        let r = Response.redirect "/next" in
+        check_int "303" 303 (Status.to_int r.Response.status);
+        check_bool "location" true (Response.header r "location" = Some "/next"));
+    test "with_cookie appends Set-Cookie" (fun () ->
+        let r = Response.with_cookie (Response.text "x") ~name:"sid" ~value:"1" in
+        check_bool "set" true (Option.is_some (Response.header r "set-cookie")));
+  ]
+
+let () =
+  Alcotest.run "http"
+    [
+      ("meth-status", meth_status_tests);
+      ("headers", headers_tests);
+      ("cookie", cookie_tests);
+      ("request", request_tests);
+      ("route", route_tests);
+      ("router", router_tests);
+      ("template", template_tests);
+      ("response", response_tests);
+    ]

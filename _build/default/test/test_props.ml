@@ -1,0 +1,272 @@
+(* Property-based tests (qcheck) over the core data structures and
+   invariants, registered as alcotest cases via QCheck_alcotest. *)
+
+module Sign = Sesame_signing
+module Db = Sesame_db
+module Http = Sesame_http
+module Sbx = Sesame_sandbox
+module C = Sesame_core
+
+let prop ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let printable = QCheck.string_small_of QCheck.Gen.printable
+
+let sandbox_value : Sbx.Value.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Sbx.Value.Unit;
+        map (fun i -> Sbx.Value.Int i) int;
+        map (fun f -> Sbx.Value.Float f) float;
+        map (fun b -> Sbx.Value.Bool b) bool;
+        map (fun s -> Sbx.Value.Str s) string_printable;
+      ]
+  in
+  let value =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 1 then leaf
+            else
+              frequency
+                [
+                  (2, leaf);
+                  (1, map (fun vs -> Sbx.Value.Vec vs) (list_size (int_bound 4) (self (n / 2))));
+                  (1, map (fun vs -> Sbx.Value.Tuple vs) (list_size (int_bound 3) (self (n / 2))));
+                ])
+          (min n 12))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Sbx.Value.pp) value
+
+(* A reference (slow, obviously-correct) LIKE matcher to compare against. *)
+let reference_like pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match pattern.[pi] with
+      | '%' -> List.exists (fun k -> go (pi + 1) k) (List.init (ns - si + 1) (fun k -> si + k))
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let signing_props =
+  [
+    prop "sha256 hex round-trips" printable (fun s ->
+        let d = Sign.Sha256.digest_string s in
+        Sign.Sha256.of_hex (Sign.Sha256.to_hex d) = Some d);
+    prop "sha256 is deterministic and length-64 hex" printable (fun s ->
+        let h = Sign.Sha256.to_hex (Sign.Sha256.digest_string s) in
+        String.length h = 64 && h = Sign.Sha256.to_hex (Sign.Sha256.digest_string s));
+    prop "digest_list framing: splitting a string changes the digest"
+      QCheck.(pair printable printable)
+      (fun (a, b) ->
+        QCheck.assume (a <> "" && b <> "");
+        not
+          (Sign.Sha256.equal
+             (Sign.Sha256.digest_list [ a; b ])
+             (Sign.Sha256.digest_list [ a ^ b ])));
+    prop "normalize is idempotent" printable (fun s ->
+        Sign.Normalize.source (Sign.Normalize.source s) = Sign.Normalize.source s);
+    prop "normalized text never has two adjacent spaces outside strings"
+      (QCheck.string_small_of QCheck.Gen.(oneofl [ 'a'; ' '; '\n'; '\t'; '/'; '*'; '('; ')' ]))
+      (fun s ->
+        let out = Sign.Normalize.source s in
+        let rec ok i = i + 1 >= String.length out || not (out.[i] = ' ' && out.[i + 1] = ' ') || ok (i + 1) in
+        let rec all i = i + 1 >= String.length out || ((not (out.[i] = ' ' && out.[i + 1] = ' ')) && all (i + 1)) in
+        ignore ok;
+        all 0);
+    prop "lockfile parse/render round-trips"
+      (QCheck.small_list
+         (QCheck.map
+            (fun (n, v) -> { Sign.Lockfile.name = "p" ^ n; version = "v" ^ v; deps = [] })
+            QCheck.(pair (string_small_of Gen.numeral) (string_small_of Gen.numeral))))
+      (fun packages ->
+        let lf = Sign.Lockfile.of_packages packages in
+        match Sign.Lockfile.parse (Sign.Lockfile.render lf) with
+        | Ok lf' -> Sign.Lockfile.equal lf lf'
+        | Error _ -> false);
+  ]
+
+let db_props =
+  [
+    prop "LIKE agrees with the reference matcher"
+      QCheck.(
+        pair
+          (string_small_of Gen.(oneofl [ 'a'; 'b'; '%'; '_' ]))
+          (string_small_of Gen.(oneofl [ 'a'; 'b'; 'c' ])))
+      (fun (pattern, s) -> Db.Expr.like_matches ~pattern s = reference_like pattern s);
+    prop "Value.compare is antisymmetric"
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        let va = Db.Value.Int a and vb = Db.Value.Float (float_of_int b) in
+        Db.Value.compare va vb = -Db.Value.compare vb va);
+    prop "Value equal implies compare zero"
+      QCheck.(pair small_int small_int)
+      (fun (a, b) ->
+        let va = Db.Value.Int a and vb = Db.Value.Int b in
+        (not (Db.Value.equal va vb)) || Db.Value.compare va vb = 0);
+    prop "table insert then PK lookup finds exactly the row" QCheck.(small_list small_int)
+      (fun ids ->
+        let ids = List.sort_uniq compare ids in
+        let schema =
+          Db.Schema.make_exn ~name:"t" ~primary_key:"id"
+            [ { name = "id"; ty = Db.Value.Tint; nullable = false } ]
+        in
+        let tbl = Db.Table.create schema in
+        List.iter (fun i -> Db.Table.insert_exn tbl [| Db.Value.Int i |]) ids;
+        List.for_all
+          (fun i ->
+            Db.Table.select tbl
+              ~where:(Db.Expr.Cmp (Db.Expr.Eq, Db.Expr.Col "id", Db.Expr.Lit (Db.Value.Int i)))
+            = [ [| Db.Value.Int i |] ])
+          ids);
+  ]
+
+let http_props =
+  [
+    prop "percent encode/decode round-trips" printable (fun s ->
+        Http.Request.percent_decode (Http.Request.percent_encode s) = s);
+    prop "html_escape output contains no raw specials" printable (fun s ->
+        let out = Http.Template.html_escape s in
+        not (String.exists (fun c -> c = '<' || c = '>' || c = '"' || c = '\'') out));
+    prop "template text without tags renders verbatim"
+      (QCheck.string_small_of QCheck.Gen.(oneofl [ 'a'; 'b'; ' '; '<'; '}' ]))
+      (fun s ->
+        QCheck.assume (not (String.exists (( = ) '{') s));
+        match Http.Template.render_string s [] with Ok out -> out = s | Error _ -> false);
+  ]
+
+let sandbox_props =
+  [
+    prop ~count:100 "codec round-trips arbitrary values" sandbox_value (fun v ->
+        match Sbx.Codec.decode (Sbx.Codec.encode v) with
+        | Ok v' -> Sbx.Value.equal v v'
+        | Error _ -> false);
+    prop ~count:100 "swizzle copy round-trips arbitrary values" sandbox_value (fun v ->
+        let arena = Sbx.Arena.create () in
+        let addr = Sbx.Copier.copy_in Sbx.Copier.Swizzle arena v in
+        Sbx.Value.equal v (Sbx.Copier.copy_out Sbx.Copier.Swizzle arena addr));
+    prop ~count:100 "wipe erases everything the copy wrote" sandbox_value (fun v ->
+        let arena = Sbx.Arena.create () in
+        let _addr = Sbx.Copier.copy_in Sbx.Copier.Swizzle arena v in
+        let high = Sbx.Arena.high_water arena in
+        Sbx.Arena.wipe arena;
+        let rec all_zero i = i >= high || (Sbx.Arena.read_u8 arena i = 0 && all_zero (i + 1)) in
+        all_zero 4096);
+  ]
+
+(* Policy semantics: conjunction behaves like logical AND of its members. *)
+module Parity = C.Policy.Make (struct
+  type s = int
+
+  let name = "prop::parity"
+  let check s ctx = match C.Context.user ctx with Some u -> String.length u mod 2 = s | None -> false
+  let join = None
+  let no_folding = false
+  let describe s = "parity=" ^ string_of_int s
+end)
+
+module Maxlen = C.Policy.Make (struct
+  type s = int
+
+  let name = "prop::maxlen"
+  let check s ctx = match C.Context.user ctx with Some u -> String.length u <= s | None -> false
+  let join = Some (fun a b -> Some (min a b))
+  let no_folding = false
+  let describe s = "maxlen=" ^ string_of_int s
+end)
+
+let policy_props =
+  [
+    prop "conjunction = AND of member checks"
+      QCheck.(pair (small_list (pair bool small_nat)) (string_small_of Gen.printable))
+      (fun (specs, user) ->
+        let user = "u" ^ user in
+        let ctx = C.Mock.context ~user () in
+        let policies =
+          List.map
+            (fun (parity, maxlen) ->
+              if parity then Parity.make (maxlen mod 2) else Maxlen.make maxlen)
+            specs
+        in
+        let conj = C.Policy.conjoin_all policies in
+        C.Policy.check conj ctx = List.for_all (fun p -> C.Policy.check p ctx) policies);
+    prop "joinable family collapses to one leaf with min semantics"
+      QCheck.(pair (small_list small_nat) (string_small_of Gen.printable))
+      (fun (lens, user) ->
+        QCheck.assume (lens <> []);
+        let ctx = C.Mock.context ~user () in
+        let conj = C.Policy.conjoin_all (List.map Maxlen.make lens) in
+        List.length (C.Policy.conjuncts conj) = 1
+        && C.Policy.check conj ctx
+           = (String.length user <= List.fold_left min max_int lens));
+    prop "fold out then in preserves values and policies"
+      QCheck.(small_list small_int)
+      (fun xs ->
+        QCheck.assume (xs <> []);
+        let policy = Maxlen.make 100 in
+        let pcons = List.map (C.Pcon.Internal.make policy) xs in
+        let folded = C.Fold.out_list pcons in
+        match C.Fold.in_list folded with
+        | Ok parts ->
+            List.map C.Pcon.Internal.unwrap parts = xs
+            && List.for_all
+                 (fun p -> C.Policy.id (C.Pcon.policy p) = C.Policy.id policy)
+                 parts
+        | Error _ -> false);
+    prop "pcon storage modes agree on the value" QCheck.small_int (fun x ->
+        let plain = C.Pcon.Internal.make ~storage:C.Pcon.Plain C.Policy.no_policy x in
+        let obf = C.Pcon.Internal.make ~storage:C.Pcon.Obfuscated C.Policy.no_policy x in
+        C.Pcon.Internal.unwrap plain = x && C.Pcon.Internal.unwrap obf = x);
+  ]
+
+let ml_props =
+  [
+    prop ~count:50 "linear data is recovered exactly-ish"
+      QCheck.(pair (float_range (-5.) 5.) (float_range (-50.) 50.))
+      (fun (w, b) ->
+        let points = List.init 20 (fun i -> (float_of_int i, (w *. float_of_int i) +. b)) in
+        match Sesame_ml.Linreg.train_simple points with
+        | Ok m ->
+            abs_float (m.Sesame_ml.Linreg.weights.(0) -. w) < 1e-6
+            && abs_float (m.intercept -. b) < 1e-5
+        | Error _ -> false);
+    prop "mean is bounded by min and max" QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-100.) 100.))
+      (fun xs ->
+        let m = Sesame_ml.Stats.mean xs in
+        let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+        m >= lo -. 1e-9 && m <= hi +. 1e-9);
+    prop "k-anonymity filter keeps exactly the large groups"
+      QCheck.(pair (int_range 1 5) (small_list (pair (int_range 0 3) (float_range 0. 100.))))
+      (fun (k, samples) ->
+        match Sesame_ml.Kanon.group_means ~k samples with
+        | Ok groups ->
+            List.for_all (fun g -> g.Sesame_ml.Kanon.members >= k) groups
+            && List.length groups
+               <= List.length (List.sort_uniq compare (List.map fst samples))
+        | Error _ -> false);
+    prop "apikey hash verifies and differs across keys"
+      QCheck.(pair printable printable)
+      (fun (a, b) ->
+        let ha = Sesame_ml.Apikey.hash ~iterations:2 ~salt:"s" a in
+        Sesame_ml.Apikey.verify ~iterations:2 ~salt:"s" ~key:a ha
+        && (a = b || ha <> Sesame_ml.Apikey.hash ~iterations:2 ~salt:"s" b));
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("signing", signing_props);
+      ("db", db_props);
+      ("http", http_props);
+      ("sandbox", sandbox_props);
+      ("policy", policy_props);
+      ("ml", ml_props);
+    ]

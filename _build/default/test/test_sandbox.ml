@@ -1,0 +1,273 @@
+open Sesame_sandbox
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let value_tests =
+  [
+    test "equal is structural, NaN-tolerant" (fun () ->
+        check_bool "nan" true (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+        check_bool "vec" true
+          (Value.equal (Value.Vec [ Value.Int 1 ]) (Value.Vec [ Value.Int 1 ]));
+        check_bool "tuple<>vec" false
+          (Value.equal (Value.Tuple [ Value.Int 1 ]) (Value.Vec [ Value.Int 1 ])));
+    test "floats helpers round-trip" (fun () ->
+        check_bool "rt" true (Value.to_floats (Value.floats [ 1.0; 2.5 ]) = Some [ 1.0; 2.5 ]);
+        check_bool "mixed" true (Value.to_floats (Value.Vec [ Value.Int 1 ]) = None));
+    test "size_bytes grows with payload" (fun () ->
+        check_bool "str" true (Value.size_bytes (Value.Str "abcd") = 4);
+        check_bool "vec" true
+          (Value.size_bytes (Value.floats [ 1.; 2.; 3. ]) > Value.size_bytes (Value.floats [ 1. ])));
+  ]
+
+let sample_values =
+  [
+    Value.Unit;
+    Value.Int 0;
+    Value.Int (-1);
+    Value.Int max_int;
+    Value.Int min_int;
+    Value.Float 3.14159;
+    Value.Float (-0.0);
+    Value.Bool true;
+    Value.Bool false;
+    Value.Str "";
+    Value.Str "hello \x00 world";
+    Value.Vec [];
+    Value.Vec [ Value.Int 1; Value.Str "two"; Value.Float 3.0 ];
+    Value.Tuple [ Value.Vec [ Value.Tuple [ Value.Bool true ] ]; Value.Str "nested" ];
+  ]
+
+let codec_tests =
+  [
+    test "encode/decode round-trips every sample" (fun () ->
+        List.iter
+          (fun v ->
+            match Codec.decode (Codec.encode v) with
+            | Ok v' -> check_bool "rt" true (Value.equal v v')
+            | Error m -> Alcotest.fail m)
+          sample_values);
+    test "decode rejects trailing garbage" (fun () ->
+        check_bool "trailing" true (Result.is_error (Codec.decode (Codec.encode Value.Unit ^ "x"))));
+    test "decode rejects truncation" (fun () ->
+        let enc = Codec.encode (Value.Str "hello") in
+        check_bool "trunc" true
+          (Result.is_error (Codec.decode (String.sub enc 0 (String.length enc - 1)))));
+    test "decode rejects unknown tags" (fun () ->
+        check_bool "tag" true (Result.is_error (Codec.decode "q123;")));
+    test "decode rejects negative counts" (fun () ->
+        check_bool "neg" true (Result.is_error (Codec.decode "v-1:")));
+  ]
+
+let arena_tests =
+  [
+    test "alloc is 8-byte aligned and bounded" (fun () ->
+        let a = Arena.create ~size:65536 () in
+        let p1 = Arena.alloc a 3 in
+        let p2 = Arena.alloc a 3 in
+        check_int "aligned" 0 ((p2 - p1) mod 8);
+        check_bool "exhaustion traps" true
+          (try
+             ignore (Arena.alloc a 1_000_000);
+             false
+           with Arena.Sandbox_trap _ -> true));
+    test "reads and writes round-trip" (fun () ->
+        let a = Arena.create ~size:65536 () in
+        let p = Arena.alloc a 64 in
+        Arena.write_u32 a p 0xDEADBEEF;
+        check_int "u32" 0xDEADBEEF (Arena.read_u32 a p);
+        Arena.write_f64 a (p + 8) 2.75;
+        Alcotest.(check (float 0.0)) "f64" 2.75 (Arena.read_f64 a (p + 8));
+        Arena.write_bytes a (p + 16) "hello";
+        Alcotest.(check string) "bytes" "hello" (Arena.read_bytes a (p + 16) 5));
+    test "out-of-bounds access traps (SFI)" (fun () ->
+        let a = Arena.create ~size:65536 () in
+        check_bool "oob read" true
+          (try
+             ignore (Arena.read_u32 a 65535);
+             false
+           with Arena.Sandbox_trap _ -> true);
+        check_bool "negative" true
+          (try
+             ignore (Arena.read_u8 a (-1));
+             false
+           with Arena.Sandbox_trap _ -> true));
+    test "wipe zeroes the heap and restores globals" (fun () ->
+        let a = Arena.create ~size:4096 ~globals_size:64 () in
+        Arena.write_global_u32 a 0 7;
+        let p = Arena.alloc a 16 in
+        Arena.write_u32 a p 42;
+        Arena.write_global_u32 a 0 99;
+        Arena.wipe a;
+        check_int "heap zeroed" 0 (Arena.read_u32 a p);
+        check_int "globals restored to creation state" 0 (Arena.read_global_u32 a 0);
+        let p2 = Arena.alloc a 16 in
+        check_int "allocator reset" p p2);
+    test "reset without wipe leaves residue (why wiping matters)" (fun () ->
+        let a = Arena.create ~size:65536 () in
+        let p = Arena.alloc a 16 in
+        Arena.write_u32 a p 1234;
+        Arena.reset_allocator a;
+        let p2 = Arena.alloc a 16 in
+        check_int "same slot" p p2;
+        check_int "residue visible" 1234 (Arena.read_u32 a p2));
+    test "globals segment is bounds-checked" (fun () ->
+        let a = Arena.create ~size:4096 ~globals_size:8 () in
+        check_bool "oob global" true
+          (try
+             Arena.write_global_u32 a 8 1;
+             false
+           with Arena.Sandbox_trap _ -> true));
+  ]
+
+let copier_tests =
+  let roundtrip strategy v =
+    let a = Arena.create () in
+    let addr = Copier.copy_in strategy a v in
+    Copier.copy_out strategy a addr
+  in
+  [
+    test "swizzle round-trips every sample" (fun () ->
+        List.iter
+          (fun v -> check_bool "rt" true (Value.equal v (roundtrip Copier.Swizzle v)))
+          sample_values);
+    test "serialize round-trips every sample" (fun () ->
+        List.iter
+          (fun v -> check_bool "rt" true (Value.equal v (roundtrip Copier.Serialize v)))
+          sample_values);
+    test "copy_out of corrupt guest object traps" (fun () ->
+        let a = Arena.create () in
+        let addr = Arena.alloc a 16 in
+        Arena.write_u8 a addr 250;
+        check_bool "trap" true
+          (try
+             ignore (Copier.copy_out Copier.Swizzle a addr);
+             false
+           with Arena.Sandbox_trap _ -> true));
+    test "negative ints survive the 32-bit split" (fun () ->
+        List.iter
+          (fun i ->
+            check_bool (string_of_int i) true
+              (Value.equal (Value.Int i) (roundtrip Copier.Swizzle (Value.Int i))))
+          [ -1; -12345678901; 12345678901; min_int; max_int ]);
+  ]
+
+let pool_tests =
+  [
+    test "acquire reuses preallocated arenas" (fun () ->
+        let p = Pool.create ~capacity:2 ~arena_size:8192 () in
+        let a1 = Pool.acquire p in
+        let a2 = Pool.acquire p in
+        let stats = Pool.stats p in
+        check_int "reused" 2 stats.Pool.reused;
+        check_int "created" 2 stats.Pool.created;
+        Pool.release p a1;
+        Pool.release p a2;
+        check_int "available" 2 (Pool.available p));
+    test "overflow allocates fresh arenas" (fun () ->
+        let p = Pool.create ~capacity:1 ~arena_size:8192 () in
+        let _a1 = Pool.acquire p in
+        let _a2 = Pool.acquire p in
+        check_int "created" 2 (Pool.stats p).Pool.created);
+    test "release wipes" (fun () ->
+        let p = Pool.create ~capacity:1 ~arena_size:8192 () in
+        let a = Pool.acquire p in
+        let addr = Arena.alloc a 8 in
+        Arena.write_u32 a addr 77;
+        Pool.release p a;
+        let a' = Pool.acquire p in
+        let addr' = Arena.alloc a' 8 in
+        check_int "same arena, clean slot" 0 (Arena.read_u32 a' addr');
+        check_int "wiped count" 1 (Pool.stats p).Pool.wiped);
+  ]
+
+let runtime_tests =
+  let quick_config mode =
+    Runtime.config ~mode ~strategy:Copier.Swizzle ~slowdown:1.0 ~arena_size:65536 ()
+  in
+  [
+    test "runs the closure on the copied input" (fun () ->
+        let outcome =
+          Runtime.run (quick_config Runtime.Naive) ~input:(Value.Int 20)
+            ~f:(function Value.Int i -> Value.Int (i + 1) | v -> v)
+        in
+        check_bool "result" true (Value.equal outcome.Runtime.result (Value.Int 21)));
+    test "guest sees a copy, not the host value" (fun () ->
+        let witnessed = ref Value.Unit in
+        ignore
+          (Runtime.run (quick_config Runtime.Naive) ~input:(Value.Str "secret")
+             ~f:(fun v ->
+               witnessed := v;
+               v));
+        check_bool "copy equal" true (Value.equal !witnessed (Value.Str "secret")));
+    test "syscalls forbidden inside, allowed outside" (fun () ->
+        check_bool "outside ok" true
+          (try
+             Runtime.guard_syscall "net";
+             true
+           with Runtime.Forbidden_syscall _ -> false);
+        check_bool "inside forbidden" true
+          (try
+             ignore
+               (Runtime.run (quick_config Runtime.Naive) ~input:Value.Unit
+                  ~f:(fun v ->
+                    Runtime.guard_syscall "net";
+                    v));
+             false
+           with Runtime.Forbidden_syscall _ -> true);
+        check_bool "flag cleared after trap" false (Runtime.in_sandbox ()));
+    test "exceptions release the pooled arena" (fun () ->
+        let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
+        let config = quick_config (Runtime.Pooled pool) in
+        (try
+           ignore (Runtime.run config ~input:Value.Unit ~f:(fun _ -> failwith "guest crash"))
+         with Failure _ -> ());
+        check_int "returned to pool" 1 (Pool.available pool));
+    test "pooled runs reuse and wipe" (fun () ->
+        let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
+        let config = quick_config (Runtime.Pooled pool) in
+        ignore (Runtime.run config ~input:(Value.Int 1) ~f:Fun.id);
+        ignore (Runtime.run config ~input:(Value.Int 2) ~f:Fun.id);
+        let stats = Pool.stats pool in
+        check_int "wiped twice" 2 stats.Pool.wiped;
+        check_int "no extra arenas" 1 stats.Pool.created);
+    test "timings are populated and non-negative" (fun () ->
+        let outcome = Runtime.run (quick_config Runtime.Naive) ~input:(Value.Int 1) ~f:Fun.id in
+        let t = outcome.Runtime.timings in
+        check_bool "nonneg" true
+          (t.Runtime.setup_s >= 0.0 && t.Runtime.copy_in_s >= 0.0 && t.Runtime.exec_s >= 0.0
+          && t.Runtime.copy_out_s >= 0.0 && t.Runtime.teardown_s >= 0.0);
+        check_bool "total" true (Runtime.total_s t >= 0.0));
+    test "slowdown stretches execution" (fun () ->
+        let busy v =
+          let acc = ref 0 in
+          for i = 1 to 2_000_000 do
+            acc := !acc + i
+          done;
+          ignore (Sys.opaque_identity !acc);
+          v
+        in
+        let time cfg =
+          let o = Runtime.run cfg ~input:Value.Unit ~f:busy in
+          o.Runtime.timings.Runtime.exec_s
+        in
+        let fast =
+          time (Runtime.config ~mode:Runtime.Naive ~slowdown:1.0 ~arena_size:65536 ())
+        in
+        let slow =
+          time (Runtime.config ~mode:Runtime.Naive ~slowdown:3.0 ~arena_size:65536 ())
+        in
+        check_bool "stretched" true (slow > fast *. 1.5));
+  ]
+
+let () =
+  Alcotest.run "sandbox"
+    [
+      ("value", value_tests);
+      ("codec", codec_tests);
+      ("arena", arena_tests);
+      ("copier", copier_tests);
+      ("pool", pool_tests);
+      ("runtime", runtime_tests);
+    ]

@@ -1,0 +1,505 @@
+open Sesame_scrutinizer
+open Ir
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A program with one of everything the analysis cares about. *)
+let fixture () =
+  let program = Program.create () in
+  Program.define_all program
+    [
+      func ~name:"pure_concat" ~params:[ "a"; "b" ]
+        [ Return (Some (Binop (Concat, Var "a", Var "b"))) ];
+      func ~name:"pure_via_helper" ~params:[ "x" ]
+        [ Return (Some (Call (Static "pure_concat", [ Var "x"; Str_lit "!" ]))) ];
+      func ~name:"writes_global" ~params:[ "x" ]
+        [ Assign (Lglobal "SINK", Var "x"); Return (Some (Var "x")) ];
+      func ~name:"writes_global_const" ~params:[ "x" ]
+        [ Assign (Lglobal "COUNTER", Int_lit 1); Return (Some (Var "x")) ];
+      native ~package:"libc" ~name:"fs_write" ~params:[ "data" ] ();
+      func ~name:"calls_native" ~params:[ "x" ]
+        [ Expr_stmt (Call (Static "fs_write", [ Var "x" ])) ];
+      func ~name:"launders" ~params:[ "x" ]
+        (* Returns data derived from x through two hops. *)
+        [ Return (Some (Call (Static "pure_via_helper", [ Var "x" ]))) ];
+      func ~name:"leak_after_laundering" ~params:[ "x" ]
+        [
+          Let ("y", Call (Static "launders", [ Var "x" ]));
+          Expr_stmt (Call (Static "fs_write", [ Var "y" ]));
+        ];
+      func ~name:"recursive" ~params:[ "x" ]
+        [
+          If
+            ( Binop (Eq, Var "x", Int_lit 0),
+              [ Return (Some (Int_lit 0)) ],
+              [ Return (Some (Call (Static "recursive", [ Binop (Sub, Var "x", Int_lit 1) ]))) ]
+            );
+        ];
+      func ~name:"Pretty::show" ~params:[ "x" ]
+        [ Return (Some (Binop (Concat, Str_lit "", Var "x"))) ];
+      func ~name:"Logging::show" ~params:[ "x" ]
+        [
+          Expr_stmt (Call (Static "fs_write", [ Var "x" ]));
+          Return (Some (Var "x"));
+        ];
+    ];
+  Program.register_impl program ~method_name:"Show::show" ~impl:"Pretty::show";
+  Program.register_impl program ~method_name:"Show::show" ~impl:"Logging::show";
+  program
+
+let spec ?captures name params body = Spec.make ~name ~params ?captures body
+
+let verdict ?allowlist program s = Analysis.check ?allowlist program s
+let accepted ?allowlist program s = (verdict ?allowlist program s).Analysis.accepted
+
+let has_rejection program s pred =
+  List.exists pred (verdict program s).Analysis.rejections
+
+let acceptance_tests =
+  [
+    test "pure arithmetic accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ] [ Return (Some (Binop (Add, Var "x", Int_lit 1))) ])));
+    test "derived data may be returned" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ] [ Return (Some (Call (Static "launders", [ Var "x" ]))) ])));
+    test "branching on sensitive data without effects accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  If
+                    ( Binop (Gt, Var "x", Int_lit 10),
+                      [ Return (Some (Str_lit "big")) ],
+                      [ Return (Some (Str_lit "small")) ] );
+                ])));
+    test "loops over sensitive collections accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "xs" ]
+                [
+                  Let ("acc", Int_lit 0);
+                  For ("x", Var "xs", [ Assign (Lvar "acc", Binop (Add, Var "acc", Var "x")) ]);
+                  Return (Some (Var "acc"));
+                ])));
+    test "allow-listed collection ops on locals accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("v", Vec []);
+                  Expr_stmt (Call (Static "Vec::push", [ Ref_mut "v"; Var "x" ]));
+                  Return (Some (Var "v"));
+                ])));
+    test "by-value captures are harmless" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "prefix"; mode = By_value } ]
+                [ Return (Some (Binop (Concat, Var "prefix", Var "x"))) ])));
+    test "reading by-ref captures is fine" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "config"; mode = By_ref } ]
+                [ Return (Some (Binop (Concat, Field (Var "config", "prefix"), Var "x"))) ])));
+    test "native call with only insensitive args is skipped" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Expr_stmt (Call (Static "fs_write", [ Str_lit "static banner" ]));
+                  Return (Some (Var "x"));
+                ])));
+    test "global write of insensitive constant under insensitive control accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [ Assign (Lglobal "HITS", Int_lit 1); Return (Some (Var "x")) ])));
+    test "recursion converges" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ] [ Return (Some (Call (Static "recursive", [ Var "x" ]))) ])));
+    test "known-target unsafe write to a local accepted (stdlib pattern)" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("buf", Vec []);
+                  Unsafe_write (Lindex ("buf", Int_lit 0), Var "x");
+                  Return (Some (Var "buf"));
+                ])));
+  ]
+
+let rejection_tests =
+  [
+    test "mutable capture rejected up front" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "log"; mode = By_mut_ref } ]
+                [ Return (Some (Var "x")) ])
+             (function Analysis.Mutable_capture { var } -> var = "log" | _ -> false)));
+    test "write through by-ref capture rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "shared"; mode = By_ref } ]
+                [
+                  Let ("alias", Ref "shared");
+                  Assign (Lderef "alias", Var "x");
+                ])
+             (function Analysis.Capture_mutation { var; _ } -> var = "shared" | _ -> false)));
+    test "mutable borrow of capture escaping into a call rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "sink"; mode = By_ref } ]
+                [ Expr_stmt (Call (Static "pure_concat", [ Ref_mut "sink"; Var "x" ])) ])
+             (function Analysis.Capture_mutation { var; _ } -> var = "sink" | _ -> false)));
+    test "tainted global write rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ] [ Assign (Lglobal "SINK", Var "x") ])
+             (function
+               | Analysis.Tainted_global_write { global; _ } -> global = "SINK"
+               | _ -> false)));
+    test "global write in callee rejected interprocedurally" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ] [ Expr_stmt (Call (Static "writes_global", [ Var "x" ])) ])
+             (function Analysis.Tainted_global_write _ -> true | _ -> false)));
+    test "tainted native call rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ] [ Expr_stmt (Call (Static "fs_write", [ Var "x" ])) ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "native leak through two laundering hops rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [ Expr_stmt (Call (Static "leak_after_laundering", [ Var "x" ])) ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "implicit flow: native effect under sensitive branch rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  If
+                    ( Binop (Eq, Var "x", Int_lit 42),
+                      [ Expr_stmt (Call (Static "fs_write", [ Str_lit "hit" ])) ],
+                      [] );
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "implicit flow: global write under sensitive loop rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "xs" ]
+                [ For ("x", Var "xs", [ Assign (Lglobal "N", Int_lit 1) ]) ])
+             (function Analysis.Tainted_global_write _ -> true | _ -> false)));
+    test "implicit flow through an assigned flag rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("flag", Bool_lit false);
+                  If (Binop (Gt, Var "x", Int_lit 0), [ Assign (Lvar "flag", Bool_lit true) ], []);
+                  If (Var "flag", [ Expr_stmt (Call (Static "fs_write", [ Str_lit "+" ])) ], []);
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "unknown function with tainted args rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ] [ Expr_stmt (Call (Static "who_knows", [ Var "x" ])) ])
+             (function Analysis.Unknown_body_call { callee; _ } -> callee = "who_knows" | _ -> false)));
+    test "function pointer call rejected unconditionally" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [ Expr_stmt (Call (Fn_ptr (Some "cb"), [ Str_lit "untainted" ])) ])
+             (function Analysis.Fn_pointer_call _ -> true | _ -> false)));
+    test "unresolvable dispatch rejected unconditionally" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Expr_stmt
+                    (Call
+                       ( Dynamic { method_name = "Future::poll"; receiver_hint = None },
+                         [ Str_lit "untainted" ] ));
+                ])
+             (function Analysis.Unresolvable_dispatch _ -> true | _ -> false)));
+    test "dispatch superset includes leaking impl" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Return
+                    (Some
+                       (Call (Dynamic { method_name = "Show::show"; receiver_hint = None }, [ Var "x" ])));
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "dispatch narrowed by receiver hint to a pure impl accepted" (fun () ->
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Return
+                    (Some
+                       (Call
+                          ( Dynamic { method_name = "show"; receiver_hint = Some "Pretty" },
+                            [ Var "x" ] )));
+                ])));
+    test "opaque unsafe mutation rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ] [ Opaque_unsafe [ Var "x" ] ])
+             (function Analysis.Unsafe_mutation _ -> true | _ -> false)));
+    test "unsafe write to capture-derived data rejected" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                ~captures:[ { cap_var = "cache"; mode = By_ref } ]
+                [ Unsafe_write (Lderef "cache", Var "x") ])
+             (function Analysis.Unsafe_mutation _ -> true | _ -> false)));
+    test "loop fixpoint: taint introduced on a later iteration is seen" (fun () ->
+        (* First iteration calls fs_write(a) with a untainted; a becomes
+           tainted at the end of the body, so only a second dataflow pass
+           over the loop sees the leak. *)
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("a", Int_lit 0);
+                  Let ("go", Bool_lit true);
+                  While
+                    ( Var "go",
+                      [
+                        Expr_stmt (Call (Static "fs_write", [ Var "a" ]));
+                        Assign (Lvar "a", Var "x");
+                        Assign (Lvar "go", Bool_lit false);
+                      ] );
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "taint flows through references and Deref" (fun () ->
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("r", Ref "x");
+                  Let ("y", Deref (Var "r"));
+                  Expr_stmt (Call (Static "fs_write", [ Var "y" ]));
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "by-ref arg of a tainted call is conservatively tainted" (fun () ->
+        (* pure_concat may write through its &mut arg; the analysis must
+           assume out becomes tainted. *)
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("out", Str_lit "");
+                  Expr_stmt (Call (Static "pure_concat", [ Ref_mut "out"; Var "x" ]));
+                  Expr_stmt (Call (Static "fs_write", [ Var "out" ]));
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "multiple rejection reasons all reported" (fun () ->
+        let v =
+          verdict (fixture ())
+            (spec "r" [ "x" ]
+               ~captures:[ { cap_var = "log"; mode = By_mut_ref } ]
+               [
+                 Assign (Lglobal "SINK", Var "x");
+                 Expr_stmt (Call (Static "fs_write", [ Var "x" ]));
+               ])
+        in
+        check_bool "several" true (List.length v.Analysis.rejections >= 3));
+  ]
+
+let allowlist_tests =
+  [
+    test "allow-listed functions are trusted leaves" (fun () ->
+        (* fs_write allow-listed: the call no longer rejects. *)
+        let allow = Allowlist.add Allowlist.default "fs_write" in
+        check_bool "ok" true
+          (accepted ~allowlist:allow (fixture ())
+             (spec "r" [ "x" ] [ Expr_stmt (Call (Static "fs_write", [ Var "x" ])) ])));
+    test "default allowlist contains Vec::push" (fun () ->
+        check_bool "mem" true (Allowlist.mem Allowlist.default "Vec::push"));
+    test "remove takes effect" (fun () ->
+        let a = Allowlist.remove Allowlist.default "Vec::push" in
+        check_bool "gone" false (Allowlist.mem a "Vec::push"));
+    test "allow-listed call results are tainted by their args" (fun () ->
+        (* format(x) result flows to native -> still rejected. *)
+        check_bool "rej" true
+          (has_rejection (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("s", Call (Static "core::fmt::format", [ Var "x" ]));
+                  Expr_stmt (Call (Static "fs_write", [ Var "s" ]));
+                ])
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+  ]
+
+let callgraph_tests =
+  [
+    test "collection finds transitive callees once" (fun () ->
+        let program = fixture () in
+        let s =
+          spec "r" [ "x" ]
+            [
+              Let ("a", Call (Static "pure_via_helper", [ Var "x" ]));
+              Let ("b", Call (Static "pure_via_helper", [ Var "a" ]));
+              Return (Some (Var "b"));
+            ]
+        in
+        let g = Callgraph.collect program ~allowlist:Allowlist.default s in
+        check_int "entry + 2" 3 (Callgraph.functions_analyzed g);
+        check_bool "reaches helper" true (Callgraph.reaches g "pure_concat"));
+    test "collection records dispatch candidates" (fun () ->
+        let program = fixture () in
+        let s =
+          spec "r" [ "x" ]
+            [
+              Expr_stmt
+                (Call (Dynamic { method_name = "Show::show"; receiver_hint = None }, [ Var "x" ]));
+            ]
+        in
+        let g = Callgraph.collect program ~allowlist:Allowlist.default s in
+        check_bool "pretty" true (Callgraph.reaches g "Pretty::show");
+        check_bool "logging" true (Callgraph.reaches g "Logging::show"));
+    test "collection failures recorded, not raised" (fun () ->
+        let program = fixture () in
+        let s = spec "r" [ "x" ] [ Expr_stmt (Call (Fn_ptr None, [ Var "x" ])) ] in
+        let g = Callgraph.collect program ~allowlist:Allowlist.default s in
+        check_int "one failure" 1 (List.length (Callgraph.failures g)));
+    test "in_crate_sources lists entry first, externals excluded" (fun () ->
+        let program = fixture () in
+        Program.define program
+          (external_fn ~package:"extlib" ~name:"ext::helper" ~params:[ "x" ]
+             [ Return (Some (Var "x")) ]);
+        let s =
+          spec "r" [ "x" ]
+            [
+              Let ("a", Call (Static "pure_concat", [ Var "x"; Var "x" ]));
+              Return (Some (Call (Static "ext::helper", [ Var "a" ])));
+            ]
+        in
+        let g = Callgraph.collect program ~allowlist:Allowlist.default s in
+        let sources = Callgraph.in_crate_sources g s in
+        check_bool "entry first" true (fst (List.hd sources) = "r");
+        check_bool "in-crate included" true (List.mem_assoc "pure_concat" sources);
+        check_bool "external excluded" false (List.mem_assoc "ext::helper" sources);
+        Alcotest.(check (list string)) "packages" [ "extlib" ] (Callgraph.external_packages g));
+    test "synthetic tree size matches the formula" (fun () ->
+        let program = Program.create () in
+        let root =
+          Sesame_corpus.Synthetic.define_tree program ~package:"p" ~prefix:"lib" ~depth:4
+        in
+        check_int "size" (Sesame_corpus.Synthetic.tree_size ~depth:4) (Program.size program);
+        let s = spec "r" [ "x" ] [ Return (Some (Call (Static root, [ Var "x" ]))) ] in
+        let g = Callgraph.collect program ~allowlist:Allowlist.default s in
+        check_int "all + entry" (Sesame_corpus.Synthetic.tree_size ~depth:4 + 1)
+          (Callgraph.functions_analyzed g));
+  ]
+
+let ir_tests =
+  [
+    test "program rejects duplicate definitions" (fun () ->
+        let p = Program.create () in
+        Program.define p (func ~name:"f" ~params:[] []);
+        check_bool "dup" true
+          (try
+             Program.define p (func ~name:"f" ~params:[] []);
+             false
+           with Invalid_argument _ -> true));
+    test "resolve_dynamic with hint requires the qualified impl" (fun () ->
+        let p = fixture () in
+        check_bool "hit" true
+          (Program.resolve_dynamic p ~method_name:"show" ~receiver_hint:(Some "Pretty")
+          = Some [ "Pretty::show" ]);
+        check_bool "miss" true
+          (Program.resolve_dynamic p ~method_name:"show" ~receiver_hint:(Some "Ghost") = None));
+    test "func_source renders deterministically" (fun () ->
+        let f = func ~name:"f" ~params:[ "x" ] [ Return (Some (Var "x")) ] in
+        Alcotest.(check string) "stable" (func_source f) (func_source f);
+        check_bool "has name" true (String.length (func_source f) > 0));
+    test "func_loc counts non-empty lines" (fun () ->
+        let f =
+          func ~name:"f" ~params:[ "x" ]
+            [ Let ("y", Var "x"); Return (Some (Var "y")) ]
+        in
+        check_bool "positive" true (func_loc f >= 3));
+    test "spec source and loc" (fun () ->
+        let s = spec "r" [ "x" ] [ Return (Some (Var "x")) ] in
+        check_int "one stmt" 1 (Spec.loc s);
+        check_bool "closure syntax" true (String.length (Spec.source s) > 5));
+    test "verdict timing and counts populated" (fun () ->
+        let v =
+          verdict (fixture ()) (spec "r" [ "x" ] [ Return (Some (Var "x")) ])
+        in
+        check_bool "fns" true (v.Analysis.stats.functions_analyzed >= 1);
+        check_bool "time" true (v.Analysis.stats.duration_s >= 0.0));
+  ]
+
+let encapsulation_tests =
+  [
+    test "contained unsafe classified as such" (fun () ->
+        let p = Program.create () in
+        Program.define p
+          (external_fn ~package:"vec" ~name:"Vec::push_impl" ~params:[ "self"; "v" ]
+             [ Unsafe_write (Lfield ("self", "buf"), Var "v") ]);
+        match Encapsulation.audit p with
+        | [ f ] ->
+            check_bool "contained" true (f.Encapsulation.severity = Encapsulation.Contained);
+            check_bool "clean package" true
+              (Encapsulation.audit_package p ~package:"vec" = Encapsulation.Clean)
+        | other -> Alcotest.failf "expected one finding, got %d" (List.length other));
+    test "opaque unsafe breaks encapsulation" (fun () ->
+        let p = Program.create () in
+        Program.define p
+          (external_fn ~package:"fastcrypto" ~name:"crypt" ~params:[ "data" ]
+             [ Opaque_unsafe [ Var "data" ] ]);
+        Alcotest.(check (list string)) "breaking" [ "fastcrypto" ]
+          (Encapsulation.breaking_packages p);
+        check_bool "needs review" true
+          (match Encapsulation.audit_package p ~package:"fastcrypto" with
+          | Encapsulation.Needs_review (_ :: _) -> true
+          | _ -> false));
+    test "function-pointer calls are breaking; safe code is clean" (fun () ->
+        let p = Program.create () in
+        Program.define p
+          (external_fn ~package:"hooks" ~name:"run_hook" ~params:[ "cb"; "x" ]
+             [ Expr_stmt (Call (Fn_ptr (Some "cb"), [ Var "x" ])) ]);
+        Program.define p
+          (external_fn ~package:"pure" ~name:"add" ~params:[ "a"; "b" ]
+             [ Return (Some (Binop (Add, Var "a", Var "b"))) ]);
+        Alcotest.(check (list string)) "only hooks" [ "hooks" ]
+          (Encapsulation.breaking_packages p);
+        check_bool "pure clean" true
+          (Encapsulation.audit_package p ~package:"pure" = Encapsulation.Clean));
+    test "audit over the corpus flags exactly the eight raw-pointer crates" (fun () ->
+        let p = Sesame_corpus.App_corpus.program Sesame_corpus.App_corpus.Small in
+        Alcotest.(check (list string)) "packages"
+          [ "csv"; "lopdf"; "regex"; "ring"; "serde"; "sha2"; "zstd" ]
+          (Encapsulation.breaking_packages p));
+    test "native bodies are out of the audit's scope" (fun () ->
+        let p = Program.create () in
+        Program.define p (native ~package:"libc" ~name:"memcpy" ~params:[ "d"; "s" ] ());
+        check_int "no findings" 0 (List.length (Encapsulation.audit p)));
+  ]
+
+let () =
+  Alcotest.run "scrutinizer"
+    [
+      ("acceptance", acceptance_tests);
+      ("rejection", rejection_tests);
+      ("allowlist", allowlist_tests);
+      ("callgraph", callgraph_tests);
+      ("ir", ir_tests);
+      ("encapsulation", encapsulation_tests);
+    ]

@@ -1,0 +1,302 @@
+open Sesame_signing
+
+let test name f = Alcotest.test_case name `Quick f
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 *)
+
+let sha_vector input expected () =
+  check_str input expected (Sha256.to_hex (Sha256.digest_string input))
+
+let sha256_tests =
+  [
+    test "FIPS vector: empty" (sha_vector "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    test "FIPS vector: abc" (sha_vector "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    test "FIPS vector: two blocks"
+      (sha_vector "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+         "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    test "one million a's" (fun () ->
+        check_str "millions" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Sha256.to_hex (Sha256.digest_string (String.make 1_000_000 'a'))));
+    test "block-boundary lengths digest distinctly" (fun () ->
+        let digests =
+          List.map (fun n -> Sha256.to_hex (Sha256.digest_string (String.make n 'x')))
+            [ 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+        in
+        check_int "all distinct" (List.length digests)
+          (List.length (List.sort_uniq compare digests)));
+    test "hex round-trip" (fun () ->
+        let d = Sha256.digest_string "round trip" in
+        match Sha256.of_hex (Sha256.to_hex d) with
+        | Some d' -> check_bool "equal" true (Sha256.equal d d')
+        | None -> Alcotest.fail "of_hex failed");
+    test "of_hex rejects wrong length" (fun () ->
+        check_bool "short" true (Sha256.of_hex "abcd" = None));
+    test "of_hex rejects non-hex characters" (fun () ->
+        check_bool "bad chars" true (Sha256.of_hex (String.make 64 'z') = None));
+    test "of_hex accepts uppercase" (fun () ->
+        let d = Sha256.digest_string "case" in
+        let upper = String.uppercase_ascii (Sha256.to_hex d) in
+        check_bool "parsed" true (Sha256.of_hex upper = Some d));
+    test "digest_list is boundary-sensitive" (fun () ->
+        check_bool "ab|c <> a|bc" false
+          (Sha256.equal (Sha256.digest_list [ "ab"; "c" ]) (Sha256.digest_list [ "a"; "bc" ])));
+    test "digest_list differs from plain concat" (fun () ->
+        check_bool "framed" false
+          (Sha256.equal (Sha256.digest_list [ "abc" ]) (Sha256.digest_string "abc")));
+    test "compare is a total order consistent with equal" (fun () ->
+        let a = Sha256.digest_string "a" and b = Sha256.digest_string "b" in
+        check_bool "refl" true (Sha256.compare a a = 0);
+        check_bool "antisym" true (Sha256.compare a b = -Sha256.compare b a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Normalization *)
+
+let normalize_tests =
+  [
+    test "strips line comments" (fun () ->
+        check_str "line" "let x = 1;" (Normalize.source "let x = 1; // the answer"));
+    test "strips C block comments" (fun () ->
+        check_str "block" "a b" (Normalize.source "a /* noise */ b"));
+    test "strips nested OCaml comments" (fun () ->
+        check_str "nested" "a b" (Normalize.source "a (* one (* two *) one *) b"));
+    test "collapses whitespace runs" (fun () ->
+        check_str "ws" "fn f() { 1 }" (Normalize.source "fn f()   {\n\t 1 \n}"));
+    test "preserves string literals with comment markers" (fun () ->
+        check_str "strings" {|let s = "not // a comment";|}
+          (Normalize.source {|let s = "not // a comment";|}));
+    test "preserves escaped quotes inside strings" (fun () ->
+        check_str "escape" {|print("a \" // b")|} (Normalize.source {|print("a \" // b")|}));
+    test "idempotent" (fun () ->
+        let src = "fn f( a , b ) { /* hi */ a + b // tail\n}" in
+        check_str "idem" (Normalize.source src) (Normalize.source (Normalize.source src)));
+    test "different variable names normalize differently (paper limitation)" (fun () ->
+        check_bool "syntactic" false
+          (String.equal (Normalize.source "let x = 1;") (Normalize.source "let y = 1;")));
+    test "line_count ignores blank and comment-only lines" (fun () ->
+        check_int "count" 2 (Normalize.line_count "let a = 1;\n\n// comment only\nlet b = 2;\n"));
+    test "line_count of empty source" (fun () ->
+        check_int "empty" 0 (Normalize.line_count "  \n // nothing \n"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lockfile *)
+
+let sample_lockfile =
+  Lockfile.of_packages
+    [
+      { name = "a"; version = "1.0"; deps = [ "b"; "c" ] };
+      { name = "b"; version = "2.0"; deps = [ "c" ] };
+      { name = "c"; version = "3.0"; deps = [] };
+      { name = "loopy"; version = "0.1"; deps = [ "loopy" ] };
+    ]
+
+let lockfile_tests =
+  [
+    test "closure includes roots and transitive deps" (fun () ->
+        match Lockfile.closure sample_lockfile [ "a" ] with
+        | Ok pinned ->
+            Alcotest.(check (list (pair string string)))
+              "closure" [ ("a", "1.0"); ("b", "2.0"); ("c", "3.0") ] pinned
+        | Error m -> Alcotest.fail m);
+    test "closure of leaf package" (fun () ->
+        check_bool "leaf" true (Lockfile.closure sample_lockfile [ "c" ] = Ok [ ("c", "3.0") ]));
+    test "closure reports missing package" (fun () ->
+        check_bool "missing" true (Lockfile.closure sample_lockfile [ "nope" ] = Error "nope"));
+    test "closure tolerates cycles" (fun () ->
+        check_bool "cycle" true
+          (Lockfile.closure sample_lockfile [ "loopy" ] = Ok [ ("loopy", "0.1") ]));
+    test "closure of several roots dedups" (fun () ->
+        match Lockfile.closure sample_lockfile [ "b"; "c"; "b" ] with
+        | Ok pinned ->
+            Alcotest.(check (list (pair string string)))
+              "dedup" [ ("b", "2.0"); ("c", "3.0") ] pinned
+        | Error m -> Alcotest.fail m);
+    test "parse/render round-trip" (fun () ->
+        let text = Lockfile.render sample_lockfile in
+        match Lockfile.parse text with
+        | Ok parsed -> check_bool "equal" true (Lockfile.equal parsed sample_lockfile)
+        | Error m -> Alcotest.fail m);
+    test "parse skips comments and blanks" (fun () ->
+        match Lockfile.parse "# header\n\nfoo 1.2 bar\nbar 0.9\n" with
+        | Ok lf -> check_bool "foo" true (Option.is_some (Lockfile.find lf "foo"))
+        | Error m -> Alcotest.fail m);
+    test "parse rejects missing version" (fun () ->
+        check_bool "bad line" true (Result.is_error (Lockfile.parse "loner\n")));
+    test "add replaces an existing entry" (fun () ->
+        let lf = Lockfile.add sample_lockfile { name = "c"; version = "9.9"; deps = [] } in
+        check_bool "replaced" true
+          (match Lockfile.find lf "c" with Some p -> p.version = "9.9" | None -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Keystore and signatures *)
+
+let digest_of s = Sha256.digest_string s
+
+let keystore_tests =
+  [
+    test "sign then verify" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        let d = digest_of "region" in
+        match Keystore.sign ks ~reviewer:"r" ~at:10 d with
+        | Ok signature -> check_bool "ok" true (Keystore.verify ks signature ~digest:d = Ok ())
+        | Error e -> Alcotest.failf "%a" Keystore.pp_error e);
+    test "unknown reviewer cannot sign" (fun () ->
+        let ks = Keystore.create () in
+        check_bool "unknown" true
+          (Keystore.sign ks ~reviewer:"ghost" ~at:0 (digest_of "x")
+          = Error (Keystore.Unknown_reviewer "ghost")));
+    test "digest mismatch detected (region changed since review)" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        match Keystore.sign ks ~reviewer:"r" ~at:1 (digest_of "v1") with
+        | Ok signature ->
+            check_bool "mismatch" true
+              (Keystore.verify ks signature ~digest:(digest_of "v2")
+              = Error Keystore.Digest_mismatch)
+        | Error e -> Alcotest.failf "%a" Keystore.pp_error e);
+    test "forged MAC rejected" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        let d = digest_of "region" in
+        let forged = Signature.sign ~secret:"wrong" ~reviewer:"r" ~at:3 d in
+        check_bool "bad mac" true (Keystore.verify ks forged ~digest:d = Error Keystore.Bad_mac));
+    test "revocation invalidates signatures (default mode)" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        let d = digest_of "region" in
+        let signature = Result.get_ok (Keystore.sign ks ~reviewer:"r" ~at:5 d) in
+        Keystore.revoke ks ~reviewer:"r" ~at:10;
+        check_bool "revoked" true
+          (match Keystore.verify ks signature ~digest:d with
+          | Error (Keystore.Revoked _) -> true
+          | _ -> false));
+    test "Preserve_prior keeps pre-revocation signatures" (fun () ->
+        let ks = Keystore.create ~revocation_mode:Keystore.Preserve_prior () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        let d = digest_of "region" in
+        let early = Result.get_ok (Keystore.sign ks ~reviewer:"r" ~at:5 d) in
+        Keystore.revoke ks ~reviewer:"r" ~at:10;
+        check_bool "early valid" true (Keystore.verify ks early ~digest:d = Ok ()));
+    test "Preserve_prior rejects post-revocation timestamps" (fun () ->
+        let ks = Keystore.create ~revocation_mode:Keystore.Preserve_prior () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        let d = digest_of "region" in
+        let late = Signature.sign ~secret:"s" ~reviewer:"r" ~at:99 d in
+        Keystore.revoke ks ~reviewer:"r" ~at:10;
+        check_bool "late invalid" true
+          (match Keystore.verify ks late ~digest:d with
+          | Error (Keystore.Revoked _) -> true
+          | _ -> false));
+    test "revoked reviewer cannot produce new signatures" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        Keystore.revoke ks ~reviewer:"r" ~at:1;
+        check_bool "cannot sign" true
+          (match Keystore.sign ks ~reviewer:"r" ~at:2 (digest_of "x") with
+          | Error (Keystore.Revoked _) -> true
+          | _ -> false));
+    test "re-registration un-revokes" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"r" ~secret:"s";
+        Keystore.revoke ks ~reviewer:"r" ~at:1;
+        Keystore.register ks ~reviewer:"r" ~secret:"s2";
+        check_bool "registered" true (Keystore.is_registered ks "r"));
+    test "reviewers listed sorted" (fun () ->
+        let ks = Keystore.create () in
+        Keystore.register ks ~reviewer:"zoe" ~secret:"1";
+        Keystore.register ks ~reviewer:"amy" ~secret:"2";
+        Alcotest.(check (list string)) "sorted" [ "amy"; "zoe" ] (Keystore.reviewers ks));
+    test "signature self-verifies with its secret" (fun () ->
+        let s = Signature.sign ~secret:"k" ~reviewer:"r" ~at:7 (digest_of "d") in
+        check_bool "mac" true (Signature.verifies_with ~secret:"k" s);
+        check_bool "wrong secret" false (Signature.verifies_with ~secret:"k2" s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Region hashing *)
+
+let base_input =
+  {
+    Region_hash.entry = "cr::send";
+    functions =
+      [ ("cr::send", "fn send(x) { lettre::send(x); }"); ("helper", "fn helper(y) { y }") ];
+    external_deps = [ "a" ];
+    lockfile = sample_lockfile;
+  }
+
+let region_hash_tests =
+  [
+    test "hashing succeeds on well-formed input" (fun () ->
+        check_bool "ok" true (Result.is_ok (Region_hash.compute base_input)));
+    test "code change changes the digest" (fun () ->
+        let changed =
+          { base_input with functions = [ ("cr::send", "fn send(x) { lettre::send(x, x); }");
+                                          ("helper", "fn helper(y) { y }") ] }
+        in
+        check_bool "differs" false
+          (Sha256.equal
+             (Result.get_ok (Region_hash.compute base_input))
+             (Result.get_ok (Region_hash.compute changed))));
+    test "helper change changes the digest" (fun () ->
+        let changed =
+          { base_input with functions = [ ("cr::send", "fn send(x) { lettre::send(x); }");
+                                          ("helper", "fn helper(y) { y + 1 }") ] }
+        in
+        check_bool "differs" false
+          (Sha256.equal
+             (Result.get_ok (Region_hash.compute base_input))
+             (Result.get_ok (Region_hash.compute changed))));
+    test "comment-only change keeps the digest" (fun () ->
+        let changed =
+          { base_input with functions = [ ("cr::send", "fn send(x) { /* audited */ lettre::send(x); }");
+                                          ("helper", "fn helper(y) { y }") ] }
+        in
+        check_bool "same" true
+          (Sha256.equal
+             (Result.get_ok (Region_hash.compute base_input))
+             (Result.get_ok (Region_hash.compute changed))));
+    test "dependency version bump changes the digest" (fun () ->
+        let bumped =
+          { base_input with
+            lockfile = Lockfile.add sample_lockfile { name = "b"; version = "2.1"; deps = [ "c" ] } }
+        in
+        check_bool "differs" false
+          (Sha256.equal
+             (Result.get_ok (Region_hash.compute base_input))
+             (Result.get_ok (Region_hash.compute bumped))));
+    test "unrelated dependency change keeps the digest" (fun () ->
+        let unrelated =
+          { base_input with
+            lockfile = Lockfile.add sample_lockfile { name = "zzz"; version = "1.0"; deps = [] } }
+        in
+        check_bool "same" true
+          (Sha256.equal
+             (Result.get_ok (Region_hash.compute base_input))
+             (Result.get_ok (Region_hash.compute unrelated))));
+    test "missing entry function fails" (fun () ->
+        check_bool "missing" true
+          (Result.is_error (Region_hash.compute { base_input with entry = "nope" })));
+    test "unpinned dependency fails" (fun () ->
+        check_bool "unpinned" true
+          (Result.is_error
+             (Region_hash.compute { base_input with external_deps = [ "not-pinned" ] })));
+    test "review burden counts normalized in-crate lines" (fun () ->
+        check_int "loc" 2 (Region_hash.review_burden_loc base_input));
+  ]
+
+let () =
+  Alcotest.run "signing"
+    [
+      ("sha256", sha256_tests);
+      ("normalize", normalize_tests);
+      ("lockfile", lockfile_tests);
+      ("keystore", keystore_tests);
+      ("region-hash", region_hash_tests);
+    ]
