@@ -1,6 +1,6 @@
 (* Shared measurement helpers for the experiment harness. *)
 
-let now () = Sys.time ()
+let now () = Sesame_clock.now_s ()
 
 (* Collect [n] per-call latencies in seconds. *)
 let sample ?(warmup = 3) ~n f =

@@ -8,7 +8,7 @@
 module Scrut = Sesame_scrutinizer
 module Corpus = Sesame_corpus
 
-let run_app_corpus scale app_filter region_filter verbose =
+let run_app_corpus scale app_filter region_filter verbose no_cache =
   let program = Corpus.App_corpus.program scale in
   let cases =
     Corpus.App_corpus.cases ()
@@ -20,10 +20,13 @@ let run_app_corpus scale app_filter region_filter verbose =
     Format.eprintf "no regions match the given filters@.";
     1)
   else begin
+    let cache =
+      if no_cache then None else Some (Scrut.Analysis.Summary_cache.create ())
+    in
     let accepted = ref 0 in
     List.iter
       (fun (c : Corpus.App_corpus.case) ->
-        let v = Scrut.Analysis.check program c.spec in
+        let v = Scrut.Analysis.check ?cache program c.spec in
         if v.Scrut.Analysis.accepted then incr accepted;
         Format.printf "%-10s %-38s %s (%d functions, %.3fs)@." c.app c.name
           (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
@@ -36,6 +39,14 @@ let run_app_corpus scale app_filter region_filter verbose =
           Format.printf "@[<v 2>source:@,%s@]@." (Scrut.Spec.source c.spec))
       cases;
     Format.printf "@.%d/%d regions verified.@." !accepted (List.length cases);
+    (match cache with
+    | Some cache when List.length cases > 1 ->
+        Format.printf "summary cache: %d entries, %d hits / %d misses (%.1f%% hit rate)@."
+          (Scrut.Analysis.Summary_cache.entries cache)
+          (Scrut.Analysis.Summary_cache.hits cache)
+          (Scrut.Analysis.Summary_cache.misses cache)
+          (100.0 *. Scrut.Analysis.Summary_cache.hit_rate cache)
+    | Some _ | None -> ());
     0
   end
 
@@ -104,15 +115,23 @@ let audit_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print rejection reasons (and sources with --region).")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-summary-cache" ]
+        ~doc:"Disable the cross-region function-summary cache (on by default; the verdicts are identical either way).")
+
 let cmd =
-  let run stdlib audit scale app region verbose =
+  let run stdlib audit scale app region verbose no_cache =
     if audit then run_audit scale
     else if stdlib then run_stdlib verbose
-    else run_app_corpus scale app region verbose
+    else run_app_corpus scale app region verbose no_cache
   in
   Cmd.v
     (Cmd.info "scrutinizer" ~version:"1.0"
        ~doc:"Check privacy regions for leakage-freedom (the paper's Scrutinizer)")
-    Term.(const run $ stdlib_arg $ audit_arg $ scale_arg $ app_arg $ region_arg $ verbose_arg)
+    Term.(
+      const run $ stdlib_arg $ audit_arg $ scale_arg $ app_arg $ region_arg $ verbose_arg
+      $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

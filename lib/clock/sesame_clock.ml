@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_s ~since = Int64.to_float (Int64.sub (now_ns ()) since) *. 1e-9

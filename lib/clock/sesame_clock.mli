@@ -1,0 +1,18 @@
+(** Monotonic wall-clock time.
+
+    [Sys.time] measures CPU time, which under-counts whenever the process
+    is descheduled or blocked; every duration in this repository (DB
+    round-trip modelling, analysis timings, benchmark samples) wants
+    elapsed wall time that never goes backwards. This wraps the
+    CLOCK_MONOTONIC stubs that ship with bechamel, so no new dependency is
+    introduced. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The epoch is unspecified; only
+    differences are meaningful. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds, for callers that do float arithmetic. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a {!now_ns} reading. *)

@@ -40,15 +40,15 @@ let drop_table t name =
   end
   else Error (Printf.sprintf "no table named %s" name)
 
-(* Busy-wait to model a round trip; monotonic clock via Unix-free spin on
-   a volatile counter is unreliable, so use wall-clock nanoseconds. *)
+(* Busy-wait to model a round trip. The deadline must come from a
+   monotonic wall clock: [Sys.time] is process CPU time, which both runs
+   slow against real time (so the modeled latency was inflated) and is
+   shared across threads. *)
 let charge t =
   t.queries <- t.queries + 1;
   if t.query_cost_ns > 0 then begin
-    let deadline =
-      Int64.add (Int64.of_float (Sys.time () *. 1e9)) (Int64.of_int t.query_cost_ns)
-    in
-    while Int64.of_float (Sys.time () *. 1e9) < deadline do
+    let deadline = Int64.add (Sesame_clock.now_ns ()) (Int64.of_int t.query_cost_ns) in
+    while Sesame_clock.now_ns () < deadline do
       ignore (Sys.opaque_identity ())
     done
   end

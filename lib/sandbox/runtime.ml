@@ -36,7 +36,7 @@ let guard_syscall what =
   if in_sandbox () then
     raise (Forbidden_syscall (Printf.sprintf "%s is forbidden inside a sandbox" what))
 
-let now () = Sys.time ()
+let now () = Sesame_clock.now_s ()
 
 (* Busy-wait to model the guest's slower code. *)
 let simulate_slowdown elapsed slowdown =

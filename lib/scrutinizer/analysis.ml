@@ -27,44 +27,189 @@ let pp_rejection fmt = function
 
 let rejection_to_string r = Format.asprintf "%a" pp_rejection r
 
-type stats = { functions_analyzed : int; duration_s : float }
+type stats = {
+  functions_analyzed : int;
+  duration_s : float;
+  summary_cache_hits : int;
+  summary_cache_misses : int;
+}
+
 type verdict = { accepted : bool; rejections : rejection list; stats : stats }
 
 (* ------------------------------------------------------------------ *)
 
 module Sset = Set.Make (String)
+module Rset = Set.Make (struct
+  type t = rejection
+
+  let compare = compare
+end)
 
 type info = { taint : bool; roots : Sset.t }
 
 let untainted = { taint = false; roots = Sset.empty }
+let info_equal a b = a.taint = b.taint && Sset.equal a.roots b.roots
+let info_join a b = { taint = a.taint || b.taint; roots = Sset.union a.roots b.roots }
+
+(* A function's analysis effect under one calling context (its summary):
+   whether the return value may carry sensitive data, through which
+   parameters a sensitive value may be written back to the caller, and the
+   rejections arising anywhere in the function's subtree. Effects form a
+   finite join-semilattice; the worklist engine only ever grows them, which
+   is what guarantees termination. *)
+type fn_effect = { ret : bool; writes : Sset.t; rejs : Rset.t }
+
+let bottom_effect = { ret = false; writes = Sset.empty; rejs = Rset.empty }
+
+let effect_join a b =
+  { ret = a.ret || b.ret; writes = Sset.union a.writes b.writes; rejs = Rset.union a.rejs b.rejs }
+
+let effect_equal a b =
+  a.ret = b.ret && Sset.equal a.writes b.writes && Rset.equal a.rejs b.rejs
+
+(* Summary key: one analysis context of one function. *)
+type skey = { kfn : string; ktaints : bool list; kpc : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check summary cache.
+
+   Summaries are pure facts about a function body *within a fixed program*
+   (callee names resolve through the program), so an entry is keyed by the
+   program fingerprint plus a hash of the function's normalized source —
+   reusing the signing pipeline's normalizer and SHA-256. Keying on content
+   rather than name means two structurally identical bodies share one
+   entry, and a rebuilt program with identical content (the common corpus
+   pattern: every app registers many specs against one program) hits
+   without any invalidation protocol. *)
+
+module Summary_cache = struct
+  module Sha256 = Sesame_signing.Sha256
+  module Normalize = Sesame_signing.Normalize
+
+  type t = {
+    entries : (string, fn_effect) Hashtbl.t;
+    body_hashes : (string, string) Hashtbl.t;
+        (* (fingerprint, fname) -> body-hash hex, memoized because the same
+           function is looked up once per calling context per check *)
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () =
+    { entries = Hashtbl.create 256; body_hashes = Hashtbl.create 256; hits = 0; misses = 0 }
+
+  let hits t = t.hits
+  let misses t = t.misses
+  let entries t = Hashtbl.length t.entries
+
+  let hit_rate t =
+    let total = t.hits + t.misses in
+    if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+  let body_hash t ~program (f : Ir.func) =
+    let fp = Sha256.to_hex (Program.fingerprint program) in
+    let memo_key = fp ^ "\x00" ^ f.Ir.fname in
+    match Hashtbl.find_opt t.body_hashes memo_key with
+    | Some h -> h
+    | None ->
+        let h =
+          Sha256.to_hex
+            (Sha256.digest_list [ "sesame-summary-v1"; Normalize.source (Ir.func_source f) ])
+        in
+        Hashtbl.add t.body_hashes memo_key h;
+        h
+
+  let entry_key t ~program ~f ~taints ~pc =
+    let fp = Sha256.to_hex (Program.fingerprint program) in
+    let bh = body_hash t ~program f in
+    Printf.sprintf "%s|%s|%s|%c" fp bh
+      (String.concat "" (List.map (fun b -> if b then "1" else "0") taints))
+      (if pc then '1' else '0')
+
+  let find t ~program ~f ~taints ~pc =
+    Hashtbl.find_opt t.entries (entry_key t ~program ~f ~taints ~pc)
+
+  let store t ~program ~f ~taints ~pc eff =
+    Hashtbl.replace t.entries (entry_key t ~program ~f ~taints ~pc) eff
+end
+
+(* ------------------------------------------------------------------ *)
+(* Worklist engine state. *)
+
+type item = Spec_body | Fn of skey
+
+type summary = {
+  mutable eff : fn_effect;
+  mutable dependents : item list;  (* items to re-run when [eff] grows *)
+  from_cache : bool;  (* cache entries are final fixpoints: never re-run *)
+}
 
 type ctx = {
   program : Program.t;
   allowlist : Allowlist.t;
+  spec : Spec.t;
   capture_roots : Sset.t;  (* by-ref captures of the top-level region *)
-  mutable rejections : rejection list;
-  (* Summaries: (fname, arg-taint bits, pc) -> return taint. An entry of
-     [None] marks an in-progress computation (recursion): assume tainted. *)
-  summaries : (string * bool list * bool, bool option) Hashtbl.t;
+  (* Verdict accumulation: first-occurrence order with an O(1) dedup set. *)
+  mutable rejections : rejection list;  (* reversed *)
+  rejection_seen : (rejection, unit) Hashtbl.t;
+  (* Worklist state. *)
+  summaries : (skey, summary) Hashtbl.t;
+  queue : item Queue.t;
+  queued : (item, unit) Hashtbl.t;
+  (* Cross-check cache. *)
+  cache : Summary_cache.t option;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
-let reject ctx r = if not (List.mem r ctx.rejections) then ctx.rejections <- r :: ctx.rejections
+(* The per-run mutable state of the item being analyzed: its name, its
+   parameter set (empty for the spec body), and the effect accumulated by
+   this run. *)
+type frame = {
+  fname : string;
+  params : Sset.t;
+  item : item;
+  mutable fr_ret : bool;
+  mutable fr_writes : Sset.t;
+  mutable fr_rejs : Rset.t;
+}
+
+let reject ctx frame r =
+  frame.fr_rejs <- Rset.add r frame.fr_rejs;
+  if not (Hashtbl.mem ctx.rejection_seen r) then begin
+    Hashtbl.add ctx.rejection_seen r ();
+    ctx.rejections <- r :: ctx.rejections
+  end
+
+let rejection_count ctx = Hashtbl.length ctx.rejection_seen
 
 type env = (string, info) Hashtbl.t
 
 let env_get (env : env) v = Option.value (Hashtbl.find_opt env v) ~default:untainted
 let env_set (env : env) v info = Hashtbl.replace env v info
 
-let env_taint (env : env) v =
+(* Taint [v] as the target of a write through a reference. A tainted write
+   into memory reachable through one of the current function's parameters
+   is a caller-visible write-back, recorded in the frame's effect whether
+   or not [v] was already tainted locally. *)
+let env_taint frame (env : env) v =
   let old = env_get env v in
-  if not old.taint then env_set env v { old with taint = true }
+  if not old.taint then env_set env v { old with taint = true };
+  if Sset.mem v frame.params then frame.fr_writes <- Sset.add v frame.fr_writes
 
-(* Snapshot of the mutable parts of an env, for loop fixpoints. *)
-let env_snapshot (env : env) =
-  Hashtbl.fold (fun v i acc -> (v, i.taint, Sset.cardinal i.roots) :: acc) env []
-  |> List.sort compare
+let enqueue ctx item =
+  if not (Hashtbl.mem ctx.queued item) then begin
+    Hashtbl.add ctx.queued item ();
+    Queue.add item ctx.queue
+  end
 
-let rec eval ctx (env : env) ~fname ~pc (e : Ir.expr) : info =
+(* Normalize a call's argument taints to the callee's parameter count. *)
+let normalize_taints (f : Ir.func) arg_taints =
+  let n = List.length f.Ir.params in
+  let taints = List.filteri (fun i _ -> i < n) arg_taints in
+  taints @ List.init (max 0 (n - List.length taints)) (fun _ -> false)
+
+let rec eval ctx frame (env : env) ~pc (e : Ir.expr) : info =
   match e with
   | Ir.Unit | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Str_lit _ | Ir.Bool_lit _ -> untainted
   | Ir.Global _ -> untainted
@@ -74,20 +219,20 @@ let rec eval ctx (env : env) ~fname ~pc (e : Ir.expr) : info =
   | Ir.Ref v | Ir.Ref_mut v ->
       let i = env_get env v in
       { i with roots = Sset.add v i.roots }
-  | Ir.Field (e, _) | Ir.Unop (_, e) | Ir.Deref e -> eval ctx env ~fname ~pc e
+  | Ir.Field (e, _) | Ir.Unop (_, e) | Ir.Deref e -> eval ctx frame env ~pc e
   | Ir.Index (a, b) | Ir.Binop (_, a, b) ->
-      let ia = eval ctx env ~fname ~pc a and ib = eval ctx env ~fname ~pc b in
+      let ia = eval ctx frame env ~pc a and ib = eval ctx frame env ~pc b in
       { taint = ia.taint || ib.taint; roots = Sset.union ia.roots ib.roots }
   | Ir.Tuple es | Ir.Vec es ->
       List.fold_left
         (fun acc e ->
-          let i = eval ctx env ~fname ~pc e in
+          let i = eval ctx frame env ~pc e in
           { taint = acc.taint || i.taint; roots = Sset.union acc.roots i.roots })
         untainted es
-  | Ir.Call (callee, args) -> eval_call ctx env ~fname ~pc callee args
+  | Ir.Call (callee, args) -> eval_call ctx frame env ~pc callee args
 
-and eval_call ctx env ~fname ~pc callee args : info =
-  let arg_infos = List.map (eval ctx env ~fname ~pc) args in
+and eval_call ctx frame env ~pc callee args : info =
+  let arg_infos = List.map (eval ctx frame env ~pc) args in
   let any_tainted = pc || List.exists (fun i -> i.taint) arg_infos in
   (* A mutable reference to capture-derived data escaping into any call is a
      potential mutation of the capture (§7.1 case 1/2). *)
@@ -97,85 +242,157 @@ and eval_call ctx env ~fname ~pc callee args : info =
       | Ir.Ref_mut v ->
           let roots = Sset.add v (env_get env v).roots in
           let hit = Sset.inter roots ctx.capture_roots in
-          Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit
+          Sset.iter (fun var -> reject ctx frame (Capture_mutation { func = frame.fname; var })) hit
       | _ -> ())
     args;
-  (* Conservatively, a call may write tainted data through any by-reference
-     argument (we keep no per-parameter summaries). *)
-  if any_tainted then
-    List.iter
-      (fun arg ->
-        match arg with
-        | Ir.Ref v | Ir.Ref_mut v | Ir.Var v -> env_taint env v
-        | _ -> ())
-      args;
-  let arg_roots =
-    List.fold_left (fun acc i -> Sset.union acc i.roots) Sset.empty arg_infos
-  in
   let arg_taints = List.map (fun (i : info) -> i.taint) arg_infos in
+  (* Taint every variable an argument expression can reach: the write-back
+     model for callees. Root-based, so non-variable arguments (f(s.field))
+     are covered too — the seed engine only tainted bare Var/Ref args. *)
+  let taint_arg_targets (i : info) = Sset.iter (fun v -> env_taint frame env v) i.roots in
+  (* For callees whose body the analyzer cannot see (native, unknown,
+     allow-listed leaves), conservatively assume a tainted call may write
+     through every argument. Known bodies get precise per-parameter
+     write-back effects from their summaries instead. *)
+  let blanket_writeback () = if any_tainted then List.iter taint_arg_targets arg_infos in
+  let apply_effect (f : Ir.func) (eff : fn_effect) =
+    (* Replay the callee subtree's rejections (a no-op unless the summary
+       came from the cross-check cache or an earlier spec), and apply its
+       write-back effects to the reachable set of each actual argument. *)
+    Rset.iter (fun r -> reject ctx frame r) eff.rejs;
+    let infos = Array.of_list arg_infos in
+    List.iteri
+      (fun idx p ->
+        if Sset.mem p eff.writes && idx < Array.length infos then
+          taint_arg_targets infos.(idx))
+      f.Ir.params;
+    eff.ret
+  in
   let call_one name =
-    if Allowlist.mem ctx.allowlist name then any_tainted
+    if Allowlist.mem ctx.allowlist name then begin
+      blanket_writeback ();
+      any_tainted
+    end
     else
       match Program.find ctx.program name with
       | None ->
-          if any_tainted then reject ctx (Unknown_body_call { func = fname; callee = name });
+          blanket_writeback ();
+          if any_tainted then reject ctx frame (Unknown_body_call { func = frame.fname; callee = name });
           any_tainted
       | Some f -> (
           match f.Ir.body with
           | Ir.Native | Ir.Unresolved_generic ->
+              blanket_writeback ();
               if any_tainted then
-                reject ctx (Tainted_native_call { func = fname; callee = name });
+                reject ctx frame (Tainted_native_call { func = frame.fname; callee = name });
               any_tainted
-          | Ir.Body stmts ->
+          | Ir.Body _ ->
+              (* Calls whose arguments are all insensitive under insensitive
+                 control flow cannot move sensitive data: skipped, as in the
+                 paper. *)
               if not any_tainted then false
-              else analyze_function ctx f ~arg_taints ~pc stmts)
-  in
+              else
+                let key = { kfn = f.Ir.fname; ktaints = normalize_taints f arg_taints; kpc = pc } in
+                apply_effect f (request_summary ctx ~dependent:frame.item key f))
+    in
   let taint =
     match callee with
     | Ir.Static name -> call_one name
     | Ir.Dynamic { method_name; receiver_hint } -> (
         match Program.resolve_dynamic ctx.program ~method_name ~receiver_hint with
         | None ->
-            reject ctx (Unresolvable_dispatch { func = fname; method_name });
+            blanket_writeback ();
+            reject ctx frame (Unresolvable_dispatch { func = frame.fname; method_name });
             true
         | Some candidates -> List.fold_left (fun acc c -> call_one c || acc) false candidates)
     | Ir.Fn_ptr _ ->
-        reject ctx (Fn_pointer_call { func = fname });
+        blanket_writeback ();
+        reject ctx frame (Fn_pointer_call { func = frame.fname });
         true
+  in
+  let arg_roots =
+    List.fold_left (fun acc (i : info) -> Sset.union acc i.roots) Sset.empty arg_infos
   in
   { taint; roots = arg_roots }
 
-and analyze_function ctx (f : Ir.func) ~arg_taints ~pc stmts : bool =
-  (* Normalize the taint signature to the parameter count. *)
-  let n = List.length f.Ir.params in
-  let taints = List.filteri (fun i _ -> i < n) arg_taints in
-  let taints = taints @ List.init (max 0 (n - List.length taints)) (fun _ -> false) in
-  let key = (f.Ir.fname, taints, pc) in
+(* Look up (or start computing) the summary for [key]. New keys are first
+   sought in the cross-check cache; on a miss they are seeded at bottom and
+   analyzed eagerly (depth-first, like the seed engine's memoized descent),
+   with the worklist only re-running items whose dependencies grow — which
+   happens on recursive cycles. The requesting item is recorded as a
+   dependent either way. *)
+and request_summary ctx ~dependent key f : fn_effect =
   match Hashtbl.find_opt ctx.summaries key with
-  | Some (Some result) -> result
-  | Some None -> true (* recursion: conservatively tainted *)
-  | None ->
-      Hashtbl.add ctx.summaries key None;
-      let env : env = Hashtbl.create 16 in
-      List.iter2
-        (fun param taint -> env_set env param { taint; roots = Sset.empty })
-        f.Ir.params taints;
-      let return_taint = ref false in
-      exec_stmts ctx env ~fname:f.Ir.fname ~pc ~return_taint stmts;
-      Hashtbl.replace ctx.summaries key (Some !return_taint);
-      !return_taint
+  | Some s ->
+      if not (List.mem dependent s.dependents) then s.dependents <- dependent :: s.dependents;
+      s.eff
+  | None -> (
+      let cached =
+        match ctx.cache with
+        | None -> None
+        | Some cache ->
+            Summary_cache.find cache ~program:ctx.program ~f ~taints:key.ktaints ~pc:key.kpc
+      in
+      match cached with
+      | Some eff ->
+          ctx.cache_hits <- ctx.cache_hits + 1;
+          (match ctx.cache with Some c -> c.Summary_cache.hits <- c.Summary_cache.hits + 1 | None -> ());
+          Hashtbl.add ctx.summaries key { eff; dependents = [ dependent ]; from_cache = true };
+          eff
+      | None ->
+          if Option.is_some ctx.cache then begin
+            ctx.cache_misses <- ctx.cache_misses + 1;
+            match ctx.cache with
+            | Some c -> c.Summary_cache.misses <- c.Summary_cache.misses + 1
+            | None -> ()
+          end;
+          let s = { eff = bottom_effect; dependents = [ dependent ]; from_cache = false } in
+          Hashtbl.add ctx.summaries key s;
+          run_fn ctx key;
+          s.eff)
 
-and exec_stmts ctx env ~fname ~pc ~return_taint stmts =
-  List.iter (exec_stmt ctx env ~fname ~pc ~return_taint) stmts
+(* Analyze one function body under one calling context and join the result
+   into its summary; if the summary grew, every dependent is re-queued. *)
+and run_fn ctx key =
+  let s = Hashtbl.find ctx.summaries key in
+  match Program.find ctx.program key.kfn with
+  | None -> ()
+  | Some f -> (
+      match f.Ir.body with
+      | Ir.Native | Ir.Unresolved_generic -> ()
+      | Ir.Body stmts ->
+          let frame =
+            {
+              fname = f.Ir.fname;
+              params = Sset.of_list f.Ir.params;
+              item = Fn key;
+              fr_ret = false;
+              fr_writes = Sset.empty;
+              fr_rejs = Rset.empty;
+            }
+          in
+          let env : env = Hashtbl.create 16 in
+          List.iter2
+            (fun param taint -> env_set env param { taint; roots = Sset.empty })
+            f.Ir.params key.ktaints;
+          exec_stmts ctx frame env ~pc:key.kpc stmts;
+          let eff = { ret = frame.fr_ret; writes = frame.fr_writes; rejs = frame.fr_rejs } in
+          let joined = effect_join s.eff eff in
+          if not (effect_equal joined s.eff) then begin
+            s.eff <- joined;
+            List.iter (enqueue ctx) s.dependents
+          end)
 
-and exec_stmt ctx env ~fname ~pc ~return_taint (stmt : Ir.stmt) =
+and exec_stmts ctx frame env ~pc stmts = List.iter (exec_stmt ctx frame env ~pc) stmts
+
+and exec_stmt ctx frame env ~pc (stmt : Ir.stmt) =
   match stmt with
   | Ir.Let (v, e) ->
-      let i = eval ctx env ~fname ~pc e in
+      let i = eval ctx frame env ~pc e in
       env_set env v { taint = i.taint || pc; roots = i.roots }
   | Ir.Assign (lhs, e) ->
-      let i = eval ctx env ~fname ~pc e in
-      assign ctx env ~fname ~pc lhs { i with taint = i.taint || pc }
+      let i = eval ctx frame env ~pc e in
+      assign ctx frame env lhs { i with taint = i.taint || pc }
   | Ir.Unsafe_write (lhs, e) ->
       (* A known-target unsafe write: analyzed like an assignment, except
          that touching capture-derived data violates case 2 regardless of
@@ -184,47 +401,53 @@ and exec_stmt ctx env ~fname ~pc ~return_taint (stmt : Ir.stmt) =
       | Some v ->
           let roots = Sset.add v (env_get env v).roots in
           if not (Sset.is_empty (Sset.inter roots ctx.capture_roots)) then
-            reject ctx (Unsafe_mutation { func = fname })
+            reject ctx frame (Unsafe_mutation { func = frame.fname })
       | None -> ());
-      let i = eval ctx env ~fname ~pc e in
-      assign ctx env ~fname ~pc lhs { i with taint = i.taint || pc }
+      let i = eval ctx frame env ~pc e in
+      assign ctx frame env lhs { i with taint = i.taint || pc }
   | Ir.Opaque_unsafe args ->
       (* Unresolvable raw-pointer mutation: conservatively rejected. *)
-      reject ctx (Unsafe_mutation { func = fname });
-      List.iter (fun e -> ignore (eval ctx env ~fname ~pc e)) args
+      reject ctx frame (Unsafe_mutation { func = frame.fname });
+      List.iter (fun e -> ignore (eval ctx frame env ~pc e)) args
   | Ir.If (c, then_, else_) ->
-      let ci = eval ctx env ~fname ~pc c in
+      let ci = eval ctx frame env ~pc c in
       let pc' = pc || ci.taint in
-      exec_stmts ctx env ~fname ~pc:pc' ~return_taint then_;
-      exec_stmts ctx env ~fname ~pc:pc' ~return_taint else_
+      exec_stmts ctx frame env ~pc:pc' then_;
+      exec_stmts ctx frame env ~pc:pc' else_
   | Ir.While (c, body) ->
-      fixpoint ctx env (fun () ->
-          let ci = eval ctx env ~fname ~pc c in
+      fixpoint ctx frame env (fun () ->
+          let ci = eval ctx frame env ~pc c in
           let pc' = pc || ci.taint in
-          exec_stmts ctx env ~fname ~pc:pc' ~return_taint body)
+          exec_stmts ctx frame env ~pc:pc' body)
   | Ir.For (v, e, body) ->
-      fixpoint ctx env (fun () ->
-          let ei = eval ctx env ~fname ~pc e in
+      fixpoint ctx frame env (fun () ->
+          let ei = eval ctx frame env ~pc e in
           (* The element is derived from the collection; the trip count
              leaks the collection's shape, so the body runs under a pc
              raised by the collection's taint. *)
           env_set env v { taint = ei.taint || pc; roots = ei.roots };
           let pc' = pc || ei.taint in
-          exec_stmts ctx env ~fname ~pc:pc' ~return_taint body)
-  | Ir.Return None -> if pc then return_taint := true
+          exec_stmts ctx frame env ~pc:pc' body)
+  | Ir.Return None -> if pc then frame.fr_ret <- true
   | Ir.Return (Some e) ->
-      let i = eval ctx env ~fname ~pc e in
-      if i.taint || pc then return_taint := true
-  | Ir.Expr_stmt e -> ignore (eval ctx env ~fname ~pc e)
+      let i = eval ctx frame env ~pc e in
+      if i.taint || pc then frame.fr_ret <- true
+  | Ir.Expr_stmt e -> ignore (eval ctx frame env ~pc e)
 
-and assign ctx env ~fname ~pc:_ lhs (value : info) =
+and assign ctx frame env lhs (value : info) =
   match lhs with
   | Ir.Lvar v -> env_set env v value
   | Ir.Lfield (v, _) | Ir.Lindex (v, _) ->
       let base = env_get env v in
-      let roots = Sset.add v base.roots in
-      let hit = Sset.inter roots ctx.capture_roots in
-      Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit;
+      let targets = Sset.add v base.roots in
+      let hit = Sset.inter targets ctx.capture_roots in
+      Sset.iter (fun var -> reject ctx frame (Capture_mutation { func = frame.fname; var })) hit;
+      (* A tainted store into a projection of a parameter (or of anything
+         that may alias one) is caller-visible. *)
+      if value.taint then
+        Sset.iter
+          (fun t -> if Sset.mem t frame.params then frame.fr_writes <- Sset.add t frame.fr_writes)
+          targets;
       env_set env v
         { taint = base.taint || value.taint; roots = Sset.union base.roots value.roots }
   | Ir.Lderef v ->
@@ -232,27 +455,79 @@ and assign ctx env ~fname ~pc:_ lhs (value : info) =
       let base = env_get env v in
       let targets = Sset.add v base.roots in
       let hit = Sset.inter targets ctx.capture_roots in
-      Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit;
-      if value.taint then Sset.iter (fun target -> env_taint env target) targets
+      Sset.iter (fun var -> reject ctx frame (Capture_mutation { func = frame.fname; var })) hit;
+      if value.taint then Sset.iter (fun target -> env_taint frame env target) targets
   | Ir.Lglobal g ->
-      if value.taint then reject ctx (Tainted_global_write { func = fname; global = g })
+      if value.taint then reject ctx frame (Tainted_global_write { func = frame.fname; global = g })
 
-and fixpoint ctx env body =
-  (* Taint only grows, so iterate to a fixed point (bounded as a safety
-     net against pathological alias growth). *)
+(* Loop fixpoint: run the body, then join the loop-head state back in (the
+   loop may execute zero times, and the join makes the head state grow
+   monotonically, which guarantees convergence — taint and root sets only
+   range over finitely many program variables). Re-iterate while the head
+   state grew or a new rejection appeared. The seed engine compared root
+   sets by cardinality and read the rejection count only after running the
+   body, so same-size aliasing changes and rejection growth both looked
+   like convergence; here the comparison is structural ([Sset.equal]) and
+   the count is taken before the body runs. The iteration bound is a
+   safety net only — monotone growth cannot cycle. *)
+and fixpoint ctx _frame env body =
+  let max_iterations = 64 in
   let rec go n =
-    let before = env_snapshot env in
+    let head = Hashtbl.copy env in
+    let rejections_before = rejection_count ctx in
     body ();
-    let rejections_before = List.length ctx.rejections in
-    if env_snapshot env <> before || List.length ctx.rejections <> rejections_before
-    then (if n < 64 then go (n + 1))
+    Hashtbl.iter
+      (fun v i ->
+        let cur = env_get env v in
+        let joined = info_join cur i in
+        if not (info_equal cur joined) then env_set env v joined)
+      head;
+    let grew =
+      Hashtbl.length env <> Hashtbl.length head
+      || Hashtbl.fold (fun v i acc -> acc || not (info_equal i (env_get env v))) head false
+    in
+    if (grew || rejection_count ctx <> rejections_before) && n < max_iterations then go (n + 1)
   in
   go 0
 
 (* ------------------------------------------------------------------ *)
 
-let check ?(allowlist = Allowlist.default) program (spec : Spec.t) =
-  let started = Sys.time () in
+let run_spec ctx =
+  let spec = ctx.spec in
+  let frame =
+    {
+      fname = spec.Spec.name;
+      params = Sset.empty;
+      item = Spec_body;
+      fr_ret = false;
+      fr_writes = Sset.empty;
+      fr_rejs = Rset.empty;
+    }
+  in
+  let env : env = Hashtbl.create 16 in
+  List.iter (fun p -> env_set env p { taint = true; roots = Sset.empty }) spec.Spec.params;
+  List.iter
+    (fun (c : Ir.capture) -> env_set env c.cap_var { taint = false; roots = Sset.empty })
+    spec.Spec.captures;
+  exec_stmts ctx frame env ~pc:false spec.Spec.body
+
+(* Drain the worklist: re-run every item one of whose dependency summaries
+   grew since it last ran. Monotone effects over finite lattices make this
+   terminate; when the queue is empty every summary is a fixpoint. *)
+let solve ctx =
+  run_spec ctx;
+  let rec drain () =
+    match Queue.take_opt ctx.queue with
+    | None -> ()
+    | Some item ->
+        Hashtbl.remove ctx.queued item;
+        (match item with Spec_body -> run_spec ctx | Fn key -> run_fn ctx key);
+        drain ()
+  in
+  drain ()
+
+let check ?(allowlist = Allowlist.default) ?cache program (spec : Spec.t) =
+  let started = Sesame_clock.now_ns () in
   let graph = Callgraph.collect program ~allowlist spec in
   let collection_rejections =
     List.map
@@ -263,43 +538,60 @@ let check ?(allowlist = Allowlist.default) program (spec : Spec.t) =
       (Callgraph.failures graph)
   in
   let capture_rejections =
-    List.filter_map
-      (fun (c : Ir.capture) ->
-        match c.mode with
-        | Ir.By_mut_ref -> Some (Mutable_capture { var = c.cap_var })
-        | Ir.By_value | Ir.By_ref -> None)
-      spec.Spec.captures
+    List.map (fun var -> Mutable_capture { var }) (Spec.by_mut_ref_captures spec)
   in
-  let capture_roots =
-    List.filter_map
-      (fun (c : Ir.capture) ->
-        match c.mode with
-        | Ir.By_ref -> Some c.cap_var
-        | Ir.By_value | Ir.By_mut_ref -> None)
-      spec.Spec.captures
-    |> Sset.of_list
-  in
+  let capture_roots = Sset.of_list (Spec.by_ref_captures spec) in
   let ctx =
-    { program; allowlist; capture_roots; rejections = []; summaries = Hashtbl.create 64 }
+    {
+      program;
+      allowlist;
+      spec;
+      capture_roots;
+      rejections = [];
+      rejection_seen = Hashtbl.create 16;
+      summaries = Hashtbl.create 64;
+      queue = Queue.create ();
+      queued = Hashtbl.create 16;
+      cache;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
   in
-  let env : env = Hashtbl.create 16 in
-  List.iter (fun p -> env_set env p { taint = true; roots = Sset.empty }) spec.Spec.params;
-  List.iter
-    (fun (c : Ir.capture) -> env_set env c.cap_var { taint = false; roots = Sset.empty })
-    spec.Spec.captures;
-  let return_taint = ref false in
-  exec_stmts ctx env ~fname:spec.Spec.name ~pc:false ~return_taint spec.Spec.body;
+  solve ctx;
+  (* Publish every freshly computed fixpoint for reuse by later checks. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Hashtbl.iter
+        (fun key s ->
+          if not s.from_cache then
+            match Program.find program key.kfn with
+            | Some f ->
+                Summary_cache.store c ~program ~f ~taints:key.ktaints ~pc:key.kpc s.eff
+            | None -> ())
+        ctx.summaries);
   let rejections =
     capture_rejections @ collection_rejections @ List.rev ctx.rejections
   in
-  (* Dedup while keeping order. *)
+  (* Dedup preserving first-occurrence order, linear in the number of
+     rejections. *)
   let rejections =
-    List.fold_left (fun acc r -> if List.mem r acc then acc else acc @ [ r ]) [] rejections
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun r ->
+        if Hashtbl.mem seen r then false
+        else begin
+          Hashtbl.add seen r ();
+          true
+        end)
+      rejections
   in
   let stats =
     {
       functions_analyzed = Callgraph.functions_analyzed graph;
-      duration_s = Sys.time () -. started;
+      duration_s = Sesame_clock.elapsed_s ~since:started;
+      summary_cache_hits = ctx.cache_hits;
+      summary_cache_misses = ctx.cache_misses;
     }
   in
   { accepted = rejections = []; rejections; stats }

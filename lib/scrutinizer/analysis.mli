@@ -23,7 +23,16 @@
     Writes to globals, and writes through references that may alias a
     captured variable, are rejected when the written value or the ambient
     control flow is sensitive. Calls whose arguments are all insensitive
-    (under insensitive control flow) are skipped, as in the paper. *)
+    (under insensitive control flow) are skipped, as in the paper.
+
+    The engine is a worklist-based fixpoint solver over per-function
+    summaries. A summary maps a calling context (function, argument taint
+    signature, pc) to the function's {e effect}: return-value taint,
+    the set of parameters through which sensitive data may be written back
+    to the caller, and the rejections raised in the function's subtree.
+    Effects form a finite join-semilattice and only ever grow, so the
+    solver terminates; recursive cycles start from bottom and are
+    re-iterated until stable rather than pessimistically assumed tainted. *)
 
 type rejection =
   | Mutable_capture of { var : string }
@@ -40,7 +49,9 @@ val rejection_to_string : rejection -> string
 
 type stats = {
   functions_analyzed : int;  (** distinct functions in the call tree *)
-  duration_s : float;
+  duration_s : float;  (** monotonic wall-clock seconds *)
+  summary_cache_hits : int;  (** cross-check cache hits during this check *)
+  summary_cache_misses : int;  (** cross-check cache misses during this check *)
 }
 
 type verdict = {
@@ -49,7 +60,42 @@ type verdict = {
   stats : stats;
 }
 
-val check : ?allowlist:Allowlist.t -> Program.t -> Spec.t -> verdict
-(** Analyze one privacy region. Defaults to {!Allowlist.default}. *)
+(** Cross-check summary cache.
+
+    Checking a corpus of regions against one program re-analyzes the same
+    library functions under the same calling contexts over and over. A
+    [Summary_cache.t] shared across {!check} calls persists each computed
+    fixpoint, keyed by the program's content fingerprint
+    ({!Program.fingerprint}), a SHA-256 of the callee's normalized source,
+    the argument taint signature, and the pc — so entries are reused
+    across specs (and across structurally identical rebuilt programs) but
+    can never be confused between different function bodies. Cached
+    effects carry their subtree rejections, which are replayed at every
+    use site: a cache hit yields the same verdict a fresh analysis would. *)
+module Summary_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val hits : t -> int
+  (** Lifetime hits across all checks. *)
+
+  val misses : t -> int
+  (** Lifetime misses across all checks. *)
+
+  val entries : t -> int
+  (** Number of stored summaries. *)
+
+  val hit_rate : t -> float
+  (** [hits / (hits + misses)]; [0.] if the cache was never consulted. *)
+end
+
+val check :
+  ?allowlist:Allowlist.t -> ?cache:Summary_cache.t -> Program.t -> Spec.t -> verdict
+(** Analyze one privacy region. Defaults to {!Allowlist.default} and no
+    summary cache. Passing [~cache] reuses function summaries computed by
+    earlier checks against a program with the same fingerprint and
+    publishes this check's summaries for later ones; the verdict is
+    unchanged by caching. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

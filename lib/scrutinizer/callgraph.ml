@@ -20,7 +20,13 @@ let collect program ~allowlist (spec : Spec.t) =
   let visited = Hashtbl.create 64 in
   let order = ref [] in
   let failures = ref [] in
-  let record_failure f = if not (List.mem f !failures) then failures := f :: !failures in
+  let failure_seen = Hashtbl.create 8 in
+  let record_failure f =
+    if not (Hashtbl.mem failure_seen f) then begin
+      Hashtbl.add failure_seen f ();
+      failures := f :: !failures
+    end
+  in
   let rec visit_callee name =
     if (not (Allowlist.mem allowlist name)) && not (Hashtbl.mem visited name) then begin
       Hashtbl.add visited name ();

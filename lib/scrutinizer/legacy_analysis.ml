@@ -1,0 +1,334 @@
+(* The seed analysis engine, frozen verbatim for differential testing.
+
+   This module is the fixpoint engine exactly as it shipped before the
+   worklist rework, INCLUDING its two known convergence bugs:
+
+   - [fixpoint] reads the rejection count after running the body, so the
+     rejection-growth re-iteration condition can never fire;
+   - [env_snapshot] summarizes root-sets by cardinality, so an aliasing
+     change that preserves set size looks like convergence.
+
+   It also keeps the blanket "taint every bare Var/Ref argument of any
+   tainted call" write-back model that the new engine replaces with
+   per-parameter summaries. Do NOT fix bugs here: the differential test
+   suite uses this engine as the floor ("everything the seed rejected must
+   still be rejected") and as the witness for inputs the seed wrongly
+   accepted. *)
+
+[@@@warning "-32"]
+
+type rejection =
+  | Mutable_capture of { var : string }
+  | Capture_mutation of { func : string; var : string }
+  | Unsafe_mutation of { func : string }
+  | Tainted_native_call of { func : string; callee : string }
+  | Unknown_body_call of { func : string; callee : string }
+  | Unresolvable_dispatch of { func : string; method_name : string }
+  | Fn_pointer_call of { func : string }
+  | Tainted_global_write of { func : string; global : string }
+
+let pp_rejection fmt = function
+  | Mutable_capture { var } -> Format.fprintf fmt "captures %s by mutable reference" var
+  | Capture_mutation { func; var } ->
+      Format.fprintf fmt "%s: may mutate captured variable %s" func var
+  | Unsafe_mutation { func } ->
+      Format.fprintf fmt "%s: uses an unsafe mutation primitive" func
+  | Tainted_native_call { func; callee } ->
+      Format.fprintf fmt "%s: sensitive data flows into native code %s" func callee
+  | Unknown_body_call { func; callee } ->
+      Format.fprintf fmt "%s: sensitive data flows into unknown function %s" func callee
+  | Unresolvable_dispatch { func; method_name } ->
+      Format.fprintf fmt "%s: cannot resolve dynamic dispatch of %s" func method_name
+  | Fn_pointer_call { func } ->
+      Format.fprintf fmt "%s: call through an unresolved function pointer" func
+  | Tainted_global_write { func; global } ->
+      Format.fprintf fmt "%s: sensitive data flows into global %s" func global
+
+let rejection_to_string r = Format.asprintf "%a" pp_rejection r
+
+type stats = { functions_analyzed : int; duration_s : float }
+type verdict = { accepted : bool; rejections : rejection list; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+type info = { taint : bool; roots : Sset.t }
+
+let untainted = { taint = false; roots = Sset.empty }
+
+type ctx = {
+  program : Program.t;
+  allowlist : Allowlist.t;
+  capture_roots : Sset.t;  (* by-ref captures of the top-level region *)
+  mutable rejections : rejection list;
+  (* Summaries: (fname, arg-taint bits, pc) -> return taint. An entry of
+     [None] marks an in-progress computation (recursion): assume tainted. *)
+  summaries : (string * bool list * bool, bool option) Hashtbl.t;
+}
+
+let reject ctx r = if not (List.mem r ctx.rejections) then ctx.rejections <- r :: ctx.rejections
+
+type env = (string, info) Hashtbl.t
+
+let env_get (env : env) v = Option.value (Hashtbl.find_opt env v) ~default:untainted
+let env_set (env : env) v info = Hashtbl.replace env v info
+
+let env_taint (env : env) v =
+  let old = env_get env v in
+  if not old.taint then env_set env v { old with taint = true }
+
+(* Snapshot of the mutable parts of an env, for loop fixpoints. *)
+let env_snapshot (env : env) =
+  Hashtbl.fold (fun v i acc -> (v, i.taint, Sset.cardinal i.roots) :: acc) env []
+  |> List.sort compare
+
+let rec eval ctx (env : env) ~fname ~pc (e : Ir.expr) : info =
+  match e with
+  | Ir.Unit | Ir.Int_lit _ | Ir.Float_lit _ | Ir.Str_lit _ | Ir.Bool_lit _ -> untainted
+  | Ir.Global _ -> untainted
+  | Ir.Var v ->
+      let i = env_get env v in
+      { i with roots = Sset.add v i.roots }
+  | Ir.Ref v | Ir.Ref_mut v ->
+      let i = env_get env v in
+      { i with roots = Sset.add v i.roots }
+  | Ir.Field (e, _) | Ir.Unop (_, e) | Ir.Deref e -> eval ctx env ~fname ~pc e
+  | Ir.Index (a, b) | Ir.Binop (_, a, b) ->
+      let ia = eval ctx env ~fname ~pc a and ib = eval ctx env ~fname ~pc b in
+      { taint = ia.taint || ib.taint; roots = Sset.union ia.roots ib.roots }
+  | Ir.Tuple es | Ir.Vec es ->
+      List.fold_left
+        (fun acc e ->
+          let i = eval ctx env ~fname ~pc e in
+          { taint = acc.taint || i.taint; roots = Sset.union acc.roots i.roots })
+        untainted es
+  | Ir.Call (callee, args) -> eval_call ctx env ~fname ~pc callee args
+
+and eval_call ctx env ~fname ~pc callee args : info =
+  let arg_infos = List.map (eval ctx env ~fname ~pc) args in
+  let any_tainted = pc || List.exists (fun i -> i.taint) arg_infos in
+  (* A mutable reference to capture-derived data escaping into any call is a
+     potential mutation of the capture (§7.1 case 1/2). *)
+  List.iter
+    (fun arg ->
+      match arg with
+      | Ir.Ref_mut v ->
+          let roots = Sset.add v (env_get env v).roots in
+          let hit = Sset.inter roots ctx.capture_roots in
+          Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit
+      | _ -> ())
+    args;
+  (* Conservatively, a call may write tainted data through any by-reference
+     argument (we keep no per-parameter summaries). *)
+  if any_tainted then
+    List.iter
+      (fun arg ->
+        match arg with
+        | Ir.Ref v | Ir.Ref_mut v | Ir.Var v -> env_taint env v
+        | _ -> ())
+      args;
+  let arg_roots =
+    List.fold_left (fun acc i -> Sset.union acc i.roots) Sset.empty arg_infos
+  in
+  let arg_taints = List.map (fun (i : info) -> i.taint) arg_infos in
+  let call_one name =
+    if Allowlist.mem ctx.allowlist name then any_tainted
+    else
+      match Program.find ctx.program name with
+      | None ->
+          if any_tainted then reject ctx (Unknown_body_call { func = fname; callee = name });
+          any_tainted
+      | Some f -> (
+          match f.Ir.body with
+          | Ir.Native | Ir.Unresolved_generic ->
+              if any_tainted then
+                reject ctx (Tainted_native_call { func = fname; callee = name });
+              any_tainted
+          | Ir.Body stmts ->
+              if not any_tainted then false
+              else analyze_function ctx f ~arg_taints ~pc stmts)
+  in
+  let taint =
+    match callee with
+    | Ir.Static name -> call_one name
+    | Ir.Dynamic { method_name; receiver_hint } -> (
+        match Program.resolve_dynamic ctx.program ~method_name ~receiver_hint with
+        | None ->
+            reject ctx (Unresolvable_dispatch { func = fname; method_name });
+            true
+        | Some candidates -> List.fold_left (fun acc c -> call_one c || acc) false candidates)
+    | Ir.Fn_ptr _ ->
+        reject ctx (Fn_pointer_call { func = fname });
+        true
+  in
+  { taint; roots = arg_roots }
+
+and analyze_function ctx (f : Ir.func) ~arg_taints ~pc stmts : bool =
+  (* Normalize the taint signature to the parameter count. *)
+  let n = List.length f.Ir.params in
+  let taints = List.filteri (fun i _ -> i < n) arg_taints in
+  let taints = taints @ List.init (max 0 (n - List.length taints)) (fun _ -> false) in
+  let key = (f.Ir.fname, taints, pc) in
+  match Hashtbl.find_opt ctx.summaries key with
+  | Some (Some result) -> result
+  | Some None -> true (* recursion: conservatively tainted *)
+  | None ->
+      Hashtbl.add ctx.summaries key None;
+      let env : env = Hashtbl.create 16 in
+      List.iter2
+        (fun param taint -> env_set env param { taint; roots = Sset.empty })
+        f.Ir.params taints;
+      let return_taint = ref false in
+      exec_stmts ctx env ~fname:f.Ir.fname ~pc ~return_taint stmts;
+      Hashtbl.replace ctx.summaries key (Some !return_taint);
+      !return_taint
+
+and exec_stmts ctx env ~fname ~pc ~return_taint stmts =
+  List.iter (exec_stmt ctx env ~fname ~pc ~return_taint) stmts
+
+and exec_stmt ctx env ~fname ~pc ~return_taint (stmt : Ir.stmt) =
+  match stmt with
+  | Ir.Let (v, e) ->
+      let i = eval ctx env ~fname ~pc e in
+      env_set env v { taint = i.taint || pc; roots = i.roots }
+  | Ir.Assign (lhs, e) ->
+      let i = eval ctx env ~fname ~pc e in
+      assign ctx env ~fname ~pc lhs { i with taint = i.taint || pc }
+  | Ir.Unsafe_write (lhs, e) ->
+      (* A known-target unsafe write: analyzed like an assignment, except
+         that touching capture-derived data violates case 2 regardless of
+         the written value. *)
+      (match Ir.lhs_base lhs with
+      | Some v ->
+          let roots = Sset.add v (env_get env v).roots in
+          if not (Sset.is_empty (Sset.inter roots ctx.capture_roots)) then
+            reject ctx (Unsafe_mutation { func = fname })
+      | None -> ());
+      let i = eval ctx env ~fname ~pc e in
+      assign ctx env ~fname ~pc lhs { i with taint = i.taint || pc }
+  | Ir.Opaque_unsafe args ->
+      (* Unresolvable raw-pointer mutation: conservatively rejected. *)
+      reject ctx (Unsafe_mutation { func = fname });
+      List.iter (fun e -> ignore (eval ctx env ~fname ~pc e)) args
+  | Ir.If (c, then_, else_) ->
+      let ci = eval ctx env ~fname ~pc c in
+      let pc' = pc || ci.taint in
+      exec_stmts ctx env ~fname ~pc:pc' ~return_taint then_;
+      exec_stmts ctx env ~fname ~pc:pc' ~return_taint else_
+  | Ir.While (c, body) ->
+      fixpoint ctx env (fun () ->
+          let ci = eval ctx env ~fname ~pc c in
+          let pc' = pc || ci.taint in
+          exec_stmts ctx env ~fname ~pc:pc' ~return_taint body)
+  | Ir.For (v, e, body) ->
+      fixpoint ctx env (fun () ->
+          let ei = eval ctx env ~fname ~pc e in
+          (* The element is derived from the collection; the trip count
+             leaks the collection's shape, so the body runs under a pc
+             raised by the collection's taint. *)
+          env_set env v { taint = ei.taint || pc; roots = ei.roots };
+          let pc' = pc || ei.taint in
+          exec_stmts ctx env ~fname ~pc:pc' ~return_taint body)
+  | Ir.Return None -> if pc then return_taint := true
+  | Ir.Return (Some e) ->
+      let i = eval ctx env ~fname ~pc e in
+      if i.taint || pc then return_taint := true
+  | Ir.Expr_stmt e -> ignore (eval ctx env ~fname ~pc e)
+
+and assign ctx env ~fname ~pc:_ lhs (value : info) =
+  match lhs with
+  | Ir.Lvar v -> env_set env v value
+  | Ir.Lfield (v, _) | Ir.Lindex (v, _) ->
+      let base = env_get env v in
+      let roots = Sset.add v base.roots in
+      let hit = Sset.inter roots ctx.capture_roots in
+      Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit;
+      env_set env v
+        { taint = base.taint || value.taint; roots = Sset.union base.roots value.roots }
+  | Ir.Lderef v ->
+      (* Write through a reference: affects everything it may point at. *)
+      let base = env_get env v in
+      let targets = Sset.add v base.roots in
+      let hit = Sset.inter targets ctx.capture_roots in
+      Sset.iter (fun var -> reject ctx (Capture_mutation { func = fname; var })) hit;
+      if value.taint then Sset.iter (fun target -> env_taint env target) targets
+  | Ir.Lglobal g ->
+      if value.taint then reject ctx (Tainted_global_write { func = fname; global = g })
+
+and fixpoint ctx env body =
+  (* Taint only grows, so iterate to a fixed point (bounded as a safety
+     net against pathological alias growth). *)
+  let rec go n =
+    let before = env_snapshot env in
+    body ();
+    let rejections_before = List.length ctx.rejections in
+    if env_snapshot env <> before || List.length ctx.rejections <> rejections_before
+    then (if n < 64 then go (n + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(allowlist = Allowlist.default) program (spec : Spec.t) =
+  let started = Sys.time () in
+  let graph = Callgraph.collect program ~allowlist spec in
+  let collection_rejections =
+    List.map
+      (function
+        | Callgraph.Unresolvable_dispatch { caller; method_name } ->
+            Unresolvable_dispatch { func = caller; method_name }
+        | Callgraph.Fn_pointer_call { caller } -> Fn_pointer_call { func = caller })
+      (Callgraph.failures graph)
+  in
+  let capture_rejections =
+    List.filter_map
+      (fun (c : Ir.capture) ->
+        match c.mode with
+        | Ir.By_mut_ref -> Some (Mutable_capture { var = c.cap_var })
+        | Ir.By_value | Ir.By_ref -> None)
+      spec.Spec.captures
+  in
+  let capture_roots =
+    List.filter_map
+      (fun (c : Ir.capture) ->
+        match c.mode with
+        | Ir.By_ref -> Some c.cap_var
+        | Ir.By_value | Ir.By_mut_ref -> None)
+      spec.Spec.captures
+    |> Sset.of_list
+  in
+  let ctx =
+    { program; allowlist; capture_roots; rejections = []; summaries = Hashtbl.create 64 }
+  in
+  let env : env = Hashtbl.create 16 in
+  List.iter (fun p -> env_set env p { taint = true; roots = Sset.empty }) spec.Spec.params;
+  List.iter
+    (fun (c : Ir.capture) -> env_set env c.cap_var { taint = false; roots = Sset.empty })
+    spec.Spec.captures;
+  let return_taint = ref false in
+  exec_stmts ctx env ~fname:spec.Spec.name ~pc:false ~return_taint spec.Spec.body;
+  let rejections =
+    capture_rejections @ collection_rejections @ List.rev ctx.rejections
+  in
+  (* Dedup while keeping order. *)
+  let rejections =
+    List.fold_left (fun acc r -> if List.mem r acc then acc else acc @ [ r ]) [] rejections
+  in
+  let stats =
+    {
+      functions_analyzed = Callgraph.functions_analyzed graph;
+      duration_s = Sys.time () -. started;
+    }
+  in
+  { accepted = rejections = []; rejections; stats }
+
+let pp_verdict fmt v =
+  if v.accepted then
+    Format.fprintf fmt "ACCEPTED (%d functions, %.3fs)" v.stats.functions_analyzed
+      v.stats.duration_s
+  else
+    Format.fprintf fmt "@[<v 2>REJECTED (%d functions, %.3fs):@,%a@]"
+      v.stats.functions_analyzed v.stats.duration_s
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rejection)
+      v.rejections

@@ -1,0 +1,21 @@
+(** The seed analysis engine, frozen for differential testing — see the
+    comment at the top of the implementation. Use {!Analysis} for real
+    checking; this exists only so tests can prove the reworked engine
+    rejects a superset of what the seed engine rejected. *)
+
+type rejection =
+  | Mutable_capture of { var : string }
+  | Capture_mutation of { func : string; var : string }
+  | Unsafe_mutation of { func : string }
+  | Tainted_native_call of { func : string; callee : string }
+  | Unknown_body_call of { func : string; callee : string }
+  | Unresolvable_dispatch of { func : string; method_name : string }
+  | Fn_pointer_call of { func : string }
+  | Tainted_global_write of { func : string; global : string }
+
+val rejection_to_string : rejection -> string
+
+type stats = { functions_analyzed : int; duration_s : float }
+type verdict = { accepted : bool; rejections : rejection list; stats : stats }
+
+val check : ?allowlist:Allowlist.t -> Program.t -> Spec.t -> verdict

@@ -28,6 +28,14 @@ let loc t =
   |> List.filter (fun l -> String.trim l <> "")
   |> List.length
 
+let captures_with_mode t mode =
+  List.filter_map
+    (fun (c : Ir.capture) -> if c.mode = mode then Some c.cap_var else None)
+    t.captures
+
+let by_ref_captures t = captures_with_mode t Ir.By_ref
+let by_mut_ref_captures t = captures_with_mode t Ir.By_mut_ref
+
 let to_func t =
   Ir.func ~name:t.name
     ~params:(t.params @ List.map (fun (c : Ir.capture) -> c.cap_var) t.captures)

@@ -19,6 +19,14 @@ val source : t -> string
 val loc : t -> int
 (** Non-empty lines of the closure body (the unit of Fig. 6's "Size"). *)
 
+val by_ref_captures : t -> Ir.var list
+(** Variables captured by shared reference — the analysis treats these as
+    the region's protected "capture roots". *)
+
+val by_mut_ref_captures : t -> Ir.var list
+(** Variables captured by mutable reference — rejected up front by the
+    analysis, whether or not they are written. *)
+
 val to_func : t -> Ir.func
 (** The closure viewed as an in-crate function (captures become trailing
     parameters for rendering purposes only). *)

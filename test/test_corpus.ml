@@ -79,6 +79,59 @@ let shape_tests =
         check_bool "scales" true (pick Corpus.App_corpus.Full > 10 * pick Corpus.App_corpus.Small));
   ]
 
+(* Differential checks against the frozen seed engine: the rework must
+   reject everything the seed rejected (no lost soundness), and caching
+   must not change any verdict. *)
+let differential_tests =
+  [
+    Alcotest.test_case "app corpus: seed-rejected regions stay rejected" `Quick (fun () ->
+        let program = Lazy.force app_program in
+        List.iter
+          (fun (c : Corpus.App_corpus.case) ->
+            let legacy = Scrut.Legacy_analysis.check program c.spec in
+            if not legacy.Scrut.Legacy_analysis.accepted then
+              check_bool
+                (Printf.sprintf "%s still rejected" c.name)
+                false
+                (Scrut.Analysis.check program c.spec).Scrut.Analysis.accepted)
+          (Corpus.App_corpus.cases ()));
+    Alcotest.test_case "stdlib corpus: seed-rejected methods stay rejected" `Quick (fun () ->
+        let program = Lazy.force std_program in
+        List.iter
+          (fun (c : Corpus.Stdlib_corpus.case) ->
+            let legacy = Scrut.Legacy_analysis.check program c.spec in
+            if not legacy.Scrut.Legacy_analysis.accepted then
+              check_bool
+                (Printf.sprintf "%s still rejected" c.name)
+                false
+                (Scrut.Analysis.check program c.spec).Scrut.Analysis.accepted)
+          (Corpus.Stdlib_corpus.cases ()));
+    Alcotest.test_case "app corpus: cached verdicts match uncached" `Quick (fun () ->
+        let program = Lazy.force app_program in
+        let cache = Scrut.Analysis.Summary_cache.create () in
+        List.iter
+          (fun (c : Corpus.App_corpus.case) ->
+            let plain = Scrut.Analysis.check program c.spec in
+            let cached = Scrut.Analysis.check ~cache program c.spec in
+            check_bool
+              (Printf.sprintf "%s verdict" c.name)
+              plain.Scrut.Analysis.accepted cached.Scrut.Analysis.accepted;
+            check_bool
+              (Printf.sprintf "%s rejections" c.name)
+              true
+              (plain.Scrut.Analysis.rejections = cached.Scrut.Analysis.rejections))
+          (Corpus.App_corpus.cases ());
+        (* Second full pass over a now-warm cache: still identical. *)
+        List.iter
+          (fun (c : Corpus.App_corpus.case) ->
+            let plain = Scrut.Analysis.check program c.spec in
+            let warm = Scrut.Analysis.check ~cache program c.spec in
+            check_bool
+              (Printf.sprintf "%s warm verdict" c.name)
+              plain.Scrut.Analysis.accepted warm.Scrut.Analysis.accepted)
+          (Corpus.App_corpus.cases ()));
+  ]
+
 let () =
   let cases = Corpus.App_corpus.cases () in
   let per_app app =
@@ -89,4 +142,5 @@ let () =
   Alcotest.run "corpus"
     ([ ("shape", shape_tests) ]
     @ List.map (fun app -> ("fig10-" ^ app, per_app app)) Corpus.App_corpus.apps
-    @ [ ("stdlib-study", List.map std_case (Corpus.Stdlib_corpus.cases ())) ])
+    @ [ ("stdlib-study", List.map std_case (Corpus.Stdlib_corpus.cases ())) ]
+    @ [ ("differential", differential_tests) ])

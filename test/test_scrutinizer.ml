@@ -37,6 +37,21 @@ let fixture () =
               [ Return (Some (Call (Static "recursive", [ Binop (Sub, Var "x", Int_lit 1) ]))) ]
             );
         ];
+      func ~name:"write_through" ~params:[ "dst"; "v" ]
+        [ Assign (Lderef "dst", Var "v") ];
+      func ~name:"store_rec" ~params:[ "dst"; "v"; "n" ]
+        (* Recursive by-ref write-back: *dst = v at the bottom of the
+           recursion. *)
+        [
+          If
+            ( Binop (Gt, Var "n", Int_lit 0),
+              [
+                Expr_stmt
+                  (Call
+                     (Static "store_rec", [ Var "dst"; Var "v"; Binop (Sub, Var "n", Int_lit 1) ]));
+              ],
+              [ Assign (Lderef "dst", Var "v") ] );
+        ];
       func ~name:"Pretty::show" ~params:[ "x" ]
         [ Return (Some (Binop (Concat, Str_lit "", Var "x"))) ];
       func ~name:"Logging::show" ~params:[ "x" ]
@@ -295,18 +310,33 @@ let rejection_tests =
                   Expr_stmt (Call (Static "fs_write", [ Var "y" ]));
                 ])
              (function Analysis.Tainted_native_call _ -> true | _ -> false)));
-    test "by-ref arg of a tainted call is conservatively tainted" (fun () ->
-        (* pure_concat may write through its &mut arg; the analysis must
-           assume out becomes tainted. *)
+    test "by-ref arg is tainted when the callee's summary says it writes" (fun () ->
+        (* write_through stores its tainted second argument through its
+           first; the summary's write-back effect must taint out. *)
         check_bool "rej" true
           (has_rejection (fixture ())
              (spec "r" [ "x" ]
                 [
                   Let ("out", Str_lit "");
-                  Expr_stmt (Call (Static "pure_concat", [ Ref_mut "out"; Var "x" ]));
+                  Expr_stmt (Call (Static "write_through", [ Ref_mut "out"; Var "x" ]));
                   Expr_stmt (Call (Static "fs_write", [ Var "out" ]));
                 ])
              (function Analysis.Tainted_native_call _ -> true | _ -> false)));
+    test "by-ref arg of a call into an unseen body is conservatively tainted" (fun () ->
+        (* For bodies the analyzer cannot see there is no summary, so the
+           blanket write-back assumption must remain. *)
+        let allow = Allowlist.add Allowlist.default "mystery_fill" in
+        check_bool "rej" true
+          (List.exists
+             (function Analysis.Tainted_native_call _ -> true | _ -> false)
+             (Analysis.check ~allowlist:allow (fixture ())
+                (spec "r" [ "x" ]
+                   [
+                     Let ("out", Str_lit "");
+                     Expr_stmt (Call (Static "mystery_fill", [ Ref_mut "out"; Var "x" ]));
+                     Expr_stmt (Call (Static "fs_write", [ Var "out" ]));
+                   ]))
+               .Analysis.rejections));
     test "multiple rejection reasons all reported" (fun () ->
         let v =
           verdict (fixture ())
@@ -493,11 +523,196 @@ let encapsulation_tests =
         check_int "no findings" 0 (List.length (Encapsulation.audit p)));
   ]
 
+(* Regression cases for the two seed-engine fixpoint bugs and the missing
+   write-back summaries. Each is checked against both engines: the frozen
+   seed engine ([Legacy_analysis]) must wrongly accept, the reworked engine
+   must reject — proving these are real soundness fixes, not behavior
+   drift. *)
+let fixpoint_regression_tests =
+  let legacy_accepts program s =
+    (Legacy_analysis.check program s).Legacy_analysis.accepted
+  in
+  [
+    test "loop rejection appearing only on the second iteration is seen" (fun () ->
+        (* p aliases a local on iteration 1 and the capture from iteration
+           2 on; only the second dataflow pass sees the capture mutation.
+           The written value is untainted, so no per-variable taint bit
+           changes either: the seed engine reads the rejection count after
+           running the body and summarizes root sets by size, so it
+           converges after one pass. *)
+        let s =
+          spec "r" [ "x" ]
+            ~captures:[ { cap_var = "cap"; mode = By_ref } ]
+            [
+              Let ("a", Int_lit 0);
+              Let ("p", Ref "a");
+              Let ("go", Bool_lit true);
+              While
+                ( Var "go",
+                  [
+                    Assign (Lderef "p", Int_lit 0);
+                    Assign (Lvar "p", Ref "cap");
+                    Assign (Lvar "go", Bool_lit false);
+                  ] );
+            ]
+        in
+        check_bool "legacy wrongly accepts" true (legacy_accepts (fixture ()) s);
+        check_bool "fixed engine rejects" true
+          (has_rejection (fixture ()) s (function
+            | Analysis.Capture_mutation { var; _ } -> var = "cap"
+            | _ -> false)));
+    test "root set changing membership but not cardinality converges late" (fun () ->
+        (* The unsafe write's target set swaps {a} for {cap}: same size,
+           same taint, different membership — invisible to the seed
+           engine's cardinality snapshot. *)
+        let s =
+          spec "r" [ "x" ]
+            ~captures:[ { cap_var = "cap"; mode = By_ref } ]
+            [
+              Let ("a", Int_lit 0);
+              Let ("p", Ref "a");
+              Let ("go", Bool_lit true);
+              While
+                ( Var "go",
+                  [
+                    Unsafe_write (Lderef "p", Int_lit 0);
+                    Assign (Lvar "p", Ref "cap");
+                    Assign (Lvar "go", Bool_lit false);
+                  ] );
+            ]
+        in
+        check_bool "legacy wrongly accepts" true (legacy_accepts (fixture ()) s);
+        check_bool "fixed engine rejects" true
+          (has_rejection (fixture ()) s (function
+            | Analysis.Unsafe_mutation _ -> true
+            | _ -> false)));
+    test "recursive callee's by-ref write-back reaches a projected argument" (fun () ->
+        (* store_rec writes its tainted second argument through its first;
+           the argument here is s.slot — not a bare variable, so the seed
+           engine's Var/Ref-only blanket never taints s. *)
+        let s =
+          spec "r" [ "x" ]
+            [
+              Let ("s", Vec []);
+              Expr_stmt
+                (Call (Static "store_rec", [ Field (Var "s", "slot"); Var "x"; Int_lit 3 ]));
+              Expr_stmt (Call (Static "fs_write", [ Var "s" ]));
+            ]
+        in
+        check_bool "legacy wrongly accepts" true (legacy_accepts (fixture ()) s);
+        check_bool "fixed engine rejects" true
+          (has_rejection (fixture ()) s (function
+            | Analysis.Tainted_native_call _ -> true
+            | _ -> false)));
+    test "pure callee's by-ref arguments stay untainted (precision)" (fun () ->
+        (* The flip side of per-parameter write-backs: pure_concat never
+           writes through its arguments, so out stays clean and the seed
+           engine's blanket false positive disappears. *)
+        check_bool "ok" true
+          (accepted (fixture ())
+             (spec "r" [ "x" ]
+                [
+                  Let ("out", Str_lit "");
+                  Expr_stmt (Call (Static "pure_concat", [ Ref_mut "out"; Var "x" ]));
+                  Expr_stmt (Call (Static "fs_write", [ Var "out" ]));
+                ])));
+    test "loop fixpoint terminates on the iteration backstop" (fun () ->
+        (* Monotone joins cannot cycle, but the backstop must still leave
+           the analysis sound and terminating on a self-extending alias
+           loop. *)
+        let v =
+          verdict (fixture ())
+            (spec "r" [ "x" ]
+               [
+                 Let ("p", Ref "x");
+                 While (Bool_lit true, [ Let ("q", Deref (Var "p")); Let ("p", Ref "q") ]);
+                 Return (Some (Int_lit 0));
+               ])
+        in
+        check_bool "terminates" true (v.Analysis.stats.duration_s < 60.0));
+  ]
+
+let cache_tests =
+  let heavy_spec =
+    spec "r" [ "x" ]
+      [
+        Let ("y", Call (Static "launders", [ Var "x" ]));
+        Expr_stmt (Call (Static "leak_after_laundering", [ Var "y" ]));
+        Return (Some (Call (Static "recursive", [ Var "x" ])));
+      ]
+  in
+  let same_verdict (a : Analysis.verdict) (b : Analysis.verdict) =
+    a.Analysis.accepted = b.Analysis.accepted
+    && a.Analysis.rejections = b.Analysis.rejections
+  in
+  [
+    test "second check of the same spec hits instead of re-analyzing" (fun () ->
+        let program = fixture () in
+        let cache = Analysis.Summary_cache.create () in
+        let v1 = Analysis.check ~cache program heavy_spec in
+        check_bool "first pass misses" true (v1.Analysis.stats.summary_cache_misses > 0);
+        check_int "first pass has no hits" 0 v1.Analysis.stats.summary_cache_hits;
+        let v2 = Analysis.check ~cache program heavy_spec in
+        check_bool "second pass hits" true (v2.Analysis.stats.summary_cache_hits > 0);
+        check_int "second pass misses nothing" 0 v2.Analysis.stats.summary_cache_misses;
+        check_bool "entries published" true (Analysis.Summary_cache.entries cache > 0));
+    test "cached and uncached verdicts agree, including replayed rejections" (fun () ->
+        let program = fixture () in
+        let cache = Analysis.Summary_cache.create () in
+        let uncached = Analysis.check program heavy_spec in
+        let _warmup = Analysis.check ~cache program heavy_spec in
+        let cached = Analysis.check ~cache program heavy_spec in
+        check_bool "not accepted" false uncached.Analysis.accepted;
+        check_bool "verdicts agree" true (same_verdict uncached cached));
+    test "summaries are shared across different specs of one program" (fun () ->
+        let program = fixture () in
+        let cache = Analysis.Summary_cache.create () in
+        let s1 =
+          spec "r1" [ "x" ] [ Return (Some (Call (Static "launders", [ Var "x" ]))) ]
+        in
+        let s2 =
+          spec "r2" [ "secret" ]
+            [ Let ("d", Call (Static "launders", [ Var "secret" ])); Return (Some (Var "d")) ]
+        in
+        ignore (Analysis.check ~cache program s1);
+        let v2 = Analysis.check ~cache program s2 in
+        check_bool "cross-spec hit" true (v2.Analysis.stats.summary_cache_hits > 0));
+    test "defining a new function invalidates the program fingerprint" (fun () ->
+        let program = fixture () in
+        let fp1 = Program.fingerprint program in
+        let cache = Analysis.Summary_cache.create () in
+        ignore (Analysis.check ~cache program heavy_spec);
+        Program.define program (func ~name:"late_addition" ~params:[ "x" ] []);
+        let fp2 = Program.fingerprint program in
+        check_bool "fingerprint changed" false
+          (Sesame_signing.Sha256.to_hex fp1 = Sesame_signing.Sha256.to_hex fp2);
+        (* Old entries are keyed under fp1 and must not be reused — the
+           check must miss, not hit, and still produce the right verdict. *)
+        let v = Analysis.check ~cache program heavy_spec in
+        check_int "no stale hits" 0 v.Analysis.stats.summary_cache_hits;
+        check_bool "still rejected" false v.Analysis.accepted);
+    test "hit rate accounting is consistent" (fun () ->
+        let cache = Analysis.Summary_cache.create () in
+        Alcotest.(check (float 0.0)) "unused cache rate" 0.0
+          (Analysis.Summary_cache.hit_rate cache);
+        let program = fixture () in
+        ignore (Analysis.check ~cache program heavy_spec);
+        ignore (Analysis.check ~cache program heavy_spec);
+        let total =
+          Analysis.Summary_cache.hits cache + Analysis.Summary_cache.misses cache
+        in
+        check_bool "counters populated" true (total > 0);
+        let rate = Analysis.Summary_cache.hit_rate cache in
+        check_bool "rate in range" true (rate > 0.0 && rate <= 1.0));
+  ]
+
 let () =
   Alcotest.run "scrutinizer"
     [
       ("acceptance", acceptance_tests);
       ("rejection", rejection_tests);
+      ("fixpoint-regression", fixpoint_regression_tests);
+      ("summary-cache", cache_tests);
       ("allowlist", allowlist_tests);
       ("callgraph", callgraph_tests);
       ("ir", ir_tests);
