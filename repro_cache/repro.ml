@@ -1,0 +1,34 @@
+open Sesame_scrutinizer
+open Ir
+
+let program () =
+  let p = Program.create () in
+  Program.define_all p
+    [
+      (* Callee whose parameter happens to be named "cap" and which mutates
+         a projection of it. *)
+      func ~name:"helper" ~params:[ "cap" ]
+        [ Assign (Lfield ("cap", "x"), Int_lit 0); Return (Some (Var "cap")) ];
+    ];
+  p
+
+let spec_no_capture =
+  Spec.v ~name:"rA" ~params:[ "x" ] ~captures:[]
+    [ Expr_stmt (Call (Static "helper", [ Var "x" ])) ]
+
+let spec_with_capture =
+  Spec.v ~name:"rB" ~params:[ "x" ]
+    ~captures:[ { cap_var = "cap"; mode = By_ref } ]
+    [ Expr_stmt (Call (Static "helper", [ Var "x" ])) ]
+
+let () =
+  let p = program () in
+  (* Fresh check of spec B, no cache: *)
+  let fresh = Analysis.check p spec_with_capture in
+  Printf.printf "fresh  spec-B accepted: %b\n" fresh.Analysis.accepted;
+  (* Shared cache warmed by spec A (no captures), then spec B: *)
+  let cache = Analysis.Summary_cache.create () in
+  ignore (Analysis.check ~cache p spec_no_capture);
+  let cached = Analysis.check ~cache p spec_with_capture in
+  Printf.printf "cached spec-B accepted: %b (hits=%d)\n" cached.Analysis.accepted
+    cached.Analysis.stats.summary_cache_hits
