@@ -3,12 +3,79 @@
 
      dune exec bin/scrutinizer.exe -- --app portfolio --scale full
      dune exec bin/scrutinizer.exe -- --stdlib
-     dune exec bin/scrutinizer.exe -- --region 'pf::rank_region' --verbose *)
+     dune exec bin/scrutinizer.exe -- --region 'pf::rank_region' --explain
+     dune exec bin/scrutinizer.exe -- --json *)
 
 module Scrut = Sesame_scrutinizer
 module Corpus = Sesame_corpus
 
-let run_app_corpus scale app_filter region_filter verbose no_cache =
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON rendering (no JSON dependency in the tree). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_of_step (s : Scrut.Analysis.step) =
+  Printf.sprintf {|{"kind":%s,"fn":%s,"detail":%s}|}
+    (json_str
+       (match s.Scrut.Analysis.step_kind with
+       | Scrut.Analysis.Source -> "source"
+       | Flow -> "flow"
+       | Branch -> "branch"
+       | Call -> "call"
+       | Return -> "return"
+       | Writeback -> "writeback"
+       | Sink -> "sink"))
+    (json_str s.Scrut.Analysis.step_fn)
+    (json_str s.Scrut.Analysis.step_detail)
+
+let json_of_rejection (r : Scrut.Analysis.rejection) =
+  Printf.sprintf {|{"reason":%s,"trace":[%s]}|}
+    (json_str (Scrut.Analysis.reason_to_string r.Scrut.Analysis.reason))
+    (String.concat "," (List.map json_of_step r.Scrut.Analysis.trace))
+
+let json_of_verdict ~label ~name (v : Scrut.Analysis.verdict) =
+  Printf.sprintf
+    {|{"app":%s,"region":%s,"accepted":%b,"functions":%d,"rejections":[%s]}|}
+    (json_str label) (json_str name) v.Scrut.Analysis.accepted
+    v.Scrut.Analysis.stats.functions_analyzed
+    (String.concat "," (List.map json_of_rejection v.Scrut.Analysis.rejections))
+
+let print_json ~corpus ~scale results =
+  let verified =
+    List.length (List.filter (fun (_, _, v) -> v.Scrut.Analysis.accepted) results)
+  in
+  Format.printf {|{"corpus":%s,"scale":%s,"verified":%d,"total":%d,"regions":[%s]}@.|}
+    (json_str corpus) (json_str scale) verified (List.length results)
+    (String.concat ","
+       (List.map (fun (label, name, v) -> json_of_verdict ~label ~name v) results))
+
+let print_explanations (v : Scrut.Analysis.verdict) =
+  List.iter
+    (fun (r : Scrut.Analysis.rejection) ->
+      Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r);
+      List.iter
+        (fun s -> Format.printf "        %s@." (Scrut.Analysis.step_to_string s))
+        r.Scrut.Analysis.trace)
+    v.Scrut.Analysis.rejections
+
+(* ------------------------------------------------------------------ *)
+
+let run_app_corpus scale app_filter region_filter verbose explain json no_cache =
   let program = Corpus.App_corpus.program scale in
   let cases =
     Corpus.App_corpus.cases ()
@@ -23,30 +90,46 @@ let run_app_corpus scale app_filter region_filter verbose no_cache =
     let cache =
       if no_cache then None else Some (Scrut.Analysis.Summary_cache.create ())
     in
-    let accepted = ref 0 in
-    List.iter
-      (fun (c : Corpus.App_corpus.case) ->
-        let v = Scrut.Analysis.check ?cache program c.spec in
-        if v.Scrut.Analysis.accepted then incr accepted;
-        Format.printf "%-10s %-38s %s (%d functions, %.3fs)@." c.app c.name
-          (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
-          v.Scrut.Analysis.stats.functions_analyzed v.Scrut.Analysis.stats.duration_s;
-        if verbose && not v.Scrut.Analysis.accepted then
-          List.iter
-            (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
-            v.Scrut.Analysis.rejections;
-        if verbose && region_filter <> None then
-          Format.printf "@[<v 2>source:@,%s@]@." (Scrut.Spec.source c.spec))
-      cases;
-    Format.printf "@.%d/%d regions verified.@." !accepted (List.length cases);
-    (match cache with
-    | Some cache when List.length cases > 1 ->
-        Format.printf "summary cache: %d entries, %d hits / %d misses (%.1f%% hit rate)@."
-          (Scrut.Analysis.Summary_cache.entries cache)
-          (Scrut.Analysis.Summary_cache.hits cache)
-          (Scrut.Analysis.Summary_cache.misses cache)
-          (100.0 *. Scrut.Analysis.Summary_cache.hit_rate cache)
-    | Some _ | None -> ());
+    let results =
+      List.map
+        (fun (c : Corpus.App_corpus.case) ->
+          (c.app, c.name, c.spec, Scrut.Analysis.check ?cache program c.spec))
+        cases
+    in
+    if json then
+      print_json ~corpus:"app"
+        ~scale:(match scale with Corpus.App_corpus.Small -> "small" | Full -> "full")
+        (List.map (fun (app, name, _, v) -> (app, name, v)) results)
+    else begin
+      let accepted = ref 0 in
+      List.iter
+        (fun (app, name, spec, v) ->
+          if v.Scrut.Analysis.accepted then incr accepted;
+          Format.printf "%-10s %-38s %s (%d functions, %.3fs)@." app name
+            (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
+            v.Scrut.Analysis.stats.functions_analyzed v.Scrut.Analysis.stats.duration_s;
+          if explain && not v.Scrut.Analysis.accepted then begin
+            Format.printf "    %s@." (Scrut.Spec.signature spec);
+            print_explanations v
+          end
+          else if verbose && not v.Scrut.Analysis.accepted then
+            List.iter
+              (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
+              v.Scrut.Analysis.rejections;
+          if verbose && region_filter <> None then
+            Format.printf "@[<v 2>source:@,%s@]@." (Scrut.Spec.source spec))
+        results;
+      Format.printf "@.%d/%d regions verified.@." !accepted (List.length results);
+      match cache with
+      | Some cache when List.length results > 1 ->
+          Format.printf
+            "summary cache: %d entries, %d hits / %d misses (%.1f%% hit rate)@."
+            (Scrut.Analysis.Summary_cache.entries cache)
+            (Scrut.Analysis.Summary_cache.hits cache)
+            (Scrut.Analysis.Summary_cache.misses cache)
+            (100.0 *. Scrut.Analysis.Summary_cache.hit_rate cache)
+      | Some _ | None -> ()
+    end;
     0
   end
 
@@ -61,23 +144,34 @@ let run_audit scale =
         (String.concat ", " pkgs));
   0
 
-let run_stdlib verbose =
+let run_stdlib verbose explain json =
   let program = Corpus.Stdlib_corpus.program () in
   let cases = Corpus.Stdlib_corpus.cases () in
-  let accepted = ref 0 in
-  List.iter
-    (fun (c : Corpus.Stdlib_corpus.case) ->
-      let v = Scrut.Analysis.check program c.spec in
-      if v.Scrut.Analysis.accepted then incr accepted;
-      Format.printf "%-28s %s%s@." c.name
-        (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
-        (if (not v.Scrut.Analysis.accepted) && c.leak_free then "  (false positive)" else "");
-      if verbose && not v.Scrut.Analysis.accepted then
-        List.iter
-          (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
-          v.Scrut.Analysis.rejections)
-    cases;
-  Format.printf "@.%d/%d methods verified.@." !accepted (List.length cases);
+  let results =
+    List.map
+      (fun (c : Corpus.Stdlib_corpus.case) ->
+        (c, Scrut.Analysis.check program c.spec))
+      cases
+  in
+  if json then
+    print_json ~corpus:"stdlib" ~scale:"-"
+      (List.map (fun ((c : Corpus.Stdlib_corpus.case), v) -> ("stdlib", c.name, v)) results)
+  else begin
+    let accepted = ref 0 in
+    List.iter
+      (fun ((c : Corpus.Stdlib_corpus.case), v) ->
+        if v.Scrut.Analysis.accepted then incr accepted;
+        Format.printf "%-28s %s%s@." c.name
+          (if v.Scrut.Analysis.accepted then "VERIFIED" else "REJECTED")
+          (if (not v.Scrut.Analysis.accepted) && c.leak_free then "  (false positive)" else "");
+        if explain && not v.Scrut.Analysis.accepted then print_explanations v
+        else if verbose && not v.Scrut.Analysis.accepted then
+          List.iter
+            (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
+            v.Scrut.Analysis.rejections)
+      results;
+    Format.printf "@.%d/%d methods verified.@." !accepted (List.length results)
+  end;
   0
 
 open Cmdliner
@@ -115,6 +209,19 @@ let audit_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print rejection reasons (and sources with --region).")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the witness trace of every rejection: the path sensitive data takes from its source binding to the rejected sink.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit machine-readable JSON (verdicts, rejections, and witness traces) instead of text.")
+
 let no_cache_arg =
   Arg.(
     value & flag
@@ -122,16 +229,16 @@ let no_cache_arg =
         ~doc:"Disable the cross-region function-summary cache (on by default; the verdicts are identical either way).")
 
 let cmd =
-  let run stdlib audit scale app region verbose no_cache =
+  let run stdlib audit scale app region verbose explain json no_cache =
     if audit then run_audit scale
-    else if stdlib then run_stdlib verbose
-    else run_app_corpus scale app region verbose no_cache
+    else if stdlib then run_stdlib verbose explain json
+    else run_app_corpus scale app region verbose explain json no_cache
   in
   Cmd.v
     (Cmd.info "scrutinizer" ~version:"1.0"
        ~doc:"Check privacy regions for leakage-freedom (the paper's Scrutinizer)")
     Term.(
       const run $ stdlib_arg $ audit_arg $ scale_arg $ app_arg $ region_arg $ verbose_arg
-      $ no_cache_arg)
+      $ explain_arg $ json_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,28 @@
+(** Field-disjoint precision regions.
+
+    Leakage-free regions the var-granular seed engine wrongly rejects —
+    one sensitive field used to poison the whole struct — plus controls
+    that must stay rejected (genuine leaks, depth-widened flows,
+    index-insensitive element writes, var-granular taint signatures).
+    The differential suite asserts that every [flips] case is rejected by
+    [Legacy_analysis] and accepted by the place-sensitive engine, that
+    every control is rejected by the place-sensitive engine with a
+    non-empty witness trace, and that every case the legacy engine
+    rejects is still rejected. *)
+
+module Scrut := Sesame_scrutinizer
+
+type case = {
+  name : string;
+  spec : Scrut.Spec.t;
+  flips : bool;
+      (** [true]: leakage-free, legacy rejects, place-sensitive accepts.
+          [false]: a control the place-sensitive engine must reject. *)
+  description : string;
+}
+
+val program : unit -> Scrut.Program.t
+val cases : unit -> case list
+
+val counts : unit -> int * int
+(** (flips, controls). *)

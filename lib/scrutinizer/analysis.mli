@@ -25,16 +25,43 @@
     control flow is sensitive. Calls whose arguments are all insensitive
     (under insensitive control flow) are skipped, as in the paper.
 
+    {2 Place sensitivity}
+
+    The abstract domain tracks {e places} — bounded access paths
+    [v], [v.f], [v.f.g] up to depth 2, widening to the depth-2 prefix
+    beyond (see {!Ir.place}) — rather than whole variables, mirroring the
+    paper's analysis of rustc-MIR places. Whole-variable bindings update
+    strongly; field writes and writes through references join weakly at
+    their path. A read of a place sees exactly the entries whose path
+    overlaps its own (prefixes and extensions), so a tainted [rec.secret]
+    no longer poisons a read of [rec.public]. Function summaries carry
+    per-parameter {e per-path} write-back sets, keeping the precision
+    across call boundaries. Index projections are modeled at the base
+    (index-insensitive).
+
+    {2 Witness provenance}
+
+    Every rejection carries a non-empty witness {!type:trace}: the path
+    sensitive data took from a source binding through intermediate flows,
+    branches, and call boundaries to the rejected sink, spliced across
+    calls from the callee-relative traces stored in summaries. Traces are
+    decoration — they never influence verdicts or termination — and are
+    deterministic: cached and uncached runs produce byte-identical
+    rejections.
+
     The engine is a worklist-based fixpoint solver over per-function
     summaries. A summary maps a calling context (function, argument taint
     signature, pc) to the function's {e effect}: return-value taint,
-    the set of parameters through which sensitive data may be written back
+    the parameter places through which sensitive data may be written back
     to the caller, and the rejections raised in the function's subtree.
     Effects form a finite join-semilattice and only ever grow, so the
     solver terminates; recursive cycles start from bottom and are
-    re-iterated until stable rather than pessimistically assumed tainted. *)
+    re-iterated until stable rather than pessimistically assumed tainted.
+    Verdict rejections are published by one final deterministic walk of
+    the spec body after the fixpoint is reached, so their order and
+    traces are independent of worklist scheduling and caching. *)
 
-type rejection =
+type reason =
   | Mutable_capture of { var : string }
   | Capture_mutation of { func : string; var : string }
   | Unsafe_mutation of { func : string }
@@ -44,7 +71,35 @@ type rejection =
   | Fn_pointer_call of { func : string }
   | Tainted_global_write of { func : string; global : string }
 
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string
+
+(** One hop of a witness path. [Source] is the sensitive binding the flow
+    starts from; [Flow] a value assignment; [Branch] control-flow
+    dependence; [Call]/[Return]/[Writeback] movement across a call
+    boundary; [Sink] the rejected operation itself. *)
+type step_kind = Source | Flow | Branch | Call | Return | Writeback | Sink
+
+type step = {
+  step_kind : step_kind;
+  step_fn : string;  (** the function the step occurs in *)
+  step_detail : string;  (** human-readable description of the hop *)
+}
+
+val pp_step : Format.formatter -> step -> unit
+val step_to_string : step -> string
+
+val pp_trace : Format.formatter -> step list -> unit
+(** One step per line. *)
+
+type rejection = {
+  reason : reason;
+  trace : step list;  (** non-empty witness path ending at the sink *)
+}
+
 val pp_rejection : Format.formatter -> rejection -> unit
+(** The reason only; use {!pp_trace} (or {!pp_verdict}) for the witness. *)
+
 val rejection_to_string : rejection -> string
 
 type stats = {
@@ -66,14 +121,19 @@ type verdict = {
     library functions under the same calling contexts over and over. A
     [Summary_cache.t] shared across {!check} calls persists each computed
     fixpoint, keyed by the program's content fingerprint
-    ({!Program.fingerprint}), a SHA-256 of the callee's normalized source,
-    the argument taint signature, and the pc — so entries are reused
-    across specs (and across structurally identical rebuilt programs) but
-    can never be confused between different function bodies. Cached
-    effects carry their subtree rejections, which are replayed at every
-    use site: a cache hit yields the same verdict a fresh analysis would. *)
+    ({!Program.fingerprint}), a SHA-256 of the callee's normalized source
+    under the [sesame-summary-v2] digest tag, the argument taint
+    signature, and the pc — so entries are reused across specs (and
+    across structurally identical rebuilt programs) but can never be
+    confused between different function bodies or summary generations.
+    Cached effects carry their subtree rejections and witness traces,
+    which are replayed at every use site: a cache hit yields byte-for-byte
+    the same verdict a fresh analysis would. *)
 module Summary_cache : sig
   type t
+
+  val version_tag : string
+  (** The digest tag versioning entry keys: ["sesame-summary-v2"]. *)
 
   val create : unit -> t
 
@@ -95,7 +155,8 @@ val check :
 (** Analyze one privacy region. Defaults to {!Allowlist.default} and no
     summary cache. Passing [~cache] reuses function summaries computed by
     earlier checks against a program with the same fingerprint and
-    publishes this check's summaries for later ones; the verdict is
-    unchanged by caching. *)
+    publishes this check's summaries for later ones; the verdict —
+    including witness traces — is unchanged by caching. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+(** Renders each rejection with its witness trace indented beneath it. *)

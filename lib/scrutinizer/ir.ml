@@ -82,6 +82,43 @@ let lhs_base = function
   | Lglobal _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Places: bounded access paths, the unit of the place-sensitive taint
+   domain. A place names a storage location as a base variable plus a
+   chain of field projections ([path] = ["contact"; "email"] for
+   [prof.contact.email]). Index projections are not places — element
+   positions are runtime values, so the analysis stays index-insensitive
+   and models them at the base. *)
+
+type place = { base : var; path : string list }
+
+let place_of_var v = { base = v; path = [] }
+
+let rec place_of_expr = function
+  | Var v | Ref v | Ref_mut v -> Some { base = v; path = [] }
+  | Field (e, f) -> (
+      match place_of_expr e with
+      | Some p -> Some { base = p.base; path = p.path @ [ f ] }
+      | None -> None)
+  (* A deref reaches whatever the reference models, which the taint
+     domain already folds into the variable holding it. *)
+  | Deref e -> place_of_expr e
+  | Unit | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Global _
+  | Index _ | Unop _ | Binop _ | Tuple _ | Vec _ | Call _ ->
+      None
+
+let place_of_lhs = function
+  | Lvar v | Lderef v -> Some { base = v; path = [] }
+  | Lfield (v, f) -> Some { base = v; path = [ f ] }
+  | Lindex (v, _) -> Some { base = v; path = [] }
+  | Lglobal _ -> None
+
+let pp_place fmt p =
+  Format.pp_print_string fmt p.base;
+  List.iter (fun f -> Format.fprintf fmt ".%s" f) p.path
+
+let place_to_string p = Format.asprintf "%a" pp_place p
+
+(* ------------------------------------------------------------------ *)
 (* Pseudo-Rust rendering *)
 
 let binop_symbol = function
@@ -167,3 +204,5 @@ let func_loc f =
   |> List.length
 
 let stmts_source stmts = Format.asprintf "@[<v>%a@]" pp_stmts stmts
+let expr_source e = Format.asprintf "%a" pp_expr e
+let lhs_source l = Format.asprintf "%a" pp_lhs l

@@ -115,6 +115,28 @@ val lhs_base : lhs -> var option
 (** The variable an assignment ultimately writes through ([None] for
     globals). *)
 
+type place = { base : var; path : string list }
+(** A bounded access path: a base variable plus a chain of field
+    projections — the storage-location syntax of the place-sensitive
+    taint domain (rustc-MIR places, modulo index projections, which the
+    analysis models at the base). *)
+
+val place_of_var : var -> place
+(** The whole-variable place (empty path). *)
+
+val place_of_expr : expr -> place option
+(** The place an expression reads, when it is one: [Var]/[Ref]/[Ref_mut]
+    bases, [Field] chains, and [Deref] (transparent — the reference
+    models its target). [None] for computed expressions, indexing,
+    literals, and calls. *)
+
+val place_of_lhs : lhs -> place option
+(** The place an assignment writes. [Lindex] maps to the base place
+    (index-insensitive); [Lglobal] is [None]. *)
+
+val pp_place : Format.formatter -> place -> unit
+val place_to_string : place -> string
+
 val pp_func : Format.formatter -> func -> unit
 val func_source : func -> string
 (** Pseudo-Rust rendering used for signing and LoC accounting. *)
@@ -124,3 +146,9 @@ val func_loc : func -> int
 
 val stmts_source : stmt list -> string
 (** Rendering of a bare statement list (used for region closures). *)
+
+val expr_source : expr -> string
+(** One-line pseudo-Rust rendering of an expression (witness traces). *)
+
+val lhs_source : lhs -> string
+(** One-line pseudo-Rust rendering of an assignment target. *)

@@ -13,14 +13,16 @@ let capture_decl (c : Ir.capture) =
   | Ir.By_ref -> "&" ^ c.cap_var
   | Ir.By_mut_ref -> "&mut " ^ c.cap_var
 
-let source t =
+let signature t =
   let params = String.concat ", " t.params in
   let captures =
     match t.captures with
     | [] -> ""
     | cs -> Printf.sprintf " /* captures: %s */" (String.concat ", " (List.map capture_decl cs))
   in
-  Printf.sprintf "|%s|%s {\n%s\n}" params captures (Ir.stmts_source t.body)
+  Printf.sprintf "|%s|%s" params captures
+
+let source t = Printf.sprintf "%s {\n%s\n}" (signature t) (Ir.stmts_source t.body)
 
 let loc t =
   Ir.stmts_source t.body

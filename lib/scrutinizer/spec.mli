@@ -13,6 +13,11 @@ type t = {
 val make :
   name:string -> params:Ir.var list -> ?captures:Ir.capture list -> Ir.stmt list -> t
 
+val signature : t -> string
+(** The closure header only — parameters and capture modes, no body
+    (e.g. ["|q| /* captures: &cache */"]). Used by diagnostics such as
+    the CLI's [--explain] output. *)
+
 val source : t -> string
 (** Pseudo-Rust rendering of the closure, used for signing and LoC. *)
 

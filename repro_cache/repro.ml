@@ -13,11 +13,11 @@ let program () =
   p
 
 let spec_no_capture =
-  Spec.v ~name:"rA" ~params:[ "x" ] ~captures:[]
+  Spec.make ~name:"rA" ~params:[ "x" ] ~captures:[]
     [ Expr_stmt (Call (Static "helper", [ Var "x" ])) ]
 
 let spec_with_capture =
-  Spec.v ~name:"rB" ~params:[ "x" ]
+  Spec.make ~name:"rB" ~params:[ "x" ]
     ~captures:[ { cap_var = "cap"; mode = By_ref } ]
     [ Expr_stmt (Call (Static "helper", [ Var "x" ])) ]
 

@@ -132,6 +132,101 @@ let differential_tests =
           (Corpus.App_corpus.cases ()));
   ]
 
+(* The precision corpus: field-disjoint regions. Every flip must be a
+   genuine precision win (legacy rejects, place-sensitive accepts); every
+   control must stay rejected; every rejection must carry a non-empty
+   witness trace; caching must not change a single verdict or trace. *)
+let precision_tests =
+  let program = lazy (Corpus.Precision_corpus.program ()) in
+  let precision_case (c : Corpus.Precision_corpus.case) =
+    let label =
+      Printf.sprintf "%s (%s)" c.name
+        (if c.flips then "flip: legacy rejects, v2 accepts" else "control: stays rejected")
+    in
+    Alcotest.test_case label `Quick (fun () ->
+        let program = Lazy.force program in
+        let legacy = Scrut.Legacy_analysis.check program c.spec in
+        let v = Scrut.Analysis.check program c.spec in
+        check_bool "legacy rejects" false legacy.Scrut.Legacy_analysis.accepted;
+        check_bool "place-sensitive verdict" c.flips v.Scrut.Analysis.accepted;
+        if not c.flips then
+          List.iter
+            (fun (r : Scrut.Analysis.rejection) ->
+              check_bool "non-empty witness trace" true (r.Scrut.Analysis.trace <> []))
+            v.Scrut.Analysis.rejections)
+  in
+  List.map precision_case (Corpus.Precision_corpus.cases ())
+  @ [
+      Alcotest.test_case "at least 5 field-disjoint flips" `Quick (fun () ->
+          let flips, _ = Corpus.Precision_corpus.counts () in
+          check_bool "flips >= 5" true (flips >= 5));
+      Alcotest.test_case "cached runs replay identical verdicts and traces" `Quick (fun () ->
+          let program = Lazy.force program in
+          let cache = Scrut.Analysis.Summary_cache.create () in
+          let pass () =
+            List.map
+              (fun (c : Corpus.Precision_corpus.case) ->
+                Scrut.Analysis.check ~cache program c.spec)
+              (Corpus.Precision_corpus.cases ())
+          in
+          let cold = pass () in
+          let warm = pass () in
+          check_bool "warm cache actually hit" true
+            (Scrut.Analysis.Summary_cache.hits cache > 0);
+          List.iter2
+            (fun (a : Scrut.Analysis.verdict) (b : Scrut.Analysis.verdict) ->
+              check_bool "verdict" a.Scrut.Analysis.accepted b.Scrut.Analysis.accepted;
+              (* Structural equality covers reasons AND traces step-by-step. *)
+              check_bool "rejections + traces identical" true
+                (a.Scrut.Analysis.rejections = b.Scrut.Analysis.rejections))
+            cold warm;
+          (* And a cache-free pass agrees with both. *)
+          List.iter2
+            (fun (c : Corpus.Precision_corpus.case) (a : Scrut.Analysis.verdict) ->
+              let plain = Scrut.Analysis.check program c.spec in
+              check_bool "uncached rejections identical" true
+                (plain.Scrut.Analysis.rejections = a.Scrut.Analysis.rejections))
+            (Corpus.Precision_corpus.cases ())
+            cold);
+    ]
+
+(* Witness-trace well-formedness over the full app corpus: every rejection
+   explains itself, starting from a source or sink step. *)
+let trace_tests =
+  [
+    Alcotest.test_case "every app-corpus rejection carries a witness trace" `Quick (fun () ->
+        let program = Lazy.force app_program in
+        List.iter
+          (fun (c : Corpus.App_corpus.case) ->
+            let v = Scrut.Analysis.check program c.spec in
+            List.iter
+              (fun (r : Scrut.Analysis.rejection) ->
+                check_bool
+                  (Printf.sprintf "%s trace non-empty" c.name)
+                  true (r.Scrut.Analysis.trace <> []);
+                match List.rev r.Scrut.Analysis.trace with
+                | last :: _ ->
+                    check_bool
+                      (Printf.sprintf "%s trace ends at the sink" c.name)
+                      true
+                      (last.Scrut.Analysis.step_kind = Scrut.Analysis.Sink)
+                | [] -> ())
+              v.Scrut.Analysis.rejections)
+          (Corpus.App_corpus.cases ()));
+    Alcotest.test_case "every stdlib rejection carries a witness trace" `Quick (fun () ->
+        let program = Lazy.force std_program in
+        List.iter
+          (fun (c : Corpus.Stdlib_corpus.case) ->
+            let v = Scrut.Analysis.check program c.spec in
+            List.iter
+              (fun (r : Scrut.Analysis.rejection) ->
+                check_bool
+                  (Printf.sprintf "%s trace non-empty" c.name)
+                  true (r.Scrut.Analysis.trace <> []))
+              v.Scrut.Analysis.rejections)
+          (Corpus.Stdlib_corpus.cases ()));
+  ]
+
 let () =
   let cases = Corpus.App_corpus.cases () in
   let per_app app =
@@ -143,4 +238,6 @@ let () =
     ([ ("shape", shape_tests) ]
     @ List.map (fun app -> ("fig10-" ^ app, per_app app)) Corpus.App_corpus.apps
     @ [ ("stdlib-study", List.map std_case (Corpus.Stdlib_corpus.cases ())) ]
-    @ [ ("differential", differential_tests) ])
+    @ [ ("differential", differential_tests) ]
+    @ [ ("precision", precision_tests) ]
+    @ [ ("witness-traces", trace_tests) ])

@@ -70,7 +70,9 @@ let verdict ?allowlist program s = Analysis.check ?allowlist program s
 let accepted ?allowlist program s = (verdict ?allowlist program s).Analysis.accepted
 
 let has_rejection program s pred =
-  List.exists pred (verdict program s).Analysis.rejections
+  List.exists
+    (fun (r : Analysis.rejection) -> pred r.Analysis.reason)
+    (verdict program s).Analysis.rejections
 
 let acceptance_tests =
   [
@@ -328,7 +330,10 @@ let rejection_tests =
         let allow = Allowlist.add Allowlist.default "mystery_fill" in
         check_bool "rej" true
           (List.exists
-             (function Analysis.Tainted_native_call _ -> true | _ -> false)
+             (fun (r : Analysis.rejection) ->
+               match r.Analysis.reason with
+               | Analysis.Tainted_native_call _ -> true
+               | _ -> false)
              (Analysis.check ~allowlist:allow (fixture ())
                 (spec "r" [ "x" ]
                    [
@@ -706,6 +711,182 @@ let cache_tests =
         check_bool "rate in range" true (rate > 0.0 && rate <= 1.0));
   ]
 
+(* Place sensitivity, witness provenance, and the seed-engine bug fixes:
+   dynamic-dispatch candidate sets and recursive cycles checked
+   differentially against [Legacy_analysis] and with the cache on/off,
+   surplus-argument taint joining, and Lindex index-expression
+   evaluation. *)
+let place_provenance_tests =
+  let legacy_accepted program s = (Legacy_analysis.check program s).Legacy_analysis.accepted in
+  let cache_agrees program s =
+    let cache = Analysis.Summary_cache.create () in
+    let plain = Analysis.check program s in
+    let cold = Analysis.check ~cache program s in
+    let warm = Analysis.check ~cache program s in
+    check_bool "cold cache verdict" plain.Analysis.accepted cold.Analysis.accepted;
+    check_bool "warm cache verdict" plain.Analysis.accepted warm.Analysis.accepted;
+    check_bool "cold rejections + traces identical" true
+      (plain.Analysis.rejections = cold.Analysis.rejections);
+    check_bool "warm rejections + traces identical" true
+      (plain.Analysis.rejections = warm.Analysis.rejections);
+    plain
+  in
+  [
+    test "dispatch: hintless call tries every candidate, leaky impl rejects" (fun () ->
+        let program = fixture () in
+        let s =
+          spec "r" [ "x" ]
+            [
+              Expr_stmt
+                (Call (Dynamic { method_name = "Show::show"; receiver_hint = None }, [ Var "x" ]));
+            ]
+        in
+        let v = cache_agrees program s in
+        check_bool "rejected (Logging::show leaks)" false v.Analysis.accepted;
+        check_bool "legacy agrees" false (legacy_accepted program s);
+        List.iter
+          (fun (r : Analysis.rejection) ->
+            check_bool "witness trace" true (r.Analysis.trace <> []))
+          v.Analysis.rejections);
+    test "dispatch: candidate set of clean impls accepted, hint narrows to one" (fun () ->
+        let program = Program.create () in
+        Program.define_all program
+          [
+            native ~package:"libc" ~name:"fs_write" ~params:[ "data" ] ();
+            func ~name:"Upper::render" ~params:[ "x" ] [ Return (Some (Var "x")) ];
+            func ~name:"Lower::render" ~params:[ "x" ]
+              [ Return (Some (Binop (Concat, Var "x", Str_lit "."))) ];
+            func ~name:"Loud::render" ~params:[ "x" ]
+              [ Expr_stmt (Call (Static "fs_write", [ Var "x" ])) ];
+          ];
+        Program.register_impl program ~method_name:"Render::render" ~impl:"Upper::render";
+        Program.register_impl program ~method_name:"Render::render" ~impl:"Lower::render";
+        let clean =
+          spec "r" [ "x" ]
+            [
+              Let
+                ( "y",
+                  Call (Dynamic { method_name = "Render::render"; receiver_hint = None }, [ Var "x" ])
+                );
+            ]
+        in
+        check_bool "all candidates clean: accepted" true (cache_agrees program clean).Analysis.accepted;
+        (* Register the leaky impl: the hintless candidate set now rejects,
+           but a receiver hint that excludes it still verifies. *)
+        Program.register_impl program ~method_name:"Render::render" ~impl:"Loud::render";
+        let hinted =
+          spec "r" [ "x" ]
+            [
+              Let
+                ( "y",
+                  Call
+                    ( Dynamic { method_name = "render"; receiver_hint = Some "Upper" },
+                      [ Var "x" ] ) );
+            ]
+        in
+        check_bool "widened candidate set: rejected" false (cache_agrees program clean).Analysis.accepted;
+        check_bool "legacy agrees on the widened set" false (legacy_accepted program clean);
+        check_bool "hint excludes the leaky impl: accepted" true
+          (cache_agrees program hinted).Analysis.accepted);
+    test "recursion: pure cycle accepted where the seed engine gives up" (fun () ->
+        let program = fixture () in
+        let s = spec "r" [ "x" ] [ Let ("y", Call (Static "recursive", [ Var "x" ])) ] in
+        check_bool "place-sensitive accepts" true (cache_agrees program s).Analysis.accepted);
+    test "recursion: leak at the bottom of the cycle rejected with a trace" (fun () ->
+        let program = fixture () in
+        Program.define program
+          (func ~name:"leak_rec" ~params:[ "x"; "n" ]
+             [
+               If
+                 ( Binop (Gt, Var "n", Int_lit 0),
+                   [
+                     Expr_stmt
+                       (Call
+                          (Static "leak_rec", [ Var "x"; Binop (Sub, Var "n", Int_lit 1) ]));
+                   ],
+                   [ Expr_stmt (Call (Static "fs_write", [ Var "x" ])) ] );
+             ]);
+        let s =
+          spec "r" [ "x" ] [ Expr_stmt (Call (Static "leak_rec", [ Var "x"; Int_lit 3 ])) ]
+        in
+        let v = cache_agrees program s in
+        check_bool "rejected" false v.Analysis.accepted;
+        check_bool "legacy agrees" false (legacy_accepted program s);
+        check_bool "trace spans the recursive call" true
+          (List.exists
+             (fun (r : Analysis.rejection) ->
+               List.exists (fun st -> st.Analysis.step_kind = Analysis.Call) r.Analysis.trace)
+             v.Analysis.rejections));
+    test "recursion: by-ref write-back cycle still propagates to the caller" (fun () ->
+        let program = fixture () in
+        let s =
+          spec "r" [ "x" ]
+            [
+              Let ("slot", Str_lit "");
+              Expr_stmt (Call (Static "store_rec", [ Ref_mut "slot"; Var "x"; Int_lit 2 ]));
+              Expr_stmt (Call (Static "fs_write", [ Var "slot" ]));
+            ]
+        in
+        let v = cache_agrees program s in
+        check_bool "rejected" false v.Analysis.accepted;
+        check_bool "legacy agrees" false (legacy_accepted program s));
+    test "surplus arguments: extra tainted arg joins into the summary key" (fun () ->
+        (* The callee declares one parameter but the site passes two; the
+           seed engine dropped the surplus taint on the floor and accepted
+           this leak. *)
+        let program = Program.create () in
+        Program.define_all program
+          [
+            native ~package:"libc" ~name:"fs_write" ~params:[ "data" ] ();
+            func ~name:"one_param" ~params:[ "a" ]
+              [ Expr_stmt (Call (Static "fs_write", [ Var "a" ])) ];
+          ];
+        let s =
+          spec "r" [ "x" ]
+            [ Expr_stmt (Call (Static "one_param", [ Str_lit "ok"; Var "x" ])) ]
+        in
+        check_bool "surplus taint rejects" false (cache_agrees program s).Analysis.accepted);
+    test "Lindex: the index expression is evaluated, not ignored" (fun () ->
+        (* a[leaky(x)] = 0 — the store is clean but computing the index
+           leaks; the seed engine never evaluated index expressions. *)
+        let program = Program.create () in
+        Program.define_all program
+          [
+            native ~package:"libc" ~name:"fs_write" ~params:[ "data" ] ();
+            func ~name:"leaky_len" ~params:[ "v" ]
+              [
+                Expr_stmt (Call (Static "fs_write", [ Var "v" ]));
+                Return (Some (Int_lit 0));
+              ];
+          ];
+        let s =
+          spec "r" [ "x" ]
+            [
+              Let ("a", Vec []);
+              Assign (Lindex ("a", Call (Static "leaky_len", [ Var "x" ])), Int_lit 0);
+            ]
+        in
+        let v = cache_agrees program s in
+        check_bool "index leak rejected" false v.Analysis.accepted;
+        check_bool "seed engine missed it" true (legacy_accepted program s));
+    test "witness traces span call boundaries source-to-sink" (fun () ->
+        let program = fixture () in
+        let s =
+          spec "r" [ "x" ]
+            [ Expr_stmt (Call (Static "leak_after_laundering", [ Var "x" ])) ]
+        in
+        let v = cache_agrees program s in
+        check_bool "rejected" false v.Analysis.accepted;
+        List.iter
+          (fun (r : Analysis.rejection) ->
+            let kinds = List.map (fun st -> st.Analysis.step_kind) r.Analysis.trace in
+            check_bool "starts at the source" true (List.hd kinds = Analysis.Source);
+            check_bool "crosses the call" true (List.mem Analysis.Call kinds);
+            check_bool "ends at the sink" true
+              (List.nth kinds (List.length kinds - 1) = Analysis.Sink))
+          v.Analysis.rejections);
+  ]
+
 let () =
   Alcotest.run "scrutinizer"
     [
@@ -717,4 +898,5 @@ let () =
       ("callgraph", callgraph_tests);
       ("ir", ir_tests);
       ("encapsulation", encapsulation_tests);
+      ("place-provenance", place_provenance_tests);
     ]
