@@ -662,6 +662,64 @@ let conjoin_ablation () =
   scenario "same family (join)" (List.init n (fun i -> Cohort.make { members = i + 1 }))
 
 (* ------------------------------------------------------------------ *)
+(* Ablation: what the fault-injection seams cost. Disarmed (the
+   production configuration) a hit is one load and branch; armed with a
+   plan that never fires it also walks the plan list. Measured both as a
+   micro-benchmark of the hook itself and end-to-end on a WebSubmit
+   endpoint that crosses the DB, policy and render seams. *)
+
+module F = Sesame_faults
+
+let faults_ablation () =
+  header "Ablation: fault-injection hook overhead (disarmed vs armed-not-firing)";
+  let n = 1_000_000 in
+  F.disarm ();
+  let hits () =
+    for _ = 1 to n do
+      F.hit F.Db_query
+    done
+  in
+  let baseline () =
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity ())
+    done
+  in
+  let per_hit t = (median t -. 0.0) /. float_of_int n *. 1e9 in
+  let t_base = sample ~n:11 baseline in
+  let t_disarmed = sample ~n:11 hits in
+  F.arm [ F.plan ~nth:max_int F.Db_query F.Raise ];
+  let t_armed = sample ~n:11 hits in
+  F.disarm ();
+  Printf.printf "empty loop:          %10.1f us\n" (us (median t_base));
+  Printf.printf "disarmed hit:        %10.1f us (%5.2f ns/hit)\n" (us (median t_disarmed))
+    (per_hit t_disarmed);
+  Printf.printf "armed, never fires:  %10.1f us (%5.2f ns/hit)\n" (us (median t_armed))
+    (per_hit t_armed);
+  let app = match Apps.Websubmit.create () with Ok a -> a | Error m -> failwith m in
+  (match Apps.Websubmit.seed app ~students:10 ~questions:2 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let view () =
+    expect_status "view"
+      (Apps.Websubmit.handle app (req ~cookies:"user=student0@school.edu" Http.Meth.GET "/view/1"))
+      200
+  in
+  F.disarm ();
+  let t_view_off = sample ~n:31 view in
+  F.arm [ F.plan ~nth:max_int F.Db_query F.Raise ];
+  let t_view_on = sample ~n:31 view in
+  F.disarm ();
+  Printf.printf "GET /view, disarmed: %10.1f us\n" (us (median t_view_off));
+  Printf.printf "GET /view, armed:    %10.1f us (%.3fx)\n" (us (median t_view_on))
+    (median t_view_on /. median t_view_off);
+  Printf.printf "\nBechamel (OLS ns/run):\n";
+  run_bechamel
+    [
+      Bechamel.Test.make ~name:"faults/hit-disarmed"
+        (Bechamel.Staged.stage (fun () -> Sys.opaque_identity (F.hit F.Db_query)));
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -677,6 +735,7 @@ let experiments =
     ("precision", "Place-sensitive vs seed-engine precision ablation", precision);
     ("pcon-micro", "PCon layout indirection", pcon_micro);
     ("conjoin", "Policy conjunction ablation (stack/dedup/join)", conjoin_ablation);
+    ("faults", "Fault-injection hook overhead ablation", faults_ablation);
   ]
 
 let () =

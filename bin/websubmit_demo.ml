@@ -14,6 +14,30 @@
 
 module Http = Sesame_http
 module Apps = Sesame_apps
+module F = Sesame_faults
+
+(* --inject point:action[:nth], e.g. db-query:exhaust or
+   copier-decode:corrupt:2. nth defaults to 1 (first traversal); 0 fires
+   on every traversal. *)
+let parse_inject spec =
+  match String.split_on_char ':' spec with
+  | point :: rest -> (
+      match F.point_of_string point with
+      | None -> Error (Printf.sprintf "unknown fault point %S" point)
+      | Some point -> (
+          let action_spec, nth =
+            match rest with
+            | [ action ] -> (action, Some 1)
+            | [ "delay"; ns ] -> ("delay:" ^ ns, Some 1)
+            | [ "delay"; ns; nth ] -> ("delay:" ^ ns, int_of_string_opt nth)
+            | [ action; nth ] -> (action, int_of_string_opt nth)
+            | _ -> ("", None)
+          in
+          match (nth, F.action_of_string action_spec) with
+          | Some nth, Some action -> Ok (F.plan ~nth point action)
+          | _, None -> Error (Printf.sprintf "unknown fault action %S" action_spec)
+          | None, _ -> Error (Printf.sprintf "bad fault spec %S" spec)))
+  | [] -> Error "empty fault spec"
 
 let dispatch app line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -43,7 +67,17 @@ let dispatch app line =
               Some (Apps.Websubmit.handle app request))
       | _ -> Some (Http.Response.error Http.Status.Bad_request "usage: [user] METHOD /path [body]"))
 
-let run students questions =
+let run students questions injects =
+  let plans =
+    List.map
+      (fun spec ->
+        match parse_inject spec with
+        | Ok plan -> plan
+        | Error msg ->
+            Printf.eprintf "bad --inject: %s\n" msg;
+            exit 2)
+      injects
+  in
   match Apps.Websubmit.create () with
   | Error m ->
       Printf.eprintf "failed to start: %s\n" m;
@@ -52,11 +86,16 @@ let run students questions =
       (match Apps.Websubmit.seed app ~students ~questions with
       | Ok () -> ()
       | Error m -> failwith m);
+      (* Arm only after seeding: the plans should hit the requests typed
+         at the prompt, not the fixture's own DB traffic. *)
+      if plans <> [] then F.arm plans;
       Printf.printf
         "WebSubmit ready: %d students x %d questions seeded.\n\
          Principals: studentN@school.edu, admin@school.edu, leader@school.edu.\n\
          Example: student0@school.edu GET /view/1   (quit to exit)\n%!"
         students questions;
+      if plans <> [] then
+        Printf.printf "Fault injection armed: %s.\n%!" (String.concat ", " injects);
       try
         while true do
           print_string "> ";
@@ -80,9 +119,18 @@ let students_arg =
 let questions_arg =
   Arg.(value & opt int 3 & info [ "questions" ] ~docv:"N" ~doc:"Questions per student.")
 
+let inject_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "inject" ] ~docv:"POINT:ACTION[:NTH]"
+        ~doc:
+          "Arm a deterministic fault after seeding, e.g. db-query:exhaust or \
+           copier-decode:corrupt:2. NTH=0 fires on every traversal. Repeatable.")
+
 let cmd =
   Cmd.v
     (Cmd.info "websubmit-demo" ~version:"1.0" ~doc:"Interactive WebSubmit instance")
-    Term.(const run $ students_arg $ questions_arg)
+    Term.(const run $ students_arg $ questions_arg $ inject_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -377,7 +377,9 @@ let conn_error e =
   match e with
   | Conn.Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
   | Conn.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | Conn.Db_error msg -> Http.Response.error Http.Status.Internal_error msg
+  | Conn.Breaker_open _ ->
+      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
+  | Conn.Db_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
 
 let authenticate request = Http.Request.cookie request "user"
 

@@ -9,6 +9,7 @@ type error =
   | Signature_invalid of Sign.Keystore.error
   | Hashing_failed of string
   | Decode_failed of string
+  | Sandbox_trapped of { region : string; trap : Sbx.Runtime.trap }
 
 let pp_error fmt = function
   | Not_leakage_free v ->
@@ -21,6 +22,8 @@ let pp_error fmt = function
       Format.fprintf fmt "signature invalid: %a" Sign.Keystore.pp_error e
   | Hashing_failed msg -> Format.fprintf fmt "region hashing failed: %s" msg
   | Decode_failed msg -> Format.fprintf fmt "sandbox output decode failed: %s" msg
+  | Sandbox_trapped { region; trap } ->
+      Format.fprintf fmt "sandboxed region %s trapped: %a" region Sbx.Runtime.pp_trap trap
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
@@ -83,9 +86,12 @@ module Sandboxed = struct
   let run_value t policy value =
     let outcome = Sbx.Runtime.run t.config ~input:value ~f:t.f in
     t.last <- Some outcome.Sbx.Runtime.timings;
-    match t.decode outcome.Sbx.Runtime.result with
-    | Ok result -> Ok (Pcon.Internal.make policy result)
-    | Error msg -> Error (Decode_failed msg)
+    match outcome.Sbx.Runtime.status with
+    | Sbx.Runtime.Trapped trap -> Error (Sandbox_trapped { region = t.name; trap })
+    | Sbx.Runtime.Ok value -> (
+        match t.decode value with
+        | Ok result -> Ok (Pcon.Internal.make policy result)
+        | Error msg -> Error (Decode_failed msg))
 
   let run t pcon =
     run_value t (Pcon.policy pcon) (t.encode (Pcon.Internal.unwrap pcon))

@@ -29,6 +29,9 @@ type error =
   | Signature_invalid of Sign.Keystore.error
   | Hashing_failed of string
   | Decode_failed of string  (** sandbox output did not decode *)
+  | Sandbox_trapped of { region : string; trap : Sbx.Runtime.trap }
+      (** the guest trapped or blew a budget; fail closed, arena
+          quarantined by the runtime *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

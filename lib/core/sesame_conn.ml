@@ -2,25 +2,232 @@ module Db = Sesame_db
 
 type error =
   | Untrusted_context
-  | Policy_denied of { policy : string; context : string }
-  | Db_error of string
+  | Policy_denied of {
+      policy : string;
+      context : string;
+      sink : string;
+      param_index : int option;
+    }
+  | Db_error of { message : string; transient : bool }
+  | Breaker_open of { sink : string }
 
 let pp_error fmt = function
   | Untrusted_context ->
       Format.pp_print_string fmt "built-in sinks require a Sesame-created (trusted) context"
-  | Policy_denied { policy; context } ->
-      Format.fprintf fmt "policy check failed: %s against context [%s]" policy context
-  | Db_error msg -> Format.fprintf fmt "database error: %s" msg
+  | Policy_denied { policy; context; sink; param_index } ->
+      Format.fprintf fmt "policy check failed at sink %s%s: %s against context [%s]" sink
+        (match param_index with
+        | Some i -> Printf.sprintf " (parameter %d)" i
+        | None -> "")
+        policy context
+  | Db_error { message; transient } ->
+      Format.fprintf fmt "database error (%s): %s"
+        (if transient then "transient" else "permanent")
+        message
+  | Breaker_open { sink } ->
+      Format.fprintf fmt "circuit breaker open for sink %s: failing closed" sink
+
+(* Transient faults are worth retrying (contention, lost connections, the
+   injector's Exhaust action); everything else — SQL errors, missing
+   tables, type mismatches — is deterministic and must fail immediately. *)
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let transient_markers =
+  [ "transient:"; "timeout"; "timed out"; "unavailable"; "connection"; "deadlock" ]
+
+let is_transient_db_message message =
+  let lower = String.lowercase_ascii message in
+  List.exists (contains_substring lower) transient_markers
+
+let db_error message = Db_error { message; transient = is_transient_db_message message }
+
+(* ------------------------------------------------------------------ *)
+(* Sink resilience: retry with capped exponential backoff + jitter, and a
+   per-sink circuit breaker. Both are deterministic given a seeded RNG
+   and injected clock/sleep (tests use a fake clock; production uses
+   Sesame_clock and a busy-wait sleep). *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+}
+
+let default_retry =
+  { max_attempts = 3; base_delay_s = 0.001; max_delay_s = 0.050; jitter = 0.2 }
+
+type breaker_config = { failure_threshold : int; cooldown_s : float }
+
+let default_breaker = { failure_threshold = 5; cooldown_s = 1.0 }
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type health = {
+  mutable bstate : breaker_state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable opens : int;
+  mutable short_circuited : int;
+  mutable retries : int;
+  mutable attempts : int;
+}
+
+type sink_stats = {
+  state : breaker_state;
+  consecutive_failures : int;
+  opens : int;  (** times the breaker tripped *)
+  short_circuited : int;  (** calls rejected while open *)
+  retries : int;
+  attempts : int;
+}
 
 type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 
 type t = {
   db : Db.Database.t;
   bindings : (string * string, policy_source) Hashtbl.t;  (* (table, column) *)
+  health : (string, health) Hashtbl.t;  (* per sink *)
+  mutable retry : retry_policy;
+  mutable breaker : breaker_config;
+  mutable rng : Random.State.t;
+  mutable sleep : float -> unit;
+  mutable now : unit -> float;
 }
 
-let create db = { db; bindings = Hashtbl.create 16 }
+let busy_sleep seconds =
+  if seconds > 0.0 then begin
+    let deadline = Sesame_clock.now_s () +. seconds in
+    while Sesame_clock.now_s () < deadline do
+      ignore (Sys.opaque_identity ())
+    done
+  end
+
+let create db =
+  {
+    db;
+    bindings = Hashtbl.create 16;
+    health = Hashtbl.create 8;
+    retry = default_retry;
+    breaker = default_breaker;
+    rng = Random.State.make [| 0x5e5a; 0xe |];
+    sleep = busy_sleep;
+    now = Sesame_clock.now_s;
+  }
+
 let database t = t.db
+
+let configure_resilience t ?retry ?breaker ?seed ?sleep ?now () =
+  Option.iter (fun r -> t.retry <- r) retry;
+  Option.iter (fun b -> t.breaker <- b) breaker;
+  Option.iter (fun s -> t.rng <- Random.State.make [| s |]) seed;
+  Option.iter (fun s -> t.sleep <- s) sleep;
+  Option.iter (fun n -> t.now <- n) now
+
+let health_for t sink =
+  match Hashtbl.find_opt t.health sink with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          bstate = Closed;
+          consecutive_failures = 0;
+          opened_at = 0.0;
+          opens = 0;
+          short_circuited = 0;
+          retries = 0;
+          attempts = 0;
+        }
+      in
+      Hashtbl.add t.health sink h;
+      h
+
+(* An open breaker becomes half-open once the cooldown has elapsed; the
+   next admitted call is the probe. *)
+let refresh t h =
+  if h.bstate = Open && t.now () -. h.opened_at >= t.breaker.cooldown_s then
+    h.bstate <- Half_open
+
+let trip t h =
+  h.bstate <- Open;
+  h.opened_at <- t.now ();
+  h.opens <- h.opens + 1
+
+let record_success (h : health) =
+  h.consecutive_failures <- 0;
+  h.bstate <- Closed
+
+let record_failure t (h : health) =
+  h.consecutive_failures <- h.consecutive_failures + 1;
+  match h.bstate with
+  | Half_open -> trip t h (* the probe failed: straight back to open *)
+  | Closed -> if h.consecutive_failures >= t.breaker.failure_threshold then trip t h
+  | Open -> ()
+
+let sink_stats t sink : sink_stats =
+  let h = health_for t sink in
+  refresh t h;
+  {
+    state = h.bstate;
+    consecutive_failures = h.consecutive_failures;
+    opens = h.opens;
+    short_circuited = h.short_circuited;
+    retries = h.retries;
+    attempts = h.attempts;
+  }
+
+let breaker_state t ~sink = (sink_stats t sink).state
+
+(* Backoff before retry [k] (1-based): min(max, base·2^(k-1)), spread by
+   ±jitter. The RNG is the connector's seeded state, so a fixed seed
+   reproduces the exact delay sequence. *)
+let backoff_delay t k =
+  let exp = t.retry.base_delay_s *. (2.0 ** float_of_int (k - 1)) in
+  let capped = Float.min t.retry.max_delay_s exp in
+  let spread = 1.0 +. (t.retry.jitter *. ((2.0 *. Random.State.float t.rng 1.0) -. 1.0)) in
+  Float.max 0.0 (capped *. spread)
+
+(* Every built-in sink operation runs through this: short-circuit when the
+   breaker is open, retry transient DB failures with backoff, and feed the
+   breaker with the outcome. Policy denials and permanent errors pass
+   through untouched — they are verdicts, not service-health signals. *)
+let with_resilience t ~sink op =
+  let h = health_for t sink in
+  refresh t h;
+  match h.bstate with
+  | Open ->
+      h.short_circuited <- h.short_circuited + 1;
+      Error (Breaker_open { sink })
+  | Closed | Half_open ->
+      let rec attempt k =
+        h.attempts <- h.attempts + 1;
+        match op () with
+        | Ok _ as ok ->
+            record_success h;
+            ok
+        | Error (Db_error { transient = true; _ }) as e ->
+            if k < t.retry.max_attempts then begin
+              h.retries <- h.retries + 1;
+              t.sleep (backoff_delay t k);
+              attempt (k + 1)
+            end
+            else begin
+              record_failure t h;
+              e
+            end
+        | Error _ as e -> e
+      in
+      attempt 1
+
+(* ------------------------------------------------------------------ *)
 
 let attach_policy t ~table ~column source =
   Hashtbl.replace t.bindings (table, column) source
@@ -35,26 +242,44 @@ let ( let* ) = Result.bind
 let require_trusted context =
   if Context.is_trusted context then Ok () else Error Untrusted_context
 
-let check_param context ~sink pcon =
+(* Fail closed: a policy check that raises — from its own (trusted but
+   fallible) code, or from an injected fault at the policy-check seam —
+   is a denial, never an escape hatch. *)
+let check_param context ~sink ~index pcon =
   let context = Context.with_sink context sink in
-  match Policy.check_verbose (Pcon.policy pcon) context with
+  let denied policy =
+    Error
+      (Policy_denied
+         { policy; context = Context.describe context; sink; param_index = Some index })
+  in
+  match
+    Sesame_faults.hit Sesame_faults.Policy_check;
+    Policy.check_verbose (Pcon.policy pcon) context
+  with
   | Ok () -> Ok ()
-  | Error msg ->
-      Error (Policy_denied { policy = msg; context = Context.describe context })
+  | Error msg -> denied msg
+  | exception Sesame_faults.Injected _ -> denied "policy check aborted by injected fault"
+  | exception exn ->
+      denied (Printf.sprintf "policy check raised (%s)" (Printexc.to_string exn))
 
-let rec check_params context ~sink = function
-  | [] -> Ok ()
-  | p :: rest ->
-      let* () = check_param context ~sink p in
-      check_params context ~sink rest
+let check_params context ~sink params =
+  let rec go index = function
+    | [] -> Ok ()
+    | p :: rest ->
+        let* () = check_param context ~sink ~index p in
+        go (index + 1) rest
+  in
+  go 0 params
 
 let unwrap_params params = List.map Pcon.Internal.unwrap params
 
 let query t ~context sql ~params =
   let* () = require_trusted context in
-  let* () = check_params context ~sink:"db::query" params in
+  let sink = "db::query" in
+  let* () = check_params context ~sink params in
+  with_resilience t ~sink @@ fun () ->
   match Db.Database.select_rows t.db sql ~params:(unwrap_params params) with
-  | Error msg -> Error (Db_error msg)
+  | Error msg -> Error (db_error msg)
   | Ok (schema, rows) ->
       let table = Db.Schema.name schema in
       let column_names =
@@ -74,13 +299,15 @@ let query t ~context sql ~params =
    SELECT * with the same WHERE clause. *)
 let query_agg t ~context sql ~params =
   let* () = require_trusted context in
-  let* () = check_params context ~sink:"db::query" params in
+  let sink = "db::query" in
+  let* () = check_params context ~sink params in
+  with_resilience t ~sink @@ fun () ->
   let raw_params = unwrap_params params in
   match Db.Sql.parse sql ~params:raw_params with
-  | Error msg -> Error (Db_error msg)
+  | Error msg -> Error (db_error msg)
   | Ok (Db.Sql.Select_agg { table; aggregates; where; group_by } as stmt) -> (
       match Db.Database.table t.db table with
-      | None -> Error (Db_error (Printf.sprintf "no table named %s" table))
+      | None -> Error (db_error (Printf.sprintf "no table named %s" table))
       | Some tbl -> (
           let schema = Db.Table.schema tbl in
           let matching = Db.Table.select tbl ~where in
@@ -96,8 +323,8 @@ let query_agg t ~context sql ~params =
                 Some c
           in
           match Db.Database.exec_stmt t.db stmt with
-          | Error msg -> Error (Db_error msg)
-          | Ok (Db.Database.Affected _) -> Error (Db_error "aggregate returned no rows")
+          | Error msg -> Error (db_error msg)
+          | Ok (Db.Database.Affected _) -> Error (db_error "aggregate returned no rows")
           | Ok (Db.Database.Rows { columns; rows }) ->
               let group_count = List.length group_by in
               let wrap_row out_row =
@@ -139,11 +366,12 @@ let query_agg t ~context sql ~params =
               in
               Ok (List.map wrap_row rows)))
   | Ok (Db.Sql.Select _ | Db.Sql.Insert _ | Db.Sql.Update _ | Db.Sql.Delete _) ->
-      Error (Db_error "query_agg expects an aggregate SELECT")
+      Error (db_error "query_agg expects an aggregate SELECT")
 
 let insert t ~context ~table cells =
   let* () = require_trusted context in
-  let* () = check_params context ~sink:"db::insert" (List.map snd cells) in
+  let sink = "db::insert" in
+  let* () = check_params context ~sink (List.map snd cells) in
   (* Goes through the statement executor so it pays the same (possibly
      modeled) round-trip cost as any other write. *)
   let stmt =
@@ -154,17 +382,20 @@ let insert t ~context ~table cells =
         values = List.map (fun (_, p) -> Pcon.Internal.unwrap p) cells;
       }
   in
+  with_resilience t ~sink @@ fun () ->
   match Db.Database.exec_stmt t.db stmt with
   | Ok (Db.Database.Affected _) -> Ok ()
-  | Ok (Db.Database.Rows _) -> Error (Db_error "INSERT returned rows")
-  | Error msg -> Error (Db_error msg)
+  | Ok (Db.Database.Rows _) -> Error (db_error "INSERT returned rows")
+  | Error msg -> Error (db_error msg)
 
 let execute t ~context sql ~params =
   let* () = require_trusted context in
-  let* () = check_params context ~sink:"db::execute" params in
+  let sink = "db::execute" in
+  let* () = check_params context ~sink params in
+  with_resilience t ~sink @@ fun () ->
   match Db.Database.exec t.db sql ~params:(unwrap_params params) with
   | Ok (Db.Database.Affected n) -> Ok n
-  | Ok (Db.Database.Rows _) -> Error (Db_error "execute expects UPDATE/DELETE/INSERT")
-  | Error msg -> Error (Db_error msg)
+  | Ok (Db.Database.Rows _) -> Error (db_error "execute expects UPDATE/DELETE/INSERT")
+  | Error msg -> Error (db_error msg)
 
 let param _t v = Pcon.wrap_no_policy v

@@ -9,17 +9,39 @@
 
     Aggregate queries return cells wrapped under the conjunction of the
     aggregated column's per-row policies, so released aggregates remain
-    governed by every contributor's policy until a sink check passes. *)
+    governed by every contributor's policy until a sink check passes.
+
+    The connector is the single choke point where enforcement meets a
+    fallible backend, so every failure path fails {e closed}: policy
+    checks that raise deny; transient database errors are retried with
+    capped exponential backoff and jitter; persistent failure trips a
+    per-sink circuit breaker that short-circuits calls (as
+    {!Breaker_open}) until a cooldown passes and a probe succeeds. *)
 
 module Db = Sesame_db
 
 type error =
   | Untrusted_context
       (** built-in sinks accept only Sesame-created contexts (§6) *)
-  | Policy_denied of { policy : string; context : string }
-  | Db_error of string
+  | Policy_denied of {
+      policy : string;
+      context : string;
+      sink : string;  (** the sink whose check failed, e.g. ["db::query"] *)
+      param_index : int option;  (** 0-based position of the denied parameter *)
+    }
+  | Db_error of { message : string; transient : bool }
+      (** [transient] failures were retried and may succeed later;
+          permanent ones (SQL errors, schema mismatches) never will *)
+  | Breaker_open of { sink : string }
+      (** the sink's circuit breaker is open: the call was rejected
+          without touching the database *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val is_transient_db_message : string -> bool
+(** The transient/permanent classifier applied to backend error strings
+    (matches the ["transient: "] prefix used by injected faults plus
+    common timeout/connection markers). *)
 
 type t
 
@@ -29,6 +51,62 @@ val database : t -> Db.Database.t
     data through it bypasses Sesame and is the moral equivalent of not
     using the mandated libraries. *)
 
+(** {1 Resilience} *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_s : float;
+  max_delay_s : float;  (** backoff cap *)
+  jitter : float;  (** ± fraction applied to each delay *)
+}
+
+val default_retry : retry_policy
+(** 3 attempts, 1 ms base, 50 ms cap, 20% jitter. *)
+
+type breaker_config = {
+  failure_threshold : int;
+      (** consecutive exhausted (post-retry) transient failures before
+          the breaker opens *)
+  cooldown_s : float;  (** open → half-open delay *)
+}
+
+val default_breaker : breaker_config
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_name : breaker_state -> string
+
+type sink_stats = {
+  state : breaker_state;
+  consecutive_failures : int;
+  opens : int;  (** times the breaker tripped *)
+  short_circuited : int;  (** calls rejected while open *)
+  retries : int;
+  attempts : int;
+}
+
+val configure_resilience :
+  t ->
+  ?retry:retry_policy ->
+  ?breaker:breaker_config ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  unit ->
+  unit
+(** [seed] reseeds the jitter RNG (the backoff sequence is a pure
+    function of the seed); [sleep] and [now] replace the busy-wait sleep
+    and {!Sesame_clock} reads so tests run the breaker script on a fake
+    clock without waiting. *)
+
+val sink_stats : t -> string -> sink_stats
+(** Health of one sink's breaker (e.g. ["db::query"]); creates a fresh
+    closed record if the sink was never used. *)
+
+val breaker_state : t -> sink:string -> breaker_state
+
+(** {1 Policy bindings} *)
+
 type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 (** Instantiates a policy from the row it protects (Fig. 3's
     [from_row]). *)
@@ -36,6 +114,8 @@ type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 val attach_policy : t -> table:string -> column:string -> policy_source -> unit
 (** Later attachments to the same column replace earlier ones. Columns
     without a binding yield [NoPolicy] cells. *)
+
+(** {1 Sinks} *)
 
 val query :
   t ->
@@ -45,7 +125,7 @@ val query :
   (Pcon_row.t list, error) result
 (** A [SELECT *] statement. Each PCon parameter is policy-checked against
     [context] (the read is a sink for the parameter data) before the query
-    runs. *)
+    runs; a denial names the parameter's 0-based index. *)
 
 val query_agg :
   t ->

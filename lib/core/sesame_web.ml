@@ -12,10 +12,13 @@ let pp_error fmt = function
       Format.fprintf fmt "policy check failed: %s against context [%s]" policy context
   | Render_error msg -> Format.fprintf fmt "render error: %s" msg
 
+(* Client-facing bodies are generic on purpose: the structured error (and
+   whatever the server logs) keeps the detail; the response must not echo
+   internal render/DB state to the requester. *)
 let error_response = function
   | Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
   | Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | Render_error msg -> Http.Response.error Http.Status.Internal_error msg
+  | Render_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
 
 let context_for request ?user ?custom () =
   Context.Internal.trusted ~endpoint:request.Http.Request.path ?user ~source:"http"
@@ -50,11 +53,30 @@ let ( let* ) = Result.bind
 let require_trusted context =
   if Context.is_trusted context then Ok () else Error Untrusted_context
 
+(* Fail closed: a policy check that raises — from its own fallible code or
+   from an injected fault at the policy-check seam — is a denial. *)
 let check context pcon =
-  match Policy.check_verbose (Pcon.policy pcon) context with
+  match
+    Sesame_faults.hit Sesame_faults.Policy_check;
+    Policy.check_verbose (Pcon.policy pcon) context
+  with
   | Ok () -> Ok (Pcon.Internal.unwrap pcon)
   | Error msg ->
       Error (Policy_denied { policy = msg; context = Context.describe context })
+  | exception Sesame_faults.Injected _ ->
+      Error
+        (Policy_denied
+           {
+             policy = "policy check aborted by injected fault";
+             context = Context.describe context;
+           })
+  | exception exn ->
+      Error
+        (Policy_denied
+           {
+             policy = Printf.sprintf "policy check raised (%s)" (Printexc.to_string exn);
+             context = Context.describe context;
+           })
 
 (* Within one render, bindings frequently share the very same (immutable)
    policy object — e.g. aggregate cells over one column. Re-checking the
@@ -105,7 +127,18 @@ let render ~context template bindings =
   let* () = require_trusted context in
   let context = Context.with_sink context "http::render" in
   let* resolved = resolve_bindings (memoized_check context) bindings in
-  Ok (Http.Response.html (Http.Template.render template resolved))
+  (* The render itself is a seam too: a template engine crash (or an
+     injected fault) must not leak the resolved bindings — it becomes a
+     structured render error whose client-facing body is generic. *)
+  match
+    Sesame_faults.hit Sesame_faults.Template_render;
+    Http.Template.render template resolved
+  with
+  | html -> Ok (Http.Response.html html)
+  | exception Sesame_faults.Injected _ ->
+      Error (Render_error "render aborted by injected fault")
+  | exception exn ->
+      Error (Render_error (Printf.sprintf "template engine raised (%s)" (Printexc.to_string exn)))
 
 let respond_text ~context pcon =
   let* () = require_trusted context in

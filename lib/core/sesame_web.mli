@@ -17,7 +17,9 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 val error_response : error -> Http.Response.t
-(** 403 for policy/trust failures, 500 for render errors. *)
+(** 403 for policy/trust failures, 500 for render errors. Bodies are
+    generic ("policy check failed", "internal error"): the detail stays
+    in the structured error and must not be echoed to the client. *)
 
 val context_for :
   Http.Request.t -> ?user:string -> ?custom:(string * string) list -> unit -> Context.t

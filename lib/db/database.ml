@@ -45,6 +45,7 @@ let drop_table t name =
    slow against real time (so the modeled latency was inflated) and is
    shared across threads. *)
 let charge t =
+  Sesame_faults.hit Sesame_faults.Db_query;
   t.queries <- t.queries + 1;
   if t.query_cost_ns > 0 then begin
     let deadline = Int64.add (Sesame_clock.now_ns ()) (Int64.of_int t.query_cost_ns) in
@@ -180,7 +181,16 @@ let run_insert tbl ~columns ~values =
   let* () = Table.insert tbl row in
   Ok (Affected 1)
 
+(* An injected fault at the query seam must surface through the ordinary
+   error channel — classifiable by the connector's retry machinery — not
+   as an exception unwinding through the server. *)
+let protect_faults f =
+  try f ()
+  with Sesame_faults.Injected { point; action; transient } ->
+    Error (Sesame_faults.injected_message point action ~transient)
+
 let exec_stmt t stmt =
+  protect_faults @@ fun () ->
   charge t;
   match stmt with
   | Sql.Select { table; columns; where; order_by; limit } ->
@@ -212,8 +222,9 @@ let select_rows t src ~params =
   | Sql.Select { table; columns = None; where; order_by; limit } -> (
       let* tbl = lookup t table in
       let* result =
-        (charge t;
-         run_plain_select tbl ~columns:None ~where ~order_by ~limit)
+        protect_faults (fun () ->
+            charge t;
+            run_plain_select tbl ~columns:None ~where ~order_by ~limit)
       in
       match result with
       | Rows { rows; _ } -> Ok (Table.schema tbl, rows)

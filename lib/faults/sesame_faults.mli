@@ -1,0 +1,89 @@
+(** Deterministic fault injection for the enforcement runtime.
+
+    Every seam the fail-closed invariant depends on — arena allocation,
+    sandbox copy-in/out, the guest body, database queries, policy checks,
+    template rendering — calls {!hit} with a named {!point}. When the
+    injector is disarmed (the default, and the production configuration)
+    a hit is a single load-and-branch; when armed, a {!plan} can raise,
+    corrupt data, delay, or simulate resource exhaustion on the Nth
+    traversal of its point. Given the same seed and plans, a run is
+    bit-for-bit reproducible: the matrix test suite relies on this to
+    assert that {e every} injected fault surfaces as a structured
+    deny/error and never as leaked data or a crashed server. *)
+
+type point =
+  | Arena_alloc      (** {!Sesame_sandbox.Arena.alloc} *)
+  | Copier_encode    (** sandbox copy-in ({!Sesame_sandbox.Copier.copy_in}) *)
+  | Copier_decode    (** sandbox copy-out ({!Sesame_sandbox.Copier.copy_out}) *)
+  | Guest_body       (** entry to the guest closure in [Runtime.run] *)
+  | Db_query         (** statement execution in [Database] *)
+  | Policy_check     (** sink-side policy checks in [Sesame_conn]/[Sesame_web] *)
+  | Template_render  (** the HTML render sink in [Sesame_web.render] *)
+
+val all_points : point list
+val point_name : point -> string
+(** Stable kebab-case name, e.g. ["db-query"]. *)
+
+val point_of_string : string -> point option
+
+type action =
+  | Raise          (** raise {!Injected} at the seam (a crash/bug model) *)
+  | Corrupt        (** flip bytes in data crossing the seam; seams that
+                       carry no corruptible payload escalate to [Raise] *)
+  | Delay of int   (** busy-wait this many nanoseconds (a stall model) *)
+  | Exhaust        (** raise {!Injected} marked {e transient} (resource
+                       exhaustion / flaky-dependency model) *)
+
+val action_name : action -> string
+val action_of_string : string -> action option
+(** Accepts ["raise"], ["corrupt"], ["exhaust"], ["delay"] (1 ms) and
+    ["delay:<ns>"]. *)
+
+exception Injected of { point : point; action : action; transient : bool }
+(** What an armed seam raises. [transient] is true only for [Exhaust]:
+    retry machinery may treat those as retryable; everything else is
+    permanent and must fail closed immediately. *)
+
+val injected_message : point -> action -> transient:bool -> string
+(** Canonical rendering, prefixed ["transient: "] when transient, so
+    string-level error channels (the DB layer) stay classifiable. *)
+
+type plan = { point : point; action : action; nth : int }
+(** Fires on the [nth] traversal of [point] (1-based). [nth = 0] fires on
+    {e every} traversal. *)
+
+val plan : ?nth:int -> point -> action -> plan
+(** [nth] defaults to 1: fire on the first traversal after arming. *)
+
+(** {1 Arming} *)
+
+val arm : ?seed:int -> plan list -> unit
+(** Installs the plans, resets all hit counters, and seeds the RNG used
+    for corruption (default seed 1742). Replaces any previous arming. *)
+
+val disarm : unit -> unit
+(** Back to the production no-op configuration (counters cleared). *)
+
+val armed : unit -> bool
+
+(** {1 Seam API} *)
+
+val hit : ?corruptible:bool -> point -> unit
+(** Counts one traversal and applies any due plan: [Raise]/[Exhaust]
+    raise {!Injected}, [Delay] busy-waits, [Corrupt] marks the point as
+    {!corrupting} when [corruptible] (the seam then mangles its own
+    payload) and escalates to [Raise] otherwise. Disarmed: a single
+    branch. *)
+
+val corrupting : point -> bool
+(** True iff a [Corrupt] plan fired on the latest {!hit} of [point].
+    Stable until that point's next hit. *)
+
+val corrupt_string : point -> string -> string
+(** When {!corrupting point}, returns a copy with one deterministically
+    chosen byte flipped (seeded RNG); otherwise the string unchanged.
+    Empty strings pass through. *)
+
+val hits : point -> int
+(** Traversals of [point] since the last {!arm}/{!disarm} — lets tests
+    assert a seam was actually exercised. *)

@@ -6,6 +6,7 @@ type t = {
   checkpoint : Bytes.t;  (* copy of the globals segment at creation *)
   mutable brk : int;  (* bump pointer *)
   mutable high_water : int;
+  mutable poisoned : bool;
 }
 
 let trap fmt = Printf.ksprintf (fun m -> raise (Sandbox_trap m)) fmt
@@ -19,6 +20,7 @@ let create ?(size = 4 * 1024 * 1024) ?(globals_size = 4096) () =
     checkpoint = Bytes.sub mem 0 globals_size;
     brk = globals_size;
     high_water = globals_size;
+    poisoned = false;
   }
 
 let size t = Bytes.length t.mem
@@ -26,7 +28,11 @@ let high_water t = t.high_water
 
 let align8 n = (n + 7) land lnot 7
 
+let poison t = t.poisoned <- true
+let poisoned t = t.poisoned
+
 let alloc t n =
+  Sesame_faults.hit Sesame_faults.Arena_alloc;
   if n < 0 then trap "alloc of negative size %d" n;
   let addr = t.brk in
   let next = align8 (addr + n) in

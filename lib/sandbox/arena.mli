@@ -20,6 +20,13 @@ val size : t -> int
 val high_water : t -> int
 (** Highest address ever allocated (wiped region bound). *)
 
+val poison : t -> unit
+(** Marks the arena as having hosted a trapped/over-budget guest. A
+    poisoned arena must never be reused: {!Pool.release} drops it instead
+    of returning it to the free list. *)
+
+val poisoned : t -> bool
+
 val alloc : t -> int -> int
 (** [alloc t n] bump-allocates [n] bytes (8-byte aligned) and returns the
     guest address; raises {!Sandbox_trap} when the arena is exhausted. *)

@@ -86,7 +86,7 @@ let rec swizzle_out arena addr =
   else raise (Arena.Sandbox_trap (Printf.sprintf "corrupt guest object tag %d" tag))
 
 let serialize_in arena v =
-  let encoded = Codec.encode v in
+  let encoded = Sesame_faults.corrupt_string Sesame_faults.Copier_encode (Codec.encode v) in
   let addr = Arena.alloc arena (4 + String.length encoded) in
   Arena.write_u32 arena addr (String.length encoded);
   Arena.write_bytes arena (addr + 4) encoded;
@@ -94,17 +94,22 @@ let serialize_in arena v =
 
 let serialize_out arena addr =
   let len = Arena.read_u32 arena addr in
-  let encoded = Arena.read_bytes arena (addr + 4) len in
+  let encoded =
+    Sesame_faults.corrupt_string Sesame_faults.Copier_decode
+      (Arena.read_bytes arena (addr + 4) len)
+  in
   match Codec.decode encoded with
   | Ok v -> v
   | Error msg -> raise (Arena.Sandbox_trap msg)
 
 let copy_in strategy arena v =
+  Sesame_faults.hit ~corruptible:(strategy = Serialize) Sesame_faults.Copier_encode;
   match strategy with
   | Swizzle -> swizzle_in arena v
   | Serialize -> serialize_in arena v
 
 let copy_out strategy arena addr =
+  Sesame_faults.hit ~corruptible:(strategy = Serialize) Sesame_faults.Copier_decode;
   match strategy with
   | Swizzle -> swizzle_out arena addr
   | Serialize -> serialize_out arena addr

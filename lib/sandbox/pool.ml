@@ -1,9 +1,18 @@
-type stats = { created : int; acquired : int; reused : int; wiped : int }
+type stats = {
+  created : int;
+  acquired : int;
+  reused : int;
+  wiped : int;
+  dropped : int;
+  poisoned : int;
+  replaced : int;
+}
 
 type t = {
   capacity : int;
   arena_size : int;
   mutable free : Arena.t list;
+  mutable free_count : int;  (* |free|, kept so release stays O(1) *)
   mutable stats : stats;
 }
 
@@ -13,7 +22,17 @@ let create ?(capacity = 2) ?(arena_size = 4 * 1024 * 1024) () =
     capacity;
     arena_size;
     free;
-    stats = { created = capacity; acquired = 0; reused = 0; wiped = 0 };
+    free_count = capacity;
+    stats =
+      {
+        created = capacity;
+        acquired = 0;
+        reused = 0;
+        wiped = 0;
+        dropped = 0;
+        poisoned = 0;
+        replaced = 0;
+      };
   }
 
 let acquire t =
@@ -21,17 +40,50 @@ let acquire t =
   match t.free with
   | arena :: rest ->
       t.free <- rest;
+      t.free_count <- t.free_count - 1;
       t.stats <- { s with acquired = s.acquired + 1; reused = s.reused + 1 };
       arena
   | [] ->
       t.stats <- { s with acquired = s.acquired + 1; created = s.created + 1 };
       Arena.create ~size:t.arena_size ()
 
-let release t arena =
-  Arena.wipe arena;
+(* A poisoned arena hosted a trapped or over-budget guest; its contents are
+   untrusted and it must never serve another invocation. Drop it and — when
+   the pool has room — preallocate a clean replacement so capacity (and the
+   latency benefit of pooling) survives the fault. *)
+let quarantine t arena =
+  Arena.poison arena;
   let s = t.stats in
-  t.stats <- { s with wiped = s.wiped + 1 };
-  if List.length t.free < t.capacity then t.free <- arena :: t.free
+  if t.free_count < t.capacity then begin
+    t.free <- Arena.create ~size:t.arena_size () :: t.free;
+    t.free_count <- t.free_count + 1;
+    t.stats <-
+      {
+        s with
+        poisoned = s.poisoned + 1;
+        dropped = s.dropped + 1;
+        created = s.created + 1;
+        replaced = s.replaced + 1;
+      }
+  end
+  else t.stats <- { s with poisoned = s.poisoned + 1; dropped = s.dropped + 1 }
+
+let release t arena =
+  if Arena.poisoned arena then quarantine t arena
+  else if t.free_count < t.capacity then begin
+    (* Only arenas that actually return to the pool are wiped (and counted
+       as wiped); an arena the GC is about to reclaim needs neither. *)
+    Arena.wipe arena;
+    let s = t.stats in
+    t.stats <- { s with wiped = s.wiped + 1 };
+    t.free <- arena :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+  else begin
+    let s = t.stats in
+    t.stats <- { s with dropped = s.dropped + 1 }
+  end
 
 let stats t = t.stats
-let available t = List.length t.free
+let available t = t.free_count
+let healthy t = t.free_count <= t.capacity && List.for_all (fun a -> not (Arena.poisoned a)) t.free

@@ -3,15 +3,23 @@
     Firefox reuses one sandbox per trust domain; that would be unsafe for
     Sesame because a later invocation over weakly-policied data could
     observe residue of an earlier one. Sesame instead keeps a pool of
-    preallocated sandboxes and {e wipes} each one's memory after use. *)
+    preallocated sandboxes and {e wipes} each one's memory after use.
+
+    Fault containment: an arena whose guest trapped or blew its budget is
+    {e quarantined} — poisoned, dropped, and replaced by a fresh arena —
+    rather than wiped and reused, so a fault can never seed residue (or a
+    corrupted allocator) into a later invocation. *)
 
 type t
 
 type stats = {
-  created : int;  (** arenas allocated (preallocation + overflow) *)
+  created : int;  (** arenas allocated (preallocation + overflow + replacements) *)
   acquired : int;
   reused : int;  (** acquisitions served from the pool *)
-  wiped : int;
+  wiped : int;  (** wipes of arenas actually returned to the pool *)
+  dropped : int;  (** arenas discarded (pool full or quarantined) *)
+  poisoned : int;  (** arenas quarantined after a trap/budget overrun *)
+  replaced : int;  (** fresh arenas preallocated to replace quarantined ones *)
 }
 
 val create : ?capacity:int -> ?arena_size:int -> unit -> t
@@ -21,8 +29,16 @@ val acquire : t -> Arena.t
 (** Pops a clean arena, or allocates a fresh one when the pool is empty. *)
 
 val release : t -> Arena.t -> unit
-(** Wipes the arena and returns it to the pool (dropped if the pool is at
-    capacity). *)
+(** Wipes the arena and returns it to the pool; dropped without wiping if
+    the pool is at capacity, quarantined if the arena is poisoned. *)
+
+val quarantine : t -> Arena.t -> unit
+(** Poisons and drops the arena, preallocating a clean replacement when
+    the pool has room. Never returns a poisoned arena to the free list. *)
 
 val stats : t -> stats
 val available : t -> int
+(** O(1). *)
+
+val healthy : t -> bool
+(** The free list is within capacity and contains no poisoned arena. *)

@@ -2,17 +2,28 @@ exception Forbidden_syscall of string
 
 type mode = Naive | Pooled of Pool.t
 
+type budget = {
+  deadline_s : float option;
+  fuel : int option;
+  mem_bytes : int option;
+}
+
+let no_budget = { deadline_s = None; fuel = None; mem_bytes = None }
+
+let budget ?deadline_s ?fuel ?mem_bytes () = { deadline_s; fuel; mem_bytes }
+
 type config = {
   mode : mode;
   strategy : Copier.strategy;
   slowdown : float;
   arena_size : int;
+  budget : budget;
 }
 
 let config ?mode ?(strategy = Copier.Swizzle) ?(slowdown = 2.0) ?(arena_size = 4 * 1024 * 1024)
-    () =
+    ?(budget = no_budget) () =
   let mode = match mode with Some m -> m | None -> Pooled (Pool.create ~arena_size ()) in
-  { mode; strategy; slowdown; arena_size }
+  { mode; strategy; slowdown; arena_size; budget }
 
 let default_config = config ()
 
@@ -26,17 +37,74 @@ type timings = {
 
 let total_s t = t.setup_s +. t.copy_in_s +. t.exec_s +. t.copy_out_s +. t.teardown_s
 
-type outcome = { result : Value.t; timings : timings }
+type trap =
+  | Guest_exception of string
+  | Syscall_blocked of string
+  | Sandbox_fault of string
+  | Fault_injected of string
+  | Deadline_exceeded of { limit_s : float }
+  | Fuel_exhausted of { limit : int }
+  | Memory_exceeded of { used_bytes : int; limit_bytes : int }
 
-let depth = ref 0
+let trap_message = function
+  | Guest_exception exn -> Printf.sprintf "guest raised: %s" exn
+  | Syscall_blocked what -> Printf.sprintf "guest attempted a forbidden syscall: %s" what
+  | Sandbox_fault msg -> Printf.sprintf "sandbox fault: %s" msg
+  | Fault_injected msg -> Printf.sprintf "sandbox fault: %s" msg
+  | Deadline_exceeded { limit_s } ->
+      Printf.sprintf "guest exceeded its %.3fs deadline" limit_s
+  | Fuel_exhausted { limit } -> Printf.sprintf "guest exhausted its fuel budget (%d ticks)" limit
+  | Memory_exceeded { used_bytes; limit_bytes } ->
+      Printf.sprintf "guest exceeded its memory budget (%d > %d bytes)" used_bytes
+        limit_bytes
 
-let in_sandbox () = !depth > 0
+let pp_trap fmt t = Format.pp_print_string fmt (trap_message t)
+
+type status = Ok of Value.t | Trapped of trap
+
+type outcome = { status : status; timings : timings }
+
+(* Per-domain sandbox state: the nesting depth that backs [guard_syscall]
+   plus the active budget, so concurrent domains neither observe each
+   other's sandboxes nor share fuel. *)
+type dstate = {
+  mutable depth : int;
+  mutable fuel_left : int;  (* < 0: unlimited *)
+  mutable fuel_limit : int;
+  mutable deadline : float;  (* absolute, [infinity]: none *)
+  mutable deadline_limit_s : float;
+}
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { depth = 0; fuel_left = -1; fuel_limit = 0; deadline = infinity; deadline_limit_s = 0.0 })
+
+let state () = Domain.DLS.get dls
+
+let in_sandbox () = (state ()).depth > 0
 
 let guard_syscall what =
   if in_sandbox () then
     raise (Forbidden_syscall (Printf.sprintf "%s is forbidden inside a sandbox" what))
 
 let now () = Sesame_clock.now_s ()
+
+exception Out_of_fuel of int
+exception Past_deadline of float
+exception Mem_exceeded of int * int
+
+(* The WASM engine's interruption points, modelled as an explicit callback:
+   guest code is expected to tick on loop back-edges. A guest that never
+   ticks still hits the post-execution deadline check in [run]. *)
+let tick () =
+  let st = state () in
+  if st.depth > 0 then begin
+    if st.fuel_left >= 0 then begin
+      if st.fuel_left = 0 then raise (Out_of_fuel st.fuel_limit);
+      st.fuel_left <- st.fuel_left - 1
+    end;
+    if now () > st.deadline then raise (Past_deadline st.deadline_limit_s)
+  end
 
 (* Busy-wait to model the guest's slower code. *)
 let simulate_slowdown elapsed slowdown =
@@ -48,7 +116,18 @@ let simulate_slowdown elapsed slowdown =
     done
   end
 
+let trap_of_exn = function
+  | Forbidden_syscall msg -> Syscall_blocked msg
+  | Arena.Sandbox_trap msg -> Sandbox_fault msg
+  | Sesame_faults.Injected { point; action; transient } ->
+      Fault_injected (Sesame_faults.injected_message point action ~transient)
+  | Out_of_fuel limit -> Fuel_exhausted { limit }
+  | Past_deadline limit_s -> Deadline_exceeded { limit_s }
+  | Mem_exceeded (used_bytes, limit_bytes) -> Memory_exceeded { used_bytes; limit_bytes }
+  | exn -> Guest_exception (Printexc.to_string exn)
+
 let run config ~input ~f =
+  let budget = config.budget in
   let t0 = now () in
   let arena =
     match config.mode with
@@ -56,43 +135,89 @@ let run config ~input ~f =
     | Pooled pool -> Pool.acquire pool
   in
   let t1 = now () in
-  let teardown () =
-    match config.mode with
-    | Naive -> ()  (* dropped; the GC reclaims it *)
-    | Pooled pool -> Pool.release pool arena
+  (* Exactly one of these runs, exactly once: a clean arena is wiped and
+     pooled; a trapped one is quarantined (dropped and replaced), never
+     returned to reuse. *)
+  let finish status t2 t3 t4 =
+    (match config.mode with
+    | Naive -> ()
+    | Pooled pool -> (
+        match status with
+        | Ok _ -> Pool.release pool arena
+        | Trapped _ -> Pool.quarantine pool arena));
+    let t5 = now () in
+    {
+      status;
+      timings =
+        {
+          setup_s = t1 -. t0;
+          copy_in_s = t2 -. t1;
+          exec_s = t3 -. t2;
+          copy_out_s = t4 -. t3;
+          teardown_s = t5 -. t4;
+        };
+    }
   in
+  let check_mem () =
+    match budget.mem_bytes with
+    | Some cap ->
+        let used = Arena.high_water arena in
+        if used > cap then raise (Mem_exceeded (used, cap))
+    | None -> ()
+  in
+  let st = state () in
+  let saved = (st.fuel_left, st.fuel_limit, st.deadline, st.deadline_limit_s) in
   match
     let addr_in = Copier.copy_in config.strategy arena input in
     let guest_input = Copier.copy_out config.strategy arena addr_in in
+    check_mem ();
     let t2 = now () in
-    incr depth;
+    st.depth <- st.depth + 1;
+    (match budget.fuel with
+    | Some fuel ->
+        st.fuel_left <- fuel;
+        st.fuel_limit <- fuel
+    | None -> ());
+    (match budget.deadline_s with
+    | Some d ->
+        (* A nested sandbox may tighten, never extend, the deadline. *)
+        if t2 +. d < st.deadline then begin
+          st.deadline <- t2 +. d;
+          st.deadline_limit_s <- d
+        end
+    | None -> ());
     let guest_result =
-      Fun.protect ~finally:(fun () -> decr depth) (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          st.depth <- st.depth - 1;
+          let fuel_left, fuel_limit, deadline, deadline_limit_s = saved in
+          st.fuel_left <- fuel_left;
+          st.fuel_limit <- fuel_limit;
+          st.deadline <- deadline;
+          st.deadline_limit_s <- deadline_limit_s)
+        (fun () ->
           let e0 = now () in
+          Sesame_faults.hit Sesame_faults.Guest_body;
           let r = f guest_input in
           simulate_slowdown (now () -. e0) config.slowdown;
           r)
     in
+    (* A guest that never ticked but overran its deadline is still caught
+       before its result is copied out. *)
+    (match budget.deadline_s with
+    | Some d when now () -. t2 > d -> raise (Past_deadline d)
+    | _ -> ());
     let t3 = now () in
     let addr_out = Copier.copy_in config.strategy arena guest_result in
     let result = Copier.copy_out config.strategy arena addr_out in
+    check_mem ();
     let t4 = now () in
     (result, t2, t3, t4)
   with
-  | result, t2, t3, t4 ->
-      teardown ();
-      let t5 = now () in
-      {
-        result;
-        timings =
-          {
-            setup_s = t1 -. t0;
-            copy_in_s = t2 -. t1;
-            exec_s = t3 -. t2;
-            copy_out_s = t4 -. t3;
-            teardown_s = t5 -. t4;
-          };
-      }
+  | result, t2, t3, t4 -> finish (Ok result) t2 t3 t4
+  | exception Fun.Finally_raised exn ->
+      let t = now () in
+      finish (Trapped (trap_of_exn exn)) t t t
   | exception exn ->
-      teardown ();
-      raise exn
+      let t = now () in
+      finish (Trapped (trap_of_exn exn)) t t t

@@ -7,25 +7,48 @@
     guest runs at a configurable slowdown modelling WASM's ≈2× code-quality
     penalty (§10.3). Two lifecycle modes reproduce Fig. 9a: [Naive]
     creates and destroys an arena per invocation; [Pooled] acquires from a
-    pool and wipes on release. *)
+    pool and wipes on release.
+
+    Fail-closed fault containment: {!run} never raises. A guest exception,
+    SFI violation, forbidden syscall, injected fault, or budget overrun
+    (wall-clock deadline, fuel, arena high-water mark) surfaces as a
+    structured {!trap}, and the arena that hosted it is quarantined —
+    poisoned and dropped from the pool, never reused. *)
 
 exception Forbidden_syscall of string
 
 type mode = Naive | Pooled of Pool.t
+
+(** Resource budgets enforced on the guest. All default to unlimited. *)
+type budget = {
+  deadline_s : float option;  (** wall-clock limit on guest execution *)
+  fuel : int option;  (** max {!tick} calls (the WASM fuel/step limit) *)
+  mem_bytes : int option;  (** cap on the arena high-water mark *)
+}
+
+val no_budget : budget
+val budget : ?deadline_s:float -> ?fuel:int -> ?mem_bytes:int -> unit -> budget
 
 type config = {
   mode : mode;
   strategy : Copier.strategy;
   slowdown : float;  (** ≥ 1.0; 2.0 matches the paper's WASM observation *)
   arena_size : int;  (** for [Naive] mode *)
+  budget : budget;
 }
 
 val default_config : config
-(** Pooled (a fresh shared pool), Swizzle, slowdown 2.0, 4 MiB arenas. *)
+(** Pooled (a fresh shared pool), Swizzle, slowdown 2.0, 4 MiB arenas,
+    no budget. *)
 
 val config :
-  ?mode:mode -> ?strategy:Copier.strategy -> ?slowdown:float -> ?arena_size:int ->
-  unit -> config
+  ?mode:mode ->
+  ?strategy:Copier.strategy ->
+  ?slowdown:float ->
+  ?arena_size:int ->
+  ?budget:budget ->
+  unit ->
+  config
 
 type timings = {
   setup_s : float;
@@ -37,15 +60,43 @@ type timings = {
 
 val total_s : timings -> float
 
-type outcome = { result : Value.t; timings : timings }
+(** Why a guest was terminated. Messages carry no guest data beyond the
+    exception rendering in [Guest_exception]; they belong in structured
+    errors and logs, never verbatim in client responses. *)
+type trap =
+  | Guest_exception of string  (** the guest closure raised *)
+  | Syscall_blocked of string  (** {!guard_syscall} fired inside the guest *)
+  | Sandbox_fault of string  (** SFI bounds/exhaustion/corrupt-object trap *)
+  | Fault_injected of string  (** a {!Sesame_faults} plan fired at a sandbox seam *)
+  | Deadline_exceeded of { limit_s : float }
+  | Fuel_exhausted of { limit : int }
+  | Memory_exceeded of { used_bytes : int; limit_bytes : int }
+
+val trap_message : trap -> string
+val pp_trap : Format.formatter -> trap -> unit
+
+type status = Ok of Value.t | Trapped of trap
+
+type outcome = { status : status; timings : timings }
 
 val run : config -> input:Value.t -> f:(Value.t -> Value.t) -> outcome
-(** Executes [f] on the copied-in input. Exceptions from [f] propagate
-    after the sandbox is torn down (and wiped, in pooled mode). *)
+(** Executes [f] on the copied-in input. Never raises: any guest failure
+    or budget overrun yields [Trapped] and, in pooled mode, quarantines
+    the arena ({!Pool.quarantine}); a successful run releases (wipes) it.
+    Exactly one of the two happens, exactly once. *)
+
+val tick : unit -> unit
+(** Guest progress callback — the moral equivalent of WASM fuel
+    interruption points. Guest closures should call it on loop
+    back-edges; it burns one unit of fuel and checks the deadline,
+    raising internal trap exceptions that {!run} converts to [Trapped].
+    Outside a sandbox it is a no-op. *)
 
 val in_sandbox : unit -> bool
-(** True while any sandbox invocation is active on this domain. *)
+(** True while any sandbox invocation is active on this domain. Each
+    domain has its own state (backed by [Domain.DLS]), so sandboxes on
+    concurrent domains do not interfere. *)
 
 val guard_syscall : string -> unit
 (** Called by Sesame's I/O layers: raises {!Forbidden_syscall} when
-    invoked from inside a sandbox. *)
+    invoked from inside a sandbox on this domain. *)

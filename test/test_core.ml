@@ -420,10 +420,25 @@ let sandboxed_tests =
             ()
         in
         check_bool "trapped" true
-          (try
-             ignore (Region.Sandboxed.run region (Mock.pcon "data"));
-             false
-           with Sbx.Runtime.Forbidden_syscall _ -> true));
+          (match Region.Sandboxed.run region (Mock.pcon "data") with
+          | Error
+              (Region.Sandbox_trapped { trap = Sbx.Runtime.Syscall_blocked _; _ }) ->
+              true
+          | _ -> false));
+    test "guest exceptions trap instead of escaping" (fun () ->
+        let region =
+          Region.Sandboxed.make ~app:"test" ~name:"sr::crash" ~loc:1
+            ~encode:(fun s -> Sbx.Value.Str s)
+            ~decode:(fun _ -> Ok ())
+            ~f:(fun _ -> failwith "guest bug")
+            ()
+        in
+        check_bool "trapped" true
+          (match Region.Sandboxed.run region (Mock.pcon "data") with
+          | Error
+              (Region.Sandbox_trapped { trap = Sbx.Runtime.Guest_exception _; _ }) ->
+              true
+          | _ -> false));
   ]
 
 let critical_tests =

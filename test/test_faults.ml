@@ -1,0 +1,458 @@
+(* The fail-closed matrix: every fault the injector can produce, at every
+   seam, must surface as a structured deny/error — never as leaked
+   sensitive data in a response and never as an exception escaping the
+   handler. Plus unit tests for the injector itself and for the
+   connector's retry/backoff and circuit-breaker machinery. *)
+
+open Sesame_core
+module F = Sesame_faults
+module Http = Sesame_http
+module Apps = Sesame_apps
+module Db = Sesame_db
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+(* Every test must leave the injector disarmed, even on failure: the
+   suites share one process. *)
+let with_plans ?seed plans f =
+  F.arm ?seed plans;
+  Fun.protect ~finally:F.disarm f
+
+(* ------------------------------------------------------------------ *)
+(* Injector unit tests *)
+
+let injector_tests =
+  [
+    test "point and action names round-trip" (fun () ->
+        List.iter
+          (fun p ->
+            check_bool (F.point_name p) true (F.point_of_string (F.point_name p) = Some p))
+          F.all_points;
+        List.iter
+          (fun a -> check_bool (F.action_name a) true (F.action_of_string (F.action_name a) = Some a))
+          [ F.Raise; F.Corrupt; F.Exhaust ];
+        check_bool "delay" true (F.action_of_string "delay:5000" = Some (F.Delay 5000)));
+    test "disarmed hits are no-ops" (fun () ->
+        F.disarm ();
+        F.hit F.Db_query;
+        check_bool "armed" false (F.armed ()));
+    test "nth plan fires exactly on the nth traversal" (fun () ->
+        with_plans [ F.plan ~nth:3 F.Db_query F.Raise ] (fun () ->
+            F.hit F.Db_query;
+            F.hit F.Db_query;
+            check_bool "third raises" true
+              (try
+                 F.hit F.Db_query;
+                 false
+               with F.Injected { point = F.Db_query; _ } -> true);
+            F.hit F.Db_query;
+            check_int "counted" 4 (F.hits F.Db_query)));
+    test "nth=0 fires on every traversal" (fun () ->
+        with_plans [ F.plan ~nth:0 F.Guest_body F.Raise ] (fun () ->
+            for _ = 1 to 3 do
+              check_bool "raises" true
+                (try
+                   F.hit F.Guest_body;
+                   false
+                 with F.Injected _ -> true)
+            done));
+    test "corruption is deterministic under a seed" (fun () ->
+        let corrupt () =
+          with_plans ~seed:7 [ F.plan ~nth:0 F.Copier_decode F.Corrupt ] (fun () ->
+              F.hit ~corruptible:true F.Copier_decode;
+              check_bool "corrupting" true (F.corrupting F.Copier_decode);
+              F.corrupt_string F.Copier_decode "hello sandbox")
+        in
+        let c1 = corrupt () and c2 = corrupt () in
+        check_str "same seed, same corruption" c1 c2;
+        check_bool "actually corrupted" true (c1 <> "hello sandbox");
+        check_int "length preserved" (String.length "hello sandbox") (String.length c1));
+    test "corrupt escalates to raise on non-corruptible seams" (fun () ->
+        with_plans [ F.plan ~nth:0 F.Policy_check F.Corrupt ] (fun () ->
+            check_bool "raises" true
+              (try
+                 F.hit F.Policy_check;
+                 false
+               with F.Injected { action = F.Corrupt; _ } -> true)));
+    test "exhaust is transient and classifiable from its message" (fun () ->
+        with_plans [ F.plan F.Db_query F.Exhaust ] (fun () ->
+            match F.hit F.Db_query with
+            | () -> Alcotest.fail "should raise"
+            | exception F.Injected { transient; point; action } ->
+                check_bool "transient" true transient;
+                let msg = F.injected_message point action ~transient in
+                check_bool "prefixed" true (contains msg "transient: ");
+                check_bool "classified" true (Sesame_conn.is_transient_db_message msg)));
+    test "raise is permanent" (fun () ->
+        with_plans [ F.plan F.Db_query F.Raise ] (fun () ->
+            match F.hit F.Db_query with
+            | () -> Alcotest.fail "should raise"
+            | exception F.Injected { transient; point; action } ->
+                check_bool "permanent" false transient;
+                check_bool "not transient msg" false
+                  (Sesame_conn.is_transient_db_message
+                     (F.injected_message point action ~transient))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The end-to-end matrix over WebSubmit *)
+
+let req ?(cookies = "") ?(body = "") meth target =
+  Http.Request.make
+    ~headers:
+      (Http.Headers.of_list
+         [ ("Cookie", cookies); ("Content-Type", "application/x-www-form-urlencoded") ])
+    ~body meth target
+
+let status r = Http.Status.to_int r.Http.Response.status
+let body r = r.Http.Response.body
+
+let websubmit () =
+  (* Build and seed with the injector disarmed: the plans must hit the
+     request under test, not the fixture setup. *)
+  F.disarm ();
+  let app = Result.get_ok (Apps.Websubmit.create ()) in
+  (match Apps.Websubmit.seed app ~students:4 ~questions:2 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  Apps.Email.clear_outbox ();
+  app
+
+(* Markers of seeded sensitive data: answers render as "answer <n> from
+   <email>" and every seeded principal is @school.edu. A faulted response
+   must contain neither. *)
+let leak_markers = [ "answer"; "school.edu" ]
+
+let register_counter = ref 0
+
+(* One endpoint per seam: /register crosses the sandbox seams (the API
+   key is hashed in a sandboxed region); /view crosses the DB, policy
+   and render seams. *)
+let drive_seam app point =
+  match point with
+  | F.Arena_alloc | F.Copier_encode | F.Copier_decode | F.Guest_body ->
+      incr register_counter;
+      let body =
+        Printf.sprintf "email=matrix%d%%40example.org&apikey=k-%d" !register_counter
+          !register_counter
+      in
+      Apps.Websubmit.handle app (req ~body Http.Meth.POST "/register")
+  | F.Db_query | F.Policy_check | F.Template_render ->
+      Apps.Websubmit.handle app (req ~cookies:"user=student0@school.edu" Http.Meth.GET "/view/1")
+
+let matrix_case app (point, action) =
+  let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
+  test name (fun () ->
+      let response, traversals =
+        with_plans [ F.plan ~nth:0 point action ] (fun () ->
+            let r =
+              try drive_seam app point
+              with exn ->
+                Alcotest.failf "%s: exception escaped the handler: %s" name
+                  (Printexc.to_string exn)
+            in
+            (r, F.hits point))
+      in
+      check_bool "seam traversed" true (traversals > 0);
+      check_bool
+        (Printf.sprintf "fails closed (got %d)" (status response))
+        true
+        (status response >= 400);
+      List.iter
+        (fun marker ->
+          check_bool (Printf.sprintf "no %S in faulted response" marker) false
+            (contains (body response) marker))
+        leak_markers;
+      (* Recovery: with the fault cleared, the same seam serves a healthy
+         request again — quarantined arenas were replaced, no breaker is
+         stuck open, no state was corrupted. *)
+      let after = drive_seam app point in
+      check_bool
+        (Printf.sprintf "recovers after disarm (got %d)" (status after))
+        true
+        (status after < 400))
+
+let matrix_tests =
+  let app = websubmit () in
+  let cases =
+    List.concat_map
+      (fun point -> List.map (fun action -> (point, action)) [ F.Raise; F.Corrupt; F.Exhaust ])
+      F.all_points
+  in
+  List.map (matrix_case app) cases
+  @ [
+      test "delay stalls but does not fail" (fun () ->
+          let app = websubmit () in
+          let r =
+            with_plans [ F.plan ~nth:0 F.Db_query (F.Delay 10_000) ] (fun () ->
+                drive_seam app F.Db_query)
+          in
+          check_int "still serves" 200 (status r);
+          check_bool "still renders the answer" true (contains (body r) "answer"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Connector resilience: retry/backoff and the circuit breaker *)
+
+module Only_family = struct
+  type s = { who : string }
+
+  let name = "test::only"
+  let check s ctx = Context.user ctx = Some s.who
+  let join = None
+  let no_folding = false
+  let describe s = "Only(" ^ s.who ^ ")"
+end
+
+module Only = Policy.Make (Only_family)
+
+let ada = Mock.context ~user:"ada" ()
+
+let conn_fixture () =
+  F.disarm ();
+  let db = Db.Database.create () in
+  let schema =
+    Db.Schema.make_exn ~name:"notes" ~primary_key:"id"
+      [
+        { name = "id"; ty = Db.Value.Tint; nullable = false };
+        { name = "owner"; ty = Db.Value.Ttext; nullable = false };
+        { name = "note"; ty = Db.Value.Ttext; nullable = false };
+      ]
+  in
+  Result.get_ok (Db.Database.create_table db schema);
+  ignore
+    (Result.get_ok
+       (Db.Database.exec db "INSERT INTO notes VALUES (?, ?, ?)"
+          ~params:[ Db.Value.Int 1; Db.Value.Text "ada"; Db.Value.Text "ada's note" ]));
+  Sesame_conn.create db
+
+let retry : Sesame_conn.retry_policy =
+  { max_attempts = 3; base_delay_s = 0.001; max_delay_s = 0.05; jitter = 0.2 }
+
+let select conn = Sesame_conn.query conn ~context:ada "SELECT * FROM notes" ~params:[]
+
+let retry_tests =
+  [
+    test "transient failures retry and then fail closed" (fun () ->
+        let conn = conn_fixture () in
+        let sleeps = ref [] in
+        Sesame_conn.configure_resilience conn ~retry ~seed:42
+          ~sleep:(fun d -> sleeps := d :: !sleeps)
+          ~now:(fun () -> 0.0)
+          ();
+        let r = with_plans [ F.plan ~nth:0 F.Db_query F.Exhaust ] (fun () -> select conn) in
+        (match r with
+        | Error (Sesame_conn.Db_error { transient = true; _ }) -> ()
+        | _ -> Alcotest.fail "expected a transient Db_error");
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_int "attempts" 3 s.Sesame_conn.attempts;
+        check_int "retries" 2 s.Sesame_conn.retries;
+        check_int "two backoff sleeps" 2 (List.length !sleeps);
+        List.iter (fun d -> check_bool "positive delay" true (d > 0.0)) !sleeps);
+    test "backoff sequence is a pure function of the seed" (fun () ->
+        let run () =
+          let conn = conn_fixture () in
+          let sleeps = ref [] in
+          Sesame_conn.configure_resilience conn ~retry ~seed:42
+            ~sleep:(fun d -> sleeps := d :: !sleeps)
+            ~now:(fun () -> 0.0)
+            ();
+          ignore (with_plans [ F.plan ~nth:0 F.Db_query F.Exhaust ] (fun () -> select conn));
+          List.rev !sleeps
+        in
+        let a = run () and b = run () in
+        check_bool "identical delays" true (a = b);
+        (* Capped exponential: each delay respects base·2^k scaled by
+           ±jitter, and never exceeds the cap. *)
+        List.iteri
+          (fun i d ->
+            let nominal = retry.Sesame_conn.base_delay_s *. (2.0 ** float_of_int i) in
+            check_bool "within jitter band" true
+              (d >= nominal *. (1.0 -. retry.Sesame_conn.jitter) -. 1e-9
+              && d <= nominal *. (1.0 +. retry.Sesame_conn.jitter) +. 1e-9);
+            check_bool "capped" true (d <= retry.Sesame_conn.max_delay_s +. 1e-9))
+          a);
+    test "a one-shot transient fault succeeds on retry" (fun () ->
+        let conn = conn_fixture () in
+        Sesame_conn.configure_resilience conn ~retry ~sleep:(fun _ -> ()) ~now:(fun () -> 0.0) ();
+        let r = with_plans [ F.plan ~nth:1 F.Db_query F.Exhaust ] (fun () -> select conn) in
+        check_bool "recovered" true (Result.is_ok r);
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_int "one retry" 1 s.Sesame_conn.retries;
+        check_int "breaker reset" 0 s.Sesame_conn.consecutive_failures;
+        check_bool "closed" true (s.Sesame_conn.state = Sesame_conn.Closed));
+    test "permanent failures are not retried" (fun () ->
+        let conn = conn_fixture () in
+        let sleeps = ref 0 in
+        Sesame_conn.configure_resilience conn ~retry ~sleep:(fun _ -> incr sleeps)
+          ~now:(fun () -> 0.0)
+          ();
+        let r = with_plans [ F.plan ~nth:0 F.Db_query F.Raise ] (fun () -> select conn) in
+        (match r with
+        | Error (Sesame_conn.Db_error { transient = false; _ }) -> ()
+        | _ -> Alcotest.fail "expected a permanent Db_error");
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_int "single attempt" 1 s.Sesame_conn.attempts;
+        check_int "no retries" 0 s.Sesame_conn.retries;
+        check_int "no sleeps" 0 !sleeps);
+  ]
+
+let breaker_tests =
+  let scripted ?(threshold = 2) () =
+    let conn = conn_fixture () in
+    let clock = ref 0.0 in
+    Sesame_conn.configure_resilience conn
+      ~retry:{ retry with Sesame_conn.max_attempts = 1 }
+      ~breaker:{ failure_threshold = threshold; cooldown_s = 10.0 }
+      ~sleep:(fun _ -> ())
+      ~now:(fun () -> !clock)
+      ();
+    (conn, clock)
+  in
+  [
+    test "closed → open → half-open → closed" (fun () ->
+        let conn, clock = scripted () in
+        with_plans [ F.plan ~nth:0 F.Db_query F.Exhaust ] (fun () ->
+            ignore (select conn);
+            check_bool "still closed" true
+              (Sesame_conn.breaker_state conn ~sink:"db::query" = Sesame_conn.Closed);
+            ignore (select conn));
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_bool "open" true (s.Sesame_conn.state = Sesame_conn.Open);
+        check_int "tripped once" 1 s.Sesame_conn.opens;
+        (* While open: short-circuited without touching the database. *)
+        let before = with_plans [] (fun () -> F.hits F.Db_query) in
+        ignore before;
+        (match select conn with
+        | Error (Sesame_conn.Breaker_open { sink }) -> check_str "sink" "db::query" sink
+        | _ -> Alcotest.fail "expected Breaker_open");
+        check_int "short-circuited" 1
+          (Sesame_conn.sink_stats conn "db::query").Sesame_conn.short_circuited;
+        (* Cooldown elapses: half-open, and a healthy probe closes it. *)
+        clock := 11.0;
+        check_bool "half-open" true
+          (Sesame_conn.breaker_state conn ~sink:"db::query" = Sesame_conn.Half_open);
+        check_bool "probe succeeds" true (Result.is_ok (select conn));
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_bool "closed again" true (s.Sesame_conn.state = Sesame_conn.Closed);
+        check_int "failures reset" 0 s.Sesame_conn.consecutive_failures);
+    test "a failed half-open probe reopens the breaker" (fun () ->
+        let conn, clock = scripted () in
+        with_plans [ F.plan ~nth:0 F.Db_query F.Exhaust ] (fun () ->
+            ignore (select conn);
+            ignore (select conn);
+            clock := 11.0;
+            check_bool "half-open" true
+              (Sesame_conn.breaker_state conn ~sink:"db::query" = Sesame_conn.Half_open);
+            ignore (select conn));
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_bool "reopened" true (s.Sesame_conn.state = Sesame_conn.Open);
+        check_int "tripped twice" 2 s.Sesame_conn.opens;
+        (* And it recovers once the fault clears and cooldown passes. *)
+        clock := 22.0;
+        check_bool "recovers" true (Result.is_ok (select conn));
+        check_bool "closed" true
+          (Sesame_conn.breaker_state conn ~sink:"db::query" = Sesame_conn.Closed));
+    test "sinks have independent breakers" (fun () ->
+        let conn, _clock = scripted () in
+        with_plans [ F.plan ~nth:0 F.Db_query F.Exhaust ] (fun () ->
+            ignore (select conn);
+            ignore (select conn));
+        check_bool "query open" true
+          (Sesame_conn.breaker_state conn ~sink:"db::query" = Sesame_conn.Open);
+        check_bool "execute unaffected" true
+          (Sesame_conn.breaker_state conn ~sink:"db::execute" = Sesame_conn.Closed);
+        match
+          Sesame_conn.execute conn ~context:ada "UPDATE notes SET note = ? WHERE id = ?"
+            ~params:
+              [
+                Pcon.wrap_no_policy (Db.Value.Text "updated");
+                Pcon.wrap_no_policy (Db.Value.Int 1);
+              ]
+        with
+        | Ok 1 -> ()
+        | Ok n -> Alcotest.failf "updated %d rows" n
+        | Error e -> Alcotest.failf "%a" Sesame_conn.pp_error e);
+    test "policy denials neither retry nor feed the breaker" (fun () ->
+        let conn, _clock = scripted ~threshold:1 () in
+        let secret = Pcon.Internal.make (Only.make { who = "eve" }) (Db.Value.Int 1) in
+        for _ = 1 to 3 do
+          match
+            Sesame_conn.query conn ~context:ada "SELECT * FROM notes WHERE id = ?"
+              ~params:[ secret ]
+          with
+          | Error (Sesame_conn.Policy_denied _) -> ()
+          | _ -> Alcotest.fail "expected denial"
+        done;
+        let s = Sesame_conn.sink_stats conn "db::query" in
+        check_bool "closed" true (s.Sesame_conn.state = Sesame_conn.Closed);
+        check_int "no failures recorded" 0 s.Sesame_conn.consecutive_failures;
+        check_int "db never attempted" 0 s.Sesame_conn.attempts);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fail-closed policy checks and denial metadata *)
+
+let failclosed_tests =
+  [
+    test "denials carry the sink and the first denied parameter index" (fun () ->
+        let conn = conn_fixture () in
+        let ok = Pcon.wrap_no_policy (Db.Value.Int 1) in
+        let denied who = Pcon.Internal.make (Only.make { who }) (Db.Value.Int 1) in
+        match
+          Sesame_conn.query conn ~context:ada "SELECT * FROM notes WHERE id = ? OR id = ? OR id = ?"
+            ~params:[ ok; denied "eve"; denied "mallory" ]
+        with
+        | Error (Sesame_conn.Policy_denied { sink; param_index; _ }) ->
+            check_str "sink" "db::query" sink;
+            check_bool "first denied param, in order" true (param_index = Some 1)
+        | _ -> Alcotest.fail "expected denial");
+    test "an injected fault inside the policy check denies" (fun () ->
+        let conn = conn_fixture () in
+        let r =
+          with_plans [ F.plan ~nth:0 F.Policy_check F.Raise ] (fun () ->
+              Sesame_conn.query conn ~context:ada "SELECT * FROM notes WHERE id = ?"
+                ~params:[ Pcon.wrap_no_policy (Db.Value.Int 1) ])
+        in
+        match r with
+        | Error (Sesame_conn.Policy_denied { policy; param_index; _ }) ->
+            check_bool "names the fault" true (contains policy "injected fault");
+            check_bool "index" true (param_index = Some 0)
+        | _ -> Alcotest.fail "expected denial");
+    test "error_response never echoes render detail" (fun () ->
+        let r =
+          Sesame_web.error_response (Sesame_web.Render_error "SECRET-INTERNAL-DETAIL")
+        in
+        check_int "500" 500 (Http.Status.to_int r.Http.Response.status);
+        check_str "generic body" "internal error" r.Http.Response.body;
+        check_bool "no detail" false (contains r.Http.Response.body "SECRET"));
+    test "web policy-check faults deny, not crash" (fun () ->
+        let context = Mock.context ~user:"ada" () in
+        let pcon = Pcon.Internal.make (Only.make { who = "ada" }) "payload" in
+        let r =
+          with_plans [ F.plan ~nth:0 F.Policy_check F.Raise ] (fun () ->
+              Sesame_web.respond_text ~context pcon)
+        in
+        match r with
+        | Error (Sesame_web.Policy_denied { policy; _ }) ->
+            check_bool "names the fault" true (contains policy "injected fault")
+        | _ -> Alcotest.fail "expected denial");
+  ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("injector", injector_tests);
+      ("matrix", matrix_tests);
+      ("retry", retry_tests);
+      ("breaker", breaker_tests);
+      ("fail-closed", failclosed_tests);
+    ]

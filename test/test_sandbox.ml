@@ -4,6 +4,11 @@ let test name f = Alcotest.test_case name `Quick f
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
 let value_tests =
   [
     test "equal is structural, NaN-tolerant" (fun () ->
@@ -180,11 +185,45 @@ let pool_tests =
         let addr' = Arena.alloc a' 8 in
         check_int "same arena, clean slot" 0 (Arena.read_u32 a' addr');
         check_int "wiped count" 1 (Pool.stats p).Pool.wiped);
+    test "overflow release drops without wiping" (fun () ->
+        let p = Pool.create ~capacity:1 ~arena_size:8192 () in
+        let a1 = Pool.acquire p in
+        let a2 = Pool.acquire p in
+        Pool.release p a1;
+        Pool.release p a2;
+        let stats = Pool.stats p in
+        check_int "wiped once" 1 stats.Pool.wiped;
+        check_int "dropped once" 1 stats.Pool.dropped;
+        check_int "available" 1 (Pool.available p));
+    test "quarantined arenas are never reused" (fun () ->
+        let p = Pool.create ~capacity:1 ~arena_size:8192 () in
+        let a = Pool.acquire p in
+        Pool.quarantine p a;
+        let stats = Pool.stats p in
+        check_int "poisoned" 1 stats.Pool.poisoned;
+        check_int "replaced" 1 stats.Pool.replaced;
+        check_bool "healthy" true (Pool.healthy p);
+        let a' = Pool.acquire p in
+        check_bool "fresh arena" true (a' != a);
+        check_bool "not poisoned" false (Arena.poisoned a'));
+    test "releasing a poisoned arena quarantines it" (fun () ->
+        let p = Pool.create ~capacity:1 ~arena_size:8192 () in
+        let a = Pool.acquire p in
+        Arena.poison a;
+        Pool.release p a;
+        let stats = Pool.stats p in
+        check_int "poisoned" 1 stats.Pool.poisoned;
+        check_bool "healthy" true (Pool.healthy p);
+        check_bool "replacement is clean" false (Arena.poisoned (Pool.acquire p)));
   ]
 
 let runtime_tests =
-  let quick_config mode =
-    Runtime.config ~mode ~strategy:Copier.Swizzle ~slowdown:1.0 ~arena_size:65536 ()
+  let quick_config ?budget mode =
+    Runtime.config ~mode ~strategy:Copier.Swizzle ~slowdown:1.0 ~arena_size:65536 ?budget ()
+  in
+  let status_value = function
+    | Runtime.Ok v -> v
+    | Runtime.Trapped trap -> Alcotest.failf "unexpected trap: %s" (Runtime.trap_message trap)
   in
   [
     test "runs the closure on the copied input" (fun () ->
@@ -192,7 +231,8 @@ let runtime_tests =
           Runtime.run (quick_config Runtime.Naive) ~input:(Value.Int 20)
             ~f:(function Value.Int i -> Value.Int (i + 1) | v -> v)
         in
-        check_bool "result" true (Value.equal outcome.Runtime.result (Value.Int 21)));
+        check_bool "result" true
+          (Value.equal (status_value outcome.Runtime.status) (Value.Int 21)));
     test "guest sees a copy, not the host value" (fun () ->
         let witnessed = ref Value.Unit in
         ignore
@@ -201,29 +241,39 @@ let runtime_tests =
                witnessed := v;
                v));
         check_bool "copy equal" true (Value.equal !witnessed (Value.Str "secret")));
-    test "syscalls forbidden inside, allowed outside" (fun () ->
+    test "syscalls forbidden inside (trap), allowed outside" (fun () ->
         check_bool "outside ok" true
           (try
              Runtime.guard_syscall "net";
              true
            with Runtime.Forbidden_syscall _ -> false);
-        check_bool "inside forbidden" true
-          (try
-             ignore
-               (Runtime.run (quick_config Runtime.Naive) ~input:Value.Unit
-                  ~f:(fun v ->
-                    Runtime.guard_syscall "net";
-                    v));
-             false
-           with Runtime.Forbidden_syscall _ -> true);
+        let outcome =
+          Runtime.run (quick_config Runtime.Naive) ~input:Value.Unit
+            ~f:(fun v ->
+              Runtime.guard_syscall "net";
+              v)
+        in
+        (match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Syscall_blocked _) -> ()
+        | Runtime.Trapped trap ->
+            Alcotest.failf "wrong trap: %s" (Runtime.trap_message trap)
+        | Runtime.Ok _ -> Alcotest.fail "syscall not blocked");
         check_bool "flag cleared after trap" false (Runtime.in_sandbox ()));
-    test "exceptions release the pooled arena" (fun () ->
+    test "guest exception traps and quarantines, exactly once" (fun () ->
         let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
         let config = quick_config (Runtime.Pooled pool) in
-        (try
-           ignore (Runtime.run config ~input:Value.Unit ~f:(fun _ -> failwith "guest crash"))
-         with Failure _ -> ());
-        check_int "returned to pool" 1 (Pool.available pool));
+        let outcome =
+          Runtime.run config ~input:Value.Unit ~f:(fun _ -> failwith "guest crash")
+        in
+        (match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Guest_exception msg) ->
+            check_bool "message mentions the exception" true (contains msg "guest crash")
+        | _ -> Alcotest.fail "expected Guest_exception trap");
+        let stats = Pool.stats pool in
+        check_int "poisoned" 1 stats.Pool.poisoned;
+        check_int "replaced" 1 stats.Pool.replaced;
+        check_int "available (replacement)" 1 (Pool.available pool);
+        check_bool "pool healthy" true (Pool.healthy pool));
     test "pooled runs reuse and wipe" (fun () ->
         let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
         let config = quick_config (Runtime.Pooled pool) in
@@ -232,6 +282,125 @@ let runtime_tests =
         let stats = Pool.stats pool in
         check_int "wiped twice" 2 stats.Pool.wiped;
         check_int "no extra arenas" 1 stats.Pool.created);
+    test "fuel budget traps a non-terminating guest" (fun () ->
+        let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
+        let config =
+          quick_config ~budget:(Runtime.budget ~fuel:1000 ()) (Runtime.Pooled pool)
+        in
+        let outcome =
+          Runtime.run config ~input:Value.Unit
+            ~f:(fun _ ->
+              while true do
+                Runtime.tick ()
+              done;
+              Value.Unit)
+        in
+        (match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Fuel_exhausted { limit }) -> check_int "limit" 1000 limit
+        | Runtime.Trapped trap ->
+            Alcotest.failf "wrong trap: %s" (Runtime.trap_message trap)
+        | Runtime.Ok _ -> Alcotest.fail "guest should have been terminated");
+        check_int "arena quarantined" 1 (Pool.stats pool).Pool.poisoned;
+        check_bool "pool healthy" true (Pool.healthy pool));
+    test "deadline budget traps an overrunning guest" (fun () ->
+        let config =
+          quick_config ~budget:(Runtime.budget ~deadline_s:0.005 ()) Runtime.Naive
+        in
+        let outcome =
+          Runtime.run config ~input:Value.Unit
+            ~f:(fun v ->
+              let stop = Sesame_clock.now_s () +. 0.05 in
+              while Sesame_clock.now_s () < stop do
+                Runtime.tick ()
+              done;
+              v)
+        in
+        match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Deadline_exceeded _) -> ()
+        | Runtime.Trapped trap -> Alcotest.failf "wrong trap: %s" (Runtime.trap_message trap)
+        | Runtime.Ok _ -> Alcotest.fail "guest should have been terminated");
+    test "deadline catches a guest that never ticks" (fun () ->
+        let config =
+          quick_config ~budget:(Runtime.budget ~deadline_s:0.005 ()) Runtime.Naive
+        in
+        let outcome =
+          Runtime.run config ~input:Value.Unit
+            ~f:(fun v ->
+              let stop = Sesame_clock.now_s () +. 0.05 in
+              while Sesame_clock.now_s () < stop do
+                ignore (Sys.opaque_identity ())
+              done;
+              v)
+        in
+        match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Deadline_exceeded _) -> ()
+        | Runtime.Trapped trap -> Alcotest.failf "wrong trap: %s" (Runtime.trap_message trap)
+        | Runtime.Ok _ -> Alcotest.fail "guest should have been terminated");
+    test "memory budget traps an over-allocating guest" (fun () ->
+        let pool = Pool.create ~capacity:1 ~arena_size:65536 () in
+        let config =
+          quick_config ~budget:(Runtime.budget ~mem_bytes:256 ()) (Runtime.Pooled pool)
+        in
+        let outcome =
+          Runtime.run config ~input:(Value.Str (String.make 4096 'x')) ~f:Fun.id
+        in
+        (match outcome.Runtime.status with
+        | Runtime.Trapped (Runtime.Memory_exceeded { used_bytes; limit_bytes }) ->
+            check_int "limit" 256 limit_bytes;
+            check_bool "used over cap" true (used_bytes > limit_bytes)
+        | Runtime.Trapped trap ->
+            Alcotest.failf "wrong trap: %s" (Runtime.trap_message trap)
+        | Runtime.Ok _ -> Alcotest.fail "guest should have been terminated");
+        check_int "arena quarantined" 1 (Pool.stats pool).Pool.poisoned);
+    test "budget state restored after a trapped run" (fun () ->
+        let config =
+          quick_config ~budget:(Runtime.budget ~fuel:1 ()) Runtime.Naive
+        in
+        ignore
+          (Runtime.run config ~input:Value.Unit
+             ~f:(fun _ ->
+               while true do
+                 Runtime.tick ()
+               done;
+               Value.Unit));
+        (* tick must be a no-op outside any sandbox, and a follow-up
+           unbudgeted run must not inherit the exhausted fuel. *)
+        Runtime.tick ();
+        let outcome =
+          Runtime.run (quick_config Runtime.Naive) ~input:(Value.Int 3)
+            ~f:(fun v ->
+              Runtime.tick ();
+              Runtime.tick ();
+              v)
+        in
+        check_bool "clean follow-up run" true
+          (Value.equal (status_value outcome.Runtime.status) (Value.Int 3)));
+    test "sandbox state is per-domain (DLS)" (fun () ->
+        let inside_other_domain = ref true in
+        let outcome =
+          Runtime.run (quick_config Runtime.Naive) ~input:Value.Unit
+            ~f:(fun v ->
+              check_bool "inside here" true (Runtime.in_sandbox ());
+              let d = Domain.spawn (fun () -> Runtime.in_sandbox ()) in
+              inside_other_domain := Domain.join d;
+              v)
+        in
+        ignore (status_value outcome.Runtime.status);
+        check_bool "other domain not sandboxed" false !inside_other_domain;
+        let d =
+          Domain.spawn (fun () ->
+              let o =
+                Runtime.run (quick_config Runtime.Naive) ~input:Value.Unit
+                  ~f:(fun v ->
+                    Runtime.guard_syscall "net";
+                    v)
+              in
+              match o.Runtime.status with
+              | Runtime.Trapped (Runtime.Syscall_blocked _) -> true
+              | _ -> false)
+        in
+        check_bool "guard applies on the spawned domain" true (Domain.join d);
+        check_bool "main domain unaffected" false (Runtime.in_sandbox ()));
     test "timings are populated and non-negative" (fun () ->
         let outcome = Runtime.run (quick_config Runtime.Naive) ~input:(Value.Int 1) ~f:Fun.id in
         let t = outcome.Runtime.timings in
