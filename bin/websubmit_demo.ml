@@ -15,6 +15,7 @@
 module Http = Sesame_http
 module Apps = Sesame_apps
 module F = Sesame_faults
+module Wal = Sesame_wal
 
 (* --inject point:action[:nth], e.g. db-query:exhaust or
    copier-decode:corrupt:2. nth defaults to 1 (first traversal); 0 fires
@@ -67,7 +68,7 @@ let dispatch app line =
               Some (Apps.Websubmit.handle app request))
       | _ -> Some (Http.Response.error Http.Status.Bad_request "usage: [user] METHOD /path [body]"))
 
-let run students questions injects =
+let run students questions injects data_dir fsync checkpoint_every =
   let plans =
     List.map
       (fun spec ->
@@ -78,24 +79,57 @@ let run students questions injects =
             exit 2)
       injects
   in
-  match Apps.Websubmit.create () with
+  let started =
+    match data_dir with
+    | None -> Result.map (fun app -> (app, None)) (Apps.Websubmit.create ())
+    | Some dir ->
+        let durable_config =
+          {
+            Wal.Durable.sync = (if fsync then Wal.Durable.Fsync else Wal.Durable.No_sync);
+            batch = 1;
+            checkpoint_every = (if checkpoint_every <= 0 then None else Some checkpoint_every);
+          }
+        in
+        Result.map
+          (fun (app, store) -> (app, Some store))
+          (Apps.Websubmit.create_durable ~durable_config ~data_dir:dir ())
+  in
+  match started with
   | Error m ->
       Printf.eprintf "failed to start: %s\n" m;
       1
-  | Ok app -> (
-      (match Apps.Websubmit.seed app ~students ~questions with
-      | Ok () -> ()
-      | Error m -> failwith m);
+  | Ok (app, store) -> (
+      (* A durable directory that already holds answers was recovered —
+         re-seeding would collide with the journaled rows. *)
+      let recovered = Apps.Websubmit.answer_count app in
+      if recovered > 0 then
+        Printf.printf "WebSubmit ready: recovered %d answers from %s.\n%!" recovered
+          (Option.value data_dir ~default:"?")
+      else begin
+        (match Apps.Websubmit.seed app ~students ~questions with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        Printf.printf "WebSubmit ready: %d students x %d questions seeded.\n%!" students
+          questions
+      end;
       (* Arm only after seeding: the plans should hit the requests typed
          at the prompt, not the fixture's own DB traffic. *)
       if plans <> [] then F.arm plans;
       Printf.printf
-        "WebSubmit ready: %d students x %d questions seeded.\n\
-         Principals: studentN@school.edu, admin@school.edu, leader@school.edu.\n\
-         Example: student0@school.edu GET /view/1   (quit to exit)\n%!"
-        students questions;
+        "Principals: studentN@school.edu, admin@school.edu, leader@school.edu.\n\
+         Example: student0@school.edu GET /view/1   (quit to exit)\n%!";
       if plans <> [] then
         Printf.printf "Fault injection armed: %s.\n%!" (String.concat ", " injects);
+      let finish () =
+        match store with
+        | None -> 0
+        | Some store -> (
+            match Wal.Durable.close store with
+            | Ok () -> 0
+            | Error m ->
+                Printf.eprintf "durable close failed: %s\n" m;
+                1)
+      in
       try
         while true do
           print_string "> ";
@@ -109,7 +143,7 @@ let run students questions injects =
                 response.Http.Response.body
         done;
         0
-      with Exit | End_of_file -> 0)
+      with Exit | End_of_file -> finish ())
 
 open Cmdliner
 
@@ -128,9 +162,37 @@ let inject_arg =
           "Arm a deterministic fault after seeding, e.g. db-query:exhaust or \
            copier-decode:corrupt:2. NTH=0 fires on every traversal. Repeatable.")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Run durably: journal every write (with its policy provenance) to a \
+           WAL + checkpoint store in $(docv), recovering it on startup. A \
+           directory that already holds data is recovered instead of re-seeded.")
+
+let fsync_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "fsync" ] ~docv:"BOOL"
+        ~doc:
+          "With --data-dir: fsync on every commit (true, the strict default) or \
+           leave flushing to the OS (false).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With --data-dir: checkpoint after every N journaled records (0 \
+           disables automatic checkpoints).")
+
 let cmd =
   Cmd.v
     (Cmd.info "websubmit-demo" ~version:"1.0" ~doc:"Interactive WebSubmit instance")
-    Term.(const run $ students_arg $ questions_arg $ inject_arg)
+    Term.(
+      const run $ students_arg $ questions_arg $ inject_arg $ data_dir_arg $ fsync_arg
+      $ checkpoint_every_arg)
 
 let () = exit (Cmd.eval' cmd)

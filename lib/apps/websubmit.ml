@@ -483,12 +483,21 @@ let make_regions program keystore db =
 
 let reviewer = "alice@school.edu"
 
-let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
-  let db = Db.Database.create ~query_cost_ns () in
-  let* () = Db.Database.create_table db Websubmit_schema.users in
-  let* () = Db.Database.create_table db Websubmit_schema.answers in
-  let* () = Db.Database.create_table db Websubmit_schema.leaders in
-  let conn = Conn.create db in
+(* The seven policy families, by their stable constructor names: durable
+   mode registers these with the WAL's provenance registry so recovery
+   can prove every journaled row's policy is still reconstructible. *)
+let policy_family_names =
+  [
+    Answer_access_family.name;
+    Grade_access_family.name;
+    Employer_release_family.name;
+    Ml_training_family.name;
+    Demographics_family.name;
+    K_anonymity_family.name;
+    Api_key_family.name;
+  ]
+
+let attach_policies conn db =
   (* Column policy bindings (the db_policy annotations of Fig. 3). *)
   (* Policy instances are immutable, so the bindings memoize them per
      protected entity: wrapping 10k result rows costs 10k table lookups,
@@ -530,6 +539,9 @@ let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
         { student = Db.Value.to_text (Db.Row.get schema row "email") });
   Conn.attach_policy conn ~table:"users" ~column:"apikey_hash" (fun schema row ->
       Api_key.make { owner = Db.Value.to_text (Db.Row.get schema row "email") });
+  consent_cache
+
+let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
   let keystore = Sign.Keystore.create () in
   Sign.Keystore.register keystore ~reviewer ~secret:"alice-reviewer-secret";
   let program = build_program () in
@@ -555,8 +567,55 @@ let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
       regions;
       consent_cache;
       model = None;
-      next_answer_id = 1;
+      next_answer_id;
     }
+
+let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
+  let db = Db.Database.create ~query_cost_ns () in
+  let* () = Db.Database.create_table db Websubmit_schema.users in
+  let* () = Db.Database.create_table db Websubmit_schema.answers in
+  let* () = Db.Database.create_table db Websubmit_schema.leaders in
+  let conn = Conn.create db in
+  let consent_cache = attach_policies conn db in
+  assemble ~conn ~db ~k_anonymity ~next_answer_id:1 ~consent_cache
+
+let create_durable ?(query_cost_ns = 0) ?(k_anonymity = 5) ?durable_config ~data_dir () =
+  (* Family registration must precede recovery: replay refuses any
+     journaled constructor the registry does not know. *)
+  List.iter Sesame_wal.Provenance.register policy_family_names;
+  match Conn.create_durable ?config:durable_config ~dir:data_dir () with
+  | Error e -> Error (Sesame_wal.Durable.error_message e)
+  | Ok (conn, store) ->
+      let db = Conn.database conn in
+      Db.Database.set_query_cost_ns db query_cost_ns;
+      (* Recovery may already have rebuilt the tables from the log. *)
+      let ensure schema =
+        match Db.Database.table db (Db.Schema.name schema) with
+        | Some _ -> Ok ()
+        | None -> Db.Database.create_table db schema
+      in
+      let* () = ensure Websubmit_schema.users in
+      let* () = ensure Websubmit_schema.answers in
+      let* () = ensure Websubmit_schema.leaders in
+      let consent_cache = attach_policies conn db in
+      let next_answer_id =
+        match Db.Database.table db "answers" with
+        | None -> 1
+        | Some tbl ->
+            let schema = Db.Table.schema tbl in
+            1
+            + Db.Table.fold tbl ~init:0 ~f:(fun acc row ->
+                  match Db.Row.get schema row "id" with
+                  | Db.Value.Int i -> max acc i
+                  | _ -> acc)
+      in
+      let* t = assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache in
+      Ok (t, store)
+
+let answer_count t =
+  match Db.Database.table t.db "answers" with
+  | Some tbl -> Db.Table.length tbl
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Seeding (the Fig. 8 workload: a medium-sized course). *)
@@ -574,18 +633,18 @@ let bad_request msg = Http.Response.error Http.Status.Bad_request msg
 
 let web_error e = Web.error_response e
 
-let conn_error e =
-  match e with
-  | Conn.Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
-  | Conn.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | Conn.Breaker_open _ ->
-      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
-  | Conn.Db_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
+(* One shared rendering for connector errors (redaction lives there). *)
+let conn_error = Conn.error_response
 
+(* Region failures carry internal detail (sandbox traps, hash/decode
+   messages, Scrutinizer verdicts); like DB errors, none of it belongs in
+   a client-facing body. *)
 let region_err e =
   match e with
   | Region.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | other -> Http.Response.error Http.Status.Internal_error (Region.error_to_string other)
+  | Region.Not_leakage_free _ | Region.Unsigned _ | Region.Signature_invalid _
+  | Region.Hashing_failed _ | Region.Decode_failed _ | Region.Sandbox_trapped _ ->
+      Http.Response.error Http.Status.Internal_error "internal error"
 
 (* The Sesame authentication guard (framework-level, like Fig. 2's
    [student: Student] cookie guard): resolves the session cookie to a

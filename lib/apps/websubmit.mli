@@ -30,6 +30,7 @@
 module C := Sesame_core
 module Db := Sesame_db
 module Http := Sesame_http
+module Wal := Sesame_wal
 
 type t
 
@@ -41,6 +42,27 @@ val create : ?query_cost_ns:int -> ?k_anonymity:int -> unit -> (t, string) resul
     ones), and signs the critical regions with the built-in reviewer key.
     [query_cost_ns] models the DB round trip (Fig. 9c); [k_anonymity]
     defaults to 5. *)
+
+val create_durable :
+  ?query_cost_ns:int ->
+  ?k_anonymity:int ->
+  ?durable_config:Wal.Durable.config ->
+  data_dir:string ->
+  unit ->
+  (t * Wal.Durable.t, string) result
+(** Like {!create}, but over a crash-consistent durable store rooted at
+    [data_dir] (see {!Sesame_wal.Durable}): registers the seven policy
+    families with the provenance registry, recovers checkpoint + WAL
+    (fail-closed — a store that cannot prove every row's policy refuses
+    to open), creates any missing tables, and resumes the answer-id
+    sequence past the largest recovered id. *)
+
+val policy_family_names : string list
+(** The seven families' stable constructor names, as journaled. *)
+
+val answer_count : t -> int
+(** Rows currently in [answers] — lets a durable caller decide whether
+    seeding is needed after recovery. *)
 
 val conn : t -> C.Sesame_conn.t
 val database : t -> Db.Database.t

@@ -44,6 +44,22 @@ let is_transient_db_message message =
 
 let db_error message = Db_error { message; transient = is_transient_db_message message }
 
+(* The one client-facing rendering of connector errors. Bodies are
+   generic on purpose: backend messages (SQL errors, quarantine reasons,
+   injected-fault descriptions) carry schema and infrastructure detail
+   that must never be echoed to the requester — the structured error and
+   the server log keep it. *)
+let error_response = function
+  | Untrusted_context ->
+      Sesame_http.Response.error Sesame_http.Status.Forbidden "untrusted context"
+  | Policy_denied _ ->
+      Sesame_http.Response.error Sesame_http.Status.Forbidden "policy check failed"
+  | Breaker_open _ ->
+      Sesame_http.Response.error (Sesame_http.Status.Code 503)
+        "service temporarily unavailable"
+  | Db_error _ ->
+      Sesame_http.Response.error Sesame_http.Status.Internal_error "internal error"
+
 (* ------------------------------------------------------------------ *)
 (* Sink resilience: retry with capped exponential backoff + jitter, and a
    per-sink circuit breaker. Both are deterministic given a seeded RNG
@@ -124,6 +140,47 @@ let create db =
   }
 
 let database t = t.db
+
+(* ------------------------------------------------------------------ *)
+(* Durable mode: the same connector over a crash-consistent store. The
+   store's journal needs each row's policy provenance at write time;
+   that is exactly what this connector's bindings know, so the
+   provenance callback closes over the bindings table (shared with the
+   connector built below) and instantiates the bound policy on the
+   inserted row, flattening its conjuncts to (family name, parameters)
+   pairs. Columns without a binding journal nothing — their cells are
+   [NoPolicy] by construction and need no reconstruction. *)
+
+let policy_leaves policy =
+  Policy.conjuncts policy
+  |> List.filter (fun leaf -> not (Policy.is_no_policy leaf))
+  |> List.map (fun leaf ->
+         { Sesame_wal.Provenance.ctor = Policy.name leaf; param = Policy.describe leaf })
+
+let create_durable ?config ~dir () =
+  Sesame_wal.Provenance.register (Policy.name Policy.no_policy);
+  Sesame_wal.Provenance.register (Policy.name (Policy.deny_all ~reason:"builtin"));
+  let bindings : (string * string, policy_source) Hashtbl.t = Hashtbl.create 16 in
+  let store_ref = ref None in
+  let provenance ~table ~column ~row =
+    match Hashtbl.find_opt bindings (table, column) with
+    | None -> []
+    | Some source -> (
+        let instantiated =
+          match (row, !store_ref) with
+          | Some row, Some store -> (
+              match Db.Database.table (Sesame_wal.Durable.db store) table with
+              | Some tbl -> ( try Some (source (Db.Table.schema tbl) row) with _ -> None)
+              | None -> None)
+          | _ -> None
+        in
+        match instantiated with Some p -> policy_leaves p | None -> [])
+  in
+  match Sesame_wal.Durable.open_store ?config ~provenance ~dir () with
+  | Error _ as e -> e
+  | Ok store ->
+      store_ref := Some store;
+      Ok ({ (create (Sesame_wal.Durable.db store)) with bindings }, store)
 
 let configure_resilience t ?retry ?breaker ?seed ?sleep ?now () =
   Option.iter (fun r -> t.retry <- r) retry;

@@ -38,6 +38,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+val error_response : error -> Sesame_http.Response.t
+(** The shared client-facing rendering: every variant maps to a generic
+    body ("internal error", "policy check failed", …) so backend error
+    strings — SQL messages, quarantine reasons, injected-fault
+    descriptions — are never echoed to the requester. Applications
+    should route connector errors through this instead of formatting
+    their own bodies. *)
+
 val is_transient_db_message : string -> bool
 (** The transient/permanent classifier applied to backend error strings
     (matches the ["transient: "] prefix used by injected faults plus
@@ -50,6 +58,22 @@ val database : t -> Db.Database.t
 (** Escape hatch for schema setup and test fixtures; reading application
     data through it bypasses Sesame and is the moral equivalent of not
     using the mandated libraries. *)
+
+val create_durable :
+  ?config:Sesame_wal.Durable.config ->
+  dir:string ->
+  unit ->
+  (t * Sesame_wal.Durable.t, Sesame_wal.Durable.error) result
+(** A connector over a crash-consistent durable store rooted at [dir]
+    (WAL + checkpoints; see {!Sesame_wal.Durable}). Every accepted write
+    is journaled together with the policy provenance derived from this
+    connector's {!attach_policy} bindings — instantiated on the inserted
+    row, so row-dependent families record their exact parameters — and
+    recovery refuses to load any row whose journaled policy constructors
+    are not registered. Registers the built-in families; applications
+    must {!Sesame_wal.Provenance.register} their own before calling
+    (and before any reopen). Attach bindings before serving traffic so
+    provenance is in place from the first write. *)
 
 (** {1 Resilience} *)
 

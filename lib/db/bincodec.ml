@@ -1,0 +1,476 @@
+(* Byte-exact serialization for Value/Row/Schema/Expr/Sql.stmt, plus the
+   CRC32 the WAL frames records with. Display forms (Value.to_string) are
+   lossy — %g floats, quote-escaped text — so persistence goes through
+   this codec exclusively. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected). Table-driven, computed once. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0l) s =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+
+let put_u8 b n =
+  if n < 0 || n > 0xFF then invalid_arg "Bincodec.put_u8";
+  Buffer.add_char b (Char.chr n)
+
+let put_u32 b n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Bincodec.put_u32";
+  Buffer.add_char b (Char.chr (n land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xFF))
+
+let put_i64 b n =
+  let bytes = Bytes.create 8 in
+  Bytes.set_int64_le bytes 0 n;
+  Buffer.add_bytes b bytes
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_value b = function
+  | Value.Null -> put_u8 b 0
+  | Value.Int i ->
+      put_u8 b 1;
+      put_i64 b (Int64.of_int i)
+  | Value.Float f ->
+      put_u8 b 2;
+      put_i64 b (Int64.bits_of_float f)
+  | Value.Text s ->
+      put_u8 b 3;
+      put_string b s
+  | Value.Bool flag ->
+      put_u8 b 4;
+      put_u8 b (if flag then 1 else 0)
+
+let put_row b row =
+  put_u32 b (Array.length row);
+  Array.iter (put_value b) row
+
+let ty_tag = function Value.Tint -> 0 | Value.Tfloat -> 1 | Value.Ttext -> 2 | Value.Tbool -> 3
+
+let put_schema b schema =
+  put_string b (Schema.name schema);
+  (match Schema.primary_key schema with
+  | None -> put_u8 b 0
+  | Some pk ->
+      put_u8 b 1;
+      put_string b pk);
+  let columns = Schema.columns schema in
+  put_u32 b (List.length columns);
+  List.iter
+    (fun (c : Schema.column) ->
+      put_string b c.name;
+      put_u8 b (ty_tag c.ty);
+      put_u8 b (if c.nullable then 1 else 0))
+    columns
+
+let put_operand b = function
+  | Expr.Col name ->
+      put_u8 b 0;
+      put_string b name
+  | Expr.Lit v ->
+      put_u8 b 1;
+      put_value b v
+
+let cmp_tag = function
+  | Expr.Eq -> 0
+  | Expr.Ne -> 1
+  | Expr.Lt -> 2
+  | Expr.Le -> 3
+  | Expr.Gt -> 4
+  | Expr.Ge -> 5
+
+let rec put_expr b = function
+  | Expr.True -> put_u8 b 0
+  | Expr.Cmp (cmp, lhs, rhs) ->
+      put_u8 b 1;
+      put_u8 b (cmp_tag cmp);
+      put_operand b lhs;
+      put_operand b rhs
+  | Expr.And (l, r) ->
+      put_u8 b 2;
+      put_expr b l;
+      put_expr b r
+  | Expr.Or (l, r) ->
+      put_u8 b 3;
+      put_expr b l;
+      put_expr b r
+  | Expr.Not e ->
+      put_u8 b 4;
+      put_expr b e
+  | Expr.In (operand, values) ->
+      put_u8 b 5;
+      put_operand b operand;
+      put_u32 b (List.length values);
+      List.iter (put_value b) values
+  | Expr.Like (operand, pattern) ->
+      put_u8 b 6;
+      put_operand b operand;
+      put_string b pattern
+  | Expr.Is_null operand ->
+      put_u8 b 7;
+      put_operand b operand
+
+let put_aggregate b = function
+  | Sql.Count_all -> put_u8 b 0
+  | Sql.Count c ->
+      put_u8 b 1;
+      put_string b c
+  | Sql.Sum c ->
+      put_u8 b 2;
+      put_string b c
+  | Sql.Avg c ->
+      put_u8 b 3;
+      put_string b c
+  | Sql.Min c ->
+      put_u8 b 4;
+      put_string b c
+  | Sql.Max c ->
+      put_u8 b 5;
+      put_string b c
+
+let put_option b put = function
+  | None -> put_u8 b 0
+  | Some v ->
+      put_u8 b 1;
+      put b v
+
+let put_list b put xs =
+  put_u32 b (List.length xs);
+  List.iter (put b) xs
+
+let put_stmt b = function
+  | Sql.Select { table; columns; where; order_by; limit } ->
+      put_u8 b 0;
+      put_string b table;
+      put_option b (fun b cols -> put_list b put_string cols) columns;
+      put_expr b where;
+      put_option b
+        (fun b (col, dir) ->
+          put_string b col;
+          put_u8 b (match dir with Sql.Asc -> 0 | Sql.Desc -> 1))
+        order_by;
+      put_option b (fun b n -> put_i64 b (Int64.of_int n)) limit
+  | Sql.Select_agg { table; aggregates; where; group_by } ->
+      put_u8 b 1;
+      put_string b table;
+      put_list b put_aggregate aggregates;
+      put_expr b where;
+      put_list b put_string group_by
+  | Sql.Insert { table; columns; values } ->
+      put_u8 b 2;
+      put_string b table;
+      put_option b (fun b cols -> put_list b put_string cols) columns;
+      put_list b put_value values
+  | Sql.Update { table; set; where } ->
+      put_u8 b 3;
+      put_string b table;
+      put_list b
+        (fun b (col, v) ->
+          put_string b col;
+          put_value b v)
+        set;
+      put_expr b where
+  | Sql.Delete { table; where } ->
+      put_u8 b 4;
+      put_string b table;
+      put_expr b where
+
+(* ------------------------------------------------------------------ *)
+(* Reader *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let pos r = r.pos
+
+let ( let* ) = Result.bind
+
+let short r what =
+  Error (Printf.sprintf "truncated %s at byte %d" what r.pos)
+
+let get_u8 r =
+  if r.pos + 1 > String.length r.src then short r "u8"
+  else begin
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    Ok v
+  end
+
+let get_u32 r =
+  if r.pos + 4 > String.length r.src then short r "u32"
+  else begin
+    let byte i = Char.code r.src.[r.pos + i] in
+    let v = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
+    r.pos <- r.pos + 4;
+    Ok v
+  end
+
+let get_i64 r =
+  if r.pos + 8 > String.length r.src then short r "i64"
+  else begin
+    let v = String.get_int64_le r.src r.pos in
+    r.pos <- r.pos + 8;
+    Ok v
+  end
+
+let get_string r =
+  let* len = get_u32 r in
+  if r.pos + len > String.length r.src then short r "string body"
+  else begin
+    let s = String.sub r.src r.pos len in
+    r.pos <- r.pos + len;
+    Ok s
+  end
+
+let bad r what tag =
+  Error (Printf.sprintf "bad %s tag %d at byte %d" what tag (r.pos - 1))
+
+let get_value r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 -> Ok Value.Null
+  | 1 ->
+      let* i = get_i64 r in
+      Ok (Value.Int (Int64.to_int i))
+  | 2 ->
+      let* bits = get_i64 r in
+      Ok (Value.Float (Int64.float_of_bits bits))
+  | 3 ->
+      let* s = get_string r in
+      Ok (Value.Text s)
+  | 4 ->
+      let* flag = get_u8 r in
+      Ok (Value.Bool (flag <> 0))
+  | tag -> bad r "value" tag
+
+let get_count r what =
+  let* n = get_u32 r in
+  (* Each element needs at least one byte, so a count beyond the remaining
+     input is corruption, not a huge-but-valid frame: reject before any
+     allocation proportional to it. *)
+  if n > String.length r.src - r.pos then
+    Error (Printf.sprintf "implausible %s count %d at byte %d" what n (r.pos - 4))
+  else Ok n
+
+let get_row r =
+  let* n = get_count r "row" in
+  let row = Array.make n Value.Null in
+  let rec fill i =
+    if i = n then Ok row
+    else
+      let* v = get_value r in
+      row.(i) <- v;
+      fill (i + 1)
+  in
+  fill 0
+
+let get_list r what get =
+  let* n = get_count r what in
+  let rec go acc i =
+    if i = n then Ok (List.rev acc)
+    else
+      let* v = get r in
+      go (v :: acc) (i + 1)
+  in
+  go [] 0
+
+let get_option r get =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 -> Ok None
+  | 1 ->
+      let* v = get r in
+      Ok (Some v)
+  | tag -> bad r "option" tag
+
+let get_schema r =
+  let* name = get_string r in
+  let* primary_key = get_option r get_string in
+  let* columns =
+    get_list r "schema columns" (fun r ->
+        let* col_name = get_string r in
+        let* ty_tag = get_u8 r in
+        let* ty =
+          match ty_tag with
+          | 0 -> Ok Value.Tint
+          | 1 -> Ok Value.Tfloat
+          | 2 -> Ok Value.Ttext
+          | 3 -> Ok Value.Tbool
+          | tag -> bad r "column type" tag
+        in
+        let* nullable = get_u8 r in
+        Ok { Schema.name = col_name; ty; nullable = nullable <> 0 })
+  in
+  Schema.make ~name ?primary_key columns
+
+let get_operand r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 ->
+      let* name = get_string r in
+      Ok (Expr.Col name)
+  | 1 ->
+      let* v = get_value r in
+      Ok (Expr.Lit v)
+  | tag -> bad r "operand" tag
+
+let get_cmp r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 -> Ok Expr.Eq
+  | 1 -> Ok Expr.Ne
+  | 2 -> Ok Expr.Lt
+  | 3 -> Ok Expr.Le
+  | 4 -> Ok Expr.Gt
+  | 5 -> Ok Expr.Ge
+  | tag -> bad r "cmp" tag
+
+let rec get_expr r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 -> Ok Expr.True
+  | 1 ->
+      let* cmp = get_cmp r in
+      let* lhs = get_operand r in
+      let* rhs = get_operand r in
+      Ok (Expr.Cmp (cmp, lhs, rhs))
+  | 2 ->
+      let* l = get_expr r in
+      let* right = get_expr r in
+      Ok (Expr.And (l, right))
+  | 3 ->
+      let* l = get_expr r in
+      let* right = get_expr r in
+      Ok (Expr.Or (l, right))
+  | 4 ->
+      let* e = get_expr r in
+      Ok (Expr.Not e)
+  | 5 ->
+      let* operand = get_operand r in
+      let* values = get_list r "IN values" get_value in
+      Ok (Expr.In (operand, values))
+  | 6 ->
+      let* operand = get_operand r in
+      let* pattern = get_string r in
+      Ok (Expr.Like (operand, pattern))
+  | 7 ->
+      let* operand = get_operand r in
+      Ok (Expr.Is_null operand)
+  | tag -> bad r "expr" tag
+
+let get_aggregate r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 -> Ok Sql.Count_all
+  | _ -> (
+      let* c = get_string r in
+      match tag with
+      | 1 -> Ok (Sql.Count c)
+      | 2 -> Ok (Sql.Sum c)
+      | 3 -> Ok (Sql.Avg c)
+      | 4 -> Ok (Sql.Min c)
+      | 5 -> Ok (Sql.Max c)
+      | tag -> bad r "aggregate" tag)
+
+let get_stmt r =
+  let* tag = get_u8 r in
+  match tag with
+  | 0 ->
+      let* table = get_string r in
+      let* columns = get_option r (fun r -> get_list r "columns" get_string) in
+      let* where = get_expr r in
+      let* order_by =
+        get_option r (fun r ->
+            let* col = get_string r in
+            let* dir = get_u8 r in
+            match dir with
+            | 0 -> Ok (col, Sql.Asc)
+            | 1 -> Ok (col, Sql.Desc)
+            | tag -> bad r "order" tag)
+      in
+      let* limit = get_option r (fun r -> Result.map Int64.to_int (get_i64 r)) in
+      Ok (Sql.Select { table; columns; where; order_by; limit })
+  | 1 ->
+      let* table = get_string r in
+      let* aggregates = get_list r "aggregates" get_aggregate in
+      let* where = get_expr r in
+      let* group_by = get_list r "group-by" get_string in
+      Ok (Sql.Select_agg { table; aggregates; where; group_by })
+  | 2 ->
+      let* table = get_string r in
+      let* columns = get_option r (fun r -> get_list r "columns" get_string) in
+      let* values = get_list r "values" get_value in
+      Ok (Sql.Insert { table; columns; values })
+  | 3 ->
+      let* table = get_string r in
+      let* set =
+        get_list r "set" (fun r ->
+            let* col = get_string r in
+            let* v = get_value r in
+            Ok (col, v))
+      in
+      let* where = get_expr r in
+      Ok (Sql.Update { table; set; where })
+  | 4 ->
+      let* table = get_string r in
+      let* where = get_expr r in
+      Ok (Sql.Delete { table; where })
+  | tag -> bad r "stmt" tag
+
+let expect_end r =
+  if r.pos = String.length r.src then Ok ()
+  else Error (Printf.sprintf "%d trailing bytes after frame" (String.length r.src - r.pos))
+
+(* ------------------------------------------------------------------ *)
+
+let to_bytes put v =
+  let b = writer () in
+  put b v;
+  contents b
+
+let of_bytes get s =
+  let r = reader s in
+  let* v = get r in
+  let* () = expect_end r in
+  Ok v
+
+let value_to_bytes = to_bytes put_value
+let value_of_bytes = of_bytes get_value
+let row_to_bytes = to_bytes put_row
+let row_of_bytes = of_bytes get_row
+let schema_to_bytes = to_bytes put_schema
+let schema_of_bytes = of_bytes get_schema
+let stmt_to_bytes = to_bytes put_stmt
+let stmt_of_bytes = of_bytes get_stmt
+
+let schema_hash schema = crc32 (schema_to_bytes schema)

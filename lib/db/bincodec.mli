@@ -1,0 +1,73 @@
+(** Lossless binary codec for the storage layer.
+
+    [Value.to_string] is a display form ([%g] floats, quoted strings) and
+    must never be used for persistence; this module is the byte-exact
+    counterpart the WAL and checkpoints serialize through. Every encoding
+    is length-prefixed little-endian, integers travel as 64-bit
+    two's-complement, and floats as their IEEE-754 bit pattern via
+    [Int64.bits_of_float], so a decode of an encode is structurally equal
+    to the original — including NaNs, negative zero and infinities.
+
+    Decoders never raise on malformed input: they return [Error] with a
+    byte offset so the WAL reader can distinguish a torn tail from mid-log
+    corruption. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val put_u8 : writer -> int -> unit
+val put_u32 : writer -> int -> unit
+(** Little-endian; [invalid_arg] outside [0, 2^32). *)
+
+val put_i64 : writer -> int64 -> unit
+val put_string : writer -> string -> unit
+(** [u32] length prefix + raw bytes. *)
+
+val put_value : writer -> Value.t -> unit
+val put_row : writer -> Row.t -> unit
+val put_schema : writer -> Schema.t -> unit
+val put_expr : writer -> Expr.t -> unit
+val put_stmt : writer -> Sql.stmt -> unit
+
+(** {1 Reader} *)
+
+type reader
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+
+val get_u8 : reader -> (int, string) result
+val get_u32 : reader -> (int, string) result
+val get_i64 : reader -> (int64, string) result
+val get_string : reader -> (string, string) result
+val get_value : reader -> (Value.t, string) result
+val get_row : reader -> (Row.t, string) result
+val get_schema : reader -> (Schema.t, string) result
+val get_expr : reader -> (Expr.t, string) result
+val get_stmt : reader -> (Sql.stmt, string) result
+val expect_end : reader -> (unit, string) result
+(** [Error] if trailing bytes remain — a decode must consume its whole
+    frame, or the frame was corrupt in a CRC-colliding way. *)
+
+(** {1 Whole-buffer conveniences} *)
+
+val value_to_bytes : Value.t -> string
+val value_of_bytes : string -> (Value.t, string) result
+val row_to_bytes : Row.t -> string
+val row_of_bytes : string -> (Row.t, string) result
+val schema_to_bytes : Schema.t -> string
+val schema_of_bytes : string -> (Schema.t, string) result
+val stmt_to_bytes : Sql.stmt -> string
+val stmt_of_bytes : string -> (Sql.stmt, string) result
+
+val schema_hash : Schema.t -> int32
+(** CRC32 of the schema's canonical encoding — the drift detector the WAL
+    journals alongside each record's policy provenance. *)
+
+val crc32 : ?crc:int32 -> string -> int32
+(** CRC-32 (IEEE 802.3, reflected, init/xorout [0xFFFFFFFF]) of the whole
+    string; [crc] continues a running checksum. *)

@@ -1,7 +1,14 @@
+type journal_event =
+  | J_stmt of Sql.stmt
+  | J_create of Schema.t
+  | J_drop of string
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable query_cost_ns : int;
   mutable queries : int;
+  mutable journal : (journal_event -> (unit, string) result) option;
+  mutable poisoned : string option;
 }
 
 type exec_result =
@@ -9,19 +16,69 @@ type exec_result =
   | Affected of int
 
 let create ?(query_cost_ns = 0) () =
-  { tables = Hashtbl.create 8; query_cost_ns; queries = 0 }
+  { tables = Hashtbl.create 8; query_cost_ns; queries = 0; journal = None; poisoned = None }
 
 let set_query_cost_ns t ns = t.query_cost_ns <- ns
 let query_count t = t.queries
 let reset_query_count t = t.queries <- 0
 
+let set_journal t journal = t.journal <- journal
+let poison t reason = if t.poisoned = None then t.poisoned <- Some reason
+let poisoned t = t.poisoned
+
+(* A store whose journal diverged from memory serves nothing — reads
+   included — until it is reopened through recovery. The client-facing
+   message is generic; the detailed reason stays in [poisoned]. *)
+let guard t =
+  match t.poisoned with
+  | None -> Ok ()
+  | Some _ -> Error "database quarantined: durable log write failed"
+
+(* The write is applied first, journaled second: only statements the
+   engine accepted reach the log, so recovery treats any replay failure
+   as corruption rather than expected noise. A journal failure after a
+   successful apply means memory and log have diverged — the statement is
+   reported failed (never acknowledged) and the store is poisoned. *)
+let journal_applied t event =
+  match t.journal with
+  | None -> Ok ()
+  | Some journal -> (
+      match journal event with
+      | Ok () -> Ok ()
+      | Error msg ->
+          poison t msg;
+          Error "durable log write failed; statement not acknowledged"
+      | exception exn ->
+          poison t (Printexc.to_string exn);
+          Error "durable log write failed; statement not acknowledged")
+
+let ( let* ) = Result.bind
+
 let create_table t schema =
+  let* () = guard t in
   let name = Schema.name schema in
   if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
   else begin
     Hashtbl.add t.tables name (Table.create schema);
-    Ok ()
+    match journal_applied t (J_create schema) with
+    | Ok () -> Ok ()
+    | Error _ as e ->
+        (* Creation was not acknowledged: take the table back out so a
+           recovered store and this one agree. *)
+        Hashtbl.remove t.tables name;
+        e
   end
+
+let restore_table t schema rows =
+  let name = Schema.name schema in
+  if Hashtbl.mem t.tables name then
+    Error (Printf.sprintf "table %s already exists" name)
+  else
+    match Table.of_rows schema rows with
+    | Error _ as e -> e
+    | Ok tbl ->
+        Hashtbl.add t.tables name tbl;
+        Ok ()
 
 let table t name = Hashtbl.find_opt t.tables name
 
@@ -34,11 +91,17 @@ let table_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
 
 let drop_table t name =
-  if Hashtbl.mem t.tables name then begin
-    Hashtbl.remove t.tables name;
-    Ok ()
-  end
-  else Error (Printf.sprintf "no table named %s" name)
+  let* () = guard t in
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> begin
+      Hashtbl.remove t.tables name;
+      match journal_applied t (J_drop name) with
+      | Ok () -> Ok ()
+      | Error _ as e ->
+          Hashtbl.add t.tables name table;
+          e
+    end
+  | None -> Error (Printf.sprintf "no table named %s" name)
 
 (* Busy-wait to model a round trip. The deadline must come from a
    monotonic wall clock: [Sys.time] is process CPU time, which both runs
@@ -58,8 +121,6 @@ let lookup t name =
   match table t name with
   | Some tbl -> Ok tbl
   | None -> Error (Printf.sprintf "no table named %s" name)
-
-let ( let* ) = Result.bind
 
 let run_plain_select tbl ~columns ~where ~order_by ~limit =
   let schema = Table.schema tbl in
@@ -191,6 +252,7 @@ let protect_faults f =
 
 let exec_stmt t stmt =
   protect_faults @@ fun () ->
+  let* () = guard t in
   charge t;
   match stmt with
   | Sql.Select { table; columns; where; order_by; limit } ->
@@ -201,16 +263,21 @@ let exec_stmt t stmt =
       run_agg_select tbl ~aggregates ~where ~group_by
   | Sql.Insert { table; columns; values } ->
       let* tbl = lookup t table in
-      run_insert tbl ~columns ~values
+      let* result = run_insert tbl ~columns ~values in
+      let* () = journal_applied t (J_stmt stmt) in
+      Ok result
   | Sql.Update { table; set; where } ->
       let* tbl = lookup t table in
       let* () = Expr.validate (Table.schema tbl) where in
       let* n = Table.update tbl ~where ~set in
+      let* () = journal_applied t (J_stmt stmt) in
       Ok (Affected n)
   | Sql.Delete { table; where } ->
       let* tbl = lookup t table in
       let* () = Expr.validate (Table.schema tbl) where in
-      Ok (Affected (Table.delete tbl ~where))
+      let n = Table.delete tbl ~where in
+      let* () = journal_applied t (J_stmt stmt) in
+      Ok (Affected n)
 
 let exec t src ~params =
   let* stmt = Sql.parse src ~params in
@@ -220,6 +287,7 @@ let select_rows t src ~params =
   let* stmt = Sql.parse src ~params in
   match stmt with
   | Sql.Select { table; columns = None; where; order_by; limit } -> (
+      let* () = guard t in
       let* tbl = lookup t table in
       let* result =
         protect_faults (fun () ->

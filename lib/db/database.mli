@@ -11,8 +11,28 @@ type exec_result =
   | Rows of { columns : string list; rows : Value.t array list }
   | Affected of int
 
+type journal_event =
+  | J_stmt of Sql.stmt  (** a mutating statement the engine accepted *)
+  | J_create of Schema.t
+  | J_drop of string
+
 val create : ?query_cost_ns:int -> unit -> t
 (** [query_cost_ns] (default 0) is busy-waited before every statement. *)
+
+val set_journal : t -> (journal_event -> (unit, string) result) option -> unit
+(** Installs (or removes) the durable-mode journal hook. The hook runs
+    {e after} a mutating statement (or [create_table]/[drop_table]) has
+    been applied in memory; only accepted operations reach it, so a WAL
+    built from these events replays cleanly. If the hook fails (or
+    raises), the operation is reported failed — never acknowledged — and
+    the store is {!poison}ed, because memory and log have diverged. *)
+
+val poison : t -> string -> unit
+(** Quarantines the store: every subsequent statement — reads included —
+    fails with a generic, classified-permanent error until the store is
+    reopened through recovery. Idempotent; the first reason wins. *)
+
+val poisoned : t -> string option
 
 val set_query_cost_ns : t -> int -> unit
 val query_count : t -> int
@@ -21,6 +41,12 @@ val query_count : t -> int
 val reset_query_count : t -> unit
 
 val create_table : t -> Schema.t -> (unit, string) result
+
+val restore_table : t -> Schema.t -> Row.t list -> (unit, string) result
+(** Recovery-only: installs a table rebuilt from a checkpoint snapshot
+    (every row re-validated via {!Table.of_rows}), bypassing the journal.
+    Fails if the table already exists or any row is rejected. *)
+
 val table : t -> string -> Table.t option
 val table_exn : t -> string -> Table.t
 val table_names : t -> string list

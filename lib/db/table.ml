@@ -169,6 +169,18 @@ let fold t ~init ~f =
 let iter t ~f = fold t ~init:() ~f:(fun () row -> f row)
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc row -> row :: acc))
 
+let of_rows schema rows =
+  let t = create schema in
+  let rec go = function
+    | [] -> Ok t
+    | row :: rest -> (
+        match insert t row with
+        | Ok () -> go rest
+        | Error msg ->
+            Error (Printf.sprintf "table %s: checkpoint row rejected: %s" (Schema.name schema) msg))
+  in
+  go rows
+
 let clear t =
   t.rows <- Array.make 16 None;
   t.size <- 0;

@@ -30,4 +30,10 @@ val fold : t -> init:'a -> f:('a -> Row.t -> 'a) -> 'a
 val iter : t -> f:(Row.t -> unit) -> unit
 val to_list : t -> Row.t list
 
+val of_rows : Schema.t -> Row.t list -> (t, string) result
+(** Rebuilds a table from a checkpoint snapshot: every row is validated
+    and indexed exactly as live inserts are, and the first rejected row
+    fails the whole load — a checkpoint that does not replay verbatim is
+    corruption, not data. *)
+
 val clear : t -> unit

@@ -6,6 +6,10 @@ type point =
   | Db_query
   | Policy_check
   | Template_render
+  | Db_wal_append
+  | Db_wal_fsync
+  | Db_checkpoint_write
+  | Db_checkpoint_rename
 
 let all_points =
   [
@@ -16,6 +20,10 @@ let all_points =
     Db_query;
     Policy_check;
     Template_render;
+    Db_wal_append;
+    Db_wal_fsync;
+    Db_checkpoint_write;
+    Db_checkpoint_rename;
   ]
 
 let point_index = function
@@ -26,8 +34,12 @@ let point_index = function
   | Db_query -> 4
   | Policy_check -> 5
   | Template_render -> 6
+  | Db_wal_append -> 7
+  | Db_wal_fsync -> 8
+  | Db_checkpoint_write -> 9
+  | Db_checkpoint_rename -> 10
 
-let n_points = 7
+let n_points = 11
 
 let point_name = function
   | Arena_alloc -> "arena-alloc"
@@ -37,6 +49,10 @@ let point_name = function
   | Db_query -> "db-query"
   | Policy_check -> "policy-check"
   | Template_render -> "template-render"
+  | Db_wal_append -> "db-wal-append"
+  | Db_wal_fsync -> "db-wal-fsync"
+  | Db_checkpoint_write -> "db-checkpoint-write"
+  | Db_checkpoint_rename -> "db-checkpoint-rename"
 
 let point_of_string s =
   List.find_opt (fun p -> point_name p = s) all_points

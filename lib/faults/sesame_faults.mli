@@ -19,6 +19,20 @@ type point =
   | Db_query         (** statement execution in [Database] *)
   | Policy_check     (** sink-side policy checks in [Sesame_conn]/[Sesame_web] *)
   | Template_render  (** the HTML render sink in [Sesame_web.render] *)
+  | Db_wal_append    (** WAL record append in [Sesame_wal.Wal.append] — a
+                         crash/IO-error model for the redo log; a fault
+                         here means the write was never acknowledged *)
+  | Db_wal_fsync     (** the [fsync] made before acknowledging a batch
+                         ([Sesame_wal.Wal]); a fault models a lost disk
+                         flush, so the writer must fail the statement *)
+  | Db_checkpoint_write
+      (** serialization of the checkpoint temp file
+          ([Sesame_wal.Checkpoint.write]); a fault aborts the checkpoint,
+          leaving the previous checkpoint + WAL authoritative *)
+  | Db_checkpoint_rename
+      (** the atomic rename that publishes a checkpoint; a fault models a
+          crash between temp-file write and publication — recovery must
+          ignore the temp file and replay the old checkpoint + WAL *)
 
 val all_points : point list
 val point_name : point -> string

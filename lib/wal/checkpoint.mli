@@ -1,0 +1,39 @@
+(** Atomic full-store snapshots that bound WAL replay.
+
+    A checkpoint is one file: magic, then a CRC-framed body holding the
+    last LSN it covers and every table's schema and rows in the lossless
+    {!Sesame_db.Bincodec} encoding. It is published atomically — written
+    to a temp file, [fsync]ed, then [rename]d over the previous
+    checkpoint (and the directory [fsync]ed) — so recovery only ever
+    sees either the old complete snapshot or the new complete snapshot,
+    never a partial one. A leftover temp file is the signature of a
+    crash mid-checkpoint and is simply discarded.
+
+    Replay skips WAL records with [lsn <= ] the checkpoint's LSN, which
+    makes a crash {e between} checkpoint publication and WAL truncation
+    idempotent.
+
+    The fault seams [Db_checkpoint_write] and [Db_checkpoint_rename]
+    fire before the temp-file write and the publishing rename. A failed
+    checkpoint is {e recoverable} — the previous checkpoint plus the
+    intact WAL remain authoritative — so {!write} reports [Error]
+    without poisoning anything. *)
+
+val file : string
+(** ["checkpoint"], relative to the store directory. *)
+
+val temp_file : string
+(** ["checkpoint.tmp"]. *)
+
+val write :
+  dir:string ->
+  lsn:int64 ->
+  (Sesame_db.Schema.t * Sesame_db.Row.t list) list ->
+  (unit, string) result
+
+val load :
+  dir:string ->
+  ((int64 * (Sesame_db.Schema.t * Sesame_db.Row.t list) list) option, string) result
+(** [Ok None] when no checkpoint exists (a fresh store). [Error] on a
+    bad magic, size/CRC mismatch, or a body that does not decode — all
+    corruption, all fail-closed. *)

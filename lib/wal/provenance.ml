@@ -1,0 +1,16 @@
+type leaf = { ctor : string; param : string }
+
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let register name = Hashtbl.replace registry name ()
+let registered name = Hashtbl.mem registry name
+
+let names () =
+  Hashtbl.fold (fun name () acc -> name :: acc) registry [] |> List.sort String.compare
+
+let reset () = Hashtbl.reset registry
+
+let validate leaves =
+  match List.find_opt (fun l -> not (registered l.ctor)) leaves with
+  | None -> Ok ()
+  | Some l -> Error (Printf.sprintf "unknown policy constructor %s" l.ctor)

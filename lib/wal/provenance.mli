@@ -1,0 +1,29 @@
+(** The policy-constructor registry recovery validates against.
+
+    The WAL journals, next to every row, the provenance of the policies
+    that govern it: the flattened list of policy-family constructor names
+    and their rendered parameters. A recovered row may only enter the
+    store if {e every} journaled constructor is registered here — an
+    application registers its policy families before opening a durable
+    store, so a log written by a newer (or different) application, or a
+    corrupted constructor name that survived the CRC, fails recovery
+    closed instead of loading a row whose policy cannot be
+    reconstructed. *)
+
+type leaf = { ctor : string; param : string }
+(** One flattened policy conjunct: [ctor] is the stable family name
+    (e.g. ["websubmit::answer-access"]), [param] its rendered
+    parameters. *)
+
+val register : string -> unit
+(** Registers a constructor family name. Idempotent. *)
+
+val registered : string -> bool
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val reset : unit -> unit
+(** Clears the registry (tests only). *)
+
+val validate : leaf list -> (unit, string) result
+(** [Error] names the first unregistered constructor. *)

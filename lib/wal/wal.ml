@@ -1,0 +1,155 @@
+module B = Sesame_db.Bincodec
+
+let magic = "SSMWAL01"
+let header_size = String.length magic
+
+(* Frame header: u32 length + u32 crc, little-endian. *)
+let frame_header = 8
+
+let crc_of payload = Int32.to_int (B.crc32 payload) land 0xFFFFFFFF
+
+let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int n)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let io_error what e = Error (Printf.sprintf "wal %s: %s" what (Unix.error_message e))
+
+let create path =
+  try
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        write_all fd magic 0 header_size;
+        Unix.fsync fd);
+    Ok ()
+  with Unix.Unix_error (e, _, _) -> io_error "create" e
+
+type writer = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable pending : int;
+  mutable appended : int;
+  mutable closed : bool;
+  sync : bool;
+  batch : int;
+}
+
+let open_writer ~sync ~batch path =
+  try
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    Ok { fd; buf = Buffer.create 4096; pending = 0; appended = 0; closed = false;
+         sync; batch = max 1 batch }
+  with Unix.Unix_error (e, _, _) -> io_error "open" e
+
+let appended w = w.appended
+
+let flush w =
+  if w.closed then Error "wal flush: writer closed"
+  else if Buffer.length w.buf = 0 then Ok ()
+  else begin
+    let s = Buffer.contents w.buf in
+    match write_all w.fd s 0 (String.length s) with
+    | exception Unix.Unix_error (e, _, _) -> io_error "write" e
+    | () ->
+        Buffer.clear w.buf;
+        w.pending <- 0;
+        if not w.sync then Ok ()
+        else begin
+          (* The seam sits between write and fsync: an injected fault here
+             models a flush the disk never saw, so the batch must not be
+             acknowledged. *)
+          Sesame_faults.hit Sesame_faults.Db_wal_fsync;
+          match Unix.fsync w.fd with
+          | () -> Ok ()
+          | exception Unix.Unix_error (e, _, _) -> io_error "fsync" e
+        end
+  end
+
+let append w payload =
+  if w.closed then Error "wal append: writer closed"
+  else begin
+    Sesame_faults.hit Sesame_faults.Db_wal_append;
+    add_u32 w.buf (String.length payload);
+    add_u32 w.buf (crc_of payload);
+    Buffer.add_string w.buf payload;
+    w.pending <- w.pending + 1;
+    w.appended <- w.appended + 1;
+    if w.pending >= w.batch then flush w else Ok ()
+  end
+
+let close w =
+  if w.closed then Ok ()
+  else begin
+    let flushed = flush w in
+    w.closed <- true;
+    match Unix.close w.fd with
+    | () -> flushed
+    | exception Unix.Unix_error (e, _, _) -> (
+        match flushed with Error _ as err -> err | Ok () -> io_error "close" e)
+  end
+
+type record = { offset : int; payload : string }
+type tail = Clean | Torn of { offset : int }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error (Printf.sprintf "wal read: %s" e)
+
+let u32_at s pos =
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let scan path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok s ->
+      let len = String.length s in
+      if len < header_size then
+        if String.equal s (String.sub magic 0 len) then
+          (* A crash during initial creation left a partial header. *)
+          Ok ([], 0, Torn { offset = 0 })
+        else Error "wal: bad magic header"
+      else if not (String.equal (String.sub s 0 header_size) magic) then
+        Error "wal: bad magic header"
+      else begin
+        let rec go pos acc =
+          let remaining = len - pos in
+          if remaining = 0 then Ok (List.rev acc, pos, Clean)
+          else if remaining < frame_header then Ok (List.rev acc, pos, Torn { offset = pos })
+          else begin
+            let plen = u32_at s pos in
+            let crc = u32_at s (pos + 4) in
+            if remaining - frame_header < plen then
+              (* The frame claims more bytes than the file holds: the tail
+                 of a crashed write (or a torn length field — either way
+                 nothing after this point is recoverable framing). *)
+              Ok (List.rev acc, pos, Torn { offset = pos })
+            else begin
+              let payload = String.sub s (pos + frame_header) plen in
+              if crc_of payload <> crc then
+                Error
+                  (Printf.sprintf
+                     "wal: checksum mismatch in record at offset %d (not a torn tail)" pos)
+              else
+                go (pos + frame_header + plen) ({ offset = pos; payload } :: acc)
+            end
+          end
+        in
+        go header_size []
+      end
+
+let truncate path offset =
+  try
+    Unix.truncate path offset;
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd);
+    Ok ()
+  with Unix.Unix_error (e, _, _) -> io_error "truncate" e

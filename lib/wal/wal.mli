@@ -1,0 +1,80 @@
+(** The physical write-ahead log: a file of length-prefixed, CRC-32
+    checksummed frames behind a magic header.
+
+    Frame layout (all little-endian):
+
+    {v u32 length | u32 crc32(payload) | payload v}
+
+    The payload bytes are opaque here — {!Durable} owns their meaning
+    (LSN, record kind, statement, policy provenance). This module only
+    guarantees the crash-consistency story of the {e framing}:
+
+    - a frame that extends past end-of-file (including a partially
+      written header) is a {e torn tail} — the expected residue of a
+      crash mid-write, reported as {!Torn} so the caller can truncate
+      back to the last whole frame;
+    - a frame that is fully present but whose CRC does not match is
+      {e corruption} — a partial write cannot produce it, so {!scan}
+      fails closed with an error instead of guessing.
+
+    Writers group-commit: appends accumulate in a buffer and are written
+    (and optionally [fsync]ed) once [batch] frames are pending. The
+    fault seams [Db_wal_append] and [Db_wal_fsync] fire on the append
+    and flush paths respectively. *)
+
+val magic : string
+(** File header, ["SSMWAL01"]. *)
+
+val header_size : int
+
+(** {1 Writing} *)
+
+type writer
+
+val create : string -> (unit, string) result
+(** Creates (or truncates to) a fresh log containing only the magic
+    header, [fsync]ed. *)
+
+val open_writer : sync:bool -> batch:int -> string -> (writer, string) result
+(** Opens an existing log for appending. [batch] (clamped to [>= 1]) is
+    the group-commit size: frames buffer in memory until that many are
+    pending, then are written in one [write] and, when [sync], one
+    [fsync]. With [batch = 1] and [sync = true] every acknowledged
+    append is durable; larger batches trade a bounded tail of
+    acknowledged-but-buffered frames for throughput. *)
+
+val append : writer -> string -> (unit, string) result
+(** Frames [payload] and group-commits. An [Error] (or an injected
+    fault's raise) means the frame was {e not} acknowledged — the caller
+    must fail the statement and poison the store. *)
+
+val flush : writer -> (unit, string) result
+(** Forces out any buffered frames ([fsync]ing when the writer is
+    [sync]). No-op when nothing is pending. *)
+
+val close : writer -> (unit, string) result
+(** {!flush} then close the descriptor. The writer is unusable after. *)
+
+val appended : writer -> int
+(** Frames appended since {!open_writer} (for checkpoint pacing/tests). *)
+
+(** {1 Scanning} *)
+
+type record = { offset : int; payload : string }
+
+type tail =
+  | Clean  (** the file ends exactly on a frame boundary *)
+  | Torn of { offset : int }
+      (** a final, incomplete frame starts at [offset]; truncating the
+          file back to [offset] yields a clean log *)
+
+val scan : string -> (record list * int * tail, string) result
+(** [scan path] is [Ok (records, valid_end, tail)] where [records] are
+    the whole, CRC-valid frames in order and [valid_end] the byte offset
+    just past the last of them. Fails closed ([Error]) on a bad magic
+    header or on a complete frame whose CRC does not match — mid-log
+    corruption, never the signature of a crash. *)
+
+val truncate : string -> int -> (unit, string) result
+(** Physically truncates the file to [offset] (the torn-tail repair),
+    [fsync]ing the result. *)

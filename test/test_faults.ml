@@ -135,7 +135,21 @@ let register_counter = ref 0
 
 (* One endpoint per seam: /register crosses the sandbox seams (the API
    key is hashed in a sandboxed region); /view crosses the DB, policy
-   and render seams. *)
+   and render seams. The durable-store seams are never traversed by this
+   in-memory fixture; they get their own matrix below, because their
+   failure semantics (poison, quarantine, reopen-through-recovery)
+   differ from in-process seams. *)
+let in_memory_points =
+  [
+    F.Arena_alloc;
+    F.Copier_encode;
+    F.Copier_decode;
+    F.Guest_body;
+    F.Db_query;
+    F.Policy_check;
+    F.Template_render;
+  ]
+
 let drive_seam app point =
   match point with
   | F.Arena_alloc | F.Copier_encode | F.Copier_decode | F.Guest_body ->
@@ -147,6 +161,8 @@ let drive_seam app point =
       Apps.Websubmit.handle app (req ~body Http.Meth.POST "/register")
   | F.Db_query | F.Policy_check | F.Template_render ->
       Apps.Websubmit.handle app (req ~cookies:"user=student0@school.edu" Http.Meth.GET "/view/1")
+  | F.Db_wal_append | F.Db_wal_fsync | F.Db_checkpoint_write | F.Db_checkpoint_rename ->
+      invalid_arg "durable seams are driven by the wal matrix"
 
 let matrix_case app (point, action) =
   let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
@@ -185,7 +201,7 @@ let matrix_tests =
   let cases =
     List.concat_map
       (fun point -> List.map (fun action -> (point, action)) [ F.Raise; F.Corrupt; F.Exhaust ])
-      F.all_points
+      in_memory_points
   in
   List.map (matrix_case app) cases
   @ [
@@ -198,6 +214,160 @@ let matrix_tests =
           check_int "still serves" 200 (status r);
           check_bool "still renders the answer" true (contains (body r) "answer"));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* The durable-store seams. WAL append/fsync faults must fail the
+   statement — never acknowledge — and poison the store so even reads
+   fail closed (without leaking) until a reopen through recovery, which
+   must serve every acknowledged row under its original policy.
+   Checkpoint faults are recoverable: traffic continues, and the old
+   checkpoint + WAL stay authoritative. *)
+
+module Wal = Sesame_wal
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sesame-faults-wal-%d" !counter)
+    in
+    rm_rf dir;
+    dir
+
+let durable_websubmit dir =
+  F.disarm ();
+  match Apps.Websubmit.create_durable ~data_dir:dir () with
+  | Error m -> failwith m
+  | Ok (app, store) ->
+      if Apps.Websubmit.answer_count app = 0 then (
+        match Apps.Websubmit.seed app ~students:4 ~questions:2 with
+        | Ok () -> ()
+        | Error m -> failwith m);
+      Apps.Email.clear_outbox ();
+      (app, store)
+
+let submit app n =
+  Apps.Websubmit.handle app
+    (req ~cookies:"user=student0@school.edu"
+       ~body:(Printf.sprintf "answer=wal%d" n)
+       Http.Meth.POST
+       (Printf.sprintf "/submit/1/%d" (100 + n)))
+
+let view app ~user id =
+  Apps.Websubmit.handle app
+    (req ~cookies:("user=" ^ user) Http.Meth.GET (Printf.sprintf "/view/%d" id))
+
+let wal_write_case (point, action) =
+  let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
+  test name (fun () ->
+      let dir = fresh_dir () in
+      let app, store = durable_websubmit dir in
+      let before = Apps.Websubmit.answer_count app in
+      let response, traversals =
+        with_plans [ F.plan ~nth:0 point action ] (fun () ->
+            let r =
+              try submit app 1
+              with exn ->
+                Alcotest.failf "%s: exception escaped the handler: %s" name
+                  (Printexc.to_string exn)
+            in
+            (r, F.hits point))
+      in
+      check_bool "seam traversed" true (traversals > 0);
+      check_bool
+        (Printf.sprintf "statement not acknowledged (got %d)" (status response))
+        true
+        (status response >= 400);
+      List.iter
+        (fun marker ->
+          check_bool (Printf.sprintf "no %S in faulted response" marker) false
+            (contains (body response) marker))
+        leak_markers;
+      (* Memory and log have diverged: the store is poisoned, and even
+         reads fail closed — still without leaking. *)
+      check_bool "poison reason recorded" true
+        (Db.Database.poisoned (Apps.Websubmit.database app) <> None);
+      let read = view app ~user:"student0@school.edu" 1 in
+      check_bool "reads fail while quarantined" true (status read >= 400);
+      List.iter
+        (fun marker ->
+          check_bool (Printf.sprintf "no %S while quarantined" marker) false
+            (contains (body read) marker))
+        leak_markers;
+      ignore (Wal.Durable.close store);
+      (* Reopen through recovery. An append fault strikes before the frame
+         is buffered, so the failed insert is gone; an fsync fault strikes
+         after the write, so the frame may be on disk — durable but never
+         acknowledged, which recovery is allowed to surface. Either way
+         every recovered row is under its original policy. *)
+      let app', store' = durable_websubmit dir in
+      let recovered = Apps.Websubmit.answer_count app' in
+      let expected = if point = F.Db_wal_append then before else before + 1 in
+      check_int "acknowledged rows recovered" expected recovered;
+      check_int "author reads a recovered answer" 200
+        (status (view app' ~user:"student0@school.edu" 1));
+      check_bool "another student is still denied" true
+        (status (view app' ~user:"student1@school.edu" 1) >= 400);
+      if recovered > before then begin
+        (* The unacknowledged-but-durable row is also policy-governed. *)
+        check_int "author reads the surfaced row" 200
+          (status (view app' ~user:"student0@school.edu" 9));
+        check_bool "others denied on the surfaced row" true
+          (status (view app' ~user:"student1@school.edu" 9) >= 400)
+      end;
+      ignore (Wal.Durable.close store'))
+
+let wal_checkpoint_case (point, action) =
+  let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
+  test name (fun () ->
+      let dir = fresh_dir () in
+      let app, store = durable_websubmit dir in
+      let before = Apps.Websubmit.answer_count app in
+      let result, traversals =
+        with_plans [ F.plan ~nth:0 point action ] (fun () ->
+            let r = Wal.Durable.checkpoint store in
+            (r, F.hits point))
+      in
+      check_bool "seam traversed" true (traversals > 0);
+      check_bool "checkpoint reports failure" true (Result.is_error result);
+      check_bool "failure recorded" true (Wal.Durable.last_checkpoint_error store <> None);
+      (* Recoverable: no poison, reads serve, writes acknowledge. *)
+      check_bool "no poison" true
+        (Db.Database.poisoned (Apps.Websubmit.database app) = None);
+      check_int "reads still serve" 200 (status (view app ~user:"student0@school.edu" 1));
+      check_int "writes still acknowledge" 201 (status (submit app 2));
+      (* Fault cleared: checkpointing works again, and a reopen recovers
+         everything — acknowledged writes included. *)
+      (match Wal.Durable.checkpoint store with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "checkpoint after disarm failed: %s" m);
+      ignore (Wal.Durable.close store);
+      let app', store' = durable_websubmit dir in
+      check_int "all acknowledged rows recovered" (before + 1)
+        (Apps.Websubmit.answer_count app');
+      check_int "author still reads" 200 (status (view app' ~user:"student0@school.edu" 1));
+      check_bool "policy still enforced" true
+        (status (view app' ~user:"student1@school.edu" 1) >= 400);
+      ignore (Wal.Durable.close store'))
+
+let wal_matrix_tests =
+  let actions = [ F.Raise; F.Corrupt; F.Exhaust ] in
+  List.map wal_write_case
+    (List.concat_map
+       (fun point -> List.map (fun action -> (point, action)) actions)
+       [ F.Db_wal_append; F.Db_wal_fsync ])
+  @ List.map wal_checkpoint_case
+      (List.concat_map
+         (fun point -> List.map (fun action -> (point, action)) actions)
+         [ F.Db_checkpoint_write; F.Db_checkpoint_rename ])
 
 (* ------------------------------------------------------------------ *)
 (* Connector resilience: retry/backoff and the circuit breaker *)
@@ -452,6 +622,7 @@ let () =
     [
       ("injector", injector_tests);
       ("matrix", matrix_tests);
+      ("wal-matrix", wal_matrix_tests);
       ("retry", retry_tests);
       ("breaker", breaker_tests);
       ("fail-closed", failclosed_tests);

@@ -162,6 +162,186 @@ let sandbox_props =
         all_zero 4096);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Bincodec: the WAL/checkpoint codec must be lossless — bit-exact for
+   floats — and its decoders total (Error, never an exception). *)
+
+let db_value : Db.Value.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let special =
+    oneofl [ Float.nan; Float.infinity; Float.neg_infinity; -0.; 0.; 4.9e-324; 1.5e308 ]
+  in
+  let gen =
+    oneof
+      [
+        return Db.Value.Null;
+        map (fun i -> Db.Value.Int i) int;
+        map (fun b -> Db.Value.Bool b) bool;
+        map (fun s -> Db.Value.Text s) string_printable;
+        map (fun f -> Db.Value.Float f) (oneof [ float; special ]);
+      ]
+  in
+  QCheck.make ~print:Db.Value.to_string gen
+
+let value_eq a b =
+  match (a, b) with
+  | Db.Value.Float x, Db.Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+let db_row : Db.Row.t QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun r -> String.concat ";" (Array.to_list (Array.map Db.Value.to_string r)))
+    QCheck.Gen.(array_size (int_bound 5) (QCheck.gen db_value))
+
+let row_eq a b =
+  Array.length a = Array.length b
+  && List.for_all2 value_eq (Array.to_list a) (Array.to_list b)
+
+let db_schema : Db.Schema.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let ty = oneofl [ Db.Value.Tint; Db.Value.Tfloat; Db.Value.Ttext; Db.Value.Tbool ] in
+  let gen =
+    int_range 1 5 >>= fun n ->
+    list_repeat n (pair ty bool) >>= fun cols ->
+    bool >>= fun with_pk ->
+    string_small_of numeral >>= fun suffix ->
+    let columns =
+      List.mapi
+        (fun i (ty, nullable) ->
+          { Db.Schema.name = Printf.sprintf "c%d" i; ty; nullable = nullable && i > 0 })
+        cols
+    in
+    return
+      (Db.Schema.make_exn ~name:("t" ^ suffix)
+         ?primary_key:(if with_pk then Some "c0" else None)
+         columns)
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Db.Schema.pp) gen
+
+let schema_eq a b =
+  Db.Schema.name a = Db.Schema.name b
+  && Db.Schema.columns a = Db.Schema.columns b
+  && Db.Schema.primary_key a = Db.Schema.primary_key b
+
+(* Exprs stick to non-float literals so structural equality applies. *)
+let db_expr_gen : Db.Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let operand =
+    oneof
+      [
+        map (fun s -> Db.Expr.Col ("c" ^ s)) (string_small_of numeral);
+        map (fun i -> Db.Expr.Lit (Db.Value.Int i)) small_int;
+        map (fun s -> Db.Expr.Lit (Db.Value.Text s)) string_printable;
+        return (Db.Expr.Lit Db.Value.Null);
+      ]
+  in
+  let cmp = oneofl [ Db.Expr.Eq; Db.Expr.Ne; Db.Expr.Lt; Db.Expr.Le; Db.Expr.Gt; Db.Expr.Ge ] in
+  let leaf =
+    oneof
+      [
+        return Db.Expr.True;
+        map3 (fun c a b -> Db.Expr.Cmp (c, a, b)) cmp operand operand;
+        map (fun o -> Db.Expr.Is_null o) operand;
+        map2 (fun o p -> Db.Expr.Like (o, p)) operand string_printable;
+        map2
+          (fun o vs -> Db.Expr.In (o, List.map (fun i -> Db.Value.Int i) vs))
+          operand (small_list small_int);
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                (1, map2 (fun a b -> Db.Expr.And (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun a b -> Db.Expr.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> Db.Expr.Not a) (self (n / 2)));
+              ])
+        (min n 8))
+
+let db_stmt : Db.Sql.stmt QCheck.arbitrary =
+  let open QCheck.Gen in
+  let value = QCheck.gen db_value in
+  let name = map (fun s -> "c" ^ s) (string_small_of numeral) in
+  let gen =
+    oneof
+      [
+        map3
+          (fun table columns values -> Db.Sql.Insert { table; columns; values })
+          (map (fun s -> "t" ^ s) (string_small_of numeral))
+          (option (small_list name))
+          (small_list value);
+        map2
+          (fun set where -> Db.Sql.Update { table = "t"; set; where })
+          (small_list (pair name value))
+          db_expr_gen;
+        map (fun where -> Db.Sql.Delete { table = "t"; where }) db_expr_gen;
+      ]
+  in
+  QCheck.make gen
+
+let stmt_eq a b =
+  match (a, b) with
+  | Db.Sql.Insert i1, Db.Sql.Insert i2 ->
+      i1.table = i2.table && i1.columns = i2.columns
+      && List.length i1.values = List.length i2.values
+      && List.for_all2 value_eq i1.values i2.values
+  | Db.Sql.Update u1, Db.Sql.Update u2 ->
+      u1.table = u2.table && u1.where = u2.where
+      && List.length u1.set = List.length u2.set
+      && List.for_all2 (fun (c1, v1) (c2, v2) -> c1 = c2 && value_eq v1 v2) u1.set u2.set
+  | _ -> a = b
+
+let flip_ty = function
+  | Db.Value.Tint -> Db.Value.Ttext
+  | Db.Value.Tfloat -> Db.Value.Tint
+  | Db.Value.Ttext -> Db.Value.Tbool
+  | Db.Value.Tbool -> Db.Value.Tfloat
+
+let codec_props =
+  [
+    prop ~count:500 "values round-trip bit-exactly" db_value (fun v ->
+        match Db.Bincodec.value_of_bytes (Db.Bincodec.value_to_bytes v) with
+        | Ok v' -> value_eq v v'
+        | Error _ -> false);
+    prop "rows round-trip" db_row (fun r ->
+        match Db.Bincodec.row_of_bytes (Db.Bincodec.row_to_bytes r) with
+        | Ok r' -> row_eq r r'
+        | Error _ -> false);
+    prop "schemas round-trip with a stable hash" db_schema (fun s ->
+        match Db.Bincodec.schema_of_bytes (Db.Bincodec.schema_to_bytes s) with
+        | Ok s' ->
+            schema_eq s s'
+            && Int32.equal (Db.Bincodec.schema_hash s') (Db.Bincodec.schema_hash s)
+        | Error _ -> false);
+    prop "changing a column type changes the schema hash" db_schema (fun s ->
+        let columns =
+          match Db.Schema.columns s with
+          | c :: rest -> { c with Db.Schema.ty = flip_ty c.Db.Schema.ty } :: rest
+          | [] -> []
+        in
+        let drifted =
+          Db.Schema.make_exn ~name:(Db.Schema.name s)
+            ?primary_key:(Db.Schema.primary_key s) columns
+        in
+        not (Int32.equal (Db.Bincodec.schema_hash drifted) (Db.Bincodec.schema_hash s)));
+    prop "statements round-trip" db_stmt (fun stmt ->
+        match Db.Bincodec.stmt_of_bytes (Db.Bincodec.stmt_to_bytes stmt) with
+        | Ok stmt' -> stmt_eq stmt stmt'
+        | Error _ -> false);
+    prop "strict prefixes fail cleanly, never raise"
+      QCheck.(pair db_value small_nat)
+      (fun (v, k) ->
+        let bytes = Db.Bincodec.value_to_bytes v in
+        let cut = k mod max 1 (String.length bytes) in
+        match Db.Bincodec.value_of_bytes (String.sub bytes 0 cut) with
+        | Ok _ -> false
+        | Error _ -> true);
+  ]
+
 (* Policy semantics: conjunction behaves like logical AND of its members. *)
 module Parity = C.Policy.Make (struct
   type s = int
@@ -265,6 +445,7 @@ let () =
     [
       ("signing", signing_props);
       ("db", db_props);
+      ("bincodec", codec_props);
       ("http", http_props);
       ("sandbox", sandbox_props);
       ("policy", policy_props);
