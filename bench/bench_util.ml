@@ -23,9 +23,114 @@ let percentile p samples =
 
 let median = percentile 50.0
 let p95 = percentile 95.0
+let p99 = percentile 99.0
+
+(* Time the very first call separately (caches cold, indexes unbuilt,
+   code unJITted by the branch predictor's standards), then collect [n]
+   warm samples. Folding that first call into the median understates
+   steady-state gains and overstates worst-case latency at once — report
+   the two numbers apart. *)
+let sample_cold ~n f =
+  let t0 = now () in
+  ignore (Sys.opaque_identity (f ()));
+  let cold = now () -. t0 in
+  (cold, sample ~warmup:2 ~n f)
+
+(* Paired comparison: interleave the two sides sample-by-sample
+   (alternating which goes first) so machine drift — GC growth, a noisy
+   neighbour on a shared core — lands on both sides instead of biasing
+   whichever block ran second. Each side's cold first call is timed
+   before any warmup. Returns ((cold_f, samples_f), (cold_g, samples_g)). *)
+let sample_cold_pair ?(warmup = 2) ~n f g =
+  let time h =
+    let t0 = now () in
+    ignore (Sys.opaque_identity (h ()));
+    now () -. t0
+  in
+  let cold_f = time f in
+  let cold_g = time g in
+  for _ = 1 to warmup do
+    ignore (time f);
+    ignore (time g)
+  done;
+  let a = Array.make n 0.0 and b = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if i land 1 = 0 then begin
+      a.(i) <- time f;
+      b.(i) <- time g
+    end
+    else begin
+      b.(i) <- time g;
+      a.(i) <- time f
+    end
+  done;
+  ((cold_f, a), (cold_g, b))
 
 let us s = s *. 1e6
 let ms s = s *. 1e3
+
+(* Just enough JSON to publish benchmark results as CI artifacts; no
+   parser, no dependency. *)
+module Json = struct
+  type t =
+    | Num of float
+    | Int of int
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Num f ->
+        (* JSON has no NaN/Infinity; clamp to null so consumers parse. *)
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.3f" f)
+        else Buffer.add_string buf "null"
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf (Str k);
+            Buffer.add_char buf ':';
+            emit buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_file path t =
+    let buf = Buffer.create 1024 in
+    emit buf t;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+end
 
 let header title =
   Printf.printf "\n=== %s ===\n%!" title

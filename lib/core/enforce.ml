@@ -1,0 +1,157 @@
+module Parallel = Sesame_parallel
+
+type stats = { hits : int; misses : int; parallel_fanouts : int }
+
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let parallel_fanouts = Atomic.make 0
+
+let stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    parallel_fanouts = Atomic.get parallel_fanouts;
+  }
+
+let reset_stats () =
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set parallel_fanouts 0
+
+(* ------------------------------------------------------------------ *)
+(* Epoch: table generation + policy-binding bumps. A verdict may depend
+   on database state its check read, so any accepted mutation anywhere
+   must retire every cached verdict; rebinding a (table, column) policy
+   changes what future rows mean, so it bumps too. *)
+
+let bumps = Atomic.make 0
+let bump () = Atomic.incr bumps
+let epoch () = Atomic.get bumps + Sesame_db.Table.generation ()
+
+let memoize = Atomic.make true
+let set_memoization on = Atomic.set memoize on
+let memoization () = Atomic.get memoize
+
+let parallel_cutoff = Atomic.make 64
+let set_parallel_cutoff n = Atomic.set parallel_cutoff (max 2 n)
+
+(* The pool is resolved lazily so merely linking the library never spawns
+   domains: first use consults PARALLEL_DOMAINS via the shared default
+   pool, and a pool without workers is treated as "no pool". *)
+type pool_setting = Unresolved | Pool of Parallel.t | No_pool
+
+let pool_setting = ref Unresolved
+let pool_lock = Mutex.create ()
+
+let set_pool p =
+  Mutex.lock pool_lock;
+  pool_setting := (match p with Some p -> Pool p | None -> No_pool);
+  Mutex.unlock pool_lock
+
+let pool () =
+  Mutex.lock pool_lock;
+  let resolved =
+    match !pool_setting with
+    | Pool p -> Some p
+    | No_pool -> None
+    | Unresolved ->
+        let d = Parallel.default () in
+        let v = if Parallel.domains d > 1 then Pool d else No_pool in
+        pool_setting := v;
+        (match v with Pool p -> Some p | _ -> None)
+  in
+  Mutex.unlock pool_lock;
+  resolved
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain verdict cache. Domain-local on purpose: no lock on the hot
+   path, and invalidation needs no cross-domain coordination — each
+   domain notices the epoch moved at its next lookup and resets. The key
+   pairs the policy instance id with the full context; equality is
+   structural over the whole context, so the (Hashtbl.hash) fingerprint
+   only routes to a bucket and can never alias two different contexts
+   into one verdict. *)
+
+type cache = {
+  mutable at : int;  (* epoch the cached verdicts were computed under *)
+  tbl : (int * Context.t, (unit, string) result) Hashtbl.t;
+}
+
+let caches : cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { at = min_int; tbl = Hashtbl.create 1024 })
+
+(* Fresh policy instances (one-shot ids) leave dead entries behind; a cap
+   bounds the table between epochs. Resetting forgets live entries too,
+   but a reset is just a cold start, never a wrong answer. *)
+let max_entries = 65536
+
+let domain_cache () =
+  let c = Domain.DLS.get caches in
+  let e = epoch () in
+  if c.at <> e then begin
+    Hashtbl.reset c.tbl;
+    c.at <- e
+  end;
+  c
+
+(* ------------------------------------------------------------------ *)
+
+let first_denial results =
+  (* Member order = check order: the reported denial is the leftmost one,
+     exactly as the sequential short-circuit reports it. *)
+  let n = Array.length results in
+  let rec scan i =
+    if i = n then Ok ()
+    else match results.(i) with Ok () -> scan (i + 1) | Error _ as e -> e
+  in
+  scan 0
+
+let rec check_verbose policy ctx =
+  if Policy.is_no_policy policy then Ok ()
+  else if not (Atomic.get memoize) then compute policy ctx
+  else begin
+    let c = domain_cache () in
+    let key = (Policy.id policy, ctx) in
+    match Hashtbl.find_opt c.tbl key with
+    | Some verdict ->
+        Atomic.incr hits;
+        verdict
+    | None ->
+        Atomic.incr misses;
+        let verdict = compute policy ctx in
+        (* A check that itself mutated the database moved the epoch; the
+           verdict it produced belongs to the old world and must not be
+           stored against the new one. *)
+        if epoch () = c.at then begin
+          if Hashtbl.length c.tbl >= max_entries then Hashtbl.reset c.tbl;
+          Hashtbl.add c.tbl key verdict
+        end;
+        verdict
+  end
+
+and compute policy ctx =
+  match Policy.members policy with
+  | None -> Policy.check_verbose policy ctx
+  | Some members -> (
+      let arr = Array.of_list members in
+      let n = Array.length arr in
+      let wide = n >= Atomic.get parallel_cutoff in
+      match (if wide then pool () else None) with
+      | Some p ->
+          Atomic.incr parallel_fanouts;
+          (* Evaluate every member (no short-circuit), then report the
+             leftmost denial: same verdict and message as the sequential
+             walk, paid for with the tail checks the sequential walk
+             would have skipped on a denial. *)
+          first_denial (Parallel.map_array ~cutoff:1 p (fun m -> check_verbose m ctx) arr)
+      | None ->
+          let rec walk i =
+            if i = n then Ok ()
+            else
+              match check_verbose arr.(i) ctx with
+              | Ok () -> walk (i + 1)
+              | Error _ as e -> e
+          in
+          walk 0)
+
+let check policy ctx = Result.is_ok (check_verbose policy ctx)

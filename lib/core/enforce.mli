@@ -1,0 +1,57 @@
+(** The enforcement hot path: memoized, optionally domain-parallel policy
+    checking.
+
+    {!check_verbose} is a drop-in replacement for
+    {!Policy.check_verbose} — same verdicts, byte-identical denial
+    messages, same (left-to-right, first-denial) ordering — that caches
+    leaf and conjunction verdicts per domain, keyed by (policy instance
+    id, full structural context). The id is unique per instance and
+    policies are immutable, so an id names one policy forever; the
+    context key is the whole {!Context.t} compared structurally (its
+    hash is only a fingerprint — equality decides, so hash collisions
+    cost a probe, never a wrong verdict).
+
+    What a cached verdict can depend on beyond (policy, context) is
+    database state read by the policy's own check. Every table mutation
+    bumps the process-wide {!Sesame_db.Table.generation}; policy
+    (re-)binding bumps {!bump}. Caches compare the combined {!epoch}
+    before every lookup and drop everything on a change — coarse, but
+    sound: no verdict computed against old data survives any mutation.
+
+    Checks of one conjunction's members fan out over a
+    {!Sesame_parallel.t} pool when one is installed and the conjunction
+    is wide enough; the deny scan over member results stays sequential
+    and in member order, so the reported denial is the one the
+    sequential reference reports. *)
+
+val check : Policy.t -> Context.t -> bool
+val check_verbose : Policy.t -> Context.t -> (unit, string) result
+
+val epoch : unit -> int
+(** The invalidation epoch: table generation + registration bumps. *)
+
+val bump : unit -> unit
+(** Invalidate every cached verdict (all domains observe it on their next
+    lookup). Called on policy binding; also the test hook for "the world
+    changed in a way the DB layer cannot see". *)
+
+val set_memoization : bool -> unit
+(** Default on. Off = every check recomputes (the sequential reference
+    path, modulo parallelism). *)
+
+val memoization : unit -> bool
+
+val set_pool : Sesame_parallel.t option -> unit
+(** Install (or remove) the pool used for wide conjunctions. Default:
+    the process-wide {!Sesame_parallel.default} pool iff it has workers
+    (i.e. [PARALLEL_DOMAINS > 1]). *)
+
+val pool : unit -> Sesame_parallel.t option
+
+val set_parallel_cutoff : int -> unit
+(** Minimum conjunction width before checks fan out (default 64). *)
+
+type stats = { hits : int; misses : int; parallel_fanouts : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

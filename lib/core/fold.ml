@@ -3,8 +3,11 @@ type error = Folding_disabled of string
 let pp_error fmt (Folding_disabled what) =
   Format.fprintf fmt "folding in is disabled by policy %s" what
 
+(* Folding out N rows usually sees few distinct policy objects (rows
+   share memoized instances), so dedup by identity before walking any
+   leaves — the Fig. 9c collapse generalized from sinks to bulk folds. *)
 let out_list pcons =
-  let policy = Policy.conjoin_all (List.map Pcon.policy pcons) in
+  let policy = Policy.conjoin_distinct (List.map Pcon.policy pcons) in
   Pcon.Internal.make policy (List.map Pcon.Internal.unwrap pcons)
 
 let out_option = function
@@ -14,7 +17,7 @@ let out_option = function
 let out_pair (a, b) = Pcon.pair a b
 
 let out_assoc bindings =
-  let policy = Policy.conjoin_all (List.map (fun (_, p) -> Pcon.policy p) bindings) in
+  let policy = Policy.conjoin_distinct (List.map (fun (_, p) -> Pcon.policy p) bindings) in
   Pcon.Internal.make policy
     (List.map (fun (k, p) -> (k, Pcon.Internal.unwrap p)) bindings)
 

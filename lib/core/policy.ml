@@ -10,15 +10,16 @@ type t = {
   family_describe : state -> string;
 }
 
+(* Instance ids must stay unique under parallel checks and registrations:
+   a duplicated id would let dedup (and verdict caches keyed by id) treat
+   two different policies as one — an unsoundness, not just a miscount. *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
-let checks = ref 0
-let check_count () = !checks
-let reset_check_count () = checks := 0
+let checks = Atomic.make 0
+let check_count () = Atomic.get checks
+let reset_check_count () = Atomic.set checks 0
 
 (* ------------------------------------------------------------------ *)
 (* Built-ins: NoPolicy, DenyAll, and the And stack. *)
@@ -31,7 +32,7 @@ let rec leaf_check policy ctx =
   match policy.state with
   | And_state members -> List.for_all (fun p -> leaf_check p ctx) members
   | _ ->
-      incr checks;
+      Atomic.incr checks;
       policy.family_check policy.state ctx
 
 let no_policy =
@@ -90,7 +91,7 @@ let check_verbose t ctx =
           (fun acc p -> match acc with Error _ -> acc | Ok () -> go p)
           (Ok ()) members
     | st ->
-        incr checks;
+        Atomic.incr checks;
         if t.family_check st ctx then Ok ()
         else Error (Printf.sprintf "policy %s denied (%s)" t.name (t.family_describe st))
   in
@@ -157,6 +158,26 @@ let conjoin a b =
    accumulated conjunction at every step. *)
 let conjoin_all policies =
   of_members (compact (List.concat_map conjuncts policies))
+
+(* Drop repeated instances before flattening: bulk folds over N rows
+   typically see each (memoized, shared) policy object many times, and
+   deduplicating by id first means [compact] walks the distinct policies'
+   leaves instead of all N rows' worth. P AND P = P, so this changes
+   nothing semantically. *)
+let distinct policies =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p.id then false
+      else begin
+        Hashtbl.add seen p.id ();
+        true
+      end)
+    policies
+
+let conjoin_distinct policies = conjoin_all (distinct policies)
+
+let members t = match t.state with And_state ms -> Some ms | _ -> None
 
 (* ------------------------------------------------------------------ *)
 

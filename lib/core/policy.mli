@@ -48,8 +48,19 @@ val conjoin : t -> t -> t
 val conjoin_all : t list -> t
 (** [no_policy] for the empty list. *)
 
+val conjoin_distinct : t list -> t
+(** {!conjoin_all} after dropping repeated instances (by {!id}): the bulk
+    path for N rows sharing memoized policy objects, where it pays one
+    leaf walk per distinct policy instead of one per row. Semantically
+    identical to {!conjoin_all} ([P AND P = P]). *)
+
 val conjuncts : t -> t list
 (** The flattened leaves of an [And] (a singleton for leaf policies). *)
+
+val members : t -> t list option
+(** [Some ms] iff the policy is a conjunction with members [ms] (in check
+    order); [None] for leaves. Enforcement caches use it to recurse
+    without re-flattening. *)
 
 val check_count : unit -> int
 (** Global number of leaf policy checks executed — benchmarks and tests use

@@ -10,17 +10,28 @@ type entry = {
   review_loc : int;
 }
 
+(* The registry is a process-wide Hashtbl; apps may instantiate (and so
+   register regions) from worker domains, and an unguarded Hashtbl can
+   corrupt its buckets under concurrent writers. Every access goes
+   through one mutex — registration is nowhere near any hot path. *)
 let table : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
 
-let register entry = Hashtbl.replace table (entry.app, entry.region) entry
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register entry =
+  with_lock (fun () -> Hashtbl.replace table (entry.app, entry.region) entry)
 
 let entries ?app () =
-  Hashtbl.fold
-    (fun _ entry acc ->
-      match app with
-      | Some a when a <> entry.app -> acc
-      | Some _ | None -> entry :: acc)
-    table []
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun _ entry acc ->
+          match app with
+          | Some a when a <> entry.app -> acc
+          | Some _ | None -> entry :: acc)
+        table [])
   |> List.sort (fun a b ->
          match String.compare a.app b.app with
          | 0 -> String.compare a.region b.region
@@ -43,4 +54,4 @@ let review_burden ~app =
   |> List.filter (fun e -> e.kind = Critical)
   |> List.fold_left (fun acc e -> acc + e.review_loc) 0
 
-let reset () = Hashtbl.reset table
+let reset () = with_lock (fun () -> Hashtbl.reset table)

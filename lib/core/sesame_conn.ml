@@ -117,6 +117,15 @@ type t = {
   mutable rng : Random.State.t;
   mutable sleep : float -> unit;
   mutable now : unit -> float;
+  (* Aggregate group-policy cache: (table, column, WHERE, GROUP BY,
+     group key) -> the conjunction of the group's per-row policies.
+     Valid for one Enforce epoch — any table mutation or policy
+     rebinding moves the epoch and the whole cache is dropped, so a
+     warm aggregate request never rebuilds (or even rescans for) a
+     conjunction over unchanged rows. *)
+  agg_cache :
+    (string * string * Db.Expr.t * string list * Db.Value.t list, Policy.t) Hashtbl.t;
+  mutable agg_epoch : int;
 }
 
 let busy_sleep seconds =
@@ -137,6 +146,8 @@ let create db =
     rng = Random.State.make [| 0x5e5a; 0xe |];
     sleep = busy_sleep;
     now = Sesame_clock.now_s;
+    agg_cache = Hashtbl.create 16;
+    agg_epoch = min_int;
   }
 
 let database t = t.db
@@ -287,7 +298,10 @@ let with_resilience t ~sink op =
 (* ------------------------------------------------------------------ *)
 
 let attach_policy t ~table ~column source =
-  Hashtbl.replace t.bindings (table, column) source
+  Hashtbl.replace t.bindings (table, column) source;
+  (* Rebinding changes what a cell's policy means: retire every cached
+     verdict and group conjunction. *)
+  Enforce.bump ()
 
 let cell_policy t ~table schema row column =
   match Hashtbl.find_opt t.bindings (table, column) with
@@ -311,7 +325,7 @@ let check_param context ~sink ~index pcon =
   in
   match
     Sesame_faults.hit Sesame_faults.Policy_check;
-    Policy.check_verbose (Pcon.policy pcon) context
+    Enforce.check_verbose (Pcon.policy pcon) context
   with
   | Ok () -> Ok ()
   | Error msg -> denied msg
@@ -352,8 +366,13 @@ let query t ~context sql ~params =
       Ok (List.map wrap_row rows)
 
 (* For aggregates we need the matching raw rows to build the conjunction of
-   the aggregated column's per-row policies, so re-run the match as a
-   SELECT * with the same WHERE clause. *)
+   the aggregated column's per-row policies. The whole per-group build —
+   re-running the match, grouping it, instantiating per-row policies, and
+   conjoining them — happens only on an [agg_cache] miss; a warm request
+   pays one hash lookup per output cell. The grouping pass itself fans out
+   over the enforcement pool when one is installed (Row.get is pure;
+   chunk-local tables merge in chunk order, so group order and member
+   order match the sequential single pass). *)
 let query_agg t ~context sql ~params =
   let* () = require_trusted context in
   let sink = "db::query" in
@@ -367,13 +386,6 @@ let query_agg t ~context sql ~params =
       | None -> Error (db_error (Printf.sprintf "no table named %s" table))
       | Some tbl -> (
           let schema = Db.Table.schema tbl in
-          let matching = Db.Table.select tbl ~where in
-          let policy_over_rows column rows =
-            if not (Hashtbl.mem t.bindings (table, column)) then Policy.no_policy
-            else
-              Policy.conjoin_all
-                (List.map (fun row -> cell_policy t ~table schema row column) rows)
-          in
           let agg_column = function
             | Db.Sql.Count_all -> None
             | Db.Sql.Count c | Db.Sql.Sum c | Db.Sql.Avg c | Db.Sql.Min c | Db.Sql.Max c ->
@@ -383,21 +395,84 @@ let query_agg t ~context sql ~params =
           | Error msg -> Error (db_error msg)
           | Ok (Db.Database.Affected _) -> Error (db_error "aggregate returned no rows")
           | Ok (Db.Database.Rows { columns; rows }) ->
+              (* Matching rows grouped by their GROUP BY key; forced at
+                 most once per request, and only when some cell misses
+                 the group-policy cache. *)
+              let grouped =
+                lazy
+                  (let matching = Array.of_list (Db.Table.select tbl ~where) in
+                   let groups : (Db.Value.t list, Db.Row.t list ref) Hashtbl.t =
+                     Hashtbl.create 16
+                   in
+                   if group_by <> [] then begin
+                     let chunk ~lo ~hi =
+                       let local = Hashtbl.create 32 in
+                       let order = ref [] in
+                       for i = lo to hi - 1 do
+                         let row = matching.(i) in
+                         let key = List.map (Db.Row.get schema row) group_by in
+                         match Hashtbl.find_opt local key with
+                         | Some cell -> cell := row :: !cell
+                         | None ->
+                             Hashtbl.add local key (ref [ row ]);
+                             order := key :: !order
+                       done;
+                       List.rev_map (fun k -> (k, List.rev !(Hashtbl.find local k))) !order
+                     in
+                     let merge () part =
+                       List.iter
+                         (fun (key, part_rows) ->
+                           match Hashtbl.find_opt groups key with
+                           | Some cell -> cell := !cell @ part_rows
+                           | None -> Hashtbl.add groups key (ref part_rows))
+                         part
+                     in
+                     let n = Array.length matching in
+                     match Enforce.pool () with
+                     | Some pool ->
+                         Sesame_parallel.fold_range pool ~n ~chunk ~merge ~init:()
+                     | None -> merge () (chunk ~lo:0 ~hi:n)
+                   end;
+                   (matching, groups))
+              in
+              let members_for key =
+                let matching, groups = Lazy.force grouped in
+                if group_by = [] then Array.to_list matching
+                else
+                  match Hashtbl.find_opt groups key with
+                  | Some cell -> !cell
+                  | None -> []
+              in
+              let policy_for_group column key =
+                if not (Hashtbl.mem t.bindings (table, column)) then Policy.no_policy
+                else begin
+                  let e = Enforce.epoch () in
+                  if t.agg_epoch <> e then begin
+                    Hashtbl.reset t.agg_cache;
+                    t.agg_epoch <- e
+                  end;
+                  let cache_key = (table, column, where, group_by, key) in
+                  match Hashtbl.find_opt t.agg_cache cache_key with
+                  | Some policy -> policy
+                  | None ->
+                      let policy =
+                        Policy.conjoin_distinct
+                          (List.map
+                             (fun row -> cell_policy t ~table schema row column)
+                             (members_for key))
+                      in
+                      (* The member select above is a read — it cannot
+                         have moved the epoch — so the entry is valid
+                         for [e]. *)
+                      Hashtbl.add t.agg_cache cache_key policy;
+                      policy
+                end
+              in
               let group_count = List.length group_by in
+              let group_cols = Array.of_list group_by in
+              let agg_specs = Array.of_list aggregates in
               let wrap_row out_row =
-                (* Rows contributing to this output row: all matching rows
-                   whose group-key equals this row's key columns. *)
-                let members =
-                  if group_by = [] then matching
-                  else
-                    List.filter
-                      (fun row ->
-                        List.for_all2
-                          (fun col idx -> Db.Value.equal (Db.Row.get schema row col) out_row.(idx))
-                          group_by
-                          (List.init group_count Fun.id))
-                      matching
-                in
+                let key = List.init group_count (fun i -> out_row.(i)) in
                 (* Several cells may aggregate the same column (e.g. AVG
                    and COUNT over grades); they share one conjunction. *)
                 let column_policies = Hashtbl.create 4 in
@@ -405,16 +480,16 @@ let query_agg t ~context sql ~params =
                   match Hashtbl.find_opt column_policies col with
                   | Some policy -> policy
                   | None ->
-                      let policy = policy_over_rows col members in
+                      let policy = policy_for_group col key in
                       Hashtbl.add column_policies col policy;
                       policy
                 in
                 List.mapi
                   (fun i column_label ->
                     let policy =
-                      if i < group_count then policy_for (List.nth group_by i)
+                      if i < group_count then policy_for group_cols.(i)
                       else
-                        match agg_column (List.nth aggregates (i - group_count)) with
+                        match agg_column agg_specs.(i - group_count) with
                         | Some col -> policy_for col
                         | None -> Policy.no_policy
                     in

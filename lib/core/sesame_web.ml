@@ -54,11 +54,15 @@ let require_trusted context =
   if Context.is_trusted context then Ok () else Error Untrusted_context
 
 (* Fail closed: a policy check that raises — from its own fallible code or
-   from an injected fault at the policy-check seam — is a denial. *)
+   from an injected fault at the policy-check seam — is a denial. The
+   check itself goes through Enforce, so verdicts for a (policy, context)
+   pair are cached across requests until any DB mutation or policy
+   rebinding retires them; the fault seam stays outside the cache and
+   fires on every call. *)
 let check context pcon =
   match
     Sesame_faults.hit Sesame_faults.Policy_check;
-    Policy.check_verbose (Pcon.policy pcon) context
+    Enforce.check_verbose (Pcon.policy pcon) context
   with
   | Ok () -> Ok (Pcon.Internal.unwrap pcon)
   | Error msg ->

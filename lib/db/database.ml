@@ -6,7 +6,7 @@ type journal_event =
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable query_cost_ns : int;
-  mutable queries : int;
+  queries : int Atomic.t;  (* exact under concurrent statement execution *)
   mutable journal : (journal_event -> (unit, string) result) option;
   mutable poisoned : string option;
 }
@@ -16,11 +16,17 @@ type exec_result =
   | Affected of int
 
 let create ?(query_cost_ns = 0) () =
-  { tables = Hashtbl.create 8; query_cost_ns; queries = 0; journal = None; poisoned = None }
+  {
+    tables = Hashtbl.create 8;
+    query_cost_ns;
+    queries = Atomic.make 0;
+    journal = None;
+    poisoned = None;
+  }
 
 let set_query_cost_ns t ns = t.query_cost_ns <- ns
-let query_count t = t.queries
-let reset_query_count t = t.queries <- 0
+let query_count t = Atomic.get t.queries
+let reset_query_count t = Atomic.set t.queries 0
 
 let set_journal t journal = t.journal <- journal
 let poison t reason = if t.poisoned = None then t.poisoned <- Some reason
@@ -60,12 +66,14 @@ let create_table t schema =
   if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
   else begin
     Hashtbl.add t.tables name (Table.create schema);
+    Table.touch ();
     match journal_applied t (J_create schema) with
     | Ok () -> Ok ()
     | Error _ as e ->
         (* Creation was not acknowledged: take the table back out so a
            recovered store and this one agree. *)
         Hashtbl.remove t.tables name;
+        Table.touch ();
         e
   end
 
@@ -82,6 +90,14 @@ let restore_table t schema rows =
 
 let table t name = Hashtbl.find_opt t.tables name
 
+let ensure_index t ~table ~column =
+  match Hashtbl.find_opt t.tables table with
+  | None -> Error (Printf.sprintf "no table named %s" table)
+  | Some tbl -> (
+      match Table.ensure_index tbl column with
+      | () -> Ok ()
+      | exception Invalid_argument msg -> Error msg)
+
 let table_exn t name =
   match table t name with
   | Some tbl -> tbl
@@ -95,10 +111,12 @@ let drop_table t name =
   match Hashtbl.find_opt t.tables name with
   | Some table -> begin
       Hashtbl.remove t.tables name;
+      Table.touch ();
       match journal_applied t (J_drop name) with
       | Ok () -> Ok ()
       | Error _ as e ->
           Hashtbl.add t.tables name table;
+          Table.touch ();
           e
     end
   | None -> Error (Printf.sprintf "no table named %s" name)
@@ -109,7 +127,7 @@ let drop_table t name =
    shared across threads. *)
 let charge t =
   Sesame_faults.hit Sesame_faults.Db_query;
-  t.queries <- t.queries + 1;
+  Atomic.incr t.queries;
   if t.query_cost_ns > 0 then begin
     let deadline = Int64.add (Sesame_clock.now_ns ()) (Int64.of_int t.query_cost_ns) in
     while Sesame_clock.now_ns () < deadline do
@@ -122,6 +140,12 @@ let lookup t name =
   | Some tbl -> Ok tbl
   | None -> Error (Printf.sprintf "no table named %s" name)
 
+(* Early-terminating prefix: stops consuming once [n] elements are taken
+   instead of materializing and scanning the whole list. *)
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
 let run_plain_select tbl ~columns ~where ~order_by ~limit =
   let schema = Table.schema tbl in
   let* () = Expr.validate schema where in
@@ -133,7 +157,14 @@ let run_plain_select tbl ~columns ~where ~order_by ~limit =
         | Some c -> Error (Printf.sprintf "table %s has no column %s" (Schema.name schema) c)
         | None -> Ok cols)
   in
-  let rows = Table.select tbl ~where in
+  (* Without an ORDER BY, LIMIT pushes down into the scan itself; with
+     one, every matching row is needed for the sort and the limit is an
+     early-terminating prefix of the sorted rows. *)
+  let rows =
+    match order_by with
+    | None -> Table.select ?limit tbl ~where
+    | Some _ -> Table.select tbl ~where
+  in
   let* rows =
     match order_by with
     | None -> Ok rows
@@ -146,9 +177,9 @@ let run_plain_select tbl ~columns ~where ~order_by ~limit =
             let c = Value.compare (key a) (key b) in
             match dir with Sql.Asc -> c | Sql.Desc -> -c
           in
-          Ok (List.stable_sort cmp rows)
+          let sorted = List.stable_sort cmp rows in
+          Ok (match limit with None -> sorted | Some n -> take n sorted)
   in
-  let rows = match limit with None -> rows | Some n -> List.filteri (fun i _ -> i < n) rows in
   let projected = List.map (fun row -> Row.project schema row cols) rows in
   Ok (Rows { columns = cols; rows = projected })
 
@@ -229,11 +260,11 @@ let run_insert tbl ~columns ~values =
   let* row =
     match columns with
     | Some cols ->
-        if List.length cols <> List.length values then
+        if List.compare_lengths cols values <> 0 then
           Error "INSERT: column/value count mismatch"
         else Row.of_assoc schema (List.combine cols values)
     | None ->
-        if List.length values <> Schema.arity schema then
+        if List.compare_length_with values (Schema.arity schema) <> 0 then
           Error
             (Printf.sprintf "INSERT: expected %d values for table %s" (Schema.arity schema)
                (Schema.name schema))

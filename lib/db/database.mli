@@ -47,6 +47,10 @@ val restore_table : t -> Schema.t -> Row.t list -> (unit, string) result
     (every row re-validated via {!Table.of_rows}), bypassing the journal.
     Fails if the table already exists or any row is rejected. *)
 
+val ensure_index : t -> table:string -> column:string -> (unit, string) result
+(** Builds a secondary hash index (see {!Table.ensure_index}) so equality
+    predicates on the column probe instead of scanning. Idempotent. *)
+
 val table : t -> string -> Table.t option
 val table_exn : t -> string -> Table.t
 val table_names : t -> string list

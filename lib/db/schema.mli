@@ -24,6 +24,10 @@ val primary_key : t -> string option
 
 val column_index : t -> string -> int option
 val column_index_exn : t -> string -> int
+
+(** [column_name t i] is the name of the column at position [i] (O(1),
+    no list rebuild). *)
+val column_name : t -> int -> string
 val mem : t -> string -> bool
 
 val validate_row : t -> Value.t array -> (unit, string) result

@@ -1,6 +1,17 @@
-(* Rows live in a growable array; deleted slots are marked dead and
-   compacted away on the next full scan that finds many of them. The
-   primary-key index maps key value -> slot. *)
+(* Rows live in a growable array; deleted slots are marked dead (slots are
+   never reused, so a slot identifies a row for the life of the table).
+   The primary-key index maps key value -> slot; secondary indexes map a
+   column value -> the slots holding it and are kept exact across
+   insert/update/delete, so an equality probe plus the ordinary WHERE
+   filter is equivalent to a full scan. *)
+
+(* One process-wide mutation epoch covering every table: bumped on any
+   accepted mutation. Policy-verdict caches upstream (Sesame_core.Enforce)
+   compare against it to invalidate — coarse on purpose: a missed
+   invalidation is unsound, an extra one is just a cold cache. *)
+let generation_counter = Atomic.make 0
+let generation () = Atomic.get generation_counter
+let touch () = Atomic.incr generation_counter
 
 type t = {
   schema : Schema.t;
@@ -9,7 +20,17 @@ type t = {
   mutable live : int;
   pk_index : (Value.t, int) Hashtbl.t option;
   pk_col : int option;
+  secondary : (int, (Value.t, int list ref) Hashtbl.t) Hashtbl.t;
+      (* column position -> value -> slots (unordered) *)
+  scan_votes : (int, int) Hashtbl.t;
+      (* column position -> full scans that could have used an index on it;
+         past a threshold the index is built automatically *)
 }
+
+(* Auto-index a column once this many full scans carried an equality
+   predicate on it and the table is big enough for probes to win. *)
+let auto_index_scans = 8
+let auto_index_min_rows = 256
 
 let create schema =
   let pk_col = Option.map (Schema.column_index_exn schema) (Schema.primary_key schema) in
@@ -20,6 +41,8 @@ let create schema =
     live = 0;
     pk_index = Option.map (fun _ -> Hashtbl.create 64) pk_col;
     pk_col;
+    secondary = Hashtbl.create 4;
+    scan_votes = Hashtbl.create 4;
   }
 
 let schema t = t.schema
@@ -33,6 +56,59 @@ let grow t =
   end
 
 let pk_value t row = Option.map (fun i -> row.(i)) t.pk_col
+
+(* --- secondary-index maintenance ---------------------------------- *)
+
+let index_add index value slot =
+  match Hashtbl.find_opt index value with
+  | Some bucket -> bucket := slot :: !bucket
+  | None -> Hashtbl.add index value (ref [ slot ])
+
+let index_remove index value slot =
+  match Hashtbl.find_opt index value with
+  | Some bucket -> bucket := List.filter (fun s -> s <> slot) !bucket
+  | None -> ()
+
+let secondary_add t row slot =
+  Hashtbl.iter (fun col index -> index_add index row.(col) slot) t.secondary
+
+let secondary_remove t row slot =
+  Hashtbl.iter (fun col index -> index_remove index row.(col) slot) t.secondary
+
+let secondary_replace t ~old_row ~new_row slot =
+  Hashtbl.iter
+    (fun col index ->
+      if not (Value.equal old_row.(col) new_row.(col)) then begin
+        index_remove index old_row.(col) slot;
+        index_add index new_row.(col) slot
+      end)
+    t.secondary
+
+let build_index t col =
+  if not (Hashtbl.mem t.secondary col) then begin
+    let index = Hashtbl.create (max 64 t.live) in
+    for slot = 0 to t.size - 1 do
+      match t.rows.(slot) with
+      | Some row -> index_add index row.(col) slot
+      | None -> ()
+    done;
+    Hashtbl.add t.secondary col index;
+    Hashtbl.remove t.scan_votes col
+  end
+
+let ensure_index t column =
+  match Schema.column_index t.schema column with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "table %s has no column %s" (Schema.name t.schema) column)
+  | Some col -> build_index t col
+
+let has_index t column =
+  match Schema.column_index t.schema column with
+  | Some col -> Hashtbl.mem t.secondary col
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
 
 let insert t row =
   match Schema.validate_row t.schema row with
@@ -49,25 +125,30 @@ let insert t row =
              (Value.to_string (Option.get (pk_value t row))))
       else begin
         grow t;
-        t.rows.(t.size) <- Some (Array.copy row);
+        let stored = Array.copy row in
+        t.rows.(t.size) <- Some stored;
         (match (pk_value t row, t.pk_index) with
         | Some key, Some index -> Hashtbl.replace index key t.size
         | _ -> ());
+        secondary_add t stored t.size;
         t.size <- t.size + 1;
         t.live <- t.live + 1;
+        touch ();
         Ok ()
       end)
 
 let insert_exn t row =
   match insert t row with Ok () -> () | Error msg -> invalid_arg msg
 
-let matching_slots t ~where =
-  (* Primary-key fast path. *)
-  let by_index =
+(* Candidate slots from an index, if any equality predicate in [where]
+   hits one. [None] means "no index applies: scan". Candidates are a
+   superset filter — every candidate is still checked against the full
+   WHERE clause — sorted so results keep insertion (slot) order. *)
+let index_candidates t ~where =
+  let pk =
     match (t.pk_col, t.pk_index) with
     | Some col, Some index -> (
-        let col_name = (Array.of_list (Schema.columns t.schema)).(col).Schema.name in
-        match Expr.equality_on where col_name with
+        match Expr.equality_on where (Schema.column_name t.schema col) with
         | Some key -> (
             match Hashtbl.find_opt index key with
             | Some slot -> Some [ slot ]
@@ -75,21 +156,89 @@ let matching_slots t ~where =
         | None -> None)
     | _ -> None
   in
-  let candidates =
-    match by_index with
-    | Some slots -> slots
-    | None -> List.init t.size Fun.id
-  in
-  List.filter
-    (fun slot ->
-      match t.rows.(slot) with
-      | Some row -> Expr.eval_exn t.schema row where
-      | None -> false)
-    candidates
+  match pk with
+  | Some _ as hit -> hit
+  | None ->
+      Hashtbl.fold
+        (fun col index acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Expr.equality_on where (Schema.column_name t.schema col) with
+              | Some key -> (
+                  match Hashtbl.find_opt index key with
+                  | Some bucket -> Some (List.sort compare !bucket)
+                  | None -> Some [])
+              | None -> acc))
+        t.secondary None
 
-let select t ~where =
-  matching_slots t ~where
-  |> List.filter_map (fun slot -> t.rows.(slot))
+(* On a full scan, vote for every equality column the scan could have
+   probed; build the index once the votes say the scan pattern repeats. *)
+let record_scan_votes t ~where =
+  if t.live >= auto_index_min_rows then
+    List.iter
+      (fun name ->
+        match Schema.column_index t.schema name with
+        | Some col
+          when (not (Hashtbl.mem t.secondary col)) && t.pk_col <> Some col
+               && Expr.equality_on where name <> None ->
+            let votes = 1 + Option.value ~default:0 (Hashtbl.find_opt t.scan_votes col) in
+            if votes >= auto_index_scans then build_index t col
+            else Hashtbl.replace t.scan_votes col votes
+        | _ -> ())
+      (Expr.columns where)
+
+let matching_slots t ~where =
+  match index_candidates t ~where with
+  | Some candidates ->
+      List.filter
+        (fun slot ->
+          match t.rows.(slot) with
+          | Some row -> Expr.eval_exn t.schema row where
+          | None -> false)
+        candidates
+  | None ->
+      record_scan_votes t ~where;
+      let acc = ref [] in
+      for slot = t.size - 1 downto 0 do
+        match t.rows.(slot) with
+        | Some row -> if Expr.eval_exn t.schema row where then acc := slot :: !acc
+        | None -> ()
+      done;
+      !acc
+
+let select ?limit t ~where =
+  let cap = match limit with Some n -> max 0 n | None -> max_int in
+  if cap = 0 then []
+  else
+    match index_candidates t ~where with
+    | Some candidates ->
+        let rec take n = function
+          | slot :: rest when n > 0 -> (
+              match t.rows.(slot) with
+              | Some row when Expr.eval_exn t.schema row where -> row :: take (n - 1) rest
+              | Some _ | None -> take n rest)
+          | _ -> []
+        in
+        take cap candidates
+    | None ->
+        record_scan_votes t ~where;
+        (* Direct array walk, stopping as soon as [limit] rows matched —
+           no candidate list is materialized for the common full scan. *)
+        let acc = ref [] in
+        let found = ref 0 in
+        let slot = ref 0 in
+        while !found < cap && !slot < t.size do
+          (match t.rows.(!slot) with
+          | Some row ->
+              if Expr.eval_exn t.schema row where then begin
+                acc := row :: !acc;
+                incr found
+              end
+          | None -> ());
+          incr slot
+        done;
+        List.rev !acc
 
 let update t ~where ~set =
   let slots = matching_slots t ~where in
@@ -133,28 +282,35 @@ let update t ~where ~set =
   | Ok (), None ->
       List.iter
         (fun (slot, row') ->
+          let old_row = Option.get t.rows.(slot) in
           (match (t.pk_col, t.pk_index) with
           | Some col, Some index ->
-              let old_key = (Option.get t.rows.(slot)).(col) in
-              if not (Value.equal old_key row'.(col)) then begin
-                Hashtbl.remove index old_key;
+              if not (Value.equal old_row.(col) row'.(col)) then begin
+                Hashtbl.remove index old_row.(col);
                 Hashtbl.replace index row'.(col) slot
               end
           | _ -> ());
+          secondary_replace t ~old_row ~new_row:row' slot;
           t.rows.(slot) <- Some row')
         updated;
+      if updated <> [] then touch ();
       Ok (List.length updated)
 
 let delete t ~where =
   let slots = matching_slots t ~where in
   List.iter
     (fun slot ->
-      (match (t.pk_col, t.pk_index, t.rows.(slot)) with
-      | Some col, Some index, Some row -> Hashtbl.remove index row.(col)
-      | _ -> ());
+      (match t.rows.(slot) with
+      | Some row ->
+          (match (t.pk_col, t.pk_index) with
+          | Some col, Some index -> Hashtbl.remove index row.(col)
+          | _ -> ());
+          secondary_remove t row slot
+      | None -> ());
       t.rows.(slot) <- None;
       t.live <- t.live - 1)
     slots;
+  if slots <> [] then touch ();
   List.length slots
 
 let fold t ~init ~f =
@@ -185,4 +341,7 @@ let clear t =
   t.rows <- Array.make 16 None;
   t.size <- 0;
   t.live <- 0;
-  Option.iter Hashtbl.reset t.pk_index
+  Option.iter Hashtbl.reset t.pk_index;
+  Hashtbl.iter (fun _ index -> Hashtbl.reset index) t.secondary;
+  Hashtbl.reset t.scan_votes;
+  touch ()

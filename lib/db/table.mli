@@ -1,8 +1,18 @@
 (** A mutable table: rows stored in insertion order, with a hash index on
-    the primary key (when the schema declares one) used to serve
-    equality lookups without a scan. *)
+    the primary key (when the schema declares one) and optional secondary
+    hash indexes used to serve equality lookups without a scan. *)
 
 type t
+
+val generation : unit -> int
+(** Process-wide mutation epoch: bumped whenever any table accepts a
+    mutation (insert/update/delete/clear) and by {!touch}. Verdict caches
+    upstream compare against it to invalidate. Monotonic; exact under
+    concurrent readers. *)
+
+val touch : unit -> unit
+(** Bumps {!generation} — for mutations the table layer cannot see
+    (table creation/drop, policy re-registration). *)
 
 val create : Schema.t -> t
 val schema : t -> Schema.t
@@ -13,10 +23,22 @@ val insert : t -> Row.t -> (unit, string) result
 
 val insert_exn : t -> Row.t -> unit
 
-val select : t -> where:Expr.t -> Row.t list
-(** Matching rows in insertion order. Routes through the primary-key index
-    when [where] pins the key to a value. Raises [Invalid_argument] on
-    unknown columns (use {!Expr.validate} to check first). *)
+val ensure_index : t -> string -> unit
+(** Builds a secondary hash index on the column (idempotent). Kept exact
+    across inserts, updates, and deletes; equality predicates on the
+    column then probe the index instead of scanning. Raises
+    [Invalid_argument] on an unknown column. *)
+
+val has_index : t -> string -> bool
+(** Whether a secondary index exists for the column (indexes also appear
+    adaptively after repeated equality scans on a large table). *)
+
+val select : ?limit:int -> t -> where:Expr.t -> Row.t list
+(** Matching rows in insertion order, at most [limit] when given (the
+    scan stops early — no full result is materialized). Routes through
+    the primary-key or a secondary index when [where] pins the indexed
+    column to a value. Raises [Invalid_argument] on unknown columns (use
+    {!Expr.validate} to check first). *)
 
 val update :
   t -> where:Expr.t -> set:(string * Value.t) list -> (int, string) result

@@ -1,0 +1,210 @@
+(* Worker domains block on a condition variable for queued tasks; a
+   fan-out pushes one closure per chunk (minus one: the caller runs the
+   first chunk itself, then helps drain the queue before blocking on the
+   completion count). All coordination state is either behind the pool
+   mutex or an Atomic, so counts stay exact under any interleaving. *)
+
+type stats = { jobs : int; chunks : int; sequential : int }
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  job_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable handles : unit Domain.t list;
+  jobs : int Atomic.t;
+  chunk_count : int Atomic.t;
+  sequential_runs : int Atomic.t;
+}
+
+(* A task executing on any domain (worker or the caller helping out) must
+   not recursively fan out on the same pool: the inner run would park the
+   domain waiting for chunks only this domain could execute. *)
+let inside_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let env_domains () =
+  let cap = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "PARALLEL_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n cap
+      | Some _ | None -> 1)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && t.live do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* shutting down *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ?domains () =
+  let requested = match domains with Some d -> d | None -> env_domains () in
+  let workers = max 0 (requested - 1) in
+  let t =
+    {
+      workers;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      job_done = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      handles = [];
+      jobs = Atomic.make 0;
+      chunk_count = Atomic.make 0;
+      sequential_runs = Atomic.make 0;
+    }
+  in
+  t.handles <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.workers + 1
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let handles = t.handles in
+  t.live <- false;
+  t.handles <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join handles
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let t = create () in
+        default_pool := Some t;
+        if t.workers > 0 then at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock default_mutex;
+  t
+
+let stats t =
+  {
+    jobs = Atomic.get t.jobs;
+    chunks = Atomic.get t.chunk_count;
+    sequential = Atomic.get t.sequential_runs;
+  }
+
+let run_sequential t ~chunks f =
+  Atomic.incr t.sequential_runs;
+  for i = 0 to chunks - 1 do
+    f i
+  done
+
+let run_chunks t ~chunks f =
+  if chunks <= 0 then ()
+  else if chunks = 1 || t.workers = 0 || (not t.live) || !(Domain.DLS.get inside_task)
+  then run_sequential t ~chunks f
+  else begin
+    Atomic.incr t.jobs;
+    let completed = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let task i () =
+      let guard = Domain.DLS.get inside_task in
+      guard := true;
+      (try f i
+       with exn ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set failure None (Some (exn, bt))));
+      guard := false;
+      Atomic.incr t.chunk_count;
+      if Atomic.fetch_and_add completed 1 = chunks - 1 then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.job_done;
+        Mutex.unlock t.mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 1 to chunks - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    task 0 ();
+    (* Help drain before blocking: under contention (or with fewer workers
+       than chunks) the caller is just another executor. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let next = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+      Mutex.unlock t.mutex;
+      match next with
+      | Some task ->
+          task ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock t.mutex;
+    while Atomic.get completed < chunks do
+      Condition.wait t.job_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let chunk_ranges ~n ~chunks =
+  (* Contiguous, near-equal ranges covering [0, n); chunk k is
+     [lo k, lo (k+1)). *)
+  fun k -> (n * k / chunks, n * (k + 1) / chunks)
+
+let chunk_count_for t ~n =
+  (* A couple of chunks per domain smooths uneven per-element cost without
+     paying queue overhead per element. *)
+  max 1 (min n (2 * (t.workers + 1)))
+
+let map_array ?(cutoff = 2048) t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if n < cutoff || t.workers = 0 || (not t.live) || !(Domain.DLS.get inside_task)
+  then begin
+    Atomic.incr t.sequential_runs;
+    Array.map f arr
+  end
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    let chunks = chunk_count_for t ~n:(n - 1) in
+    let range = chunk_ranges ~n:(n - 1) ~chunks in
+    run_chunks t ~chunks (fun k ->
+        let lo, hi = range k in
+        for i = lo to hi - 1 do
+          out.(i + 1) <- f arr.(i + 1)
+        done);
+    out
+  end
+
+let fold_range ?(cutoff = 2048) t ~n ~chunk ~merge ~init =
+  if n <= 0 then init
+  else if n < cutoff || t.workers = 0 || (not t.live) || !(Domain.DLS.get inside_task)
+  then begin
+    Atomic.incr t.sequential_runs;
+    merge init (chunk ~lo:0 ~hi:n)
+  end
+  else begin
+    let chunks = chunk_count_for t ~n in
+    let range = chunk_ranges ~n ~chunks in
+    let results = Array.make chunks None in
+    run_chunks t ~chunks (fun k ->
+        let lo, hi = range k in
+        results.(k) <- Some (chunk ~lo ~hi));
+    Array.fold_left
+      (fun acc r -> match r with Some r -> merge acc r | None -> acc)
+      init results
+  end

@@ -1,0 +1,72 @@
+(** A small, reusable pool of worker domains for chunked data-parallel
+    folds over the enforcement hot path.
+
+    Design constraints, in order:
+
+    - {e Determinism}: parallel combinators must be drop-in replacements
+      for their sequential counterparts — results (and result {e order})
+      are identical, chunks are merged in index order, and the first
+      exception raised by any chunk is re-raised in the caller.
+    - {e No oversubscription}: one pool is shared process-wide by
+      default, sized by [PARALLEL_DOMAINS] (total participating domains,
+      including the calling one). Unset or [<= 1] means no workers and
+      every combinator degrades to the sequential path.
+    - {e Reentrancy}: a task that itself calls a combinator runs it
+      sequentially instead of deadlocking on the pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains () ] starts [domains - 1] worker domains (the
+    calling domain participates as the remaining one). [domains <= 1]
+    creates a pool with no workers — all combinators run sequentially.
+    Default: {!env_domains}. *)
+
+val domains : t -> int
+(** Total participating domains (workers + the caller), >= 1. *)
+
+val shutdown : t -> unit
+(** Joins the workers. Idempotent; combinators on a shut-down pool run
+    sequentially. *)
+
+val env_domains : unit -> int
+(** The [PARALLEL_DOMAINS] environment variable clamped to
+    [1 .. recommended_domain_count], defaulting to 1 (sequential) when
+    unset or unparsable. *)
+
+val default : unit -> t
+(** The lazily-created process-wide pool, sized by {!env_domains} at
+    first use and shut down at exit. *)
+
+type stats = {
+  jobs : int;  (** parallel fan-outs executed *)
+  chunks : int;  (** chunks run across all jobs *)
+  sequential : int;  (** combinator calls that took the sequential path *)
+}
+
+val stats : t -> stats
+
+val run_chunks : t -> chunks:int -> (int -> unit) -> unit
+(** [run_chunks t ~chunks f] runs [f 0 .. f (chunks-1)], distributing
+    chunks over the pool; the caller participates and the call returns
+    only when every chunk has finished. Chunks must be independent. The
+    first exception (in completion order) is re-raised. *)
+
+val map_array : ?cutoff:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. Arrays shorter than [cutoff]
+    (default 2048) are mapped sequentially — below that the fan-out
+    costs more than it saves. *)
+
+val fold_range :
+  ?cutoff:int ->
+  t ->
+  n:int ->
+  chunk:(lo:int -> hi:int -> 'b) ->
+  merge:('a -> 'b -> 'a) ->
+  init:'a ->
+  'a
+(** [fold_range t ~n ~chunk ~merge ~init] splits [0 .. n-1] into
+    contiguous ranges, evaluates [chunk ~lo ~hi] (hi exclusive) for each
+    in parallel, and merges results {e in range order} on the calling
+    domain: [merge (... (merge init r0) ...) rlast] — so a [merge] that
+    concatenates preserves the sequential order. *)

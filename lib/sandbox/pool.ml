@@ -8,43 +8,63 @@ type stats = {
   replaced : int;
 }
 
+(* Counters are Atomics and the free list sits behind a mutex: sandboxed
+   regions may run from worker domains, and both the list and the stats
+   must stay exact (a lost stats increment hides a quarantine; a torn
+   free list hands one arena to two guests). *)
 type t = {
   capacity : int;
   arena_size : int;
+  lock : Mutex.t;
   mutable free : Arena.t list;
   mutable free_count : int;  (* |free|, kept so release stays O(1) *)
-  mutable stats : stats;
+  created : int Atomic.t;
+  acquired : int Atomic.t;
+  reused : int Atomic.t;
+  wiped : int Atomic.t;
+  dropped : int Atomic.t;
+  poisoned : int Atomic.t;
+  replaced : int Atomic.t;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let create ?(capacity = 2) ?(arena_size = 4 * 1024 * 1024) () =
   let free = List.init capacity (fun _ -> Arena.create ~size:arena_size ()) in
   {
     capacity;
     arena_size;
+    lock = Mutex.create ();
     free;
     free_count = capacity;
-    stats =
-      {
-        created = capacity;
-        acquired = 0;
-        reused = 0;
-        wiped = 0;
-        dropped = 0;
-        poisoned = 0;
-        replaced = 0;
-      };
+    created = Atomic.make capacity;
+    acquired = Atomic.make 0;
+    reused = Atomic.make 0;
+    wiped = Atomic.make 0;
+    dropped = Atomic.make 0;
+    poisoned = Atomic.make 0;
+    replaced = Atomic.make 0;
   }
 
 let acquire t =
-  let s = t.stats in
-  match t.free with
-  | arena :: rest ->
-      t.free <- rest;
-      t.free_count <- t.free_count - 1;
-      t.stats <- { s with acquired = s.acquired + 1; reused = s.reused + 1 };
+  Atomic.incr t.acquired;
+  let pooled =
+    with_lock t (fun () ->
+        match t.free with
+        | arena :: rest ->
+            t.free <- rest;
+            t.free_count <- t.free_count - 1;
+            Some arena
+        | [] -> None)
+  in
+  match pooled with
+  | Some arena ->
+      Atomic.incr t.reused;
       arena
-  | [] ->
-      t.stats <- { s with acquired = s.acquired + 1; created = s.created + 1 };
+  | None ->
+      Atomic.incr t.created;
       Arena.create ~size:t.arena_size ()
 
 (* A poisoned arena hosted a trapped or over-budget guest; its contents are
@@ -53,37 +73,54 @@ let acquire t =
    latency benefit of pooling) survives the fault. *)
 let quarantine t arena =
   Arena.poison arena;
-  let s = t.stats in
-  if t.free_count < t.capacity then begin
-    t.free <- Arena.create ~size:t.arena_size () :: t.free;
-    t.free_count <- t.free_count + 1;
-    t.stats <-
-      {
-        s with
-        poisoned = s.poisoned + 1;
-        dropped = s.dropped + 1;
-        created = s.created + 1;
-        replaced = s.replaced + 1;
-      }
+  Atomic.incr t.poisoned;
+  Atomic.incr t.dropped;
+  let replaced =
+    with_lock t (fun () ->
+        if t.free_count < t.capacity then begin
+          t.free <- Arena.create ~size:t.arena_size () :: t.free;
+          t.free_count <- t.free_count + 1;
+          true
+        end
+        else false)
+  in
+  if replaced then begin
+    Atomic.incr t.created;
+    Atomic.incr t.replaced
   end
-  else t.stats <- { s with poisoned = s.poisoned + 1; dropped = s.dropped + 1 }
 
 let release t arena =
   if Arena.poisoned arena then quarantine t arena
-  else if t.free_count < t.capacity then begin
-    (* Only arenas that actually return to the pool are wiped (and counted
-       as wiped); an arena the GC is about to reclaim needs neither. *)
-    Arena.wipe arena;
-    let s = t.stats in
-    t.stats <- { s with wiped = s.wiped + 1 };
-    t.free <- arena :: t.free;
-    t.free_count <- t.free_count + 1
-  end
   else begin
-    let s = t.stats in
-    t.stats <- { s with dropped = s.dropped + 1 }
+    let returned =
+      with_lock t (fun () ->
+          if t.free_count < t.capacity then begin
+            (* Only arenas that actually return to the pool are wiped (and
+               counted as wiped); an arena the GC is about to reclaim needs
+               neither. *)
+            Arena.wipe arena;
+            t.free <- arena :: t.free;
+            t.free_count <- t.free_count + 1;
+            true
+          end
+          else false)
+    in
+    if returned then Atomic.incr t.wiped else Atomic.incr t.dropped
   end
 
-let stats t = t.stats
-let available t = t.free_count
-let healthy t = t.free_count <= t.capacity && List.for_all (fun a -> not (Arena.poisoned a)) t.free
+let stats t =
+  {
+    created = Atomic.get t.created;
+    acquired = Atomic.get t.acquired;
+    reused = Atomic.get t.reused;
+    wiped = Atomic.get t.wiped;
+    dropped = Atomic.get t.dropped;
+    poisoned = Atomic.get t.poisoned;
+    replaced = Atomic.get t.replaced;
+  }
+
+let available t = with_lock t (fun () -> t.free_count)
+
+let healthy t =
+  with_lock t (fun () ->
+      t.free_count <= t.capacity && List.for_all (fun a -> not (Arena.poisoned a)) t.free)

@@ -186,20 +186,27 @@ module Summary_cache = struct
     body_hashes : (string, string) Hashtbl.t;
         (* (fingerprint, fname) -> body-hash hex, memoized because the same
            function is looked up once per calling context per check *)
-    mutable hits : int;
-    mutable misses : int;
+    (* Atomics: a shared cross-spec cache may serve checks running on
+       several domains; the counters must not lose increments. *)
+    hits : int Atomic.t;
+    misses : int Atomic.t;
   }
 
   let create () =
-    { entries = Hashtbl.create 256; body_hashes = Hashtbl.create 256; hits = 0; misses = 0 }
+    {
+      entries = Hashtbl.create 256;
+      body_hashes = Hashtbl.create 256;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
 
-  let hits t = t.hits
-  let misses t = t.misses
+  let hits t = Atomic.get t.hits
+  let misses t = Atomic.get t.misses
   let entries t = Hashtbl.length t.entries
 
   let hit_rate t =
-    let total = t.hits + t.misses in
-    if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+    let total = Atomic.get t.hits + Atomic.get t.misses in
+    if total = 0 then 0.0 else float_of_int (Atomic.get t.hits) /. float_of_int total
 
   let body_hash t ~program (f : Ir.func) =
     let fp = Sha256.to_hex (Program.fingerprint program) in
@@ -585,7 +592,7 @@ and request_summary ctx ~dependent key f : fn_effect =
       | Some eff ->
           ctx.cache_hits <- ctx.cache_hits + 1;
           (match ctx.cache with
-          | Some c -> c.Summary_cache.hits <- c.Summary_cache.hits + 1
+          | Some c -> Atomic.incr c.Summary_cache.hits
           | None -> ());
           Hashtbl.add ctx.summaries key
             { eff; dependents = Iset.singleton dependent; from_cache = true };
@@ -594,7 +601,7 @@ and request_summary ctx ~dependent key f : fn_effect =
           if Option.is_some ctx.cache then begin
             ctx.cache_misses <- ctx.cache_misses + 1;
             match ctx.cache with
-            | Some c -> c.Summary_cache.misses <- c.Summary_cache.misses + 1
+            | Some c -> Atomic.incr c.Summary_cache.misses
             | None -> ()
           end;
           let s = { eff = bottom_effect; dependents = Iset.singleton dependent; from_cache = false } in

@@ -403,6 +403,124 @@ let sql_tests =
         check_bool "recreate" true (Database.create_table db people = Ok ()));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes and limit pushdown *)
+
+let grp_schema =
+  Schema.make_exn ~name:"items" ~primary_key:"id"
+    [
+      { Schema.name = "id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "grp"; ty = Value.Tint; nullable = false };
+      { Schema.name = "label"; ty = Value.Ttext; nullable = true };
+    ]
+
+let items_db ?(n = 40) () =
+  let db = Database.create () in
+  (match Database.create_table db grp_schema with Ok () -> () | Error m -> failwith m);
+  for i = 0 to n - 1 do
+    match
+      Database.exec db "INSERT INTO items VALUES (?, ?, ?)"
+        ~params:[ Value.Int i; Value.Int (i mod 7); Value.Text (Printf.sprintf "row%d" i) ]
+    with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  done;
+  db
+
+let items_rows db sql params =
+  match Database.exec db sql ~params with
+  | Ok (Database.Rows { rows; _ }) -> rows
+  | Ok _ -> failwith "expected rows"
+  | Error m -> failwith m
+
+let items_exec db sql params =
+  match Database.exec db sql ~params with Ok _ -> () | Error m -> failwith m
+
+let index_tests =
+  [
+    test "indexed select equals full scan, in insertion order" (fun () ->
+        let scan_db = items_db () and idx_db = items_db () in
+        (match Database.ensure_index idx_db ~table:"items" ~column:"grp" with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        let q db = items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 3 ] in
+        check_bool "same rows same order" true (q scan_db = q idx_db);
+        check_int "count" 6 (List.length (q idx_db)));
+    test "ensure_index rejects unknown columns" (fun () ->
+        let db = items_db () in
+        check_bool "error" true
+          (Result.is_error (Database.ensure_index db ~table:"items" ~column:"ghost")));
+    test "index stays exact across update and delete" (fun () ->
+        let db = items_db () in
+        (match Database.ensure_index db ~table:"items" ~column:"grp" with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        (* Move a row into group 3, move one out, delete one. *)
+        items_exec db "UPDATE items SET grp = 3 WHERE id = 0" [];
+        items_exec db "UPDATE items SET grp = 5 WHERE id = 3" [];
+        items_exec db "DELETE FROM items WHERE id = 10" [];
+        let got = items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 3 ] in
+        let ids =
+          List.map (function [| Value.Int id; _; _ |] -> id | _ -> -1) got
+        in
+        check_bool "membership" true (ids = [ 0; 17; 24; 31; 38 ]);
+        (* The probe must agree with a scan on an index-free copy. *)
+        let fresh = items_db () in
+        items_exec fresh "UPDATE items SET grp = 3 WHERE id = 0" [];
+        items_exec fresh "UPDATE items SET grp = 5 WHERE id = 3" [];
+        items_exec fresh "DELETE FROM items WHERE id = 10" [];
+        check_bool "vs scan" true
+          (got = items_rows fresh "SELECT * FROM items WHERE grp = ?" [ Value.Int 3 ]));
+    test "repeated equality scans build an index adaptively" (fun () ->
+        let db = items_db ~n:300 () in
+        let tbl = Option.get (Database.table db "items") in
+        check_bool "not yet" false (Table.has_index tbl "grp");
+        for _ = 1 to 8 do
+          ignore (items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 2 ])
+        done;
+        check_bool "built" true (Table.has_index tbl "grp");
+        let fresh = items_db ~n:300 () in
+        check_bool "still correct" true
+          (items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 2 ]
+          = items_rows fresh "SELECT * FROM items WHERE grp = ?" [ Value.Int 2 ]));
+    test "limit returns the first k matches of the unlimited query" (fun () ->
+        let db = items_db () in
+        let all = items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 1 ] in
+        let limited =
+          items_rows db "SELECT * FROM items WHERE grp = ? LIMIT 3" [ Value.Int 1 ]
+        in
+        check_int "k" 3 (List.length limited);
+        check_bool "prefix" true (limited = [ List.nth all 0; List.nth all 1; List.nth all 2 ]);
+        (* Early termination must not bypass ORDER BY: sort first, then cut. *)
+        let ordered =
+          items_rows db "SELECT * FROM items WHERE grp = ? ORDER BY id DESC LIMIT 2"
+            [ Value.Int 1 ]
+        in
+        let ids = List.map (function [| Value.Int id; _; _ |] -> id | _ -> -1) ordered in
+        check_bool "sorted then cut" true (ids = [ 36; 29 ]));
+    test "limit also applies on the indexed path" (fun () ->
+        let db = items_db () in
+        (match Database.ensure_index db ~table:"items" ~column:"grp" with
+        | Ok () -> ()
+        | Error m -> failwith m);
+        let all = items_rows db "SELECT * FROM items WHERE grp = ?" [ Value.Int 1 ] in
+        let limited =
+          items_rows db "SELECT * FROM items WHERE grp = ? LIMIT 2" [ Value.Int 1 ]
+        in
+        check_bool "prefix" true (limited = [ List.nth all 0; List.nth all 1 ]));
+    test "mutations bump the process-wide table generation" (fun () ->
+        let db = items_db () in
+        let g0 = Table.generation () in
+        items_exec db "UPDATE items SET grp = 6 WHERE id = 1" [];
+        let g1 = Table.generation () in
+        check_bool "update bumps" true (g1 > g0);
+        (* A miss (no rows matched) must not invalidate caches. *)
+        items_exec db "UPDATE items SET grp = 6 WHERE id = 99999" [];
+        check_int "no-op update" g1 (Table.generation ());
+        ignore (items_rows db "SELECT * FROM items" []);
+        check_int "select does not bump" g1 (Table.generation ()));
+  ]
+
 let () =
   Alcotest.run "db"
     [
@@ -411,4 +529,5 @@ let () =
       ("expr", expr_tests);
       ("table", table_tests);
       ("sql", sql_tests);
+      ("index", index_tests);
     ]
