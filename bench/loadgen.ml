@@ -1,0 +1,210 @@
+(* Open-loop HTTP load generator for the serving experiments.
+
+   Closed-loop clients (send, wait, send again) hide overload: when the
+   server slows down, the clients slow down with it, and the measured
+   latency only covers requests the server was willing to absorb —
+   coordinated omission. This generator is open-loop instead: an arrival
+   schedule is fixed up front from the target rate alone, each client
+   domain walks its slice of the schedule, and every latency is measured
+   from the request's *scheduled* arrival time, not from when the client
+   finally got to send it. A request the client sent late (because the
+   previous response was slow) therefore carries its queueing delay with
+   it, which is exactly the number a user behind that queue would see. *)
+
+module Http = Sesame_http
+
+type target = {
+  label : string;
+  meth : Http.Meth.t;
+  path : string;  (* may include a query string *)
+  cookies : string;
+  body : string;
+}
+
+let get ?(cookies = "") label path = { label; meth = Http.Meth.GET; path; cookies; body = "" }
+
+type summary = {
+  target_rps : float;
+  achieved_rps : float;
+  completed : int;  (* post-warmup requests with any response *)
+  ok : int;  (* post-warmup 2xx responses *)
+  non_2xx : int;
+  errors : int;  (* connection failures, resets, client parse errors *)
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+  measured_s : float;  (* measurement window (duration - warmup) *)
+}
+
+(* One client's slice of the global arrival schedule, plus its recorded
+   outcomes. Arrays are sized up front so recording allocates nothing. *)
+type client = {
+  schedule : float array;  (* absolute seconds, relative to run start *)
+  latencies : float array;  (* -1.0 = no response recorded *)
+  statuses : int array;  (* 0 = error *)
+  mutable errors : int;
+}
+
+let now () = Sesame_clock.now_s ()
+
+(* Exponential inter-arrival gaps (Poisson process) from an explicit
+   PRNG state, so two runs at the same rate see the same schedule. *)
+let arrival_schedule ~poisson ~seed ~rate ~duration_s =
+  let rng = Random.State.make [| seed |] in
+  let rec go acc t =
+    let gap =
+      if poisson then
+        let u = max 1e-12 (Random.State.float rng 1.0) in
+        -.log u /. rate
+      else 1.0 /. rate
+    in
+    let t = t +. gap in
+    if t >= duration_s then List.rev acc else go (t :: acc) t
+  in
+  Array.of_list (go [] 0.0)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request_bytes ~host target =
+  let headers =
+    if target.cookies = "" then Http.Headers.empty
+    else Http.Headers.of_list [ ("Cookie", target.cookies) ]
+  in
+  let headers =
+    if target.body = "" then headers
+    else Http.Headers.add headers "Content-Type" "application/x-www-form-urlencoded"
+  in
+  Http.Wire.write_request ~headers ~body:target.body ~host target.meth target.path
+
+(* Walk one client's schedule: sleep until each scheduled arrival (or
+   fall through immediately when already behind — that backlog is the
+   point), send, read the response on the same keep-alive connection,
+   and record latency from the *scheduled* time. A broken connection
+   counts as an error for the in-flight request and is replaced. *)
+let run_client ~host ~port ~t0 (requests : string array) (c : client) =
+  let conn = ref None in
+  let source = ref None in
+  let ensure_conn () =
+    match !conn with
+    | Some fd -> (fd, Option.get !source)
+    | None ->
+        let fd = connect ~host ~port in
+        conn := Some fd;
+        let src =
+          let buf = Bytes.create 8192 in
+          Http.Wire.source_of_fun (fun () ->
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> ""
+              | n -> Bytes.sub_string buf 0 n)
+        in
+        source := Some src;
+        (fd, src)
+  in
+  let drop_conn () =
+    Option.iter close_quietly !conn;
+    conn := None;
+    source := None
+  in
+  let n = Array.length c.schedule in
+  for i = 0 to n - 1 do
+    let scheduled = t0 +. c.schedule.(i) in
+    let wait = scheduled -. now () in
+    if wait > 0.0 then Unix.sleepf wait;
+    match
+      let fd, src = ensure_conn () in
+      write_all fd requests.(i mod Array.length requests);
+      Http.Wire.read_response src
+    with
+    | `Response (status, headers, _) ->
+        c.latencies.(i) <- now () -. scheduled;
+        c.statuses.(i) <- status;
+        (* The server says when it will hang up (max-requests, errors,
+           shedding); respect it instead of failing the next send. *)
+        if Http.Headers.get headers "Connection" = Some "close" then drop_conn ()
+    | `Eof | `Error _ ->
+        c.errors <- c.errors + 1;
+        drop_conn ()
+    | exception (Unix.Unix_error _ | Failure _) ->
+        c.errors <- c.errors + 1;
+        drop_conn ()
+  done;
+  drop_conn ()
+
+let run ?(connections = 8) ?(warmup_s = 0.5) ?(poisson = true) ?(seed = 42)
+    ?(host = "127.0.0.1") ~port ~rate ~duration_s targets =
+  if targets = [] then invalid_arg "Loadgen.run: no targets";
+  let schedule = arrival_schedule ~poisson ~seed ~rate ~duration_s in
+  let connections = max 1 connections in
+  let requests = Array.of_list (List.map (request_bytes ~host) targets) in
+  (* Deal arrivals round-robin: each client's slice stays sorted, so
+     per-connection sends are in schedule order. *)
+  let clients =
+    Array.init connections (fun k ->
+        let mine = ref [] in
+        Array.iteri (fun i t -> if i mod connections = k then mine := t :: !mine) schedule;
+        let schedule = Array.of_list (List.rev !mine) in
+        {
+          schedule;
+          latencies = Array.make (Array.length schedule) (-1.0);
+          statuses = Array.make (Array.length schedule) 0;
+          errors = 0;
+        })
+  in
+  let t0 = now () +. 0.05 (* let every domain reach its first sleep *) in
+  let domains =
+    Array.map (fun c -> Domain.spawn (fun () -> run_client ~host ~port ~t0 requests c)) clients
+  in
+  Array.iter Domain.join domains;
+  (* Post-warmup samples only: the first warmup_s of the schedule pays
+     for connection setup, cold caches and scheduler ramp-up. *)
+  let latencies = ref [] in
+  let completed = ref 0 and ok = ref 0 and non_2xx = ref 0 and errors = ref 0 in
+  Array.iter
+    (fun c ->
+      errors := !errors + c.errors;
+      Array.iteri
+        (fun i scheduled ->
+          if scheduled >= warmup_s && c.latencies.(i) >= 0.0 then begin
+            incr completed;
+            latencies := c.latencies.(i) :: !latencies;
+            if c.statuses.(i) >= 200 && c.statuses.(i) < 300 then incr ok else incr non_2xx
+          end)
+        c.schedule)
+    clients;
+  let measured_s = max 1e-9 (duration_s -. warmup_s) in
+  let samples = Array.of_list !latencies in
+  let pct p = Bench_util.percentile p samples *. 1e3 in
+  {
+    target_rps = rate;
+    achieved_rps = float_of_int !completed /. measured_s;
+    completed = !completed;
+    ok = !ok;
+    non_2xx = !non_2xx;
+    errors = !errors;
+    p50_ms = pct 50.0;
+    p99_ms = pct 99.0;
+    p999_ms = pct 99.9;
+    max_ms = (if Array.length samples = 0 then 0.0 else pct 100.0);
+    measured_s;
+  }

@@ -986,6 +986,220 @@ let wal_ablation () =
     \ load + short-tail replay for the last)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: open-loop load curves over real sockets. All four applications
+   mount under one Sesame_server behind a path-prefix mux, and
+   Loadgen drives a mixed GET workload at several fixed target rates.
+   Open-loop + scheduled-arrival latency means overload shows up as
+   latency (queueing delay) instead of silently lowering the offered
+   rate — see EXPERIMENTS.md for the methodology. *)
+
+let serve_env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try float_of_string (String.trim s) with Failure _ -> default)
+  | None -> default
+
+let serve_env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string (String.trim s) with Failure _ -> default)
+  | None -> default
+
+let serve_rates () =
+  match Sys.getenv_opt "SERVE_RATES" with
+  | Some s ->
+      let rates =
+        List.filter_map
+          (fun part ->
+            match float_of_string_opt (String.trim part) with
+            | Some r when r > 0.0 -> Some r
+            | _ -> None)
+          (String.split_on_char ',' s)
+      in
+      if rates = [] then [ 200.0; 400.0; 800.0 ] else rates
+  | None -> [ 200.0; 400.0; 800.0 ]
+
+let serve () =
+  header "Serve: open-loop load curves over real sockets (all four apps)";
+  let websubmit = match Apps.Websubmit.create () with Ok t -> t | Error m -> failwith m in
+  (match Apps.Websubmit.seed websubmit ~students:20 ~questions:5 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let youchat = match Apps.Youchat.create () with Ok t -> t | Error m -> failwith m in
+  (match Apps.Youchat.seed youchat ~users:20 ~messages:200 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let voltron = match Apps.Voltron.create () with Ok t -> t | Error m -> failwith m in
+  (match Apps.Voltron.seed voltron ~classes:2 ~students_per_class:4 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let portfolio = match Apps.Portfolio.create () with Ok t -> t | Error m -> failwith m in
+  (match Apps.Portfolio.seed portfolio ~candidates:10 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  (* Path-prefix mux: /<app>/<rest> dispatches <rest> to that app's own
+     router. The request record is reused with the prefix stripped, so
+     query strings, cookies and bodies pass through untouched. *)
+  let split_prefix path =
+    if String.length path < 2 || path.[0] <> '/' then None
+    else
+      match String.index_from_opt path 1 '/' with
+      | Some i -> Some (String.sub path 1 (i - 1), String.sub path i (String.length path - i))
+      | None -> Some (String.sub path 1 (String.length path - 1), "/")
+  in
+  let handler (request : Http.Request.t) =
+    match split_prefix request.Http.Request.path with
+    | Some (app, rest) -> (
+        let sub = { request with Http.Request.path = rest } in
+        match app with
+        | "websubmit" -> Apps.Websubmit.handle websubmit sub
+        | "youchat" -> Apps.Youchat.handle youchat sub
+        | "voltron" -> Apps.Voltron.handle voltron sub
+        | "portfolio" -> Apps.Portfolio.handle portfolio sub
+        | _ -> Http.Response.error Http.Status.Not_found "no such app")
+    | None -> Http.Response.error Http.Status.Not_found "no such app"
+  in
+  (* The mixed workload: authorized reads across all four apps. Voltron's
+     buffer ids depend on seeding order, so probe in-process for one that
+     the instructor can actually read. *)
+  let probe_2xx t =
+    let r =
+      handler
+        (Http.Request.make
+           ~headers:(Http.Headers.of_list [ ("Cookie", t.Loadgen.cookies) ])
+           t.Loadgen.meth t.Loadgen.path)
+    in
+    let code = Http.Status.to_int r.Http.Response.status in
+    code >= 200 && code < 300
+  in
+  let voltron_buffer =
+    let candidates =
+      List.concat_map
+        (fun id ->
+          List.map
+            (fun cookie ->
+              Loadgen.get ~cookies:cookie "voltron-buffer"
+                (Printf.sprintf "/voltron/buffers/%d" id))
+            [ "user=instructor0@university.edu"; "user=student0_0@university.edu" ])
+        (List.init 40 (fun i -> i + 1))
+    in
+    List.find_opt probe_2xx candidates
+  in
+  let targets =
+    [
+      Loadgen.get ~cookies:"user=admin@school.edu" "websubmit-aggregates"
+        "/websubmit/aggregates";
+      Loadgen.get ~cookies:"user=admin@school.edu" "websubmit-answers" "/websubmit/answers/1";
+      Loadgen.get ~cookies:"user=user0@chat.io" "youchat-inbox" "/youchat/inbox";
+      Loadgen.get ~cookies:"user=user0@chat.io" "youchat-group" "/youchat/group/1";
+      Loadgen.get ~cookies:"user=officer@school.cz" "portfolio-admin"
+        "/portfolio/admin/candidates";
+    ]
+    @ (match voltron_buffer with Some t -> [ t ] | None -> [])
+  in
+  let live, dead = List.partition probe_2xx targets in
+  List.iter
+    (fun (t : Loadgen.target) -> Printf.printf "!! dropping target %s (%s): not 2xx in probe\n" t.Loadgen.label t.Loadgen.path)
+    dead;
+  if live = [] then failwith "serve: no live targets";
+  (* In-process cost per target, for reading the load curve: a target
+     whose handler takes h seconds saturates one domain at 1/h rps. *)
+  List.iter
+    (fun (t : Loadgen.target) ->
+      let samples =
+        sample ~warmup:2 ~n:5 (fun () -> ignore (Sys.opaque_identity (probe_2xx t)))
+      in
+      Printf.printf "  %-24s %8.2f ms in-process median\n" t.Loadgen.label
+        (ms (median samples)))
+    live;
+  let apps_covered =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (t : Loadgen.target) ->
+           Option.map fst (split_prefix t.Loadgen.path))
+         live)
+  in
+  Printf.printf "targets: %s\napps covered: %s\n"
+    (String.concat ", " (List.map (fun (t : Loadgen.target) -> t.Loadgen.label) live))
+    (String.concat ", " apps_covered);
+  let domains = max 4 (Sesame_parallel.env_domains ()) in
+  let config =
+    { Sesame_server.default_config with Sesame_server.domains; max_connections = 512 }
+  in
+  let server =
+    match Sesame_server.start ~config ~on_error:(fun _ -> ()) ~handler () with
+    | Ok t -> t
+    | Error m -> failwith ("serve: " ^ m)
+  in
+  Fun.protect
+    ~finally:(fun () -> Sesame_server.stop server)
+    (fun () ->
+      let port = Sesame_server.port server in
+      let duration_s = serve_env_float "SERVE_DURATION_S" 3.0 in
+      let warmup_s = min (serve_env_float "SERVE_WARMUP_S" 0.5) (duration_s /. 2.0) in
+      (* The server dedicates one pool domain per live connection, so
+         more keep-alive clients than domains would just queue behind
+         the pool and measure the queue, not the server. *)
+      let connections = serve_env_int "SERVE_CONNECTIONS" domains in
+      let rates = serve_rates () in
+      Printf.printf
+        "\nserver: %d handler domains; %d client connections; %.1fs per rate (%.1fs warmup)\n\n"
+        domains connections duration_s warmup_s;
+      Printf.printf "%-12s %12s %10s %10s %10s %10s %8s %8s %6s\n" "target rps"
+        "achieved" "p50" "p99" "p99.9" "max" "ok" "non-2xx" "errs";
+      let rows =
+        List.map
+          (fun rate ->
+            let before = Sesame_server.stats server in
+            let s =
+              Loadgen.run ~connections ~warmup_s ~port ~rate ~duration_s live
+            in
+            let after = Sesame_server.stats server in
+            let shed = after.Sesame_server.shed - before.Sesame_server.shed in
+            Printf.printf "%-12.0f %12.1f %7.2fms %7.2fms %7.2fms %7.2fms %8d %8d %6d\n"
+              s.Loadgen.target_rps s.Loadgen.achieved_rps s.Loadgen.p50_ms s.Loadgen.p99_ms
+              s.Loadgen.p999_ms s.Loadgen.max_ms s.Loadgen.ok s.Loadgen.non_2xx
+              s.Loadgen.errors;
+            Json.Obj
+              [
+                ("target_rps", Json.Num s.Loadgen.target_rps);
+                ("achieved_rps", Json.Num s.Loadgen.achieved_rps);
+                ("p50_ms", Json.Num s.Loadgen.p50_ms);
+                ("p99_ms", Json.Num s.Loadgen.p99_ms);
+                ("p999_ms", Json.Num s.Loadgen.p999_ms);
+                ("max_ms", Json.Num s.Loadgen.max_ms);
+                ("completed", Json.Int s.Loadgen.completed);
+                ("ok", Json.Int s.Loadgen.ok);
+                ("non_2xx", Json.Int s.Loadgen.non_2xx);
+                ("client_errors", Json.Int s.Loadgen.errors);
+                ("shed", Json.Int shed);
+                ("measured_s", Json.Num s.Loadgen.measured_s);
+              ])
+          rates
+      in
+      let final = Sesame_server.stats server in
+      Json.to_file "BENCH_serve.json"
+        (Json.Obj
+           [
+             ("experiment", Json.Str "serve");
+             ("methodology", Json.Str "open-loop Poisson arrivals; latency from scheduled arrival (coordinated-omission aware); warmup discarded");
+             ("apps", Json.List (List.map (fun a -> Json.Str a) apps_covered));
+             ( "targets",
+               Json.List
+                 (List.map
+                    (fun (t : Loadgen.target) -> Json.Str (t.Loadgen.label ^ " " ^ t.Loadgen.path))
+                    live) );
+             ("server_domains", Json.Int domains);
+             ("connections", Json.Int connections);
+             ("duration_s", Json.Num duration_s);
+             ("warmup_s", Json.Num warmup_s);
+             ("server_accepted", Json.Int final.Sesame_server.accepted);
+             ("server_served", Json.Int final.Sesame_server.served);
+             ("server_shed", Json.Int final.Sesame_server.shed);
+             ("server_parse_errors", Json.Int final.Sesame_server.parse_errors);
+             ("server_timeouts", Json.Int final.Sesame_server.timeouts);
+             ("rates", Json.List rows);
+           ]))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1004,6 +1218,7 @@ let experiments =
     ("parcheck", "Memoized/parallel enforcement hot-path ablation", parcheck);
     ("faults", "Fault-injection hook overhead ablation", faults_ablation);
     ("wal", "Durable-store ablation (in-memory/no-sync/fsync/checkpoint)", wal_ablation);
+    ("serve", "Open-loop socket load curves over all four apps", serve);
   ]
 
 let () =

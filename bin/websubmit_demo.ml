@@ -68,7 +68,7 @@ let dispatch app line =
               Some (Apps.Websubmit.handle app request))
       | _ -> Some (Http.Response.error Http.Status.Bad_request "usage: [user] METHOD /path [body]"))
 
-let run students questions injects data_dir fsync checkpoint_every =
+let run students questions injects data_dir fsync checkpoint_every serve_port =
   let plans =
     List.map
       (fun spec ->
@@ -120,7 +120,27 @@ let run students questions injects data_dir fsync checkpoint_every =
          Example: student0@school.edu GET /view/1   (quit to exit)\n%!";
       if plans <> [] then
         Printf.printf "Fault injection armed: %s.\n%!" (String.concat ", " injects);
+      (* --serve PORT: the same instance, over real sockets, alongside
+         the stdin prompt. Both drive the same router and database. *)
+      let server =
+        match serve_port with
+        | None -> None
+        | Some port -> (
+            let config = { Sesame_server.default_config with Sesame_server.port } in
+            match
+              Sesame_server.start ~config ~handler:(Apps.Websubmit.handle app) ()
+            with
+            | Ok server ->
+                Printf.printf "Serving HTTP on http://127.0.0.1:%d (e.g. curl -b \
+                               user=admin@school.edu http://127.0.0.1:%d/aggregates)\n%!"
+                  (Sesame_server.port server) (Sesame_server.port server);
+                Some server
+            | Error m ->
+                Printf.eprintf "failed to serve: %s\n" m;
+                exit 1)
+      in
       let finish () =
+        Option.iter Sesame_server.stop server;
         match store with
         | None -> 0
         | Some store -> (
@@ -180,6 +200,16 @@ let fsync_arg =
           "With --data-dir: fsync on every commit (true, the strict default) or \
            leave flushing to the OS (false).")
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Also serve the instance over HTTP on 127.0.0.1:$(docv) (0 picks an \
+           ephemeral port). Authenticate with a 'user=EMAIL' cookie. The stdin \
+           prompt keeps working; quitting stops the server.")
+
 let checkpoint_every_arg =
   Arg.(
     value & opt int 256
@@ -193,6 +223,6 @@ let cmd =
     (Cmd.info "websubmit-demo" ~version:"1.0" ~doc:"Interactive WebSubmit instance")
     Term.(
       const run $ students_arg $ questions_arg $ inject_arg $ data_dir_arg $ fsync_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ serve_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,7 +19,34 @@ let parse_header value =
              let v = trim (String.sub fragment (i + 1) (String.length fragment - i - 1)) in
              if name = "" then None else Some (name, v))
 
+(* Set-Cookie is the classic header-splitting vector: the rendered value
+   is pasted into a response header, so a name or value containing CR/LF
+   starts a forged header and one containing ';' or '=' (names) / ';'
+   (values) forges extra cookies or attributes. Reject at render time —
+   fail closed rather than emit a splittable header. *)
+let is_control c = Char.code c < 0x20 || c = '\x7f'
+
+let valid_cookie_name name =
+  name <> ""
+  && String.for_all
+       (fun c -> (not (is_control c)) && c <> '=' && c <> ';' && c <> ',' && c <> ' ')
+       name
+
+let valid_cookie_value value =
+  String.for_all (fun c -> (not (is_control c)) && c <> ';') value
+
+let valid_path path =
+  String.for_all (fun c -> (not (is_control c)) && c <> ';') path
+
 let render_set_cookie ?(attributes = default_attributes) ~name value =
+  if not (valid_cookie_name name) then
+    invalid_arg (Printf.sprintf "invalid cookie name %S" name);
+  if not (valid_cookie_value value) then
+    invalid_arg (Printf.sprintf "cookie %s: value contains ';' or control characters" name);
+  (match attributes.path with
+  | Some p when not (valid_path p) ->
+      invalid_arg (Printf.sprintf "cookie %s: path contains ';' or control characters" name)
+  | _ -> ());
   let buf = Buffer.create 64 in
   Buffer.add_string buf name;
   Buffer.add_char buf '=';

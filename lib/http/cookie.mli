@@ -17,7 +17,14 @@ val parse_header : string -> (string * string) list
     fragments are skipped. *)
 
 val render_set_cookie : ?attributes:attributes -> name:string -> string -> string
-(** Renders a [Set-Cookie:] header value. *)
+(** Renders a [Set-Cookie:] header value. Raises [Invalid_argument] when
+    the name, value, or path attribute contains control characters or a
+    character ([';'], and for names also ['='], [','], or space) that
+    would let a value derived from user input forge additional cookie
+    attributes or split the header on the wire. *)
+
+val valid_cookie_name : string -> bool
+val valid_cookie_value : string -> bool
 
 val expire : name:string -> string
 (** A [Set-Cookie:] value that deletes the cookie (Max-Age=0). *)

@@ -1,28 +1,67 @@
-type t = (string * string) list (* reversed insertion order internally? no: kept in order *)
+(* Stored newest-first so [add] is a cons, not an O(n) append (building a
+   response with n headers was O(n^2)); [to_list]/[get_all] reverse back
+   to insertion order. [count] makes [length] O(1). *)
+type t = { rev : (string * string) list; count : int }
 
 let canon = String.lowercase_ascii
 
-let empty = []
-let of_list l = l
-let to_list t = t
-let add t name value = t @ [ (name, value) ]
+(* RFC 7230 token characters — the only bytes legal in a field name. *)
+let is_tchar = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_' | '`'
+  | '|' | '~' ->
+      true
+  | _ -> false
+
+let valid_name name = name <> "" && String.for_all is_tchar name
+
+(* No CR/LF/NUL anywhere in a value: a value spliced from user input must
+   not be able to terminate the field and start a new header (response
+   splitting) once the response is serialized onto a socket. Other C0
+   controls are rejected too, except horizontal tab which RFC 7230
+   permits inside field content. *)
+let valid_value value =
+  String.for_all
+    (fun c -> not (Char.code c < 0x20 && c <> '\t') && c <> '\x7f')
+    value
+
+let check_pair name value =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "invalid header name %S" name);
+  if not (valid_value value) then
+    invalid_arg (Printf.sprintf "header %s: value contains control characters" name)
+
+let empty = { rev = []; count = 0 }
+
+let add t name value =
+  check_pair name value;
+  { rev = (name, value) :: t.rev; count = t.count + 1 }
+
+let of_list l = List.fold_left (fun t (n, v) -> add t n v) empty l
+let to_list t = List.rev t.rev
 
 let remove t name =
   let key = canon name in
-  List.filter (fun (n, _) -> canon n <> key) t
+  let rev = List.filter (fun (n, _) -> canon n <> key) t.rev in
+  { rev; count = List.length rev }
 
 let replace t name value = add (remove t name) name value
 
 let get t name =
   let key = canon name in
-  List.find_map (fun (n, v) -> if canon n = key then Some v else None) t
+  (* rev is newest-first; keep folding so the oldest (first-inserted)
+     match wins, preserving the original first-value semantics. *)
+  List.fold_left
+    (fun acc (n, v) -> if canon n = key then Some v else acc)
+    None t.rev
 
 let get_all t name =
   let key = canon name in
-  List.filter_map (fun (n, v) -> if canon n = key then Some v else None) t
+  List.rev
+    (List.filter_map (fun (n, v) -> if canon n = key then Some v else None) t.rev)
 
 let mem t name = Option.is_some (get t name)
-let length = List.length
+let length t = t.count
 
 let pp fmt t =
-  List.iter (fun (n, v) -> Format.fprintf fmt "%s: %s@." n v) t
+  List.iter (fun (n, v) -> Format.fprintf fmt "%s: %s@." n v) (to_list t)

@@ -1,5 +1,13 @@
 (** HTTP header collections. Names are case-insensitive; insertion order is
-    preserved for rendering. *)
+    preserved for rendering.
+
+    Construction validates both parts so a header set is serializable
+    onto a socket by construction: names must be RFC 7230 tokens and
+    values must be free of CR, LF, NUL and other control characters
+    (horizontal tab excepted). [add], [replace] and [of_list] raise
+    [Invalid_argument] otherwise — a [Location] or [Set-Cookie] value
+    derived from user input cannot smuggle a header split past the
+    serializer. *)
 
 type t
 
@@ -9,10 +17,19 @@ val to_list : t -> (string * string) list
 (** Names are returned in their original spelling. *)
 
 val add : t -> string -> string -> t
-(** Appends; multiple values for one name are allowed (e.g. Set-Cookie). *)
+(** Appends in O(1); multiple values for one name are allowed (e.g.
+    Set-Cookie). Raises [Invalid_argument] on a non-token name or a
+    value containing control characters. *)
 
 val replace : t -> string -> string -> t
 (** Removes existing values for the name, then adds. *)
+
+val valid_name : string -> bool
+(** True iff the string is a non-empty RFC 7230 token. *)
+
+val valid_value : string -> bool
+(** True iff the string contains no CR/LF/NUL or other control
+    characters (tab allowed). *)
 
 val get : t -> string -> string option
 (** First value, case-insensitive lookup. *)

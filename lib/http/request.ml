@@ -14,14 +14,17 @@ let hex_digit c =
   | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
   | _ -> None
 
-let percent_decode s =
+(* [plus_as_space] is the form-encoding rule only: '+' means space in
+   query strings and urlencoded bodies, but in a path segment '+' is a
+   literal plus — decoding it there corrupts values like "c++". *)
+let decode ~plus_as_space s =
   let n = String.length s in
   let buf = Buffer.create n in
   let rec go i =
     if i >= n then ()
     else
       match s.[i] with
-      | '+' ->
+      | '+' when plus_as_space ->
           Buffer.add_char buf ' ';
           go (i + 1)
       | '%' when i + 2 < n -> (
@@ -38,6 +41,9 @@ let percent_decode s =
   in
   go 0;
   Buffer.contents buf
+
+let percent_decode s = decode ~plus_as_space:true s
+let percent_decode_path s = decode ~plus_as_space:false s
 
 let is_unreserved c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')

@@ -1,11 +1,17 @@
 (** HTTP requests.
 
-    Requests are plain values dispatched in-process; the evaluation measures
-    handler latency, so no socket layer is needed (see DESIGN.md). *)
+    Requests are plain values: handlers are driven either in-process (the
+    figure benchmarks) or from real sockets via {!Wire} and
+    [Sesame_server] (see DESIGN.md "Serving"). *)
 
 type t = {
   meth : Meth.t;
-  path : string;  (** path only, no query string *)
+  path : string;
+      (** path only, no query string; kept as received (still
+          percent-encoded). Decoding happens once, per segment, during
+          route matching — see {!Route.matches} — so an encoded ['/']
+          ([%2F]) inside a segment binds into a parameter value instead
+          of splitting the path. *)
   query : (string * string) list;  (** decoded query parameters *)
   headers : Headers.t;
   body : string;
@@ -38,8 +44,14 @@ val form_param : t -> string -> string option
 val with_path_params : t -> (string * string) list -> t
 
 val percent_decode : string -> string
-(** Decodes [%XX] escapes and [+] as space; malformed escapes pass
-    through verbatim. *)
+(** Decodes [%XX] escapes and [+] as space (the form-encoding rule, for
+    query strings and urlencoded bodies); malformed escapes pass through
+    verbatim. *)
+
+val percent_decode_path : string -> string
+(** Decodes [%XX] escapes only — ['+'] stays a literal plus, which is
+    the correct rule for path segments. Malformed or truncated escapes
+    pass through verbatim. *)
 
 val percent_encode : string -> string
 (** Encodes everything except unreserved characters. *)

@@ -60,14 +60,24 @@ let params t =
     t.segments
 
 let matches t path =
+  (* Each raw segment is decoded exactly once, here: literals compare
+     against the decoded segment (so /profile/alice%40example.com hits a
+     route registered for the decoded spelling) and parameters bind the
+     decoded value. The form-only '+'-as-space rule does not apply to
+     paths, and because decoding is per raw segment an encoded '/'
+     (%2F) binds into the value without changing the path's shape. *)
   let rec go segments parts acc =
     match (segments, parts) with
     | [], [] -> Some (List.rev acc)
     | [ Rest name ], parts ->
-        Some (List.rev ((name, String.concat "/" parts) :: acc))
-    | Literal lit :: segs, part :: rest when lit = part -> go segs rest acc
+        Some
+          (List.rev
+             ((name, String.concat "/" (List.map Request.percent_decode_path parts))
+             :: acc))
+    | Literal lit :: segs, part :: rest when lit = Request.percent_decode_path part ->
+        go segs rest acc
     | Param name :: segs, part :: rest ->
-        go segs rest ((name, Request.percent_decode part) :: acc)
+        go segs rest ((name, Request.percent_decode_path part) :: acc)
     | _, _ -> None
   in
   go t.segments (split_path path) []

@@ -20,8 +20,11 @@ val params : t -> string list
 (** Parameter names in order of appearance. *)
 
 val matches : t -> string -> (string * string) list option
-(** [matches t path] is [Some bindings] when [path] matches the pattern;
-    captured segments are percent-decoded. *)
+(** [matches t path] is [Some bindings] when [path] matches the pattern.
+    Each raw path segment is percent-decoded exactly once (without the
+    form-only ['+']-as-space rule) before literal comparison and
+    parameter binding, so encoded segments match routes and bound values
+    come back decoded. *)
 
 val specificity : t -> int
 (** Number of literal segments; routers prefer more-specific routes. *)

@@ -4,12 +4,26 @@ type middleware = handler -> handler
 type entry = { meth : Meth.t; route : Route.t; handler : handler; order : int }
 
 type t = {
-  mutable entries : entry list;  (* reverse registration order *)
+  (* Kept sorted by (specificity desc, registration order asc) at
+     registration time, so dispatch is a single scan: the first entry
+     whose route and method both match is the winner. *)
+  mutable entries : entry list;
   mutable middlewares : middleware list;  (* innermost first *)
   mutable next_order : int;
+  mutable on_error : string -> unit;
 }
 
-let create () = { entries = []; middlewares = []; next_order = 0 }
+let default_error_logger msg = prerr_endline ("[router] " ^ msg)
+
+let create () =
+  { entries = []; middlewares = []; next_order = 0; on_error = default_error_logger }
+
+let on_error t log = t.on_error <- log
+
+let entry_precedes a b =
+  match compare (Route.specificity b.route) (Route.specificity a.route) with
+  | 0 -> a.order <= b.order
+  | c -> c < 0
 
 let add t meth pattern handler =
   let route = Route.parse_exn pattern in
@@ -20,8 +34,13 @@ let add t meth pattern handler =
   in
   if duplicate then
     invalid_arg (Printf.sprintf "duplicate route %s %s" (Meth.to_string meth) pattern);
-  t.entries <- { meth; route; handler; order = t.next_order } :: t.entries;
-  t.next_order <- t.next_order + 1
+  let entry = { meth; route; handler; order = t.next_order } in
+  t.next_order <- t.next_order + 1;
+  let rec insert = function
+    | [] -> [ entry ]
+    | e :: rest -> if entry_precedes entry e then entry :: e :: rest else e :: insert rest
+  in
+  t.entries <- insert t.entries
 
 let get t pattern handler = add t Meth.GET pattern handler
 let post t pattern handler = add t Meth.POST pattern handler
@@ -33,37 +52,40 @@ let apply_middleware t handler =
   (* middlewares is newest-first; fold so the newest wraps outermost. *)
   List.fold_right (fun mw acc -> mw acc) (List.rev t.middlewares) handler
 
+let run t entry bindings request =
+  let request = Request.with_path_params request bindings in
+  let handler = apply_middleware t entry.handler in
+  try handler request
+  with exn ->
+    (* The body must not echo exception internals to the client (they
+       routinely carry row contents, file paths, or policy state); the
+       detail goes to the server-side log instead. *)
+    t.on_error
+      (Printf.sprintf "%s %s: handler raised %s"
+         (Meth.to_string request.Request.meth)
+         request.Request.path (Printexc.to_string exn));
+    Response.error Status.Internal_error "internal error"
+
 let dispatch t request =
-  let matches =
-    List.filter_map
-      (fun e ->
-        match Route.matches e.route request.Request.path with
-        | Some bindings -> Some (e, bindings)
-        | None -> None)
-      t.entries
+  let path = request.Request.path in
+  (* Single scan over the pre-sorted entries: the first (method, path)
+     match has the highest specificity among matching routes, ties
+     already broken by registration order. *)
+  let rec scan entries ~path_matched =
+    match entries with
+    | [] ->
+        if path_matched then Response.error Status.Method_not_allowed "method not allowed"
+        else Response.error Status.Not_found "not found"
+    | e :: rest -> (
+        match Route.matches e.route path with
+        | None -> scan rest ~path_matched
+        | Some bindings ->
+            if Meth.equal e.meth request.Request.meth then run t e bindings request
+            else scan rest ~path_matched:true)
   in
-  let for_method =
-    List.filter (fun (e, _) -> Meth.equal e.meth request.Request.meth) matches
-  in
-  match
-    List.sort
-      (fun (a, _) (b, _) ->
-        match compare (Route.specificity b.route) (Route.specificity a.route) with
-        | 0 -> compare a.order b.order
-        | c -> c)
-      for_method
-  with
-  | (entry, bindings) :: _ -> (
-      let request = Request.with_path_params request bindings in
-      let handler = apply_middleware t entry.handler in
-      try handler request
-      with exn ->
-        Response.error Status.Internal_error
-          (Printf.sprintf "internal error: %s" (Printexc.to_string exn)))
-  | [] ->
-      if matches <> [] then
-        Response.error Status.Method_not_allowed "method not allowed"
-      else Response.error Status.Not_found "not found"
+  scan t.entries ~path_matched:false
 
 let routes t =
-  List.rev_map (fun e -> (e.meth, Route.pattern e.route)) t.entries
+  List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+    (List.map (fun e -> (e.meth, Route.pattern e.route, e.order)) t.entries)
+  |> List.map (fun (m, p, _) -> (m, p))

@@ -22,8 +22,15 @@ val use : t -> middleware -> unit
 
 val dispatch : t -> Request.t -> Response.t
 (** Picks the most specific matching route (ties broken by registration
-    order); 404 when no pattern matches the path, 405 when patterns match
-    but not the method. Handler exceptions become 500s. *)
+    order) in a single scan over entries pre-sorted at registration; 404
+    when no pattern matches the path, 405 when patterns match but not
+    the method. Handler exceptions become 500s whose body is the fixed
+    string ["internal error"] — the exception text is passed to the
+    {!on_error} logger, never to the client. *)
+
+val on_error : t -> (string -> unit) -> unit
+(** Replaces the server-side log sink for handler exceptions (default:
+    stderr). The message carries the method, path, and exception text. *)
 
 val routes : t -> (Meth.t * string) list
 (** Registered routes, for diagnostics. *)

@@ -8,8 +8,12 @@ type t =
   | Forbidden
   | Not_found
   | Method_not_allowed
+  | Request_timeout
+  | Payload_too_large
   | Unprocessable
+  | Headers_too_large
   | Internal_error
+  | Service_unavailable
   | Code of int
 
 let to_int = function
@@ -22,8 +26,12 @@ let to_int = function
   | Forbidden -> 403
   | Not_found -> 404
   | Method_not_allowed -> 405
+  | Request_timeout -> 408
+  | Payload_too_large -> 413
   | Unprocessable -> 422
+  | Headers_too_large -> 431
   | Internal_error -> 500
+  | Service_unavailable -> 503
   | Code c -> c
 
 let of_int = function
@@ -36,8 +44,12 @@ let of_int = function
   | 403 -> Forbidden
   | 404 -> Not_found
   | 405 -> Method_not_allowed
+  | 408 -> Request_timeout
+  | 413 -> Payload_too_large
   | 422 -> Unprocessable
+  | 431 -> Headers_too_large
   | 500 -> Internal_error
+  | 503 -> Service_unavailable
   | c -> Code c
 
 let reason t =
@@ -51,8 +63,12 @@ let reason t =
   | Forbidden -> "Forbidden"
   | Not_found -> "Not Found"
   | Method_not_allowed -> "Method Not Allowed"
+  | Request_timeout -> "Request Timeout"
+  | Payload_too_large -> "Payload Too Large"
   | Unprocessable -> "Unprocessable Entity"
+  | Headers_too_large -> "Request Header Fields Too Large"
   | Internal_error -> "Internal Server Error"
+  | Service_unavailable -> "Service Unavailable"
   | Code c -> Printf.sprintf "Status %d" c
 
 let is_success t =

@@ -10,8 +10,12 @@ type t =
   | Forbidden
   | Not_found
   | Method_not_allowed
+  | Request_timeout
+  | Payload_too_large
   | Unprocessable
+  | Headers_too_large
   | Internal_error
+  | Service_unavailable
   | Code of int
 
 val to_int : t -> int

@@ -1,0 +1,301 @@
+(* HTTP/1.1 on the wire: an incremental request parser and a response
+   serializer, pure over a pull [source] so the same code path is driven
+   by sockets in Sesame_server and by split-read torture tests without
+   any I/O. The request/response client half (write_request,
+   read_response) exists for the load generator and the test suite. *)
+
+type source = {
+  next : unit -> string;  (* "" means EOF; may return any chunk size *)
+  mutable pending : string;
+  mutable pos : int;
+}
+
+let source_of_fun next = { next; pending = ""; pos = 0 }
+
+let source_of_strings chunks =
+  let rest = ref chunks in
+  source_of_fun (fun () ->
+      match !rest with
+      | [] -> ""
+      | c :: tl ->
+          rest := tl;
+          c)
+
+let source_of_string s = source_of_strings [ s ]
+
+(* Refill [pending]; false at EOF. Raises whatever [next] raises (e.g.
+   [Unix_error] on a socket read timeout) — the server maps that to a
+   connection close. *)
+let refill src =
+  if src.pos < String.length src.pending then true
+  else begin
+    let chunk = src.next () in
+    src.pending <- chunk;
+    src.pos <- 0;
+    chunk <> ""
+  end
+
+let peek_available src = String.length src.pending - src.pos
+
+type limits = {
+  max_request_line : int;
+  max_header_bytes : int;  (* cumulative bytes across all header lines *)
+  max_headers : int;
+  max_body : int;
+}
+
+let default_limits =
+  { max_request_line = 8192; max_header_bytes = 32768; max_headers = 128; max_body = 1 lsl 20 }
+
+type error =
+  | Malformed of string  (** 400: unparseable request line / headers / framing *)
+  | Request_line_too_long  (** 431 *)
+  | Headers_too_large  (** 431 *)
+  | Body_too_large  (** 413 *)
+
+let error_message = function
+  | Malformed msg -> msg
+  | Request_line_too_long -> "request line too long"
+  | Headers_too_large -> "header section too large"
+  | Body_too_large -> "body too large"
+
+let error_status = function
+  | Malformed _ -> Status.Bad_request
+  | Request_line_too_long | Headers_too_large -> Status.Headers_too_large
+  | Body_too_large -> Status.Payload_too_large
+
+type version = Http_1_0 | Http_1_1
+
+type incoming = { request : Request.t; version : version; keep_alive : bool }
+
+exception Parse of error
+exception Clean_eof  (* EOF with no bytes consumed: peer closed between requests *)
+
+(* Reads up to and including LF, tolerating both CRLF and bare LF line
+   endings; returns the line without the terminator. [limit_error] is
+   raised when the line exceeds [max] bytes — different callers map that
+   to 431 (request line) or 431 (headers) with distinct error values. *)
+let read_line src ~max ~limit_error ~first =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    if not (refill src) then
+      if first && Buffer.length buf = 0 then raise Clean_eof
+      else raise (Parse (Malformed "unexpected end of stream"))
+    else begin
+      let chunk = src.pending in
+      let n = String.length chunk in
+      match String.index_from_opt chunk src.pos '\n' with
+      | Some i ->
+          Buffer.add_substring buf chunk src.pos (i - src.pos);
+          src.pos <- i + 1;
+          if Buffer.length buf > max then raise (Parse limit_error);
+          let line = Buffer.contents buf in
+          let len = String.length line in
+          if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line
+      | None ->
+          Buffer.add_substring buf chunk src.pos (n - src.pos);
+          src.pos <- n;
+          if Buffer.length buf > max then raise (Parse limit_error);
+          go ()
+    end
+  in
+  go ()
+
+let read_exact src n =
+  let buf = Buffer.create n in
+  let rec go remaining =
+    if remaining = 0 then Buffer.contents buf
+    else if not (refill src) then raise (Parse (Malformed "unexpected end of stream"))
+    else begin
+      let take = min remaining (peek_available src) in
+      Buffer.add_substring buf src.pending src.pos take;
+      src.pos <- src.pos + take;
+      go (remaining - take)
+    end
+  in
+  go n
+
+let split_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] when meth <> "" && target <> "" -> Some (meth, target, version)
+  | _ -> None
+
+let parse_version = function
+  | "HTTP/1.1" -> Some Http_1_1
+  | "HTTP/1.0" -> Some Http_1_0
+  | _ -> None
+
+let rec read_headers src ~limits ~count ~bytes acc =
+  let line =
+    read_line src ~max:limits.max_header_bytes ~limit_error:Headers_too_large ~first:false
+  in
+  if line = "" then acc
+  else begin
+    let bytes = bytes + String.length line in
+    if bytes > limits.max_header_bytes then raise (Parse Headers_too_large);
+    if count + 1 > limits.max_headers then raise (Parse Headers_too_large);
+    if line.[0] = ' ' || line.[0] = '\t' then
+      (* obs-fold continuation lines are obsolete (RFC 7230 §3.2.4) and a
+         smuggling vector; reject instead of guessing. *)
+      raise (Parse (Malformed "obsolete header folding"));
+    match String.index_opt line ':' with
+    | None -> raise (Parse (Malformed "header line without ':'"))
+    | Some i ->
+        let name = String.sub line 0 i in
+        let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        let acc =
+          try Headers.add acc name value
+          with Invalid_argument _ -> raise (Parse (Malformed "invalid header field"))
+        in
+        read_headers src ~limits ~count:(count + 1) ~bytes acc
+  end
+
+let token_list value =
+  String.split_on_char ',' value
+  |> List.map (fun s -> String.lowercase_ascii (String.trim s))
+
+let connection_has headers token =
+  List.exists
+    (fun v -> List.mem token (token_list v))
+    (Headers.get_all headers "Connection")
+
+let content_length headers =
+  match Headers.get headers "Content-Length" with
+  | None -> Ok 0
+  | Some v -> (
+      (* All Content-Length values must agree; a smuggled second value is
+         how request-smuggling desyncs front- and back-ends. *)
+      let all = Headers.get_all headers "Content-Length" in
+      if List.exists (fun x -> x <> v) all then Error (Malformed "conflicting Content-Length")
+      else
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> Ok n
+        | Some _ | None -> Error (Malformed "invalid Content-Length"))
+
+let read_request ?(limits = default_limits) src =
+  match
+    let line =
+      read_line src ~max:limits.max_request_line ~limit_error:Request_line_too_long
+        ~first:true
+    in
+    (* A peer is allowed a stray blank line before the request line. *)
+    let line =
+      if line = "" then
+        read_line src ~max:limits.max_request_line ~limit_error:Request_line_too_long
+          ~first:false
+      else line
+    in
+    let meth, target, version_str =
+      match split_request_line line with
+      | Some parts -> parts
+      | None -> raise (Parse (Malformed "malformed request line"))
+    in
+    let meth =
+      match Meth.of_string meth with
+      | Some m -> m
+      | None -> raise (Parse (Malformed "unknown method"))
+    in
+    let version =
+      match parse_version version_str with
+      | Some v -> v
+      | None -> raise (Parse (Malformed "unsupported HTTP version"))
+    in
+    if String.length target = 0 || target.[0] <> '/' then
+      raise (Parse (Malformed "target must be origin-form"));
+    let headers = read_headers src ~limits ~count:0 ~bytes:0 Headers.empty in
+    if version = Http_1_1 && not (Headers.mem headers "Host") then
+      raise (Parse (Malformed "missing Host header"));
+    if Headers.mem headers "Transfer-Encoding" then
+      (* Content-Length framing only; a Transfer-Encoding we silently
+         ignored would desync the connection. *)
+      raise (Parse (Malformed "Transfer-Encoding not supported"));
+    let body_len =
+      match content_length headers with Ok n -> n | Error e -> raise (Parse e)
+    in
+    if body_len > limits.max_body then raise (Parse Body_too_large);
+    let body = if body_len = 0 then "" else read_exact src body_len in
+    let keep_alive =
+      match version with
+      | Http_1_1 -> not (connection_has headers "close")
+      | Http_1_0 -> connection_has headers "keep-alive"
+    in
+    { request = Request.make ~headers ~body meth target; version; keep_alive }
+  with
+  | incoming -> `Request incoming
+  | exception Clean_eof -> `Eof
+  | exception Parse e -> `Error e
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. *)
+
+let no_body_status status =
+  match Status.to_int status with 204 | 304 -> true | c -> 100 <= c && c < 200
+
+let write_response ?(head_only = false) ~keep_alive (response : Response.t) =
+  let buf = Buffer.create 256 in
+  let status = response.Response.status in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" (Status.to_int status) (Status.reason status));
+  let headers =
+    List.fold_left Headers.remove response.Response.headers
+      [ "Content-Length"; "Connection"; "Transfer-Encoding" ]
+  in
+  List.iter
+    (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))
+    (Headers.to_list headers);
+  let body = response.Response.body in
+  if not (no_body_status status) then
+    Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  Buffer.add_string buf "\r\n";
+  if (not head_only) && not (no_body_status status) then Buffer.add_string buf body;
+  Buffer.contents buf
+
+let write_request ?(headers = Headers.empty) ?(body = "") ~host meth target =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" (Meth.to_string meth) target);
+  Buffer.add_string buf (Printf.sprintf "Host: %s\r\n" host);
+  List.iter
+    (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))
+    (Headers.to_list headers);
+  if body <> "" || meth = Meth.POST || meth = Meth.PUT || meth = Meth.PATCH then
+    Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* Client-side response reader, for the load generator and tests.
+   Responses are Content-Length framed (which is all [write_response]
+   emits); a missing Content-Length on a body-bearing status is an
+   error rather than a read-to-close. *)
+let read_response src =
+  match
+    let line =
+      read_line src ~max:default_limits.max_request_line ~limit_error:Request_line_too_long
+        ~first:true
+    in
+    let status =
+      match String.split_on_char ' ' line with
+      | version :: code :: _
+        when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          match int_of_string_opt code with
+          | Some c when 100 <= c && c <= 599 -> c
+          | Some _ | None -> raise (Parse (Malformed "bad status code")))
+      | _ -> raise (Parse (Malformed "malformed status line"))
+    in
+    let headers =
+      read_headers src ~limits:default_limits ~count:0 ~bytes:0 Headers.empty
+    in
+    let body =
+      if no_body_status (Status.of_int status) then ""
+      else
+        match content_length headers with
+        | Ok n -> if n = 0 then "" else read_exact src n
+        | Error e -> raise (Parse e)
+    in
+    (status, headers, body)
+  with
+  | response -> `Response response
+  | exception Clean_eof -> `Eof
+  | exception Parse e -> `Error e

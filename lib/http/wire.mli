@@ -1,0 +1,73 @@
+(** HTTP/1.1 wire protocol: request parsing and response serialization.
+
+    Pure over a pull {!source}, so Sesame_server drives it from sockets
+    and the test suite drives it from strings split at arbitrary read
+    boundaries. Framing is Content-Length only; [Transfer-Encoding] is
+    rejected rather than ignored (ignoring it would desync the
+    connection). *)
+
+type source
+
+val source_of_fun : (unit -> string) -> source
+(** [source_of_fun next] pulls chunks from [next]; [next () = ""] means
+    EOF. Exceptions from [next] (e.g. a socket read timeout) propagate
+    out of the parser. *)
+
+val source_of_string : string -> source
+
+val source_of_strings : string list -> source
+(** One chunk per call, in order — each list element is one "read()"
+    result, for split-read torture tests. *)
+
+type limits = {
+  max_request_line : int;
+  max_header_bytes : int;  (** cumulative bytes across all header lines *)
+  max_headers : int;
+  max_body : int;
+}
+
+val default_limits : limits
+(** 8 KiB request line, 32 KiB / 128 headers, 1 MiB body. *)
+
+type error =
+  | Malformed of string  (** maps to 400 *)
+  | Request_line_too_long  (** maps to 431 *)
+  | Headers_too_large  (** maps to 431 *)
+  | Body_too_large  (** maps to 413 *)
+
+val error_message : error -> string
+val error_status : error -> Status.t
+
+type version = Http_1_0 | Http_1_1
+
+type incoming = {
+  request : Request.t;
+  version : version;
+  keep_alive : bool;
+      (** what the peer asked for: HTTP/1.1 defaults to persistent unless
+          [Connection: close]; HTTP/1.0 defaults to close unless
+          [Connection: keep-alive]. *)
+}
+
+val read_request :
+  ?limits:limits -> source -> [ `Request of incoming | `Eof | `Error of error ]
+(** Reads one request (request line, headers, Content-Length body).
+    [`Eof] means the peer closed cleanly before sending any byte of a
+    new request — the normal end of a keep-alive connection. EOF
+    mid-request is [`Error (Malformed _)]. HTTP/1.1 requests must carry
+    a [Host] header. *)
+
+val write_response : ?head_only:bool -> keep_alive:bool -> Response.t -> string
+(** Serializes with [HTTP/1.1] status line, the response's headers
+    (already CR/LF-safe by {!Headers} construction), an authoritative
+    [Content-Length], and a [Connection] header. [head_only] omits the
+    body bytes (HEAD) while keeping Content-Length. *)
+
+val write_request :
+  ?headers:Headers.t -> ?body:string -> host:string -> Meth.t -> string -> string
+(** Client-side request serializer (load generator, tests). *)
+
+val read_response :
+  source -> [ `Response of int * Headers.t * string | `Eof | `Error of error ]
+(** Client-side response reader: status code, headers, Content-Length
+    framed body. *)

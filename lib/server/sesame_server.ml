@@ -1,0 +1,305 @@
+(* Real TCP serving for lib/http: a listener domain accepts connections
+   and hands them to handler domains drawn from a dedicated
+   Sesame_parallel pool (one long-lived worker loop per pool domain, fed
+   from a bounded handoff queue). Handlers therefore execute inside a
+   pool task, which flips the pool's reentrancy guard — any
+   Sesame_parallel fan-out a handler reaches (e.g. Enforce's wide
+   conjunctions) degrades to its sequential path instead of deadlocking,
+   so parallelism comes from concurrent connections, one domain each.
+
+   Overload policy is shed-don't-queue: once [max_connections] sockets
+   are accepted-but-unfinished, new arrivals get an immediate 503 and a
+   close instead of joining an unbounded queue. Keep-alive connections
+   are bounded twice over: [max_requests_per_connection] requests, and
+   an [idle_timeout_s] receive timeout enforced by SO_RCVTIMEO. *)
+
+module Http = Sesame_http
+
+type config = {
+  host : string;
+  port : int;  (* 0 picks an ephemeral port; see port t *)
+  domains : int;  (* handler domains (its own pool, caller included) *)
+  backlog : int;
+  max_connections : int;
+  max_requests_per_connection : int;
+  idle_timeout_s : float;
+  limits : Http.Wire.limits;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = max 2 (Sesame_parallel.env_domains ());
+    backlog = 128;
+    max_connections = 256;
+    max_requests_per_connection = 1000;
+    idle_timeout_s = 5.0;
+    limits = Http.Wire.default_limits;
+  }
+
+type stats = {
+  accepted : int;
+  served : int;
+  shed : int;
+  parse_errors : int;
+  timeouts : int;
+  active : int;
+}
+
+type t = {
+  config : config;
+  handler : Http.Request.t -> Http.Response.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Sesame_parallel.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  open_conns : (Unix.file_descr, unit) Hashtbl.t;  (* guarded by mutex *)
+  stopping : bool Atomic.t;
+  active : int Atomic.t;
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  parse_errors : int Atomic.t;
+  timeouts : int Atomic.t;
+  on_error : string -> unit;
+  mutable listener : unit Domain.t option;
+  mutable driver : unit Domain.t option;
+}
+
+let port t = t.bound_port
+
+let stats t =
+  {
+    accepted = Atomic.get t.accepted;
+    served = Atomic.get t.served;
+    shed = Atomic.get t.shed;
+    parse_errors = Atomic.get t.parse_errors;
+    timeouts = Atomic.get t.timeouts;
+    active = Atomic.get t.active;
+  }
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let source_of_fd fd =
+  let buf = Bytes.create 8192 in
+  Http.Wire.source_of_fun (fun () ->
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ""
+      | n -> Bytes.sub_string buf 0 n)
+
+(* Deregister-then-close under the mutex so stop's shutdown sweep can
+   never hit a recycled descriptor number. *)
+let finish_connection t fd =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.open_conns fd;
+  close_quietly fd;
+  Mutex.unlock t.mutex;
+  Atomic.decr t.active
+
+let error_body = function
+  | Http.Wire.Malformed _ as e -> Http.Wire.error_message e
+  | (Http.Wire.Request_line_too_long | Http.Wire.Headers_too_large | Http.Wire.Body_too_large)
+    as e ->
+      Http.Wire.error_message e
+
+let handle_connection t fd =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.open_conns fd ();
+  Mutex.unlock t.mutex;
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.idle_timeout_s;
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  let src = source_of_fd fd in
+  let respond ?head_only ~keep_alive response =
+    write_all fd (Http.Wire.write_response ?head_only ~keep_alive response)
+  in
+  let rec serve requests_served =
+    match Http.Wire.read_request ~limits:t.config.limits src with
+    | `Eof -> ()
+    | `Error e ->
+        Atomic.incr t.parse_errors;
+        respond ~keep_alive:false
+          (Http.Response.error (Http.Wire.error_status e) (error_body e))
+    | `Request { request; keep_alive; version = _ } ->
+        (* HEAD is answered from the GET handler with the body stripped,
+           per RFC 9110; handlers never need to register HEAD routes. *)
+        let head_only = Http.Meth.equal request.Http.Request.meth Http.Meth.HEAD in
+        let request =
+          if head_only then { request with Http.Request.meth = Http.Meth.GET } else request
+        in
+        let response =
+          try t.handler request
+          with exn ->
+            (* Same redaction discipline as Router.dispatch: the client
+               sees a fixed body, the log sees the exception. *)
+            t.on_error
+              (Printf.sprintf "%s %s: handler raised %s"
+                 (Http.Meth.to_string request.Http.Request.meth)
+                 request.Http.Request.path (Printexc.to_string exn));
+            Http.Response.error Http.Status.Internal_error "internal error"
+        in
+        let requests_served = requests_served + 1 in
+        let keep_alive =
+          keep_alive
+          && requests_served < t.config.max_requests_per_connection
+          && not (Atomic.get t.stopping)
+        in
+        respond ~head_only ~keep_alive response;
+        Atomic.incr t.served;
+        if keep_alive then serve requests_served
+  in
+  (try serve 0 with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO fired: the peer sat idle past the deadline. *)
+      Atomic.incr t.timeouts
+  | Unix.Unix_error _ -> ());
+  finish_connection t fd
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let next = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  match next with
+  | Some fd ->
+      handle_connection t fd;
+      worker_loop t
+  | None -> ()
+
+let shed t fd =
+  Atomic.incr t.shed;
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     write_all fd
+       (Http.Wire.write_response ~keep_alive:false
+          (Http.Response.error Http.Status.Service_unavailable "server at connection capacity"))
+   with Unix.Unix_error _ -> ());
+  close_quietly fd;
+  Atomic.decr t.active
+
+let rec listener_loop t =
+  if Atomic.get t.stopping then ()
+  else
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        listener_loop t
+    | exception Unix.Unix_error _ ->
+        (* Listening socket was shut down (stop) or is gone; exit. *)
+        ()
+    | fd, _ ->
+        Atomic.incr t.accepted;
+        (* fetch_and_add so the capacity check and the reservation are one
+           atomic step even with shedding happening concurrently. *)
+        if Atomic.fetch_and_add t.active 1 >= t.config.max_connections then shed t fd
+        else begin
+          Mutex.lock t.mutex;
+          Queue.push fd t.queue;
+          Condition.signal t.nonempty;
+          Mutex.unlock t.mutex
+        end;
+        listener_loop t
+
+let start ?(config = default_config) ?(on_error = fun msg -> prerr_endline ("[server] " ^ msg))
+    ~handler () =
+  (* A peer closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+    let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+       (* Bounded accept wait so the listener can notice stop without a
+          cross-domain close race. *)
+       Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.25;
+       Unix.bind listen_fd addr;
+       Unix.listen listen_fd config.backlog
+     with e ->
+       close_quietly listen_fd;
+       raise e);
+    let bound_port =
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> config.port
+    in
+    let t =
+      {
+        config;
+        handler;
+        listen_fd;
+        bound_port;
+        pool = Sesame_parallel.create ~domains:(max 1 config.domains) ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        open_conns = Hashtbl.create 64;
+        stopping = Atomic.make false;
+        active = Atomic.make 0;
+        accepted = Atomic.make 0;
+        served = Atomic.make 0;
+        shed = Atomic.make 0;
+        parse_errors = Atomic.make 0;
+        timeouts = Atomic.make 0;
+        on_error;
+        listener = None;
+        driver = None;
+      }
+    in
+    (* One worker loop per pool domain: run_chunks distributes them, the
+       driver domain participates as chunk 0, and the call only returns
+       when every worker has exited (at stop). *)
+    t.driver <-
+      Some
+        (Domain.spawn (fun () ->
+             let chunks = Sesame_parallel.domains t.pool in
+             Sesame_parallel.run_chunks t.pool ~chunks (fun _ -> worker_loop t)));
+    t.listener <- Some (Domain.spawn (fun () -> listener_loop t));
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "server start failed: %s (%s)" (Unix.error_message err) fn)
+  | exception Failure msg -> Error (Printf.sprintf "server start failed: %s" msg)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake the listener out of accept. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.listener;
+    t.listener <- None;
+    close_quietly t.listen_fd;
+    (* Drain never-served connections and nudge in-flight ones: shutting
+       down the read side makes their next read return EOF, so workers
+       close them after the in-flight response instead of waiting out the
+       idle timeout. *)
+    Mutex.lock t.mutex;
+    while not (Queue.is_empty t.queue) do
+      let fd = Queue.pop t.queue in
+      close_quietly fd;
+      Atomic.decr t.active
+    done;
+    Hashtbl.iter
+      (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.open_conns;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Option.iter Domain.join t.driver;
+    t.driver <- None;
+    Sesame_parallel.shutdown t.pool
+  end

@@ -1,0 +1,64 @@
+(** Real TCP serving for [Sesame_http]: a listener + accept loop feeding
+    a dedicated {!Sesame_parallel} domain pool, HTTP/1.1 keep-alive with
+    per-connection request and idle-time bounds, and shed-don't-queue
+    overload behaviour (503 once [max_connections] sockets are open).
+
+    Handlers run inside pool tasks, so any [Sesame_parallel] fan-out
+    they reach (Enforce's wide conjunctions, the connector's grouping
+    pass) takes its sequential path per-request — parallelism comes from
+    concurrent connections, one handler domain each. *)
+
+module Http = Sesame_http
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  domains : int;
+      (** handler domains; the server creates its own pool so serving
+          never competes with the process-default pool *)
+  backlog : int;
+  max_connections : int;
+      (** accepted-but-unfinished connections beyond this are shed with
+          an immediate 503 + close *)
+  max_requests_per_connection : int;
+  idle_timeout_s : float;  (** SO_RCVTIMEO on each connection *)
+  limits : Http.Wire.limits;
+}
+
+val default_config : config
+(** 127.0.0.1:ephemeral, [max 2 (Sesame_parallel.env_domains ())]
+    handler domains, 256 connections, 1000 requests/connection, 5 s idle
+    timeout, {!Http.Wire.default_limits}. *)
+
+type t
+
+val start :
+  ?config:config ->
+  ?on_error:(string -> unit) ->
+  handler:(Http.Request.t -> Http.Response.t) ->
+  unit ->
+  (t, string) result
+(** Binds, listens, and returns once the listener and handler domains
+    are running. Handler exceptions become redacted 500s ("internal
+    error"); the exception text goes to [on_error] (default stderr).
+    HEAD requests are dispatched to the handler as GET and answered
+    with the body stripped, so routers only register GET routes. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+type stats = {
+  accepted : int;
+  served : int;  (** requests answered, across all connections *)
+  shed : int;  (** connections refused with 503 at capacity *)
+  parse_errors : int;  (** requests answered 400/413/431 *)
+  timeouts : int;  (** connections closed by the idle deadline *)
+  active : int;  (** currently accepted-but-unfinished connections *)
+}
+
+val stats : t -> stats
+
+val stop : t -> unit
+(** Stops accepting, drains queued connections, nudges in-flight ones to
+    close after their current response, joins every domain, and shuts the
+    pool down. Idempotent. *)

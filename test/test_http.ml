@@ -46,6 +46,37 @@ let headers_tests =
         let h = Headers.remove h "X-A" in
         check_bool "gone" false (Headers.mem h "x-a");
         check_bool "kept" true (Headers.mem h "x-b"));
+    test "CR/LF and control characters rejected at construction" (fun () ->
+        let rejects f = try f (); false with Invalid_argument _ -> true in
+        check_bool "crlf value" true
+          (rejects (fun () -> ignore (Headers.add Headers.empty "X-A" "a\r\nSet-Cookie: evil=1")));
+        check_bool "lf value" true
+          (rejects (fun () -> ignore (Headers.add Headers.empty "X-A" "a\nb")));
+        check_bool "nul value" true
+          (rejects (fun () -> ignore (Headers.replace Headers.empty "X-A" "a\x00b")));
+        check_bool "bad name" true
+          (rejects (fun () -> ignore (Headers.add Headers.empty "X A" "v")));
+        check_bool "crlf name" true
+          (rejects (fun () -> ignore (Headers.of_list [ ("X\r\nY", "v") ])));
+        check_bool "empty name" true
+          (rejects (fun () -> ignore (Headers.add Headers.empty "" "v")));
+        (* Horizontal tab is the one control byte a field value may hold. *)
+        check_bool "tab ok" true
+          (Headers.get (Headers.add Headers.empty "X-A" "a\tb") "X-A" = Some "a\tb"));
+    test "add is linear, not quadratic" (fun () ->
+        let n = 20_000 in
+        let h = ref Headers.empty in
+        for i = 1 to n do
+          h := Headers.add !h "X-N" (string_of_int i)
+        done;
+        check_int "count" n (Headers.length !h);
+        (* First-added wins for single-valued lookup... *)
+        check_bool "first" true (Headers.get !h "X-N" = Some "1");
+        (* ...and get_all preserves insertion order. *)
+        check_bool "order" true
+          (match Headers.get_all !h "x-n" with
+          | "1" :: "2" :: _ -> true
+          | _ -> false));
   ]
 
 let cookie_tests =
@@ -68,6 +99,22 @@ let cookie_tests =
         check_str "rendered" "sid=abc; Path=/; Max-Age=60; HttpOnly" rendered);
     test "expire emits Max-Age=0" (fun () ->
         check_bool "max-age 0" true (contains (Cookie.expire ~name:"sid") "Max-Age=0"));
+    test "render rejects splitting characters" (fun () ->
+        let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+        check_bool "crlf value" true
+          (rejects (fun () -> Cookie.render_set_cookie ~name:"sid" "a\r\nSet-Cookie: evil=1"));
+        check_bool "semicolon value" true
+          (rejects (fun () -> Cookie.render_set_cookie ~name:"sid" "a;Path=/admin"));
+        check_bool "crlf name" true
+          (rejects (fun () -> Cookie.render_set_cookie ~name:"s\r\nX" "v"));
+        check_bool "eq in name" true
+          (rejects (fun () -> Cookie.render_set_cookie ~name:"a=b" "v"));
+        check_bool "bad path attr" true
+          (rejects (fun () ->
+               Cookie.render_set_cookie
+                 ~attributes:
+                   { Cookie.path = Some "/\r\nX: y"; max_age = None; http_only = false; secure = false }
+                 ~name:"sid" "v")));
   ]
 
 let request_tests =
@@ -83,6 +130,11 @@ let request_tests =
     test "percent encode/decode round-trip" (fun () ->
         let s = "a b/c?&=%~" in
         check_str "rt" s (Request.percent_decode (Request.percent_encode s)));
+    test "percent_decode_path keeps '+' literal" (fun () ->
+        check_str "plus" "a+b" (Request.percent_decode_path "a+b");
+        check_str "escape" "a b" (Request.percent_decode_path "a%20b");
+        (* Form decoding still maps '+' to space. *)
+        check_str "form" "a b" (Request.percent_decode "a+b"));
     test "form params require urlencoded content type" (fun () ->
         let headers = Headers.of_list [ ("Content-Type", "application/x-www-form-urlencoded") ] in
         let r = Request.make ~headers ~body:"a=1&b=two+2" Meth.POST "/f" in
@@ -127,6 +179,30 @@ let route_tests =
     test "specificity counts literals" (fun () ->
         check_int "2" 2 (Route.specificity (Route.parse_exn "/a/b/<x>"));
         check_int "0" 0 (Route.specificity (Route.parse_exn "/<x>")));
+    test "encoded literals match their decoded spelling" (fun () ->
+        let r = Route.parse_exn "/caf\xc3\xa9" in
+        check_bool "encoded path" true (Route.matches r "/caf%C3%A9" = Some []));
+    test "path decoding is not form decoding" (fun () ->
+        (* '+' in a path segment is a literal plus, not a space. *)
+        let r = Route.parse_exn "/tag/<t>" in
+        check_bool "plus kept" true (Route.matches r "/tag/c%2B%2B" = Some [ ("t", "c++") ]);
+        check_bool "raw plus kept" true (Route.matches r "/tag/a+b" = Some [ ("t", "a+b") ]));
+    test "encoded slash stays inside its segment" (fun () ->
+        let r = Route.parse_exn "/f/<name>" in
+        check_bool "%2F" true (Route.matches r "/f/a%2Fb" = Some [ ("name", "a/b") ]);
+        check_bool "not a separator" true (Route.matches r "/f/a/b" = None));
+    test "truncated escapes pass through undecoded" (fun () ->
+        let r = Route.parse_exn "/x/<v>" in
+        check_bool "%4" true (Route.matches r "/x/a%4" = Some [ ("v", "a%4") ]);
+        check_bool "bare %" true (Route.matches r "/x/100%" = Some [ ("v", "100%") ]);
+        check_bool "bad hex" true (Route.matches r "/x/%zz" = Some [ ("v", "%zz") ]));
+    test "percent_encode round-trips through segment decoding" (fun () ->
+        List.iter
+          (fun s ->
+            let r = Route.parse_exn "/v/<x>" in
+            check_bool s true
+              (Route.matches r ("/v/" ^ Request.percent_encode s) = Some [ ("x", s) ]))
+          [ "alice@example.com"; "a/b"; "a+b c"; "50%"; "caf\xc3\xa9" ]);
   ]
 
 let router_tests =
@@ -160,9 +236,57 @@ let router_tests =
         check_str "name" "ada" (Router.dispatch r (Request.make Meth.GET "/u/ada")).Response.body);
     test "handler exceptions become 500s" (fun () ->
         let r = Router.create () in
+        Router.on_error r (fun _ -> ());
         Router.get r "/boom" (fun _ -> failwith "kaboom");
         check_int "500" 500
           (Status.to_int (Router.dispatch r (Request.make Meth.GET "/boom")).Response.status));
+    test "500 bodies never leak exception text" (fun () ->
+        let r = Router.create () in
+        let logged = ref "" in
+        Router.on_error r (fun msg -> logged := msg);
+        Router.get r "/boom" (fun _ -> failwith "secret-/etc/passwd-path");
+        let resp = Router.dispatch r (Request.make Meth.GET "/boom") in
+        check_int "500" 500 (Status.to_int resp.Response.status);
+        check_str "redacted" "internal error" resp.Response.body;
+        check_bool "no leak" false (contains resp.Response.body "secret");
+        (* The operator still gets the details, server-side. *)
+        check_bool "logged" true (contains !logged "secret-/etc/passwd-path");
+        check_bool "logged route" true (contains !logged "GET /boom"));
+    test "specificity wins regardless of registration order" (fun () ->
+        (* Entries are pre-sorted at registration, so every order must
+           dispatch identically when specificities differ. *)
+        List.iter
+          (fun routes ->
+            let r = Router.create () in
+            List.iter (fun (pat, name) -> Router.get r pat (fun _ -> Response.text name)) routes;
+            let body path =
+              (Router.dispatch r (Request.make Meth.GET path)).Response.body
+            in
+            check_str "literal" "literal" (body "/a/b");
+            check_str "rest" "rest" (body "/a/x/y"))
+          [
+            [ ("/a/<x>", "param"); ("/a/b", "literal"); ("/a/<p..>", "rest") ];
+            [ ("/a/<p..>", "rest"); ("/a/b", "literal"); ("/a/<x>", "param") ];
+            [ ("/a/b", "literal"); ("/a/<p..>", "rest"); ("/a/<x>", "param") ];
+          ]);
+    test "equal specificity ties break by registration order" (fun () ->
+        let r = Router.create () in
+        Router.get r "/a/<p..>" (fun _ -> Response.text "rest");
+        Router.get r "/a/<x>" (fun _ -> Response.text "param");
+        check_str "first registered" "rest"
+          (Router.dispatch r (Request.make Meth.GET "/a/zzz")).Response.body;
+        let r = Router.create () in
+        Router.get r "/a/<x>" (fun _ -> Response.text "param");
+        Router.get r "/a/<p..>" (fun _ -> Response.text "rest");
+        check_str "first registered" "param"
+          (Router.dispatch r (Request.make Meth.GET "/a/zzz")).Response.body);
+    test "routes reports registration order" (fun () ->
+        let r = Router.create () in
+        Router.get r "/<x>" (fun _ -> Response.text "1");
+        Router.get r "/a/b" (fun _ -> Response.text "2");
+        Alcotest.(check (list string))
+          "order" [ "/<x>"; "/a/b" ]
+          (List.map snd (Router.routes r)));
     test "duplicate route registration rejected" (fun () ->
         let r = Router.create () in
         Router.get r "/a" (fun _ -> Response.text "1");
