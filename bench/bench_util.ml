@@ -75,6 +75,7 @@ module Json = struct
   type t =
     | Num of float
     | Int of int
+    | Bool of bool
     | Str of string
     | List of t list
     | Obj of (string * t) list
@@ -99,6 +100,7 @@ module Json = struct
         if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.3f" f)
         else Buffer.add_string buf "null"
     | Int i -> Buffer.add_string buf (string_of_int i)
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Str s ->
         Buffer.add_char buf '"';
         Buffer.add_string buf (escape s);

@@ -203,6 +203,8 @@ let fig8 () =
      the table reports warm median + p99. *)
   Printf.printf "%-20s %12s %12s %12s %12s %12s %10s\n" "Endpoint" "base med"
     "sesame cold" "sesame med" "sesame p99" "base p99" "overhead";
+  let saved_elide = C.Enforce.elision () in
+  let saved_push = C.Enforce.pushdown_enabled () in
   let rows =
     List.map
       (fun (name, with_sesame, without) ->
@@ -211,7 +213,25 @@ let fig8 () =
             (fun () -> ignore (without ()))
             (fun () -> ignore (with_sesame ()))
         in
+        (* One steady-state request under fresh counters: how many checks
+           the plan discharged, and whether the endpoint ran without a
+           single residual policy evaluation. *)
+        C.Enforce.reset_stats ();
+        ignore (with_sesame ());
+        let st = C.Enforce.stats () in
+        let fully_elided =
+          st.C.Enforce.elisions > 0 && st.C.Enforce.misses = 0
+          && st.C.Enforce.hits = 0
+        in
+        (* Ablation: the same warm endpoint with elision and pushdown off
+           (the PR 5 configuration) — what the certificates buy. *)
+        C.Enforce.set_elision false;
+        C.Enforce.set_pushdown false;
+        let noelide = sample ~n:fig8_samples (fun () -> ignore (with_sesame ())) in
+        C.Enforce.set_elision saved_elide;
+        C.Enforce.set_pushdown saved_push;
         let overhead = 100.0 *. ((median ses /. median base) -. 1.0) in
+        let noelide_overhead = 100.0 *. ((median noelide /. median base) -. 1.0) in
         Printf.printf "%-20s %9.0f us %9.0f us %9.0f us %9.0f us %9.0f us %+9.1f%%\n" name
           (us (median base)) (us ses_cold) (us (median ses)) (us (p99 ses))
           (us (p99 base)) overhead;
@@ -225,9 +245,36 @@ let fig8 () =
             ("sesame_warm_median_us", Json.Num (us (median ses)));
             ("sesame_p99_us", Json.Num (us (p99 ses)));
             ("overhead_pct", Json.Num overhead);
+            ("noelide_warm_median_us", Json.Num (us (median noelide)));
+            ("noelide_overhead_pct", Json.Num noelide_overhead);
+            ("elisions_per_request", Json.Int st.C.Enforce.elisions);
+            ("pushdowns_per_request", Json.Int st.C.Enforce.pushdowns);
+            ("fully_elided", Json.Bool fully_elided);
           ])
       endpoints
   in
+  Printf.printf "\nElision ablation (warm medians, elide+pushdown off vs on):\n";
+  List.iter
+    (function
+      | Json.Obj fields ->
+          let str k = match List.assoc k fields with Json.Str s -> s | _ -> "" in
+          let num k = match List.assoc k fields with Json.Num f -> f | _ -> 0.0 in
+          let int k = match List.assoc k fields with Json.Int i -> i | _ -> 0 in
+          let flag k =
+            match List.assoc k fields with Json.Bool b -> b | _ -> false
+          in
+          Printf.printf
+            "%-20s noelide %9.0f us (%+6.1f%%)  elide %9.0f us (%+6.1f%%)  \
+             elisions/req %d  pushdowns/req %d%s\n"
+            (str "endpoint")
+            (num "noelide_warm_median_us")
+            (num "noelide_overhead_pct")
+            (num "sesame_warm_median_us")
+            (num "overhead_pct") (int "elisions_per_request")
+            (int "pushdowns_per_request")
+            (if flag "fully_elided" then "  [fully elided]" else "")
+      | _ -> ())
+    rows;
   Json.to_file "BENCH_fig8.json"
     (Json.Obj
        [
@@ -739,8 +786,18 @@ let parcheck () =
       (Sys.opaque_identity
          (Apps.Websubmit.get_aggregates app (req Http.Meth.GET "/aggregates")))
   in
+  (* Retrain is the pushdown workload: its consent filter either runs as
+     a post-hoc check per row (reference) or rides the indexed scan as a
+     translated predicate. *)
+  let retrain () =
+    ignore
+      (Sys.opaque_identity
+         (Apps.Websubmit.retrain_model app (req Http.Meth.POST "/retrain")))
+  in
   let saved_pool = C.Enforce.pool () in
   let saved_memo = C.Enforce.memoization () in
+  let saved_elide = C.Enforce.elision () in
+  let saved_push = C.Enforce.pushdown_enabled () in
   let bench_pool =
     Sesame_parallel.create ~domains:(max 4 (Sesame_parallel.env_domains ())) ()
   in
@@ -753,21 +810,32 @@ let parcheck () =
       "(host has fewer cores than the pool: parallel rows measure fan-out\n\
       \ overhead under time-slicing, not speedup)\n";
   print_newline ();
-  Printf.printf "%-20s %12s %12s %12s %12s %8s %8s %8s\n" "mode" "conj cold"
-    "conj warm" "agg cold" "agg warm" "hits" "misses" "fanouts";
+  Printf.printf "%-22s %12s %12s %12s %12s %12s %7s %7s %7s %7s %7s\n" "mode"
+    "conj cold" "conj warm" "agg cold" "agg warm" "retrain" "hits" "misses"
+    "fanout" "elide" "push";
+  (* (label, memoize, pool, elide, pushdown). The first four modes keep
+     the PR 5 semantics (plan disabled) so their numbers stay comparable
+     across runs; the last three ablate what the certificates and the
+     translated scan predicates buy on top. The conjunction workload has
+     no plan entries, so elision only moves the aggregates columns. *)
   let modes =
     [
-      ("sequential", false, None);
-      ("memoized", true, None);
-      ("parallel", false, Some bench_pool);
-      ("memoized+parallel", true, Some bench_pool);
+      ("sequential", false, None, false, false);
+      ("memoized", true, None, false, false);
+      ("parallel", false, Some bench_pool, false, false);
+      ("memoized+parallel", true, Some bench_pool, false, false);
+      ("elide", false, None, true, false);
+      ("pushdown", false, None, false, true);
+      ("memoized+elide+push", true, None, true, true);
     ]
   in
   let rows =
     List.map
-      (fun (label, memo, pool) ->
+      (fun (label, memo, pool, elide, push) ->
         C.Enforce.set_memoization memo;
         C.Enforce.set_pool pool;
+        C.Enforce.set_elision elide;
+        C.Enforce.set_pushdown push;
         (* Invalidate every cached verdict (and the connector's group
            cache) so each mode pays its own cold start. *)
         C.Enforce.bump ();
@@ -777,13 +845,17 @@ let parcheck () =
               ignore (Sys.opaque_identity (C.Enforce.check conj ctx)))
         in
         let agg_cold, agg_warm = sample_cold ~n:9 aggregates in
+        let _, retrain_warm = sample_cold ~n:9 retrain in
         let st = C.Enforce.stats () in
-        Printf.printf "%-20s %9.0f us %9.0f us %9.0f us %9.0f us %8d %8d %8d\n" label
-          (us conj_cold)
+        Printf.printf
+          "%-22s %9.0f us %9.0f us %9.0f us %9.0f us %9.0f us %7d %7d %7d %7d %7d\n"
+          label (us conj_cold)
           (us (median conj_warm))
           (us agg_cold)
           (us (median agg_warm))
-          st.C.Enforce.hits st.C.Enforce.misses st.C.Enforce.parallel_fanouts;
+          (us (median retrain_warm))
+          st.C.Enforce.hits st.C.Enforce.misses st.C.Enforce.parallel_fanouts
+          st.C.Enforce.elisions st.C.Enforce.pushdowns;
         Json.Obj
           [
             ("mode", Json.Str label);
@@ -793,14 +865,19 @@ let parcheck () =
             ("agg_cold_us", Json.Num (us agg_cold));
             ("agg_warm_median_us", Json.Num (us (median agg_warm)));
             ("agg_warm_p99_us", Json.Num (us (p99 agg_warm)));
+            ("retrain_warm_median_us", Json.Num (us (median retrain_warm)));
             ("cache_hits", Json.Int st.C.Enforce.hits);
             ("cache_misses", Json.Int st.C.Enforce.misses);
             ("parallel_fanouts", Json.Int st.C.Enforce.parallel_fanouts);
+            ("elisions", Json.Int st.C.Enforce.elisions);
+            ("pushdowns", Json.Int st.C.Enforce.pushdowns);
           ])
       modes
   in
   C.Enforce.set_memoization saved_memo;
   C.Enforce.set_pool saved_pool;
+  C.Enforce.set_elision saved_elide;
+  C.Enforce.set_pushdown saved_push;
   C.Enforce.bump ();
   Sesame_parallel.shutdown bench_pool;
   Json.to_file "BENCH_parcheck.json"

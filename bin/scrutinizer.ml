@@ -4,7 +4,13 @@
      dune exec bin/scrutinizer.exe -- --app portfolio --scale full
      dune exec bin/scrutinizer.exe -- --stdlib
      dune exec bin/scrutinizer.exe -- --region 'pf::rank_region' --explain
-     dune exec bin/scrutinizer.exe -- --json *)
+     dune exec bin/scrutinizer.exe -- --json
+     dune exec bin/scrutinizer.exe -- --elide --app websubmit --explain
+
+   Exit codes under --json are meaningful so CI can gate on them: 0 when
+   every analyzed region is accepted, 1 when the output contains any
+   rejection (for the bundled corpus, which includes known-leaking
+   regions, a full-run exit of 1 is the expected healthy outcome). *)
 
 module Scrut = Sesame_scrutinizer
 module Corpus = Sesame_corpus
@@ -73,6 +79,11 @@ let print_explanations (v : Scrut.Analysis.verdict) =
         r.Scrut.Analysis.trace)
     v.Scrut.Analysis.rejections
 
+(* Any rejection in machine-readable output turns into a non-zero exit
+   so CI can gate on "the verdicts are what we ship", not on greps. *)
+let json_exit results =
+  if List.exists (fun (_, _, v) -> v.Scrut.Analysis.rejections <> []) results then 1 else 0
+
 (* ------------------------------------------------------------------ *)
 
 let run_app_corpus scale app_filter region_filter verbose explain json no_cache =
@@ -96,10 +107,13 @@ let run_app_corpus scale app_filter region_filter verbose explain json no_cache 
           (c.app, c.name, c.spec, Scrut.Analysis.check ?cache program c.spec))
         cases
     in
-    if json then
+    if json then begin
+      let flat = List.map (fun (app, name, _, v) -> (app, name, v)) results in
       print_json ~corpus:"app"
         ~scale:(match scale with Corpus.App_corpus.Small -> "small" | Full -> "full")
-        (List.map (fun (app, name, _, v) -> (app, name, v)) results)
+        flat;
+      json_exit flat
+    end
     else begin
       let accepted = ref 0 in
       List.iter
@@ -120,7 +134,7 @@ let run_app_corpus scale app_filter region_filter verbose explain json no_cache 
             Format.printf "@[<v 2>source:@,%s@]@." (Scrut.Spec.source spec))
         results;
       Format.printf "@.%d/%d regions verified.@." !accepted (List.length results);
-      match cache with
+      (match cache with
       | Some cache when List.length results > 1 ->
           Format.printf
             "summary cache: %d entries, %d hits / %d misses (%.1f%% hit rate)@."
@@ -128,9 +142,9 @@ let run_app_corpus scale app_filter region_filter verbose explain json no_cache 
             (Scrut.Analysis.Summary_cache.hits cache)
             (Scrut.Analysis.Summary_cache.misses cache)
             (100.0 *. Scrut.Analysis.Summary_cache.hit_rate cache)
-      | Some _ | None -> ()
-    end;
-    0
+      | Some _ | None -> ());
+      0
+    end
   end
 
 let run_audit scale =
@@ -153,9 +167,13 @@ let run_stdlib verbose explain json =
         (c, Scrut.Analysis.check program c.spec))
       cases
   in
-  if json then
-    print_json ~corpus:"stdlib" ~scale:"-"
-      (List.map (fun ((c : Corpus.Stdlib_corpus.case), v) -> ("stdlib", c.name, v)) results)
+  if json then begin
+    let flat =
+      List.map (fun ((c : Corpus.Stdlib_corpus.case), v) -> ("stdlib", c.name, v)) results
+    in
+    print_json ~corpus:"stdlib" ~scale:"-" flat;
+    json_exit flat
+  end
   else begin
     let accepted = ref 0 in
     List.iter
@@ -170,9 +188,109 @@ let run_stdlib verbose explain json =
             (fun r -> Format.printf "    - %s@." (Scrut.Analysis.rejection_to_string r))
             v.Scrut.Analysis.rejections)
       results;
-    Format.printf "@.%d/%d methods verified.@." !accepted (List.length results)
-  end;
-  0
+    Format.printf "@.%d/%d methods verified.@." !accepted (List.length results);
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Check elision: classify each (endpoint, sink, policy-family) triple
+   of the per-app models and print (or emit) the verdicts with their
+   replayable proof witnesses. *)
+
+let json_of_certificate ~app (c : Scrut.Elision.certificate) =
+  let proof =
+    match c.Scrut.Elision.cert_verdict with
+    | Scrut.Elision.Redundant (Scrut.Elision.Field_disjoint { param; path }) ->
+        Printf.sprintf {|{"rule":"field-disjoint","param":%s,"path":[%s]}|} (json_str param)
+          (String.concat "," (List.map json_str path))
+    | Scrut.Elision.Redundant (Scrut.Elision.Context_satisfies { clause }) ->
+        Printf.sprintf {|{"rule":"context-satisfies","clause":[%s]}|}
+          (String.concat "," (List.map (fun a -> json_str (Scrut.Elision.atom_to_string a)) clause))
+    | Scrut.Elision.Pushable -> {|{"rule":"pushable"}|}
+    | Scrut.Elision.Residual why -> Printf.sprintf {|{"rule":"residual","why":%s}|} (json_str why)
+  in
+  Printf.sprintf
+    {|{"app":%s,"endpoint":%s,"sink":%s,"family":%s,"verdict":%s,"proof":%s,"witness":[%s]}|}
+    (json_str app)
+    (json_str c.Scrut.Elision.cert_endpoint)
+    (json_str c.Scrut.Elision.cert_sink)
+    (json_str c.Scrut.Elision.cert_family)
+    (json_str (Scrut.Elision.verdict_name c.Scrut.Elision.cert_verdict))
+    proof
+    (String.concat "," (List.map json_of_step c.Scrut.Elision.cert_witness))
+
+let run_elide scale app_filter explain json =
+  let models =
+    Corpus.Elision_corpus.models ()
+    |> List.filter (fun (m : Corpus.Elision_corpus.model) ->
+           match app_filter with Some app -> m.app = app | None -> true)
+  in
+  if models = [] then (
+    Format.eprintf "no elision model matches the given filters@.";
+    2)
+  else begin
+    let classified =
+      List.map
+        (fun (m : Corpus.Elision_corpus.model) -> (m, Corpus.Elision_corpus.classify ~scale m))
+        models
+    in
+    if json then begin
+      let certs =
+        List.concat_map
+          (fun ((m : Corpus.Elision_corpus.model), certs) ->
+            List.map (json_of_certificate ~app:m.app) certs)
+          classified
+      in
+      let redundant, pushable, residual =
+        List.fold_left
+          (fun (r, p, s) (_, certs) ->
+            List.fold_left
+              (fun (r, p, s) (c : Scrut.Elision.certificate) ->
+                match c.cert_verdict with
+                | Scrut.Elision.Redundant _ -> (r + 1, p, s)
+                | Scrut.Elision.Pushable -> (r, p + 1, s)
+                | Scrut.Elision.Residual _ -> (r, p, s + 1))
+              (r, p, s) certs)
+          (0, 0, 0) classified
+      in
+      Format.printf
+        {|{"corpus":"elision","redundant":%d,"pushable":%d,"residual":%d,"certificates":[%s]}@.|}
+        redundant pushable residual
+        (String.concat "," certs);
+      0
+    end
+    else begin
+      List.iter
+        (fun ((m : Corpus.Elision_corpus.model), certs) ->
+          List.iter
+            (fun (c : Scrut.Elision.certificate) ->
+              Format.printf "%-10s %-12s %-16s %-28s %s@." m.app c.cert_endpoint c.cert_sink
+                c.cert_family
+                (Scrut.Elision.verdict_name c.cert_verdict);
+              if explain then begin
+                Format.printf "    @[%a@]@." Scrut.Elision.pp_certificate c;
+                let ok =
+                  Scrut.Elision.replay ~program:(Corpus.App_corpus.program scale)
+                    ~families:m.families ~sites:m.sites c
+                in
+                Format.printf "    replay: %s@." (if ok then "confirmed" else "DIVERGED")
+              end)
+            certs)
+        classified;
+      let total = List.fold_left (fun n (_, certs) -> n + List.length certs) 0 classified in
+      let count p =
+        List.fold_left
+          (fun n (_, certs) ->
+            n + List.length (List.filter (fun (c : Scrut.Elision.certificate) -> p c.cert_verdict) certs))
+          0 classified
+      in
+      Format.printf "@.%d triples: %d redundant, %d pushable, %d residual.@." total
+        (count (function Scrut.Elision.Redundant _ -> true | _ -> false))
+        (count (function Scrut.Elision.Pushable -> true | _ -> false))
+        (count (function Scrut.Elision.Residual _ -> true | _ -> false));
+      0
+    end
+  end
 
 open Cmdliner
 
@@ -206,6 +324,13 @@ let audit_arg =
     & info [ "audit-unsafe" ]
         ~doc:"Whole-program unsafe-encapsulation audit (the section-12 analysis) instead of region checking.")
 
+let elide_arg =
+  Arg.(
+    value & flag
+    & info [ "elide" ]
+        ~doc:
+          "Run the check-elision pass instead: classify each (endpoint, sink, policy-family) triple of the per-app models as redundant, pushable, or residual, with replayable proof witnesses.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print rejection reasons (and sources with --region).")
 
@@ -229,8 +354,9 @@ let no_cache_arg =
         ~doc:"Disable the cross-region function-summary cache (on by default; the verdicts are identical either way).")
 
 let cmd =
-  let run stdlib audit scale app region verbose explain json no_cache =
+  let run stdlib audit elide scale app region verbose explain json no_cache =
     if audit then run_audit scale
+    else if elide then run_elide scale app explain json
     else if stdlib then run_stdlib verbose explain json
     else run_app_corpus scale app region verbose explain json no_cache
   in
@@ -238,7 +364,7 @@ let cmd =
     (Cmd.info "scrutinizer" ~version:"1.0"
        ~doc:"Check privacy regions for leakage-freedom (the paper's Scrutinizer)")
     Term.(
-      const run $ stdlib_arg $ audit_arg $ scale_arg $ app_arg $ region_arg $ verbose_arg
-      $ explain_arg $ json_arg $ no_cache_arg)
+      const run $ stdlib_arg $ audit_arg $ elide_arg $ scale_arg $ app_arg $ region_arg
+      $ verbose_arg $ explain_arg $ json_arg $ no_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

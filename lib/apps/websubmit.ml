@@ -10,6 +10,8 @@ module Context = C.Context
 module Region = C.Region
 module Conn = C.Sesame_conn
 module Web = C.Sesame_web
+module Enforce = C.Enforce
+module Elision = Scrut.Elision
 
 let app_name = "websubmit"
 let admins = [ "admin@school.edu" ]
@@ -383,6 +385,21 @@ let region_error e = Error (Region.error_to_string e)
 
 let spec ?captures name params body = Scrut.Spec.make ~name ~params ?captures body
 
+(* The predict region's spec is shared with the elision model's /predict
+   site, so field-disjointness certificates replay against the exact IR
+   the verifier checked. The body is written out place-by-place (rather
+   than delegating to ws::predict) because call summaries truncate path
+   sensitivity at the boundary: inline, the analysis can see that only
+   model.weight and model.intercept are ever read. *)
+let predict_spec =
+  Scrut.Ir.(
+    spec "ml::predict" [ "model"; "x" ]
+      [
+        Let ("w", Field (Var "model", "weight"));
+        Let ("b", Field (Var "model", "intercept"));
+        Return (Some (Binop (Add, Binop (Mul, Var "w", Var "x"), Var "b")));
+      ])
+
 let make_regions program keystore db =
   let open Scrut.Ir in
   let* fmt_confirmation =
@@ -414,10 +431,7 @@ let make_regions program keystore db =
   in
   let* predict =
     Result.map_error Region.error_to_string
-      (Region.Verified.make ~app:app_name ~program
-         ~spec:
-           (spec "ml::predict" [ "model"; "x" ]
-              [ Return (Some (Call (Static "ws::predict", [ Var "model"; Var "x" ]))) ])
+      (Region.Verified.make ~app:app_name ~program ~spec:predict_spec
          ~f:(fun ((weight, intercept), x) -> (weight *. x) +. intercept)
          ())
   in
@@ -539,7 +553,35 @@ let attach_policies conn db =
           policy);
   let consent_cache = Hashtbl.create 256 in
   let grade_policies : (string, Policy.t) Hashtbl.t = Hashtbl.create 256 in
-  Conn.attach_policy conn ~table:"answers" ~column:"grade" (fun schema row ->
+  (* The grade binding's pushdown translation. At the training sink the
+     conjoined GradeAccess ∧ MlTraining policy admits exactly the
+     consenting students (GradeAccess passes for the admin initiating
+     training), so one users scan compiles the whole per-row check into
+     an indexable email ∈ {consenting} predicate. Every other context is
+     declined and falls back to the post-hoc reference path. *)
+  let grade_to_expr ctx =
+    match Context.sink ctx with
+    | Some "ml::train" -> (
+        match principal ctx with
+        | Some who when is_admin who -> (
+            match
+              Db.Database.exec db "SELECT email FROM users WHERE consent_ml = ?"
+                ~params:[ Db.Value.Bool true ]
+            with
+            | Ok (Db.Database.Rows { rows; _ }) ->
+                let consenting =
+                  List.filter_map
+                    (fun row ->
+                      match row.(0) with Db.Value.Text _ as v -> Some v | _ -> None)
+                    rows
+                in
+                Some (Db.Expr.In (Db.Expr.Col "email", consenting))
+            | Ok (Db.Database.Affected _) | Error _ -> None)
+        | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  Conn.attach_policy conn ~to_expr:grade_to_expr ~table:"answers" ~column:"grade"
+    (fun schema row ->
       let student = Db.Value.to_text (Db.Row.get schema row "email") in
       match Hashtbl.find_opt grade_policies student with
       | Some policy -> policy
@@ -551,6 +593,11 @@ let attach_policies conn db =
           in
           Hashtbl.add grade_policies student policy;
           policy);
+  (* Static claim backing aggregate elision: every policy the grade
+     binding produces is a conjunction over exactly these two leaf
+     families. Dropped automatically if the binding is re-attached. *)
+  Conn.certify_binding conn ~table:"answers" ~column:"grade"
+    ~families:[ Grade_access_family.name; Ml_training_family.name ];
   Conn.attach_policy conn ~table:"users" ~column:"email" (fun schema row ->
       Employer_release.make
         {
@@ -563,6 +610,175 @@ let attach_policies conn db =
   Conn.attach_policy conn ~table:"users" ~column:"apikey_hash" (fun schema row ->
       Api_key.make { owner = Db.Value.to_text (Db.Row.get schema row "email") });
   consent_cache
+
+(* ------------------------------------------------------------------ *)
+(* The static elision model: what each policy family's verdict depends
+   on, when it is identically true, and what every context reaching the
+   release sinks of the elidable endpoints is known to satisfy. The
+   runtime never trusts these claims directly — installed certificates
+   re-check their satisfying clause against each concrete context — so
+   an over-claimed fact can only lose elisions, never change verdicts. *)
+
+let elision_families : Elision.family list =
+  [
+    {
+      family = Answer_access_family.name;
+      inspects = [ ("answers", [ "email" ]); ("answers", [ "lecture" ]) ];
+      satisfied_when = [ [ Elision.Principal_in admins ] ];
+      pushable = false;
+    };
+    {
+      family = Grade_access_family.name;
+      inspects = [ ("answers", [ "email" ]) ];
+      satisfied_when =
+        [ [ Elision.Custom_eq ("role", "employer") ]; [ Elision.Principal_in admins ] ];
+      pushable = true;
+    };
+    {
+      family = Employer_release_family.name;
+      inspects = [ ("users", [ "email" ]); ("users", [ "consent_employer" ]) ];
+      satisfied_when =
+        [ [ Elision.Principal_in admins; Elision.Custom_not ("role", "employer") ] ];
+      pushable = false;
+    };
+    {
+      family = Ml_training_family.name;
+      inspects = [ ("users", [ "consent_ml" ]) ];
+      satisfied_when = [ [ Elision.Sink_not "ml::train" ] ];
+      pushable = true;
+    };
+    {
+      family = Demographics_family.name;
+      inspects = [ ("users", [ "gender" ]); ("users", [ "email" ]) ];
+      satisfied_when =
+        [ [ Elision.Principal_in admins; Elision.Custom_not ("purpose", "aggregate") ] ];
+      pushable = false;
+    };
+    {
+      (* The verdict depends only on instance data (k, members): never
+         context-satisfiable and inspecting no stored field, so every
+         K-anonymity check stays residual — aggregates are always
+         counted, with or without elision. *)
+      family = K_anonymity_family.name;
+      inspects = [];
+      satisfied_when = [];
+      pushable = false;
+    };
+    {
+      family = Api_key_family.name;
+      inspects = [ ("users", [ "apikey_hash" ]); ("users", [ "email" ]) ];
+      satisfied_when = [];
+      pushable = false;
+    };
+  ]
+
+let elision_sites : Elision.site list =
+  [
+    {
+      (* Admin-gated before any data is touched; context carries no
+         custom fields; releases only through Web.render. *)
+      endpoint = "/aggregates";
+      sinks = [ "http::render" ];
+      facts =
+        [
+          Elision.Principal_in admins;
+          Elision.Custom_not ("role", "employer");
+          Elision.Custom_not ("purpose", "aggregate");
+        ];
+      region = None;
+      row_params = [];
+    };
+    {
+      (* Any authenticated user may call predict, so no context facts:
+         redundancy here must come from the region. The released value
+         is ml::predict's output, whose model parameter descends from
+         answers rows. *)
+      endpoint = "/predict";
+      sinks = [ "http::respond" ];
+      facts = [];
+      region = Some predict_spec;
+      row_params = [ ("model", "answers") ];
+    };
+    {
+      endpoint = "/retrain";
+      sinks = [ "ml::train" ];
+      facts = [ Elision.Principal_in admins ];
+      region = None;
+      row_params = [];
+    };
+    {
+      (* The employer export releases through a signed critical region
+         whose check runs on the raw policy path; modeled to show the
+         consent check is residual — it can never be elided. *)
+      endpoint = "/employer";
+      sinks = [ "region::critical" ];
+      facts = [ Elision.Custom_eq ("role", "employer") ];
+      region = None;
+      row_params = [];
+    };
+  ]
+
+(* Family -> the binding its certificates ride on: revalidation pins the
+   binding version a certificate was issued under, so re-attaching a
+   policy drops the certificate (next epoch move) and the residual
+   runtime check runs until a new plan is installed. *)
+let family_bindings =
+  [
+    (Answer_access_family.name, ("answers", "answer"));
+    (Grade_access_family.name, ("answers", "grade"));
+    (Ml_training_family.name, ("answers", "grade"));
+    (Employer_release_family.name, ("users", "email"));
+    (Demographics_family.name, ("users", "gender"));
+    (Api_key_family.name, ("users", "apikey_hash"));
+  ]
+
+let elision_certificates t =
+  Elision.classify ~program:t.program ~families:elision_families ~sites:elision_sites ()
+
+let install_plan t =
+  let conn = t.conn in
+  List.iter
+    (fun (cert : Elision.certificate) ->
+      match cert.cert_verdict with
+      | Elision.Redundant proof ->
+          let guard =
+            match proof with
+            | Elision.Context_satisfies { clause } -> Enforce.Plan.guard_of_atoms clause
+            | Elision.Field_disjoint _ -> (
+                (* This repo's reference semantics keeps policies
+                   attached to region outputs and still checks them, so
+                   a field-disjointness certificate is installed under
+                   the family's own satisfying clauses: the static proof
+                   stands on its own in the CLI and replay harness, the
+                   guard keeps runtime verdicts byte-identical to the
+                   reference. A family with no satisfying clause stays a
+                   static-only artifact. *)
+                match
+                  List.find_opt
+                    (fun (f : Elision.family) -> String.equal f.family cert.cert_family)
+                    elision_families
+                with
+                | Some { satisfied_when = _ :: _ as clauses; _ } ->
+                    fun ctx ->
+                      List.exists (fun c -> Enforce.Plan.guard_of_atoms c ctx) clauses
+                | Some _ | None -> fun _ -> false)
+          in
+          let revalidate =
+            match List.assoc_opt cert.cert_family family_bindings with
+            | None -> fun () -> true
+            | Some (table, column) ->
+                let issued = Conn.binding_version conn ~table ~column in
+                fun () -> Conn.binding_version conn ~table ~column = issued
+          in
+          Enforce.Plan.install
+            (Enforce.Plan.entry ~endpoint:cert.cert_endpoint ~sink:cert.cert_sink
+               ~family:cert.cert_family ~guard ~revalidate
+               ~witness:(Format.asprintf "%a" Elision.pp_certificate cert)
+               ())
+      | Elision.Pushable | Elision.Residual _ -> ())
+    (elision_certificates t);
+  Enforce.Plan.declare_endpoint_sinks ~endpoint:"/aggregates" [ "http::render" ];
+  Enforce.Plan.declare_endpoint_sinks ~endpoint:"/predict" [ "http::respond" ]
 
 let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
   let keystore = Sign.Keystore.create () in
@@ -580,7 +796,7 @@ let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
     | Ok () -> Ok ()
     | Error e -> region_error e
   in
-  Ok
+  let t =
     {
       conn;
       db;
@@ -592,6 +808,9 @@ let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
       model = None;
       next_answer_id;
     }
+  in
+  install_plan t;
+  Ok t
 
 (* Equality predicates the endpoints and policy families issue on every
    request; building the secondary indexes up front (instead of waiting
@@ -977,38 +1196,26 @@ let retrain_model t request =
           Context.with_sink (Web.context_for request ~user ()) "ml::train"
         in
         match
-          Conn.query t.conn ~context "SELECT * FROM answers WHERE grade IS NOT NULL"
-            ~params:[]
+          (* "Fetch everything I may train on": the connector keeps only
+             rows whose grade policy admits this context. When pushdown
+             is on, the grade binding's translation compiles the consent
+             check into an email ∈ {consenting} predicate that rides the
+             indexed scan — no per-row policy objects at all; otherwise
+             the reference path instantiates and checks each row's
+             policy post-hoc (memoized by Enforce underneath). *)
+          Conn.query_filtered t.conn ~context ~on:"grade"
+            "SELECT * FROM answers WHERE grade IS NOT NULL" ~params:[]
         with
         | Error e -> conn_error e
         | Ok rows -> (
-            (* Keep only rows whose MlTraining policy admits this sink.
-               Memoized per-student policy instances repeat across rows:
-               the per-request table collapses 10k rows to one lookup per
-               distinct policy by bare id (cheaper than the shared
-               cache's structural context key), and Enforce underneath
-               makes the remaining checks hit across requests. *)
-            let verdicts = Hashtbl.create 128 in
-            let admits policy =
-              let key = Policy.id policy in
-              match Hashtbl.find_opt verdicts key with
-              | Some v -> v
-              | None ->
-                  let v = C.Enforce.check policy context in
-                  Hashtbl.add verdicts key v;
-                  v
-            in
             let points =
-              List.filter_map
+              List.map
                 (fun row ->
                   let grade = C.Pcon_row.get row "grade" in
-                  if admits (Pcon.policy grade) then
-                    let question = C.Pcon_row.int row "question" in
-                    Some
-                      (C.Pcon.Internal.map2
-                         (fun q g -> (float_of_int q, Db.Value.to_float g))
-                         question grade)
-                  else None)
+                  let question = C.Pcon_row.int row "question" in
+                  C.Pcon.Internal.map2
+                    (fun q g -> (float_of_int q, Db.Value.to_float g))
+                    question grade)
                 rows
             in
             if points = [] then bad_request "no consenting training data"

@@ -31,6 +31,7 @@ module C := Sesame_core
 module Db := Sesame_db
 module Http := Sesame_http
 module Wal := Sesame_wal
+module Scrut := Sesame_scrutinizer
 
 type t
 
@@ -92,6 +93,32 @@ val update_consent : t -> Http.Request.t -> Http.Response.t
 
 val policy_inventory : (string * int * int) list
 (** [(policy, policy_loc, check_loc)] accounting used for Fig. 5. *)
+
+(** {1 Check elision}
+
+    The static model consumed by {!Sesame_scrutinizer.Elision} and the
+    runtime plan compiled from its verdicts (see DESIGN.md, "Check
+    elision & predicate pushdown"). *)
+
+val elision_families : Scrut.Elision.family list
+(** The seven families: inspected places, identically-true clauses, and
+    pushability. *)
+
+val elision_sites : Scrut.Elision.site list
+(** The elidable release sites: [/aggregates], [/predict] (with the
+    verified predict region), [/retrain], and [/employer] (residual by
+    design — consent can never be elided). *)
+
+val elision_certificates : t -> Scrut.Elision.certificate list
+(** The full classification of this instance's program against the
+    model, one certificate per (site, sink, family) triple. *)
+
+val install_plan : t -> unit
+(** Compiles the Redundant certificates into {!C.Enforce.Plan} entries
+    (guarded by their satisfying clauses, revalidated against the
+    issuing binding versions) and declares the endpoints' release
+    sinks. Called by {!create}/{!create_durable}; exposed so tests can
+    reinstall after {!C.Enforce.Plan.clear}. *)
 
 val sandbox_hash_region : t -> (string, string) C.Region.Sandboxed.t
 (** The "Register Users" hashing region, exposed for the Fig. 9a

@@ -51,7 +51,89 @@ val pool : unit -> Sesame_parallel.t option
 val set_parallel_cutoff : int -> unit
 (** Minimum conjunction width before checks fan out (default 64). *)
 
-type stats = { hits : int; misses : int; parallel_fanouts : int }
+val set_elision : bool -> unit
+(** Default on. Off = certified checks run anyway (the ablation
+    reference). With no plan installed this flag is a no-op. *)
+
+val elision : unit -> bool
+
+val set_pushdown : bool -> unit
+(** Default on. Off = binding translations are ignored and every
+    consumer falls back to post-hoc per-row checks. *)
+
+val pushdown_enabled : unit -> bool
+
+val note_pushdown : unit -> unit
+(** Record one scan-predicate pushdown in {!stats} (called by the
+    connector when a translated predicate replaces post-hoc checks). *)
+
+val note_elision : unit -> unit
+(** Record one certificate-discharged check in {!stats} (called by the
+    connector when a plan certificate replaces a group conjunction). *)
+
+(** The enforcement plan: elision certificates compiled from the static
+    pass ({!Sesame_scrutinizer.Elision}). An installed entry asserts
+    that every check of [family] at [sink] (under [endpoint], when
+    given) whose context satisfies [guard] is identically [Ok].
+    {!check_verbose} discharges a policy without running it when {e
+    every} leaf of its conjunction tree is certified for the context.
+
+    Certificate validity ⊆ epoch validity: an entry validated under the
+    current {!epoch} is trusted until the epoch moves (exactly like a
+    cached verdict); after any mutation or re-binding its [revalidate]
+    closure must re-approve it, and an entry that fails revalidation is
+    dropped so the residual runtime check runs. *)
+module Plan : sig
+  type entry
+
+  val entry :
+    ?endpoint:string ->
+    sink:string ->
+    family:string ->
+    guard:(Context.t -> bool) ->
+    revalidate:(unit -> bool) ->
+    witness:string ->
+    unit ->
+    entry
+  (** [endpoint] matches exactly or as a ["/"-separated] path prefix
+      (so ["/predict"] covers ["/predict/3"]); omitted = any endpoint.
+      [witness] is the rendered static proof, kept for introspection. *)
+
+  val install : entry -> unit
+  val clear : unit -> unit
+  val size : unit -> int
+  val active : unit -> bool
+
+  val covers : Policy.t -> Context.t -> bool
+  (** Is every leaf family of the policy certified for this context?
+      [false] when the context has no sink. *)
+
+  val certified_leaf : sink:string -> family:string -> Context.t -> bool
+
+  val declare_endpoint_sinks : endpoint:string -> string list -> unit
+  (** Declare the release sinks of an endpoint: every value the endpoint
+      releases is checked under one of these sinks with the request
+      context. Lets data-wrapping sites (the connector's [query_agg])
+      consult certificates for checks that only run later, at release
+      time. Re-declaring an endpoint replaces its sink list; {!clear}
+      forgets all declarations. *)
+
+  val endpoint_sinks : Context.t -> string list option
+  (** The declared release sinks covering this context's endpoint
+      (exact or path-prefix match), if any. *)
+
+  val guard_of_atoms : Sesame_scrutinizer.Elision.atom list -> Context.t -> bool
+  (** Compile a satisfying clause from the static pass into a runtime
+      guard that re-checks each atom against the concrete context. *)
+end
+
+type stats = {
+  hits : int;
+  misses : int;
+  parallel_fanouts : int;
+  elisions : int;  (** checks discharged by plan certificates *)
+  pushdowns : int;  (** scans filtered by a translated predicate *)
+}
 
 val stats : unit -> stats
 val reset_stats : unit -> unit

@@ -111,6 +111,19 @@ type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 type t = {
   db : Db.Database.t;
   bindings : (string * string, policy_source) Hashtbl.t;  (* (table, column) *)
+  (* Optional binding-level row-predicate translations: the pushdown
+     source. [f ctx] must admit exactly the rows whose bound policy
+     admits [ctx]; [None] (or a [None] result) falls back to post-hoc
+     per-row checks. *)
+  translations : (string * string, Context.t -> Db.Expr.t option) Hashtbl.t;
+  (* App-certified leaf-family universe of a binding: every policy the
+     binding produces has its conjunction leaves within this list. Lets
+     [query_agg] consult elision certificates without instantiating a
+     single per-row policy. Cleared on rebinding. *)
+  certified_families : (string * string, string list) Hashtbl.t;
+  (* Monotone per-binding version, bumped by every [attach_policy]:
+     the cheap revalidation handle for plan certificates. *)
+  binding_versions : (string * string, int) Hashtbl.t;
   health : (string, health) Hashtbl.t;  (* per sink *)
   mutable retry : retry_policy;
   mutable breaker : breaker_config;
@@ -140,6 +153,9 @@ let create db =
   {
     db;
     bindings = Hashtbl.create 16;
+    translations = Hashtbl.create 16;
+    certified_families = Hashtbl.create 16;
+    binding_versions = Hashtbl.create 16;
     health = Hashtbl.create 8;
     retry = default_retry;
     breaker = default_breaker;
@@ -297,11 +313,24 @@ let with_resilience t ~sink op =
 
 (* ------------------------------------------------------------------ *)
 
-let attach_policy t ~table ~column source =
+let attach_policy ?to_expr t ~table ~column source =
   Hashtbl.replace t.bindings (table, column) source;
+  (match to_expr with
+  | Some f -> Hashtbl.replace t.translations (table, column) f
+  | None -> Hashtbl.remove t.translations (table, column));
+  (* Any family certification described the previous binding. *)
+  Hashtbl.remove t.certified_families (table, column);
+  let v = Option.value ~default:0 (Hashtbl.find_opt t.binding_versions (table, column)) in
+  Hashtbl.replace t.binding_versions (table, column) (v + 1);
   (* Rebinding changes what a cell's policy means: retire every cached
      verdict and group conjunction. *)
   Enforce.bump ()
+
+let binding_version t ~table ~column =
+  Option.value ~default:0 (Hashtbl.find_opt t.binding_versions (table, column))
+
+let certify_binding t ~table ~column ~families =
+  Hashtbl.replace t.certified_families (table, column) families
 
 let cell_policy t ~table schema row column =
   match Hashtbl.find_opt t.bindings (table, column) with
@@ -344,6 +373,19 @@ let check_params context ~sink params =
 
 let unwrap_params params = List.map Pcon.Internal.unwrap params
 
+let wrap_select_rows t schema rows =
+  let table = Db.Schema.name schema in
+  let column_names =
+    List.map (fun (c : Db.Schema.column) -> c.name) (Db.Schema.columns schema)
+  in
+  let wrap_row row =
+    Pcon_row.Internal.make_lazy ~columns:column_names (fun column ->
+        Option.map
+          (fun i -> Pcon.Internal.make (cell_policy t ~table schema row column) row.(i))
+          (Db.Schema.column_index schema column))
+  in
+  List.map wrap_row rows
+
 let query t ~context sql ~params =
   let* () = require_trusted context in
   let sink = "db::query" in
@@ -351,19 +393,46 @@ let query t ~context sql ~params =
   with_resilience t ~sink @@ fun () ->
   match Db.Database.select_rows t.db sql ~params:(unwrap_params params) with
   | Error msg -> Error (db_error msg)
-  | Ok (schema, rows) ->
-      let table = Db.Schema.name schema in
-      let column_names =
-        List.map (fun (c : Db.Schema.column) -> c.name) (Db.Schema.columns schema)
-      in
-      let wrap_row row =
-        Pcon_row.Internal.make_lazy ~columns:column_names (fun column ->
-            Option.map
-              (fun i ->
-                Pcon.Internal.make (cell_policy t ~table schema row column) row.(i))
-              (Db.Schema.column_index schema column))
-      in
-      Ok (List.map wrap_row rows)
+  | Ok (schema, rows) -> Ok (wrap_select_rows t schema rows)
+
+(* [query] restricted to the rows whose [on]-column policy admits the
+   caller's context — the retrain-style shape: fetch every row you are
+   allowed to use. The reference path materializes all matching rows and
+   checks each one's policy post-hoc. When pushdown is enabled and the
+   [on] binding carries a translation that speaks for this context, the
+   predicate is conjoined into the statement's WHERE instead, so the
+   indexed scan never materializes denied rows and no per-row policy
+   objects are instantiated. The translation admits exactly the rows the
+   policy admits, so both paths return byte-identical rows (in scan
+   order) with identical cell policies attached. *)
+let query_filtered t ~context ~on sql ~params =
+  let* () = require_trusted context in
+  let sink = "db::query" in
+  let* () = check_params context ~sink params in
+  with_resilience t ~sink @@ fun () ->
+  let raw_params = unwrap_params params in
+  let pushed =
+    if not (Enforce.pushdown_enabled ()) then None
+    else
+      match Db.Sql.parse sql ~params:raw_params with
+      | Ok (Db.Sql.Select { table; _ }) ->
+          Option.bind (Hashtbl.find_opt t.translations (table, on)) (fun f -> f context)
+      | _ -> None
+  in
+  match pushed with
+  | Some pred -> (
+      match Db.Database.select_rows_under t.db sql ~params:raw_params ~pred:(Some pred) with
+      | Error msg -> Error (db_error msg)
+      | Ok (schema, rows) ->
+          Enforce.note_pushdown ();
+          Ok (wrap_select_rows t schema rows))
+  | None -> (
+      match Db.Database.select_rows t.db sql ~params:raw_params with
+      | Error msg -> Error (db_error msg)
+      | Ok (schema, rows) ->
+          let table = Db.Schema.name schema in
+          let keep row = Enforce.check (cell_policy t ~table schema row on) context in
+          Ok (wrap_select_rows t schema (List.filter keep rows)))
 
 (* For aggregates we need the matching raw rows to build the conjunction of
    the aggregated column's per-row policies. The whole per-group build —
@@ -443,8 +512,71 @@ let query_agg t ~context sql ~params =
                   | Some cell -> !cell
                   | None -> []
               in
+              (* Elision fast path: the app certified the binding's leaf
+                 families, declared the endpoint's release sinks, and a
+                 plan certificate covers every (sink, family) pair under
+                 this request's context — so every per-row policy the
+                 group conjunction would contain is identically Ok at
+                 release time. The whole build (grouping included) is
+                 skipped; the certified checks could never deny, so the
+                 cell's verdict at every declared sink is unchanged. *)
+              let binding_certified column =
+                Enforce.elision ()
+                && Enforce.Plan.active ()
+                &&
+                match Hashtbl.find_opt t.certified_families (table, column) with
+                | None -> false
+                | Some families -> (
+                    match Enforce.Plan.endpoint_sinks context with
+                    | Some (_ :: _ as sinks) ->
+                        List.for_all
+                          (fun s ->
+                            let rctx = Context.with_sink context s in
+                            List.for_all
+                              (fun f -> Enforce.Plan.certified_leaf ~sink:s ~family:f rctx)
+                              families)
+                          sinks
+                    | Some [] | None -> false)
+              in
+              (* Pushdown fast path (on a cache miss, when not elided):
+                 evaluate the binding's translated predicate over the
+                 group's member rows for every declared release sink —
+                 no per-row policy objects, no conjunction. All rows
+                 admitted ⇒ the conjunction is identically Ok and
+                 [no_policy] stands in for it; any row failing (or any
+                 eval error) falls back to the reference build so denial
+                 messages stay byte-identical. *)
+              let pushdown_admits column members =
+                if not (Enforce.pushdown_enabled ()) then None
+                else
+                  match Hashtbl.find_opt t.translations (table, column) with
+                  | None -> None
+                  | Some f -> (
+                      match Enforce.Plan.endpoint_sinks context with
+                      | Some (_ :: _ as sinks) ->
+                          let exprs =
+                            List.map (fun s -> f (Context.with_sink context s)) sinks
+                          in
+                          if List.for_all Option.is_some exprs then
+                            Some
+                              (List.for_all
+                                 (fun row ->
+                                   List.for_all
+                                     (fun e ->
+                                       match Db.Expr.eval schema row (Option.get e) with
+                                       | Ok admitted -> admitted
+                                       | Error _ -> false)
+                                     exprs)
+                                 members)
+                          else None
+                      | Some [] | None -> None)
+              in
               let policy_for_group column key =
                 if not (Hashtbl.mem t.bindings (table, column)) then Policy.no_policy
+                else if binding_certified column then begin
+                  Enforce.note_elision ();
+                  Policy.no_policy
+                end
                 else begin
                   let e = Enforce.epoch () in
                   if t.agg_epoch <> e then begin
@@ -455,11 +587,17 @@ let query_agg t ~context sql ~params =
                   match Hashtbl.find_opt t.agg_cache cache_key with
                   | Some policy -> policy
                   | None ->
+                      let members = members_for key in
                       let policy =
-                        Policy.conjoin_distinct
-                          (List.map
-                             (fun row -> cell_policy t ~table schema row column)
-                             (members_for key))
+                        match pushdown_admits column members with
+                        | Some true ->
+                            Enforce.note_pushdown ();
+                            Policy.no_policy
+                        | Some false | None ->
+                            Policy.conjoin_distinct
+                              (List.map
+                                 (fun row -> cell_policy t ~table schema row column)
+                                 members)
                       in
                       (* The member select above is a read — it cannot
                          have moved the epoch — so the entry is valid

@@ -135,9 +135,36 @@ type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 (** Instantiates a policy from the row it protects (Fig. 3's
     [from_row]). *)
 
-val attach_policy : t -> table:string -> column:string -> policy_source -> unit
+val attach_policy :
+  ?to_expr:(Context.t -> Db.Expr.t option) ->
+  t ->
+  table:string ->
+  column:string ->
+  policy_source ->
+  unit
 (** Later attachments to the same column replace earlier ones. Columns
-    without a binding yield [NoPolicy] cells. *)
+    without a binding yield [NoPolicy] cells.
+
+    [to_expr] is the binding's predicate-pushdown translation: for a
+    given context it may return a row predicate admitting {e exactly}
+    the rows whose bound policy admits that context (or [None] to
+    decline). When present, {!query_filtered} and {!query_agg} can
+    filter denied rows during the indexed scan instead of instantiating
+    per-row policy objects post-hoc. Rebinding without [to_expr] drops
+    any previous translation, and always drops {!certify_binding}
+    claims and bumps the {!binding_version}. *)
+
+val binding_version : t -> table:string -> column:string -> int
+(** Monotone counter bumped by every {!attach_policy} on the binding
+    (0 = never bound): the cheap revalidation handle for
+    {!Enforce.Plan} certificates issued against the binding. *)
+
+val certify_binding : t -> table:string -> column:string -> families:string list -> unit
+(** App-supplied static claim: every policy this binding produces has
+    conjunction leaves within [families]. Together with
+    {!Enforce.Plan.declare_endpoint_sinks} and installed certificates,
+    it lets {!query_agg} discharge a whole group conjunction without
+    instantiating any per-row policy. Dropped on rebinding. *)
 
 (** {1 Sinks} *)
 
@@ -150,6 +177,21 @@ val query :
 (** A [SELECT *] statement. Each PCon parameter is policy-checked against
     [context] (the read is a sink for the parameter data) before the query
     runs; a denial names the parameter's 0-based index. *)
+
+val query_filtered :
+  t ->
+  context:Context.t ->
+  on:string ->
+  string ->
+  params:Db.Value.t Pcon.t list ->
+  (Pcon_row.t list, error) result
+(** {!query} restricted to the rows whose [on]-column policy admits
+    [context] — the "fetch everything I may use" shape (e.g. training
+    data selection). Reference semantics: run the query, then drop rows
+    whose [on] cell policy denies. When pushdown is enabled and the
+    [on] binding's [to_expr] speaks for this context, the predicate is
+    conjoined into the scan instead; both paths return byte-identical
+    rows, in scan order, with identical cell policies attached. *)
 
 val query_agg :
   t ->

@@ -1,0 +1,30 @@
+(** Per-app elision models over the Fig. 10 corpus: the static input
+    ({!Sesame_scrutinizer.Elision.family} facts and release-site models)
+    for each of the four case-study apps, bound to region specs from
+    {!App_corpus} so certificates replay against the corpus programs.
+
+    The models are deliberately honest about what each family's verdict
+    depends on: YouChat's message access hinges entirely on instance
+    data (sender, recipient, group membership), so every one of its
+    checks classifies residual — the pass must be able to say "nothing
+    to elide" as readily as it proves redundancy. *)
+
+module Scrut := Sesame_scrutinizer
+
+type model = {
+  app : string;  (** "youchat" | "voltron" | "portfolio" | "websubmit" *)
+  families : Scrut.Elision.family list;
+  sites : Scrut.Elision.site list;
+}
+
+val models : unit -> model list
+(** One model per app, in {!App_corpus.apps} order. Region-bearing sites
+    reference specs looked up from {!App_corpus.cases} by name. *)
+
+val model : string -> model option
+(** Look up one app's model. *)
+
+val classify :
+  ?scale:App_corpus.scale -> model -> Scrut.Elision.certificate list
+(** Run the elision pass for one app over the corpus program at [scale]
+    (default [Small]). *)

@@ -314,12 +314,24 @@ let exec t src ~params =
   let* stmt = Sql.parse src ~params in
   exec_stmt t stmt
 
-let select_rows t src ~params =
+let select_rows_under t src ~params ~pred =
   let* stmt = Sql.parse src ~params in
   match stmt with
   | Sql.Select { table; columns = None; where; order_by; limit } -> (
       let* () = guard t in
       let* tbl = lookup t table in
+      (* The pushdown hook: an extra predicate (typically a policy's
+         row translation) conjoined into the statement's own WHERE, so
+         it rides the same index-candidate selection and early
+         termination as any other predicate instead of being applied
+         post-hoc to materialized rows. *)
+      let* where =
+        match pred with
+        | None -> Ok where
+        | Some extra ->
+            let* () = Expr.validate (Table.schema tbl) extra in
+            Ok (match where with Expr.True -> extra | w -> Expr.And (w, extra))
+      in
       let* result =
         protect_faults (fun () ->
             charge t;
@@ -330,3 +342,5 @@ let select_rows t src ~params =
       | Affected _ -> assert false)
   | Sql.Select _ | Sql.Select_agg _ | Sql.Insert _ | Sql.Update _ | Sql.Delete _ ->
       Error "select_rows expects a SELECT * statement"
+
+let select_rows t src ~params = select_rows_under t src ~params ~pred:None

@@ -66,3 +66,15 @@ val select_rows :
 (** Convenience for [SELECT *] queries: returns the table schema along with
     the full rows, which the Sesame connector needs to instantiate
     per-row policies. Fails if the statement is not a [SELECT *]. *)
+
+val select_rows_under :
+  t ->
+  string ->
+  params:Value.t list ->
+  pred:Expr.t option ->
+  ((Schema.t * Row.t list), string) result
+(** {!select_rows} with an extra predicate conjoined into the
+    statement's WHERE — the predicate-pushdown hook: a policy's row
+    translation filters denied rows {e during} the (possibly indexed)
+    scan instead of post-hoc over materialized rows. [pred] is validated
+    against the table schema; [None] is exactly {!select_rows}. *)

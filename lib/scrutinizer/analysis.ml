@@ -973,6 +973,143 @@ let check ?(allowlist = Allowlist.default) ?cache program (spec : Spec.t) =
   in
   { accepted = rejections = []; rejections; stats }
 
+(* ------------------------------------------------------------------ *)
+(* Place-exposure probes.
+
+   [check] answers "can the region leak its arguments at all?". The
+   elision pass asks a finer question: "can this one *place* — parameter
+   [p] at access path [path] — reach the region's output or any sink?".
+   A probe re-runs the same fixpoint with a custom seeding: every
+   parameter starts untainted and only the probed place carries taint.
+   The place escapes iff the final deterministic walk taints the return
+   value or publishes any rejection. Everything else — summaries, the
+   worklist, the witness pass, the cross-check cache — is shared with
+   [check], so probe results replay byte-identically from cached
+   summaries. *)
+
+type exposure = {
+  exp_param : string;
+  exp_path : string list;
+  exp_released : bool;
+  exp_trace : step list;  (** witness when released; empty otherwise *)
+}
+
+let render_path path = String.concat "" (List.map (fun f -> "." ^ f) path)
+
+let param_exposures ?(allowlist = Allowlist.default) ?cache program (spec : Spec.t) ~places =
+  let graph = Callgraph.collect program ~allowlist spec in
+  let structural_block =
+    (* A region the whole-region analysis cannot even walk (unresolvable
+       dispatch, function-pointer calls, mutable captures) proves nothing
+       about any place: report every probe released, conservatively. *)
+    match (Callgraph.failures graph, Spec.by_mut_ref_captures spec) with
+    | [], [] -> None
+    | _ :: _, _ ->
+        Some [ step Sink spec.Spec.name "call graph incomplete: place exposure unprovable" ]
+    | _, var :: _ ->
+        Some
+          [
+            step Sink spec.Spec.name
+              ("captures " ^ var ^ " by mutable reference: place exposure unprovable");
+          ]
+  in
+  let probe (param, path) =
+    match structural_block with
+    | Some trace -> { exp_param = param; exp_path = path; exp_released = true; exp_trace = trace }
+    | None ->
+        let ctx =
+          {
+            program;
+            allowlist;
+            spec;
+            capture_roots = Sset.of_list (Spec.by_ref_captures spec);
+            publishing = false;
+            rejections = [];
+            rejection_seen = Hashtbl.create 16;
+            summaries = Hashtbl.create 64;
+            queue = Queue.create ();
+            queued = Hashtbl.create 16;
+            cache;
+            cache_hits = 0;
+            cache_misses = 0;
+          }
+        in
+        let run_seeded () =
+          let frame =
+            {
+              fname = spec.Spec.name;
+              params = Sset.empty;
+              item = Spec_body;
+              fr_ret = false;
+              fr_ret_trace = [];
+              fr_writes = Wmap.empty;
+              fr_rejs = Rmap.empty;
+            }
+          in
+          let env : env = Hashtbl.create 16 in
+          List.iter (fun p -> env_strong env p untainted) spec.Spec.params;
+          let seed =
+            {
+              taint = true;
+              roots = Sset.empty;
+              trace =
+                [
+                  step Source spec.Spec.name
+                    (Printf.sprintf "probed place %s%s of sensitive region argument" param
+                       (render_path path));
+                ];
+            }
+          in
+          if path = [] then env_strong env param seed else env_weak env param path seed;
+          List.iter
+            (fun (c : Ir.capture) -> env_strong env c.cap_var untainted)
+            spec.Spec.captures;
+          exec_stmts ctx frame env ~pc:None spec.Spec.body;
+          frame
+        in
+        ignore (run_seeded ());
+        let rec drain () =
+          match Queue.take_opt ctx.queue with
+          | None -> ()
+          | Some item ->
+              Hashtbl.remove ctx.queued item;
+              (match item with Spec_body -> ignore (run_seeded ()) | Fn key -> run_fn ctx key);
+              drain ()
+        in
+        drain ();
+        (* Deterministic witness pass, as in [check]. *)
+        ctx.publishing <- true;
+        let frame = run_seeded () in
+        (match cache with
+        | None -> ()
+        | Some c ->
+            Hashtbl.iter
+              (fun key s ->
+                if not s.from_cache then
+                  match Program.find program key.kfn with
+                  | Some f ->
+                      Summary_cache.store c ~program ~f ~taints:key.ktaints ~pc:key.kpc s.eff
+                  | None -> ())
+              ctx.summaries);
+        let rejections = List.rev ctx.rejections in
+        if frame.fr_ret then
+          {
+            exp_param = param;
+            exp_path = path;
+            exp_released = true;
+            exp_trace = frame.fr_ret_trace;
+          }
+        else if rejections <> [] then
+          {
+            exp_param = param;
+            exp_path = path;
+            exp_released = true;
+            exp_trace = (List.hd rejections).trace;
+          }
+        else { exp_param = param; exp_path = path; exp_released = false; exp_trace = [] }
+  in
+  List.map (fun (param, path) -> probe (param, truncate_path path)) places
+
 let pp_verdict fmt v =
   if v.accepted then
     Format.fprintf fmt "ACCEPTED (%d functions, %.3fs)" v.stats.functions_analyzed

@@ -160,3 +160,35 @@ val check :
 
 val pp_verdict : Format.formatter -> verdict -> unit
 (** Renders each rejection with its witness trace indented beneath it. *)
+
+(** {2 Place-exposure probes}
+
+    The check-elision pass ({!Elision}) asks a finer question than
+    {!check}: can one specific {e place} — parameter [p] at access path
+    [path] — reach the region's output or any sink? A probe re-runs the
+    fixpoint with every parameter untainted except the probed place, and
+    reports the place released iff the final deterministic walk taints
+    the return value or publishes any rejection. Probes share the
+    summary machinery (and [?cache]) with {!check}, so results replay
+    byte-identically from cached summaries. A region whose call graph is
+    incomplete (unresolvable dispatch, function pointers, mutable
+    captures) proves nothing about any place: every probe on it reports
+    released, conservatively. *)
+
+type exposure = {
+  exp_param : string;  (** the probed region parameter *)
+  exp_path : string list;  (** the probed access path, depth-truncated *)
+  exp_released : bool;  (** can the place escape the region? *)
+  exp_trace : step list;  (** witness when released; empty otherwise *)
+}
+
+val param_exposures :
+  ?allowlist:Allowlist.t ->
+  ?cache:Summary_cache.t ->
+  Program.t ->
+  Spec.t ->
+  places:(string * string list) list ->
+  exposure list
+(** One exposure per requested [(param, path)] place, in input order.
+    Paths deeper than the analysis depth are truncated to their tracked
+    prefix (which can only over-approximate the release). *)

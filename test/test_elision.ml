@@ -1,0 +1,370 @@
+(* The check-elision pass and the runtime plan compiled from it:
+   static classification + certificate replay, differential
+   byte-identity (elide/pushdown/off x memoization on/off), the
+   stale-certificate regression (re-binding a policy drops the
+   certificates issued against it), and the Enforce stats counters. *)
+
+module Http = Sesame_http
+module Db = Sesame_db
+module Apps = Sesame_apps
+module C = Sesame_core
+module Scrut = Sesame_scrutinizer
+module Corpus = Sesame_corpus
+module Elision = Scrut.Elision
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let req ?(cookies = "") ?(body = "") meth target =
+  Http.Request.make
+    ~headers:
+      (Http.Headers.of_list
+         [ ("Cookie", cookies); ("Content-Type", "application/x-www-form-urlencoded") ])
+    ~body meth target
+
+let status r = Http.Status.to_int r.Http.Response.status
+let body r = r.Http.Response.body
+let as_admin = "user=admin@school.edu"
+let as_student i = "user=student" ^ string_of_int i ^ "@school.edu"
+
+let websubmit () =
+  let app = Result.get_ok (Apps.Websubmit.create ()) in
+  (match Apps.Websubmit.seed app ~students:12 ~questions:3 with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  Apps.Email.clear_outbox ();
+  app
+
+(* Run [f] under explicit enforcement flags, restoring the previous
+   configuration afterwards even if the body raises. *)
+let with_flags ~elide ~push ~memo f =
+  let se = C.Enforce.elision () in
+  let sp = C.Enforce.pushdown_enabled () in
+  let sm = C.Enforce.memoization () in
+  C.Enforce.set_elision elide;
+  C.Enforce.set_pushdown push;
+  C.Enforce.set_memoization memo;
+  Fun.protect
+    ~finally:(fun () ->
+      C.Enforce.set_elision se;
+      C.Enforce.set_pushdown sp;
+      C.Enforce.set_memoization sm)
+    f
+
+let cert_for certs endpoint sink family =
+  match
+    List.find_opt
+      (fun (c : Elision.certificate) ->
+        String.equal c.cert_endpoint endpoint
+        && String.equal c.cert_sink sink
+        && String.equal c.cert_family family)
+      certs
+  with
+  | Some c -> c
+  | None -> Alcotest.fail (Printf.sprintf "no certificate for %s %s %s" endpoint sink family)
+
+let verdict_of certs endpoint sink family =
+  Elision.verdict_name (cert_for certs endpoint sink family).cert_verdict
+
+(* ------------------------------------------------------------------ *)
+(* Static classification over the live websubmit program. *)
+
+let classification_tests =
+  [
+    test "aggregates: contextual families are redundant, k-anonymity residual" (fun () ->
+        let app = websubmit () in
+        let certs = Apps.Websubmit.elision_certificates app in
+        check_string "grade access" "redundant"
+          (verdict_of certs "/aggregates" "http::render" "websubmit::grade-access");
+        check_string "answer access" "redundant"
+          (verdict_of certs "/aggregates" "http::render" "websubmit::answer-access");
+        check_string "k-anonymity" "residual"
+          (verdict_of certs "/aggregates" "http::render" "websubmit::k-anonymity");
+        (* The redundancy must come from the context facts, not the
+           (absent) region. *)
+        match (cert_for certs "/aggregates" "http::render" "websubmit::grade-access").cert_verdict with
+        | Elision.Redundant (Elision.Context_satisfies _) -> ()
+        | _ -> Alcotest.fail "expected a context-satisfaction proof");
+    test "predict: grade access is field-disjoint via the region" (fun () ->
+        let app = websubmit () in
+        let certs = Apps.Websubmit.elision_certificates app in
+        match (cert_for certs "/predict" "http::respond" "websubmit::grade-access").cert_verdict with
+        | Elision.Redundant (Elision.Field_disjoint { path; _ }) ->
+            (* The proof must name the inspected place the region never
+               releases. *)
+            check_bool "path names email" true (path = [ "email" ])
+        | v -> Alcotest.fail ("expected field-disjoint, got " ^ Elision.verdict_name v));
+    test "retrain: ml-training is pushable, not redundant" (fun () ->
+        let app = websubmit () in
+        let certs = Apps.Websubmit.elision_certificates app in
+        check_string "ml training" "pushable"
+          (verdict_of certs "/retrain" "ml::train" "websubmit::ml-training"));
+    test "employer: the consent check can never be elided" (fun () ->
+        let app = websubmit () in
+        let certs = Apps.Websubmit.elision_certificates app in
+        check_string "employer release" "residual"
+          (verdict_of certs "/employer" "region::critical" "websubmit::employer-release"));
+    test "every corpus certificate replays byte-for-byte" (fun () ->
+        let program = Corpus.App_corpus.program Corpus.App_corpus.Small in
+        List.iter
+          (fun (m : Corpus.Elision_corpus.model) ->
+            List.iter
+              (fun (cert : Elision.certificate) ->
+                check_bool
+                  (Printf.sprintf "replay %s %s %s" cert.cert_endpoint cert.cert_sink
+                     cert.cert_family)
+                  true
+                  (Elision.replay ~program ~families:m.families ~sites:m.sites cert))
+              (Corpus.Elision_corpus.classify m))
+          (Corpus.Elision_corpus.models ()));
+    test "a forged verdict fails replay" (fun () ->
+        let program = Corpus.App_corpus.program Corpus.App_corpus.Small in
+        let m = Option.get (Corpus.Elision_corpus.model "websubmit") in
+        let certs = Corpus.Elision_corpus.classify m in
+        let redundant =
+          List.find
+            (fun (c : Elision.certificate) ->
+              match c.cert_verdict with Elision.Redundant _ -> true | _ -> false)
+            certs
+        in
+        let forged = { redundant with Elision.cert_verdict = Elision.Residual "forged" } in
+        check_bool "refuted" false
+          (Elision.replay ~program ~families:m.families ~sites:m.sites forged));
+    test "entails is sound on the atom vocabulary" (fun () ->
+        let open Elision in
+        check_bool "subset principal" true
+          (entails [ Principal_in [ "a@x" ] ] (Principal_in [ "a@x"; "b@x" ]));
+        check_bool "disjoint principal" false
+          (entails [ Principal_in [ "a@x" ] ] (Principal_in [ "b@x" ]));
+        check_bool "custom eq reflexive" true
+          (entails [ Custom_eq ("role", "employer") ] (Custom_eq ("role", "employer")));
+        check_bool "eq refutes not" false
+          (entails [ Custom_eq ("role", "employer") ] (Custom_not ("role", "employer"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The corpus models: per-app classification over the Fig. 10 corpus. *)
+
+let corpus_tests =
+  [
+    test "youchat: instance-data policies all classify residual" (fun () ->
+        let m = Option.get (Corpus.Elision_corpus.model "youchat") in
+        let certs = Corpus.Elision_corpus.classify m in
+        check_bool "non-empty" true (certs <> []);
+        List.iter
+          (fun (c : Elision.certificate) ->
+            check_string "residual" "residual" (Elision.verdict_name c.cert_verdict))
+          certs);
+    test "voltron: firebase auth is redundant at the read-query sink" (fun () ->
+        let m = Option.get (Corpus.Elision_corpus.model "voltron") in
+        let certs = Corpus.Elision_corpus.classify m in
+        check_string "firebase" "redundant"
+          (verdict_of certs "/dashboard" "db::query" "voltron::firebase-auth"));
+    test "corpus websubmit: predict is field-disjoint with no context facts" (fun () ->
+        let m = Option.get (Corpus.Elision_corpus.model "websubmit") in
+        let certs = Corpus.Elision_corpus.classify m in
+        match (cert_for certs "/predict" "http::respond" "websubmit::grade-access").cert_verdict with
+        | Elision.Redundant (Elision.Field_disjoint _) -> ()
+        | v -> Alcotest.fail ("expected field-disjoint, got " ^ Elision.verdict_name v));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: stats counters and the installed plan. *)
+
+let retrain app = Apps.Websubmit.retrain_model app (req ~cookies:as_admin Http.Meth.POST "/retrain")
+let predict app = Apps.Websubmit.predict_grades app (req ~cookies:as_admin Http.Meth.GET "/predict/3")
+
+let stats_tests =
+  [
+    test "predict runs fully elided for admins" (fun () ->
+        let app = websubmit () in
+        check_int "retrain" 200 (status (retrain app));
+        C.Enforce.reset_stats ();
+        check_int "predict" 200 (status (predict app));
+        let st = C.Enforce.stats () in
+        check_bool "elided" true (st.C.Enforce.elisions > 0);
+        check_int "no misses" 0 st.C.Enforce.misses;
+        check_int "no hits" 0 st.C.Enforce.hits);
+    test "students are not covered by the guarded certificates" (fun () ->
+        let app = websubmit () in
+        check_int "retrain" 200 (status (retrain app));
+        C.Enforce.reset_stats ();
+        let r =
+          Apps.Websubmit.predict_grades app
+            (req ~cookies:(as_student 0) Http.Meth.GET "/predict/3")
+        in
+        check_int "denied" 403 (status r);
+        let st = C.Enforce.stats () in
+        (* The guard rejects the context, so the residual check must
+           have actually evaluated policies. *)
+        check_bool "residual ran" true (st.C.Enforce.hits + st.C.Enforce.misses > 0));
+    test "retrain pushdown increments the counter" (fun () ->
+        let app = websubmit () in
+        C.Enforce.reset_stats ();
+        let r = retrain app in
+        check_int "200" 200 (status r);
+        check_string "body" "model retrained" (body r);
+        check_bool "pushed" true ((C.Enforce.stats ()).C.Enforce.pushdowns > 0));
+    test "reset_stats zeroes every counter" (fun () ->
+        let app = websubmit () in
+        check_int "retrain" 200 (status (retrain app));
+        check_int "predict" 200 (status (predict app));
+        C.Enforce.reset_stats ();
+        let st = C.Enforce.stats () in
+        check_int "hits" 0 st.C.Enforce.hits;
+        check_int "misses" 0 st.C.Enforce.misses;
+        check_int "fanouts" 0 st.C.Enforce.parallel_fanouts;
+        check_int "elisions" 0 st.C.Enforce.elisions;
+        check_int "pushdowns" 0 st.C.Enforce.pushdowns);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pushdown vs reference: query_filtered must return byte-identical
+   rows either way. *)
+
+let pushdown_tests =
+  [
+    test "query_filtered rows are identical with pushdown on and off" (fun () ->
+        let app = websubmit () in
+        let conn = Apps.Websubmit.conn app in
+        let context =
+          C.Context.with_sink
+            (C.Context.Internal.trusted ~endpoint:"/retrain" ~user:"admin@school.edu"
+               ~source:"test" ())
+            "ml::train"
+        in
+        let run () =
+          match
+            C.Sesame_conn.query_filtered conn ~context ~on:"grade"
+              "SELECT * FROM answers WHERE grade IS NOT NULL" ~params:[]
+          with
+          | Ok rows -> rows
+          | Error _ -> Alcotest.fail "query_filtered failed"
+        in
+        let reference = with_flags ~elide:false ~push:false ~memo:false run in
+        C.Enforce.reset_stats ();
+        let pushed = with_flags ~elide:false ~push:true ~memo:false run in
+        check_bool "pushdown fired" true ((C.Enforce.stats ()).C.Enforce.pushdowns > 0);
+        check_bool "some consenting rows" true (reference <> []);
+        check_int "row count" (List.length reference) (List.length pushed);
+        List.iter2
+          (fun a b ->
+            List.iter
+              (fun col ->
+                let cell r = C.Pcon.Internal.unwrap (C.Pcon_row.get r col) in
+                check_bool (col ^ " equal") true (Db.Value.equal (cell a) (cell b)))
+              [ "id"; "email"; "lecture"; "question"; "grade" ])
+          reference pushed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stale certificates: re-attaching a policy to the binding a
+   certificate was issued against must drop it (fail-closed to the
+   residual check), not keep eliding under a stale proof. *)
+
+module Lockdown_family = struct
+  type s = unit
+
+  let name = "test::lockdown"
+  let check () ctx = C.Context.user ctx = Some "admin@school.edu"
+  let join = None
+  let no_folding = false
+  let describe () = "Lockdown"
+end
+
+module Lockdown = C.Policy.Make (Lockdown_family)
+
+let stale_tests =
+  [
+    test "rebinding drops certificates; the residual check runs" (fun () ->
+        let app = websubmit () in
+        (* A plan holding exactly this instance's certificates. *)
+        C.Enforce.Plan.clear ();
+        Apps.Websubmit.install_plan app;
+        let size0 = C.Enforce.Plan.size () in
+        check_bool "plan installed" true (size0 > 0);
+        check_int "retrain" 200 (status (retrain app));
+        C.Enforce.reset_stats ();
+        check_int "predict (elided)" 200 (status (predict app));
+        let st = C.Enforce.stats () in
+        check_bool "fully elided before rebinding" true
+          (st.C.Enforce.elisions > 0 && st.C.Enforce.misses = 0 && st.C.Enforce.hits = 0);
+        (* Re-bind answers.grade: the binding version bumps and the
+           epoch moves, so certificates issued against the old binding
+           must fail revalidation on their next consultation. *)
+        C.Sesame_conn.attach_policy (Apps.Websubmit.conn app) ~table:"answers"
+          ~column:"grade"
+          (fun _schema _row -> Lockdown.make ());
+        C.Enforce.reset_stats ();
+        check_int "predict (residual)" 200 (status (predict app));
+        let st = C.Enforce.stats () in
+        check_int "stale certificate no longer elides" 0 st.C.Enforce.elisions;
+        check_bool "residual check ran" true (st.C.Enforce.hits + st.C.Enforce.misses > 0);
+        check_bool "stale entries dropped" true (C.Enforce.Plan.size () < size0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness: for random principals and endpoints, verdicts
+   and denial messages with elision/pushdown/memoization in any
+   combination must be byte-identical to the sequential reference. *)
+
+let prop ?(count = 30) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let differential_tests =
+  (* One shared instance: the workload is read-only except for retrain,
+     which deterministically recomputes the same model. *)
+  let app = websubmit () in
+  (match status (retrain app) with 200 -> () | s -> failwith (Printf.sprintf "retrain %d" s));
+  let cookies =
+    [| ""; as_admin; as_student 0; as_student 1; as_student 5; "user=leader@school.edu" |]
+  in
+  let requests =
+    [|
+      (fun c -> Apps.Websubmit.get_aggregates app (req ~cookies:c Http.Meth.GET "/aggregates"));
+      (fun c -> Apps.Websubmit.get_employer_info app (req ~cookies:c Http.Meth.GET "/employer"));
+      (fun c -> Apps.Websubmit.predict_grades app (req ~cookies:c Http.Meth.GET "/predict/3"));
+      (fun c -> Apps.Websubmit.retrain_model app (req ~cookies:c Http.Meth.POST "/retrain"));
+      (fun c -> Apps.Websubmit.view_answer app (req ~cookies:c Http.Meth.GET "/view/1"));
+      (fun c ->
+        Apps.Websubmit.view_answers app ~compose:false (req ~cookies:c Http.Meth.GET "/answers/1"));
+    |]
+  in
+  [
+    prop "verdicts and denials are byte-identical across all modes"
+      QCheck.(pair (int_bound (Array.length cookies - 1)) (int_bound (Array.length requests - 1)))
+      (fun (ci, ri) ->
+        let run () = requests.(ri) cookies.(ci) in
+        let reference = with_flags ~elide:false ~push:false ~memo:false run in
+        List.for_all
+          (fun (elide, push, memo) ->
+            let r = with_flags ~elide ~push ~memo run in
+            if status r = status reference && body r = body reference then true
+            else
+              QCheck.Test.fail_reportf
+                "mode (elide=%b push=%b memo=%b) diverged on cookie %S request %d:@.%d %s@.vs reference@.%d %s"
+                elide push memo cookies.(ci) ri (status r) (body r) (status reference)
+                (body reference))
+          [
+            (true, true, true);
+            (true, true, false);
+            (true, false, true);
+            (true, false, false);
+            (false, true, true);
+            (false, true, false);
+            (false, false, true);
+          ]);
+  ]
+
+let () =
+  Alcotest.run "elision"
+    [
+      ("classification", classification_tests);
+      ("corpus", corpus_tests);
+      ("stats", stats_tests);
+      ("pushdown", pushdown_tests);
+      ("stale-certificates", stale_tests);
+      ("differential", differential_tests);
+    ]
