@@ -23,6 +23,9 @@ type target = {
 
 let get ?(cookies = "") label path = { label; meth = Http.Meth.GET; path; cookies; body = "" }
 
+let post ?(cookies = "") ?(body = "") label path =
+  { label; meth = Http.Meth.POST; path; cookies; body }
+
 type summary = {
   target_rps : float;
   achieved_rps : float;

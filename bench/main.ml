@@ -8,6 +8,7 @@ module Db = Sesame_db
 module Http = Sesame_http
 module Scrut = Sesame_scrutinizer
 module Sbx = Sesame_sandbox
+module Sign = Sesame_signing
 module Apps = Sesame_apps
 module Corpus = Sesame_corpus
 open Bench_util
@@ -1096,7 +1097,43 @@ let serve_rates () =
 
 let serve () =
   header "Serve: open-loop load curves over real sockets (all four apps)";
-  let websubmit = match Apps.Websubmit.create () with Ok t -> t | Error m -> failwith m in
+  let domains = max 4 (Sesame_parallel.env_domains ()) in
+  let burst_max = serve_env_int "SERVE_BURST_MAX" 4 in
+  (* SERVE_ATTEST_LOG=path: sign an attestation frame per region install
+     and sandbox run. Installed before app creation so the approvals the
+     verifier replays against land first. *)
+  let recorder =
+    match Sys.getenv_opt "SERVE_ATTEST_LOG" with
+    | None | Some "" -> None
+    | Some path -> (
+        match Sign.Attest.create_recorder path with
+        | Ok r ->
+            Sign.Attest.install r;
+            Some r
+        | Error m -> failwith ("serve: attest log: " ^ m))
+  in
+  (* SERVE_QUOTA_OFFENDER=1 adds a register-hammering POST target and
+     caps that region's cumulative runs, so quota exhaustion (503s on
+     the offender, everyone else unaffected) shows up in the curves.
+     Off by default: CI expects all-2xx rows. *)
+  let offender = serve_env_int "SERVE_QUOTA_OFFENDER" 0 <> 0 in
+  let quota_limits =
+    if offender then
+      Some (Sbx.Quota.limits ~max_runs:(serve_env_int "SERVE_QUOTA_MAX_RUNS" 100) ())
+    else None
+  in
+  let hardening =
+    match
+      Apps.Websubmit.harden ~pool_capacity:domains
+        ~max_pool_capacity:(domains + burst_max) ?quota_limits ()
+    with
+    | Ok h -> h
+    | Error m -> failwith ("serve: " ^ m)
+  in
+  Printf.printf "sandbox %s\n" (Sbx.Preflight.summary hardening.Apps.Websubmit.preflight);
+  let websubmit =
+    match Apps.Websubmit.create ~hardening () with Ok t -> t | Error m -> failwith m
+  in
   (match Apps.Websubmit.seed websubmit ~students:20 ~questions:5 with
   | Ok () -> ()
   | Error m -> failwith m);
@@ -1138,11 +1175,16 @@ let serve () =
      buffer ids depend on seeding order, so probe in-process for one that
      the instructor can actually read. *)
   let probe_2xx t =
+    let headers =
+      Http.Headers.of_list
+        (("Cookie", t.Loadgen.cookies)
+        ::
+        (if t.Loadgen.body = "" then []
+         else [ ("Content-Type", "application/x-www-form-urlencoded") ]))
+    in
     let r =
       handler
-        (Http.Request.make
-           ~headers:(Http.Headers.of_list [ ("Cookie", t.Loadgen.cookies) ])
-           t.Loadgen.meth t.Loadgen.path)
+        (Http.Request.make ~headers ~body:t.Loadgen.body t.Loadgen.meth t.Loadgen.path)
     in
     let code = Http.Status.to_int r.Http.Response.status in
     code >= 200 && code < 300
@@ -1171,6 +1213,15 @@ let serve () =
         "/portfolio/admin/candidates";
     ]
     @ (match voltron_buffer with Some t -> [ t ] | None -> [])
+    @ (if offender then
+         [
+           (* Every request runs the register::hash_key sandboxed region,
+              burning its cumulative quota. *)
+           Loadgen.post ~cookies:"user=admin@school.edu"
+             ~body:"email=load@school.edu&apikey=loadgen-key&consent=false" "websubmit-offender"
+             "/websubmit/register";
+         ]
+       else [])
   in
   let live, dead = List.partition probe_2xx targets in
   List.iter
@@ -1197,17 +1248,37 @@ let serve () =
   Printf.printf "targets: %s\napps covered: %s\n"
     (String.concat ", " (List.map (fun (t : Loadgen.target) -> t.Loadgen.label) live))
     (String.concat ", " apps_covered);
-  let domains = max 4 (Sesame_parallel.env_domains ()) in
   let config =
-    { Sesame_server.default_config with Sesame_server.domains; max_connections = 512 }
+    {
+      Sesame_server.default_config with
+      Sesame_server.domains;
+      max_connections = 512;
+      autoscale =
+        Some
+          {
+            Sesame_server.default_autoscale with
+            Sesame_server.min_domains = domains;
+            max_domains = domains + burst_max;
+          };
+    }
   in
+  (* Scaling the worker set also scales the sandbox pool: one arena per
+     handler worker keeps hardened sandbox acquisitions pool-hits. *)
+  let sandbox_pool = hardening.Apps.Websubmit.sandbox_pool in
+  let on_scale ~workers = ignore (Sbx.Pool.set_capacity sandbox_pool workers) in
   let server =
-    match Sesame_server.start ~config ~on_error:(fun _ -> ()) ~handler () with
+    match Sesame_server.start ~config ~on_error:(fun _ -> ()) ~on_scale ~handler () with
     | Ok t -> t
     | Error m -> failwith ("serve: " ^ m)
   in
   Fun.protect
-    ~finally:(fun () -> Sesame_server.stop server)
+    ~finally:(fun () ->
+      Sesame_server.stop server;
+      Option.iter
+        (fun r ->
+          Sign.Attest.uninstall ();
+          Sign.Attest.close_recorder r)
+        recorder)
     (fun () ->
       let port = Sesame_server.port server in
       let duration_s = serve_env_float "SERVE_DURATION_S" 3.0 in
@@ -1231,6 +1302,10 @@ let serve () =
             in
             let after = Sesame_server.stats server in
             let shed = after.Sesame_server.shed - before.Sesame_server.shed in
+            let scale_ups = after.Sesame_server.scale_ups - before.Sesame_server.scale_ups in
+            let scale_downs =
+              after.Sesame_server.scale_downs - before.Sesame_server.scale_downs
+            in
             Printf.printf "%-12.0f %12.1f %7.2fms %7.2fms %7.2fms %7.2fms %8d %8d %6d\n"
               s.Loadgen.target_rps s.Loadgen.achieved_rps s.Loadgen.p50_ms s.Loadgen.p99_ms
               s.Loadgen.p999_ms s.Loadgen.max_ms s.Loadgen.ok s.Loadgen.non_2xx
@@ -1248,11 +1323,44 @@ let serve () =
                 ("non_2xx", Json.Int s.Loadgen.non_2xx);
                 ("client_errors", Json.Int s.Loadgen.errors);
                 ("shed", Json.Int shed);
+                ("scale_ups", Json.Int scale_ups);
+                ("scale_downs", Json.Int scale_downs);
+                ("burst_workers", Json.Int after.Sesame_server.burst_workers);
                 ("measured_s", Json.Num s.Loadgen.measured_s);
               ])
           rates
       in
       let final = Sesame_server.stats server in
+      let pool = Sbx.Pool.stats sandbox_pool in
+      let pool_min, pool_max = Sbx.Pool.bounds sandbox_pool in
+      let quota_totals = Sbx.Quota.totals hardening.Apps.Websubmit.quota in
+      Printf.printf
+        "\nsandbox pool: capacity %d (bounds %d..%d), free %d, poisoned %d, replaced %d, \
+         grown %d, shrunk %d\n"
+        pool.Sbx.Pool.capacity pool_min pool_max pool.Sbx.Pool.free pool.Sbx.Pool.poisoned
+        pool.Sbx.Pool.replaced pool.Sbx.Pool.grown pool.Sbx.Pool.shrunk;
+      Printf.printf "quota totals: %s\n" (Sbx.Quota.describe_counters quota_totals);
+      List.iter
+        (fun (key, c) ->
+          Printf.printf "  region %s: %s\n" (String.sub key 0 (min 12 (String.length key)))
+            (Sbx.Quota.describe_counters c))
+        (Sbx.Quota.snapshot hardening.Apps.Websubmit.quota);
+      Printf.printf "autoscale: %d scale-ups, %d scale-downs, %d burst workers at shutdown\n"
+        final.Sesame_server.scale_ups final.Sesame_server.scale_downs
+        final.Sesame_server.burst_workers;
+      let quota_json (c : Sbx.Quota.counters) =
+        Json.Obj
+          [
+            ("runs", Json.Int c.Sbx.Quota.runs);
+            ("traps", Json.Int c.Sbx.Quota.traps);
+            ("fuel", Json.Int c.Sbx.Quota.fuel);
+            ("wall_s", Json.Num c.Sbx.Quota.wall_s);
+            ("peak_mem_bytes", Json.Int c.Sbx.Quota.peak_mem_bytes);
+            ("denied", Json.Int c.Sbx.Quota.denied);
+            ("throttled", Json.Int c.Sbx.Quota.throttled);
+            ("quarantine_events", Json.Int c.Sbx.Quota.quarantine_events);
+          ]
+      in
       Json.to_file "BENCH_serve.json"
         (Json.Obj
            [
@@ -1273,6 +1381,34 @@ let serve () =
              ("server_shed", Json.Int final.Sesame_server.shed);
              ("server_parse_errors", Json.Int final.Sesame_server.parse_errors);
              ("server_timeouts", Json.Int final.Sesame_server.timeouts);
+             ("scale_ups", Json.Int final.Sesame_server.scale_ups);
+             ("scale_downs", Json.Int final.Sesame_server.scale_downs);
+             ( "sandbox_pool",
+               Json.Obj
+                 [
+                   ("capacity", Json.Int pool.Sbx.Pool.capacity);
+                   ("min_capacity", Json.Int pool_min);
+                   ("max_capacity", Json.Int pool_max);
+                   ("free", Json.Int pool.Sbx.Pool.free);
+                   ("created", Json.Int pool.Sbx.Pool.created);
+                   ("reused", Json.Int pool.Sbx.Pool.reused);
+                   ("poisoned", Json.Int pool.Sbx.Pool.poisoned);
+                   ("replaced", Json.Int pool.Sbx.Pool.replaced);
+                   ("grown", Json.Int pool.Sbx.Pool.grown);
+                   ("shrunk", Json.Int pool.Sbx.Pool.shrunk);
+                 ] );
+             ( "preflight",
+               Json.Str (Sbx.Preflight.summary hardening.Apps.Websubmit.preflight) );
+             ("quota_totals", quota_json quota_totals);
+             ( "quota_regions",
+               Json.List
+                 (List.map
+                    (fun (key, c) ->
+                      match quota_json c with
+                      | Json.Obj fields -> Json.Obj (("body_hash", Json.Str key) :: fields)
+                      | other -> other)
+                    (Sbx.Quota.snapshot hardening.Apps.Websubmit.quota)) );
+             ("quota_offender", Json.Bool offender);
              ("rates", Json.List rows);
            ]))
 

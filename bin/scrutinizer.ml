@@ -14,6 +14,7 @@
 
 module Scrut = Sesame_scrutinizer
 module Corpus = Sesame_corpus
+module Sign = Sesame_signing
 
 (* ------------------------------------------------------------------ *)
 (* Hand-rolled JSON rendering (no JSON dependency in the tree). *)
@@ -292,6 +293,22 @@ let run_elide scale app_filter explain json =
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Attestation-log verification: replay the signed run log and fail on
+   any run whose body hash lacks an approving verdict — the runtime
+   counterpart of the static verdicts above. *)
+
+let run_attest_verify secret path =
+  match Sign.Attest.verify ?secret path with
+  | Ok s ->
+      Format.printf "attestation log OK: %d approvals, %d runs over %d distinct bodies%s@."
+        s.Sign.Attest.approvals s.runs s.distinct_bodies
+        (if s.torn_tail then " (torn trailing frame ignored)" else "");
+      0
+  | Error msg ->
+      Format.eprintf "attestation verification FAILED: %s@." msg;
+      1
+
 open Cmdliner
 
 let app_arg =
@@ -353,18 +370,41 @@ let no_cache_arg =
     & info [ "no-summary-cache" ]
         ~doc:"Disable the cross-region function-summary cache (on by default; the verdicts are identical either way).")
 
+let attest_verify_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attest-verify" ] ~docv:"LOG"
+        ~doc:
+          "Verify the signed run-attestation log at $(docv) instead: check the header, every \
+           frame's CRC and signature, and that every recorded run's region body carries an \
+           earlier approving verdict. Exit 0 on a clean log, 1 on any violation.")
+
+let attest_secret_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attest-secret" ] ~docv:"SECRET"
+        ~doc:"With --attest-verify: the attestor secret the log was signed under (defaults to \
+              the built-in test-fixture secret).")
+
 let cmd =
-  let run stdlib audit elide scale app region verbose explain json no_cache =
-    if audit then run_audit scale
-    else if elide then run_elide scale app explain json
-    else if stdlib then run_stdlib verbose explain json
-    else run_app_corpus scale app region verbose explain json no_cache
+  let run stdlib audit elide scale app region verbose explain json no_cache attest_verify
+      attest_secret =
+    match attest_verify with
+    | Some path -> run_attest_verify attest_secret path
+    | None ->
+        if audit then run_audit scale
+        else if elide then run_elide scale app explain json
+        else if stdlib then run_stdlib verbose explain json
+        else run_app_corpus scale app region verbose explain json no_cache
   in
   Cmd.v
     (Cmd.info "scrutinizer" ~version:"1.0"
        ~doc:"Check privacy regions for leakage-freedom (the paper's Scrutinizer)")
     Term.(
       const run $ stdlib_arg $ audit_arg $ elide_arg $ scale_arg $ app_arg $ region_arg
-      $ verbose_arg $ explain_arg $ json_arg $ no_cache_arg)
+      $ verbose_arg $ explain_arg $ json_arg $ no_cache_arg $ attest_verify_arg
+      $ attest_secret_arg)
 
 let () = exit (Cmd.eval' cmd)

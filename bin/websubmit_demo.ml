@@ -16,6 +16,8 @@ module Http = Sesame_http
 module Apps = Sesame_apps
 module F = Sesame_faults
 module Wal = Sesame_wal
+module Sbx = Sesame_sandbox
+module Sign = Sesame_signing
 
 (* --inject point:action[:nth], e.g. db-query:exhaust or
    copier-decode:corrupt:2. nth defaults to 1 (first traversal); 0 fires
@@ -68,7 +70,23 @@ let dispatch app line =
               Some (Apps.Websubmit.handle app request))
       | _ -> Some (Http.Response.error Http.Status.Bad_request "usage: [user] METHOD /path [body]"))
 
-let run students questions injects data_dir fsync checkpoint_every serve_port =
+(* --preflight: run the boot-time SFI battery standalone and exit — the
+   smoke test a deployment gates pool construction on. Fault plans are
+   armed first so an injected preflight-trap-miss demonstrably turns
+   into a non-zero exit. *)
+let run_preflight plans injects =
+  if plans <> [] then begin
+    F.arm plans;
+    Printf.printf "Fault injection armed: %s.\n%!" (String.concat ", " injects)
+  end;
+  let report = Sbx.Sfi.run () in
+  print_string (Sbx.Preflight.render report);
+  Printf.printf "%s\n%!" (Sbx.Preflight.summary report);
+  if plans <> [] then F.disarm ();
+  if Sbx.Preflight.passed report then 0 else 1
+
+let run students questions injects data_dir fsync checkpoint_every serve_port preflight_only
+    harden attest_log =
   let plans =
     List.map
       (fun spec ->
@@ -79,9 +97,38 @@ let run students questions injects data_dir fsync checkpoint_every serve_port =
             exit 2)
       injects
   in
+  if preflight_only then run_preflight plans injects
+  else begin
+  (* The ambient recorder must be installed before the app is created:
+     region installation appends the approval frames that later runs are
+     verified against. *)
+  let recorder =
+    match attest_log with
+    | None -> None
+    | Some path -> (
+        match Sign.Attest.create_recorder path with
+        | Ok r ->
+            Sign.Attest.install r;
+            Printf.printf "Attesting runs to %s.\n%!" path;
+            Some r
+        | Error m ->
+            Printf.eprintf "failed to open attestation log: %s\n" m;
+            exit 1)
+  in
+  let hardening =
+    if not harden then None
+    else
+      match Apps.Websubmit.harden () with
+      | Ok h ->
+          Printf.printf "Sandbox hardening on: %s.\n%!" (Sbx.Preflight.summary h.preflight);
+          Some h
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          exit 1
+  in
   let started =
     match data_dir with
-    | None -> Result.map (fun app -> (app, None)) (Apps.Websubmit.create ())
+    | None -> Result.map (fun app -> (app, None)) (Apps.Websubmit.create ?hardening ())
     | Some dir ->
         let durable_config =
           {
@@ -92,7 +139,7 @@ let run students questions injects data_dir fsync checkpoint_every serve_port =
         in
         Result.map
           (fun (app, store) -> (app, Some store))
-          (Apps.Websubmit.create_durable ~durable_config ~data_dir:dir ())
+          (Apps.Websubmit.create_durable ~durable_config ?hardening ~data_dir:dir ())
   in
   match started with
   | Error m ->
@@ -141,6 +188,11 @@ let run students questions injects data_dir fsync checkpoint_every serve_port =
       in
       let finish () =
         Option.iter Sesame_server.stop server;
+        Option.iter
+          (fun r ->
+            Sign.Attest.uninstall ();
+            Sign.Attest.close_recorder r)
+          recorder;
         match store with
         | None -> 0
         | Some store -> (
@@ -164,6 +216,7 @@ let run students questions injects data_dir fsync checkpoint_every serve_port =
         done;
         0
       with Exit | End_of_file -> finish ())
+  end
 
 open Cmdliner
 
@@ -210,6 +263,33 @@ let serve_arg =
            ephemeral port). Authenticate with a 'user=EMAIL' cookie. The stdin \
            prompt keeps working; quitting stops the server.")
 
+let preflight_arg =
+  Arg.(
+    value & flag
+    & info [ "preflight" ]
+        ~doc:
+          "Run the boot-time SFI preflight battery (out-of-bounds, exhaustion, budget, \
+           syscall, wipe, and quarantine trap tests) and exit: 0 when every trap was caught, \
+           1 otherwise. Honors --inject (e.g. preflight-trap-miss:raise).")
+
+let harden_arg =
+  Arg.(
+    value & flag
+    & info [ "harden" ]
+        ~doc:
+          "Run both sandboxed regions on a preflighted pool with per-run budgets and a \
+           cumulative quota. Refuses to start (fail closed) if any preflight check misses \
+           its trap.")
+
+let attest_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attest-log" ] ~docv:"PATH"
+        ~doc:
+          "Append a signed attestation frame for every region installation and sandbox run \
+           to $(docv). Verify later with scrutinizer --attest-verify $(docv).")
+
 let checkpoint_every_arg =
   Arg.(
     value & opt int 256
@@ -223,6 +303,6 @@ let cmd =
     (Cmd.info "websubmit-demo" ~version:"1.0" ~doc:"Interactive WebSubmit instance")
     Term.(
       const run $ students_arg $ questions_arg $ inject_arg $ data_dir_arg $ fsync_arg
-      $ checkpoint_every_arg $ serve_arg)
+      $ checkpoint_every_arg $ serve_arg $ preflight_arg $ harden_arg $ attest_log_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -327,10 +327,18 @@ let conn_error e =
       Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
   | Conn.Db_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
 
+(* Explicit variants, no catch-all: region failures carry internal
+   detail (trap renderings, hash/decode messages) that must never reach
+   a client body, and the compiler should flag any new variant here. *)
 let region_err e =
   match e with
   | Region.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | other -> Http.Response.error Http.Status.Internal_error (Region.error_to_string other)
+  | Region.Quota_denied _ ->
+      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
+  | Region.Not_leakage_free _ | Region.Unsigned _ | Region.Signature_invalid _
+  | Region.Hashing_failed _ | Region.Decode_failed _ | Region.Sandbox_trapped _
+  | Region.Attest_failed _ ->
+      Http.Response.error Http.Status.Internal_error "internal error"
 
 let authenticate request = Http.Request.cookie request "user"
 

@@ -349,6 +349,31 @@ let lockfile =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Optional sandbox hardening: a preflighted pool (fail closed if any
+   SFI trap test is missed), per-run budgets, and a cumulative quota
+   shared by both sandboxed regions. Off by default so the unhardened
+   paper-workload numbers stay comparable. *)
+
+type hardening = {
+  sandbox_pool : Sbx.Pool.t;
+  preflight : Sbx.Preflight.report;
+  quota : Sbx.Quota.t;
+  sandbox_config : Sbx.Runtime.config;
+}
+
+let harden ?(pool_capacity = 4) ?max_pool_capacity ?(arena_size = 256 * 1024) ?quota_limits
+    ?(quota_policy = Sbx.Quota.Deny)
+    ?(budget = Sbx.Runtime.budget ~deadline_s:5.0 ~fuel:1_000_000 ~mem_bytes:(128 * 1024) ())
+    () =
+  match
+    Sbx.Sfi.create_pool ~capacity:pool_capacity ?max_capacity:max_pool_capacity ~arena_size ()
+  with
+  | Error report ->
+      Error (Printf.sprintf "sandbox preflight failed closed: %s" (Sbx.Preflight.summary report))
+  | Ok (pool, preflight) ->
+      let quota = Sbx.Quota.create ?limits:quota_limits ~policy:quota_policy () in
+      let sandbox_config = Sbx.Runtime.config ~mode:(Sbx.Runtime.Pooled pool) ~budget () in
+      Ok { sandbox_pool = pool; preflight; quota; sandbox_config }
 
 type regions = {
   fmt_confirmation : (string, string) Region.Verified.t;
@@ -368,6 +393,7 @@ type t = {
   program : Scrut.Program.t;
   k : int;
   regions : regions;
+  hardening : hardening option;
   consent_cache : (string, bool) Hashtbl.t;
       (** memo used by the MlTraining policy; invalidated on consent change *)
   mutable model : (float * float) Pcon.t option;  (** (weight, intercept) *)
@@ -376,6 +402,7 @@ type t = {
 
 let conn t = t.conn
 let database t = t.db
+let hardening t = t.hardening
 let sandbox_hash_region t = t.regions.hash_key
 let sandbox_train_region t = t.regions.train
 
@@ -400,8 +427,10 @@ let predict_spec =
         Return (Some (Binop (Add, Binop (Mul, Var "w", Var "x"), Var "b")));
       ])
 
-let make_regions program keystore db =
+let make_regions ?hardening program keystore db =
   let open Scrut.Ir in
+  let sbx_config = Option.map (fun h -> h.sandbox_config) hardening in
+  let sbx_quota = Option.map (fun h -> h.quota) hardening in
   let* fmt_confirmation =
     Result.map_error Region.error_to_string
       (Region.Verified.make ~app:app_name ~program
@@ -439,7 +468,8 @@ let make_regions program keystore db =
      native code); tests assert this. The executable closures run under
      the sandbox runtime. *)
   let hash_key =
-    Region.Sandboxed.make ~app:app_name ~name:"register::hash_key" ~loc:4
+    Region.Sandboxed.make ~app:app_name ~name:"register::hash_key" ?config:sbx_config
+      ?quota:sbx_quota ~loc:4
       ~encode:(fun key -> Sbx.Value.Str key)
       ~decode:(function
         | Sbx.Value.Str digest -> Ok digest
@@ -451,7 +481,8 @@ let make_regions program keystore db =
       ()
   in
   let train =
-    Region.Sandboxed.make ~app:app_name ~name:"ml::train" ~loc:19
+    Region.Sandboxed.make ~app:app_name ~name:"ml::train" ?config:sbx_config ?quota:sbx_quota
+      ~loc:19
       ~encode:(fun (x, y) -> Sbx.Value.Tuple [ Sbx.Value.Float x; Sbx.Value.Float y ])
       ~decode:(fun value ->
         match Sbx.Value.to_floats value with
@@ -780,11 +811,11 @@ let install_plan t =
   Enforce.Plan.declare_endpoint_sinks ~endpoint:"/aggregates" [ "http::render" ];
   Enforce.Plan.declare_endpoint_sinks ~endpoint:"/predict" [ "http::respond" ]
 
-let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
+let assemble ?hardening ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache () =
   let keystore = Sign.Keystore.create () in
   Sign.Keystore.register keystore ~reviewer ~secret:"alice-reviewer-secret";
   let program = build_program () in
-  let* regions = make_regions program keystore db in
+  let* regions = make_regions ?hardening program keystore db in
   (* The team lead reviews and signs the critical regions before release. *)
   let* () =
     match Region.Critical.sign regions.email_confirmation ~reviewer ~at:1000 with
@@ -804,6 +835,7 @@ let assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache =
       program;
       k = k_anonymity;
       regions;
+      hardening;
       consent_cache;
       model = None;
       next_answer_id;
@@ -822,7 +854,7 @@ let index_hot_columns db =
   let* () = Db.Database.ensure_index db ~table:"users" ~column:"email" in
   Db.Database.ensure_index db ~table:"discussion_leaders" ~column:"lecture"
 
-let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
+let create ?(query_cost_ns = 0) ?(k_anonymity = 5) ?hardening () =
   let db = Db.Database.create ~query_cost_ns () in
   let* () = Db.Database.create_table db Websubmit_schema.users in
   let* () = Db.Database.create_table db Websubmit_schema.answers in
@@ -830,9 +862,10 @@ let create ?(query_cost_ns = 0) ?(k_anonymity = 5) () =
   let* () = index_hot_columns db in
   let conn = Conn.create db in
   let consent_cache = attach_policies conn db in
-  assemble ~conn ~db ~k_anonymity ~next_answer_id:1 ~consent_cache
+  assemble ?hardening ~conn ~db ~k_anonymity ~next_answer_id:1 ~consent_cache ()
 
-let create_durable ?(query_cost_ns = 0) ?(k_anonymity = 5) ?durable_config ~data_dir () =
+let create_durable ?(query_cost_ns = 0) ?(k_anonymity = 5) ?durable_config ?hardening ~data_dir
+    () =
   (* Family registration must precede recovery: replay refuses any
      journaled constructor the registry does not know. *)
   List.iter Sesame_wal.Provenance.register policy_family_names;
@@ -863,7 +896,7 @@ let create_durable ?(query_cost_ns = 0) ?(k_anonymity = 5) ?durable_config ~data
                   | Db.Value.Int i -> max acc i
                   | _ -> acc)
       in
-      let* t = assemble ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache in
+      let* t = assemble ?hardening ~conn ~db ~k_anonymity ~next_answer_id ~consent_cache () in
       Ok (t, store)
 
 let answer_count t =
@@ -896,8 +929,12 @@ let conn_error = Conn.error_response
 let region_err e =
   match e with
   | Region.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
+  | Region.Quota_denied _ ->
+      (* Quota exhaustion is load shedding, not a server bug: retryable. *)
+      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
   | Region.Not_leakage_free _ | Region.Unsigned _ | Region.Signature_invalid _
-  | Region.Hashing_failed _ | Region.Decode_failed _ | Region.Sandbox_trapped _ ->
+  | Region.Hashing_failed _ | Region.Decode_failed _ | Region.Sandbox_trapped _
+  | Region.Attest_failed _ ->
       Http.Response.error Http.Status.Internal_error "internal error"
 
 (* The Sesame authentication guard (framework-level, like Fig. 2's

@@ -32,22 +32,55 @@ module Db := Sesame_db
 module Http := Sesame_http
 module Wal := Sesame_wal
 module Scrut := Sesame_scrutinizer
+module Sbx := Sesame_sandbox
 
 type t
 
 val app_name : string
 (** ["websubmit"] — the registry key. *)
 
-val create : ?query_cost_ns:int -> ?k_anonymity:int -> unit -> (t, string) result
+type hardening = {
+  sandbox_pool : Sbx.Pool.t;
+  preflight : Sbx.Preflight.report;
+  quota : Sbx.Quota.t;
+  sandbox_config : Sbx.Runtime.config;
+}
+(** The sandbox-hardening bundle both sandboxed regions share when the
+    app is created with one: a preflighted pool, per-run budgets, and a
+    cumulative quota accountant. *)
+
+val harden :
+  ?pool_capacity:int ->
+  ?max_pool_capacity:int ->
+  ?arena_size:int ->
+  ?quota_limits:Sbx.Quota.limits ->
+  ?quota_policy:Sbx.Quota.policy ->
+  ?budget:Sbx.Runtime.budget ->
+  unit ->
+  (hardening, string) result
+(** Runs the boot-time SFI preflight battery and constructs the bundle;
+    fails closed (with the missed checks named) if any trap test is not
+    caught — an app asked to harden never falls back to an unverified
+    pool. Defaults: 4 arenas of 256 KiB (growable to [max_pool_capacity]
+    via {!Sbx.Pool.set_capacity}), a 5 s / 1M-fuel / 128 KiB per-run
+    budget, no cumulative limits, [Deny] policy. *)
+
+val hardening : t -> hardening option
+(** The bundle this instance was created with, for stats surfacing. *)
+
+val create :
+  ?query_cost_ns:int -> ?k_anonymity:int -> ?hardening:hardening -> unit -> (t, string) result
 (** Builds schemas, policies, regions (running Scrutinizer on the verified
     ones), and signs the critical regions with the built-in reviewer key.
     [query_cost_ns] models the DB round trip (Fig. 9c); [k_anonymity]
-    defaults to 5. *)
+    defaults to 5. [hardening] (default off) runs both sandboxed regions
+    on the bundle's preflighted pool, under its budgets and quota. *)
 
 val create_durable :
   ?query_cost_ns:int ->
   ?k_anonymity:int ->
   ?durable_config:Wal.Durable.config ->
+  ?hardening:hardening ->
   data_dir:string ->
   unit ->
   (t * Wal.Durable.t, string) result

@@ -10,6 +10,8 @@ type error =
   | Hashing_failed of string
   | Decode_failed of string
   | Sandbox_trapped of { region : string; trap : Sbx.Runtime.trap }
+  | Quota_denied of { region : string; state : string }
+  | Attest_failed of { region : string }
 
 let pp_error fmt = function
   | Not_leakage_free v ->
@@ -24,6 +26,10 @@ let pp_error fmt = function
   | Decode_failed msg -> Format.fprintf fmt "sandbox output decode failed: %s" msg
   | Sandbox_trapped { region; trap } ->
       Format.fprintf fmt "sandboxed region %s trapped: %a" region Sbx.Runtime.pp_trap trap
+  | Quota_denied { region; state } ->
+      Format.fprintf fmt "sandboxed region %s refused: %s" region state
+  | Attest_failed { region } ->
+      Format.fprintf fmt "region %s could not be attested; failing closed" region
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
@@ -32,6 +38,18 @@ let check_policy policy context =
   | Ok () -> Ok ()
   | Error msg ->
       Error (Policy_denied { policy = msg; context = Context.describe context })
+
+(* Attestation hooks. When an ambient recorder is installed
+   (Sign.Attest.install — bench serve, the demo with --attest-log),
+   every region installation appends an approval frame binding its body
+   hash to the verdict it was installed under, and every sandboxed run
+   appends a signed manifest. A frame that cannot be appended fails the
+   region closed: an unattested run must not be served. *)
+
+let record_approval ~kind ~body_hash ~verdict =
+  match Sign.Attest.current () with
+  | None -> Ok ()
+  | Some recorder -> Sign.Attest.append_approval recorder ~kind ~body_hash ~verdict
 
 module Verified = struct
   type ('a, 'b) t = {
@@ -44,15 +62,19 @@ module Verified = struct
     let verdict = Scrut.Analysis.check ?allowlist program spec in
     if not verdict.Scrut.Analysis.accepted then Error (Not_leakage_free verdict)
     else begin
+      let name = spec.Scrut.Spec.name in
       Registry.register
         {
           Registry.app;
-          region = spec.Scrut.Spec.name;
+          region = name;
           kind = Registry.Verified;
           loc = Scrut.Spec.loc spec;
           review_loc = 0;
         };
-      Ok { name = spec.Scrut.Spec.name; f; verdict }
+      let body_hash = Sign.Sha256.digest_list [ "sesame-vr-body-v1"; app; name ] in
+      match record_approval ~kind:"verified" ~body_hash ~verdict:"scrutinizer:accepted" with
+      | Error _ -> Error (Attest_failed { region = name })
+      | Ok () -> Ok { name; f; verdict }
     end
 
   let verdict t = t.verdict
@@ -73,25 +95,153 @@ module Sandboxed = struct
     encode : 'a -> Sbx.Value.t;
     decode : Sbx.Value.t -> ('b, string) result;
     f : Sbx.Value.t -> Sbx.Value.t;
+    body_hash : Sign.Sha256.t;
+    body_hex : string;
+    verdict : string;
+    quota : Sbx.Quota.t option;
+    preflight_hex : string;
+    budgets_str : string;
+    attest_broken : bool;
     mutable last : Sbx.Runtime.timings option;
   }
 
-  let make ~app ~name ?(config = Sbx.Runtime.default_config) ~loc ~encode ~decode ~f () =
+  let budget_string (b : Sbx.Runtime.budget) =
+    let parts =
+      List.filter_map Fun.id
+        [
+          Option.map (Printf.sprintf "deadline=%.3fs") b.Sbx.Runtime.deadline_s;
+          Option.map (Printf.sprintf "fuel=%d") b.Sbx.Runtime.fuel;
+          Option.map (Printf.sprintf "mem=%d") b.Sbx.Runtime.mem_bytes;
+        ]
+    in
+    if parts = [] then "unbounded" else String.concat " " parts
+
+  (* Outcome classes only — never trap detail, which can carry a guest
+     exception rendering. *)
+  let trap_class = function
+    | Sbx.Runtime.Guest_exception _ -> "trap:guest-exception"
+    | Sbx.Runtime.Syscall_blocked _ -> "trap:syscall-blocked"
+    | Sbx.Runtime.Sandbox_fault _ -> "trap:sandbox-fault"
+    | Sbx.Runtime.Fault_injected _ -> "trap:fault-injected"
+    | Sbx.Runtime.Deadline_exceeded _ -> "trap:deadline"
+    | Sbx.Runtime.Fuel_exhausted _ -> "trap:fuel"
+    | Sbx.Runtime.Memory_exceeded _ -> "trap:memory"
+
+  let make ~app ~name ?(config = Sbx.Runtime.default_config) ?source ?quota
+      ?(verdict = "sandboxed:delegated") ~loc ~encode ~decode ~f () =
     Registry.register
       { Registry.app; region = name; kind = Registry.Sandboxed; loc; review_loc = 0 };
-    { name; config; encode; decode; f; last = None }
+    (* The body hash keys quota books and attestation frames. [source]
+       lets apps bind the actual region body text; absent that, the
+       (app, name) pair identifies the installation site. *)
+    let source = Option.value source ~default:(app ^ "/" ^ name) in
+    let body_hash = Sign.Sha256.digest_list [ "sesame-sbx-body-v1"; app; name; source ] in
+    let preflight_hex =
+      match config.Sbx.Runtime.mode with
+      | Sbx.Runtime.Pooled pool -> (
+          match Sbx.Pool.preflight_report pool with
+          | Some r -> Sign.Sha256.to_hex (Sign.Sha256.digest_string (Sbx.Preflight.render r))
+          | None -> "none")
+      | Sbx.Runtime.Naive -> "none"
+    in
+    (* [make] cannot fail, so a broken approval append latches: every
+       run of this region then fails closed with [Attest_failed]. *)
+    let attest_broken =
+      match record_approval ~kind:"sandboxed" ~body_hash ~verdict with
+      | Ok () -> false
+      | Error _ -> true
+    in
+    {
+      name;
+      config;
+      encode;
+      decode;
+      f;
+      body_hash;
+      body_hex = Sign.Sha256.to_hex body_hash;
+      verdict;
+      quota;
+      preflight_hex;
+      budgets_str = budget_string config.Sbx.Runtime.budget;
+      attest_broken;
+      last = None;
+    }
 
   let name t = t.name
+  let body_hash t = t.body_hash
+  let quota_counters t =
+    Option.bind t.quota (fun q -> Sbx.Quota.counters_for q ~key:t.body_hex)
+
+  let record_run t (outcome : Sbx.Runtime.outcome) =
+    match Sign.Attest.current () with
+    | None -> Ok ()
+    | Some recorder ->
+        let outcome_str =
+          match outcome.Sbx.Runtime.status with
+          | Sbx.Runtime.Ok _ -> "ok"
+          | Sbx.Runtime.Trapped trap -> trap_class trap
+        in
+        let quota_str =
+          match t.quota with
+          | None -> "off"
+          | Some q -> Sbx.Quota.state_string q ~key:t.body_hex
+        in
+        Sign.Attest.append_run recorder ~region:t.name ~body_hash:t.body_hash
+          ~verdict:t.verdict ~budgets:t.budgets_str ~outcome:outcome_str ~quota:quota_str
+          ~preflight:t.preflight_hex
 
   let run_value t policy value =
-    let outcome = Sbx.Runtime.run t.config ~input:value ~f:t.f in
-    t.last <- Some outcome.Sbx.Runtime.timings;
-    match outcome.Sbx.Runtime.status with
-    | Sbx.Runtime.Trapped trap -> Error (Sandbox_trapped { region = t.name; trap })
-    | Sbx.Runtime.Ok value -> (
-        match t.decode value with
-        | Ok result -> Ok (Pcon.Internal.make policy result)
-        | Error msg -> Error (Decode_failed msg))
+    let deny state = Error (Quota_denied { region = t.name; state }) in
+    let admitted =
+      match t.quota with
+      | None -> Result.Ok ()
+      | Some q -> (
+          match Sbx.Quota.admit q ~key:t.body_hex with
+          | Sbx.Quota.Admit -> Result.Ok ()
+          | refused -> deny (Sbx.Quota.admission_message refused))
+    in
+    match admitted with
+    | Error _ as e -> e
+    | Ok () ->
+        if t.attest_broken then Error (Attest_failed { region = t.name })
+        else begin
+          let outcome = Sbx.Runtime.run t.config ~input:value ~f:t.f in
+          t.last <- Some outcome.Sbx.Runtime.timings;
+          let trapped =
+            match outcome.Sbx.Runtime.status with
+            | Sbx.Runtime.Trapped _ -> true
+            | Sbx.Runtime.Ok _ -> false
+          in
+          let accounted =
+            match t.quota with
+            | None -> Result.Ok ()
+            | Some q -> (
+                match
+                  Sbx.Quota.account q ~key:t.body_hex ~trapped
+                    ~fuel:outcome.Sbx.Runtime.usage.Sbx.Runtime.fuel_used
+                    ~wall_s:(Sbx.Runtime.total_s outcome.Sbx.Runtime.timings)
+                    ~mem_bytes:outcome.Sbx.Runtime.usage.Sbx.Runtime.mem_bytes
+                with
+                | () -> Result.Ok ()
+                | exception Sesame_faults.Injected _ ->
+                    (* The books could not be charged: the run must not
+                       be served unaccounted. *)
+                    deny "usage accounting failed; result withheld")
+          in
+          match accounted with
+          | Error _ as e -> e
+          | Ok () -> (
+              match record_run t outcome with
+              | Error _ -> Error (Attest_failed { region = t.name })
+              | Ok () -> (
+                  match outcome.Sbx.Runtime.status with
+                  | Sbx.Runtime.Trapped trap ->
+                      Error (Sandbox_trapped { region = t.name; trap })
+                  | Sbx.Runtime.Ok value -> (
+                      match t.decode value with
+                      | Ok result -> Ok (Pcon.Internal.make policy result)
+                      | Error msg -> Error (Decode_failed msg))))
+        end
 
   let run t pcon =
     run_value t (Pcon.policy pcon) (t.encode (Pcon.Internal.unwrap pcon))
@@ -127,7 +277,7 @@ module Critical = struct
     in
     match Sign.Region_hash.compute input with
     | Error msg -> Error (Hashing_failed msg)
-    | Ok digest ->
+    | Ok digest -> (
         let review_loc = Sign.Region_hash.review_burden_loc input in
         Registry.register
           {
@@ -137,15 +287,19 @@ module Critical = struct
             loc = Scrut.Spec.loc spec;
             review_loc;
           };
-        Ok
-          {
-            name = spec.Scrut.Spec.name;
-            f;
-            digest;
-            review_loc;
-            keystore;
-            signature = None;
-          }
+        (* The critical region's body hash IS its review digest. *)
+        match record_approval ~kind:"critical" ~body_hash:digest ~verdict:"critical:reviewed" with
+        | Error _ -> Error (Attest_failed { region = spec.Scrut.Spec.name })
+        | Ok () ->
+            Ok
+              {
+                name = spec.Scrut.Spec.name;
+                f;
+                digest;
+                review_loc;
+                keystore;
+                signature = None;
+              })
 
   let name t = t.name
   let digest t = t.digest

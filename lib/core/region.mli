@@ -32,6 +32,14 @@ type error =
   | Sandbox_trapped of { region : string; trap : Sbx.Runtime.trap }
       (** the guest trapped or blew a budget; fail closed, arena
           quarantined by the runtime *)
+  | Quota_denied of { region : string; state : string }
+      (** the region exceeded its cumulative resource quota, or its
+          usage could not be accounted; [state] names the breached
+          limit, never guest data *)
+  | Attest_failed of { region : string }
+      (** the run's attestation manifest (or the region's installation
+          approval) could not be appended; an unattested run is never
+          served *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
@@ -70,6 +78,9 @@ module Sandboxed : sig
     app:string ->
     name:string ->
     ?config:Sbx.Runtime.config ->
+    ?source:string ->
+    ?quota:Sbx.Quota.t ->
+    ?verdict:string ->
     loc:int ->
     encode:('a -> Sbx.Value.t) ->
     decode:(Sbx.Value.t -> ('b, string) result) ->
@@ -77,14 +88,33 @@ module Sandboxed : sig
     unit ->
     ('a, 'b) t
   (** [loc] is the closure's size for Fig. 6 accounting. The default
-      config is the module-wide pooled/swizzle/2× one. *)
+      config is the module-wide pooled/swizzle/2× one.
+
+      Hardening hooks: [source] is the region body text bound into the
+      body hash (default: the [(app, name)] installation site);
+      [quota] enrolls the region with a cumulative resource accountant
+      — runs past the allowance degrade to {!error.Quota_denied};
+      [verdict] (default ["sandboxed:delegated"]) is the verdict
+      fingerprint recorded in attestation frames. When an ambient
+      {!Sign.Attest} recorder is installed, [make] appends the region's
+      approval frame; if that append fails, every later run of this
+      region fails closed with {!error.Attest_failed}. *)
 
   val name : _ t -> string
+
+  val body_hash : _ t -> Sign.Sha256.t
+  (** The hash quota books and attestation frames are keyed by. *)
+
+  val quota_counters : _ t -> Sbx.Quota.counters option
+  (** This region's cumulative books, if it was enrolled with a quota. *)
 
   val run : ('a, 'b) t -> 'a Pcon.t -> ('b Pcon.t, error) result
   (** Copies the encoded input into the sandbox, runs [f] on the copy,
       decodes the copied-out result, and wraps it under the input's
-      policy. *)
+      policy. With a [quota], the run is gated on the region's books
+      first and its usage charged after; with an ambient attestation
+      recorder, the signed run manifest is appended before the result
+      (or trap) is surfaced — either failing closed. *)
 
   val run_list : ('a, 'b) t -> 'a Pcon.t list -> ('b Pcon.t, error) result
   (** Folds the inputs out first ([encode] then sees a ['a] per element via

@@ -10,6 +10,10 @@ type point =
   | Db_wal_fsync
   | Db_checkpoint_write
   | Db_checkpoint_rename
+  | Preflight_trap_miss
+  | Quota_account
+  | Attest_append
+  | Attest_fsync
 
 let all_points =
   [
@@ -24,6 +28,10 @@ let all_points =
     Db_wal_fsync;
     Db_checkpoint_write;
     Db_checkpoint_rename;
+    Preflight_trap_miss;
+    Quota_account;
+    Attest_append;
+    Attest_fsync;
   ]
 
 let point_index = function
@@ -38,8 +46,12 @@ let point_index = function
   | Db_wal_fsync -> 8
   | Db_checkpoint_write -> 9
   | Db_checkpoint_rename -> 10
+  | Preflight_trap_miss -> 11
+  | Quota_account -> 12
+  | Attest_append -> 13
+  | Attest_fsync -> 14
 
-let n_points = 11
+let n_points = 15
 
 let point_name = function
   | Arena_alloc -> "arena-alloc"
@@ -53,6 +65,10 @@ let point_name = function
   | Db_wal_fsync -> "db-wal-fsync"
   | Db_checkpoint_write -> "db-checkpoint-write"
   | Db_checkpoint_rename -> "db-checkpoint-rename"
+  | Preflight_trap_miss -> "preflight-trap-miss"
+  | Quota_account -> "quota-account"
+  | Attest_append -> "attest-append"
+  | Attest_fsync -> "attest-fsync"
 
 let point_of_string s =
   List.find_opt (fun p -> point_name p = s) all_points

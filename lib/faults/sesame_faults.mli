@@ -33,6 +33,23 @@ type point =
       (** the atomic rename that publishes a checkpoint; a fault models a
           crash between temp-file write and publication — recovery must
           ignore the temp file and replay the old checkpoint + WAL *)
+  | Preflight_trap_miss
+      (** the boot-time SFI preflight's trap-confirmation step
+          ([Sesame_sandbox.Sfi]); a fault models a build on which a
+          deliberate trap was {e not} caught — the preflight must report
+          the check as missed and pool construction must be refused *)
+  | Quota_account
+      (** cumulative per-region resource accounting
+          ([Sesame_sandbox.Quota.account]); a fault means the run's usage
+          could not be charged, so the run's result must be denied rather
+          than served unaccounted *)
+  | Attest_append
+      (** attestation-manifest append ([Sesame_signing.Attest]); a fault
+          means the run cannot be bound to its approving verdict, so the
+          result must be denied *)
+  | Attest_fsync
+      (** the [fsync] between attestation-frame write and
+          acknowledgement; a fault models a manifest the disk never saw *)
 
 val all_points : point list
 val point_name : point -> string

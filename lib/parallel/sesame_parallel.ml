@@ -24,6 +24,12 @@ type t = {
    domain waiting for chunks only this domain could execute. *)
 let inside_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+let sequentialized f =
+  let guard = Domain.DLS.get inside_task in
+  let saved = !guard in
+  guard := true;
+  Fun.protect ~finally:(fun () -> guard := saved) f
+
 let env_domains () =
   let cap = max 1 (Domain.recommended_domain_count ()) in
   match Sys.getenv_opt "PARALLEL_DOMAINS" with

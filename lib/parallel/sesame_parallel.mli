@@ -46,6 +46,16 @@ type stats = {
 
 val stats : t -> stats
 
+val sequentialized : (unit -> 'a) -> 'a
+(** [sequentialized f] runs [f ()] with the calling domain's
+    pool-reentrancy guard set, so any combinator call inside [f]
+    degrades to its sequential path instead of fanning out. For
+    long-lived worker domains created {e outside} the pool (e.g. the
+    server's burst workers) that execute handlers which may themselves
+    use the pool: without the guard such a handler would enqueue chunks
+    no resident worker is obliged to pick up promptly. The guard is
+    restored on exit. *)
+
 val run_chunks : t -> chunks:int -> (int -> unit) -> unit
 (** [run_chunks t ~chunks f] runs [f 0 .. f (chunks-1)], distributing
     chunks over the pool; the caller participates and the call returns

@@ -6,18 +6,26 @@ type stats = {
   dropped : int;
   poisoned : int;
   replaced : int;
+  free : int;
+  capacity : int;
+  grown : int;
+  shrunk : int;
 }
 
 (* Counters are Atomics and the free list sits behind a mutex: sandboxed
    regions may run from worker domains, and both the list and the stats
    must stay exact (a lost stats increment hides a quarantine; a torn
-   free list hands one arena to two guests). *)
+   free list hands one arena to two guests). [capacity] is mutable for
+   autoscaling and only read/written under the same mutex. *)
 type t = {
-  capacity : int;
+  mutable capacity : int;
+  min_capacity : int;
+  max_capacity : int;
   arena_size : int;
   lock : Mutex.t;
   mutable free : Arena.t list;
   mutable free_count : int;  (* |free|, kept so release stays O(1) *)
+  mutable preflight : Preflight.report option;
   created : int Atomic.t;
   acquired : int Atomic.t;
   reused : int Atomic.t;
@@ -25,20 +33,28 @@ type t = {
   dropped : int Atomic.t;
   poisoned : int Atomic.t;
   replaced : int Atomic.t;
+  grown : int Atomic.t;
+  shrunk : int Atomic.t;
 }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(capacity = 2) ?(arena_size = 4 * 1024 * 1024) () =
+let create ?(capacity = 2) ?min_capacity ?max_capacity ?(arena_size = 4 * 1024 * 1024) () =
+  let min_capacity = Option.value min_capacity ~default:capacity in
+  let max_capacity = max min_capacity (Option.value max_capacity ~default:capacity) in
+  let capacity = min (max capacity min_capacity) max_capacity in
   let free = List.init capacity (fun _ -> Arena.create ~size:arena_size ()) in
   {
     capacity;
+    min_capacity;
+    max_capacity;
     arena_size;
     lock = Mutex.create ();
     free;
     free_count = capacity;
+    preflight = None;
     created = Atomic.make capacity;
     acquired = Atomic.make 0;
     reused = Atomic.make 0;
@@ -46,6 +62,8 @@ let create ?(capacity = 2) ?(arena_size = 4 * 1024 * 1024) () =
     dropped = Atomic.make 0;
     poisoned = Atomic.make 0;
     replaced = Atomic.make 0;
+    grown = Atomic.make 0;
+    shrunk = Atomic.make 0;
   }
 
 let acquire t =
@@ -108,7 +126,56 @@ let release t arena =
     if returned then Atomic.incr t.wiped else Atomic.incr t.dropped
   end
 
+(* Autoscaling. Growing preallocates up to the new capacity so a burst is
+   served from the pool rather than from per-request allocation; shrinking
+   drops surplus free arenas (arenas in flight simply won't be readmitted
+   past the new bound by [release]). Both clamp to [min,max]. *)
+let set_capacity t n =
+  let target = min (max n t.min_capacity) t.max_capacity in
+  let added, dropped_now, direction =
+    with_lock t (fun () ->
+        let old = t.capacity in
+        t.capacity <- target;
+        if target > old then begin
+          let add = max 0 (target - t.free_count) in
+          for _ = 1 to add do
+            t.free <- Arena.create ~size:t.arena_size () :: t.free
+          done;
+          t.free_count <- t.free_count + add;
+          (add, 0, 1)
+        end
+        else if target < old then begin
+          let drop = max 0 (t.free_count - target) in
+          for _ = 1 to drop do
+            match t.free with
+            | _ :: rest ->
+                t.free <- rest;
+                t.free_count <- t.free_count - 1
+            | [] -> ()
+          done;
+          (0, drop, -1)
+        end
+        else (0, 0, 0))
+  in
+  for _ = 1 to added do
+    Atomic.incr t.created
+  done;
+  for _ = 1 to dropped_now do
+    Atomic.incr t.dropped
+  done;
+  if direction > 0 then Atomic.incr t.grown
+  else if direction < 0 then Atomic.incr t.shrunk;
+  target
+
+let scale_up t = set_capacity t (with_lock t (fun () -> t.capacity) + 1)
+let scale_down t = set_capacity t (with_lock t (fun () -> t.capacity) - 1)
+let capacity t = with_lock t (fun () -> t.capacity)
+let bounds t = (t.min_capacity, t.max_capacity)
+let attach_preflight t report = with_lock t (fun () -> t.preflight <- Some report)
+let preflight_report t = with_lock t (fun () -> t.preflight)
+
 let stats t =
+  let free, capacity = with_lock t (fun () -> (t.free_count, t.capacity)) in
   {
     created = Atomic.get t.created;
     acquired = Atomic.get t.acquired;
@@ -117,6 +184,10 @@ let stats t =
     dropped = Atomic.get t.dropped;
     poisoned = Atomic.get t.poisoned;
     replaced = Atomic.get t.replaced;
+    free;
+    capacity;
+    grown = Atomic.get t.grown;
+    shrunk = Atomic.get t.shrunk;
   }
 
 let available t = with_lock t (fun () -> t.free_count)

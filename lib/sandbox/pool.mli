@@ -8,7 +8,13 @@
     Fault containment: an arena whose guest trapped or blew its budget is
     {e quarantined} — poisoned, dropped, and replaced by a fresh arena —
     rather than wiped and reused, so a fault can never seed residue (or a
-    corrupted allocator) into a later invocation. *)
+    corrupted allocator) into a later invocation.
+
+    Capacity is {e mutable} between [min_capacity] and [max_capacity]:
+    the server's autoscaler ({!Sesame_server}) converts sustained queue
+    depth / shed rate into {!set_capacity} calls so load spikes become
+    scaling before they become 503s. By default both bounds equal the
+    initial capacity, so nothing scales unless explicitly enabled. *)
 
 type t
 
@@ -17,13 +23,20 @@ type stats = {
   acquired : int;
   reused : int;  (** acquisitions served from the pool *)
   wiped : int;  (** wipes of arenas actually returned to the pool *)
-  dropped : int;  (** arenas discarded (pool full or quarantined) *)
+  dropped : int;  (** arenas discarded (pool full, quarantined, or shrunk away) *)
   poisoned : int;  (** arenas quarantined after a trap/budget overrun *)
   replaced : int;  (** fresh arenas preallocated to replace quarantined ones *)
+  free : int;  (** arenas currently idle in the pool *)
+  capacity : int;  (** current (possibly scaled) capacity *)
+  grown : int;  (** capacity increases applied via {!set_capacity} *)
+  shrunk : int;  (** capacity decreases applied via {!set_capacity} *)
 }
 
-val create : ?capacity:int -> ?arena_size:int -> unit -> t
-(** Preallocates [capacity] (default 2) arenas of [arena_size] bytes. *)
+val create :
+  ?capacity:int -> ?min_capacity:int -> ?max_capacity:int -> ?arena_size:int -> unit -> t
+(** Preallocates [capacity] (default 2) arenas of [arena_size] bytes.
+    [min_capacity]/[max_capacity] (both default [capacity]) bound later
+    {!set_capacity} calls; the initial capacity is clamped into them. *)
 
 val acquire : t -> Arena.t
 (** Pops a clean arena, or allocates a fresh one when the pool is empty. *)
@@ -35,6 +48,27 @@ val release : t -> Arena.t -> unit
 val quarantine : t -> Arena.t -> unit
 (** Poisons and drops the arena, preallocating a clean replacement when
     the pool has room. Never returns a poisoned arena to the free list. *)
+
+val set_capacity : t -> int -> int
+(** Clamps the target into [min,max] and applies it, returning the new
+    capacity. Growing preallocates arenas up to the new capacity;
+    shrinking drops surplus {e free} arenas (in-flight arenas are simply
+    not readmitted past the new bound). *)
+
+val scale_up : t -> int
+val scale_down : t -> int
+(** [set_capacity (capacity ± 1)]; both return the resulting capacity. *)
+
+val capacity : t -> int
+val bounds : t -> int * int
+(** [(min_capacity, max_capacity)]. *)
+
+val attach_preflight : t -> Preflight.report -> unit
+(** Records the preflight report this pool was constructed under — set by
+    {!Sfi.create_pool}, which refuses to build the pool unless the report
+    passed. *)
+
+val preflight_report : t -> Preflight.report option
 
 val stats : t -> stats
 val available : t -> int

@@ -1,0 +1,47 @@
+type check_outcome = Caught | Missed of string
+
+type check = {
+  name : string;
+  detail : string;
+  outcome : check_outcome;
+  elapsed_s : float;
+}
+
+type report = {
+  checks : check list;
+  arena_size : int;
+  at_s : float;
+  total_s : float;
+}
+
+let check_passed c = match c.outcome with Caught -> true | Missed _ -> false
+let passed r = r.checks <> [] && List.for_all check_passed r.checks
+let missed r = List.filter (fun c -> not (check_passed c)) r.checks
+
+(* Canonical rendering: stable line-per-check text, so a hash of it is a
+   usable report fingerprint for the attestation manifest (the signing
+   layer hashes it; this module stays below [lib/signing]). *)
+let render r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "sesame-preflight-v1 arena=%d checks=%d verdict=%s\n" r.arena_size
+       (List.length r.checks)
+       (if passed r then "pass" else "FAIL"));
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %-7s %s\n" c.name
+           (match c.outcome with Caught -> "caught" | Missed _ -> "MISSED")
+           (match c.outcome with Caught -> c.detail | Missed why -> why)))
+    r.checks;
+  Buffer.contents b
+
+let summary r =
+  let n = List.length r.checks in
+  let m = List.length (missed r) in
+  if passed r then Printf.sprintf "preflight: %d/%d trap checks caught (%.1f ms)" n n (r.total_s *. 1e3)
+  else
+    Printf.sprintf "preflight FAILED: %d/%d trap checks missed (%s)" m n
+      (String.concat ", " (List.map (fun c -> c.name) (missed r)))
+
+let pp fmt r = Format.pp_print_string fmt (render r)

@@ -1,0 +1,44 @@
+(** Boot-time SFI preflight report.
+
+    Like a container launcher probing that seccomp/AppArmor actually bind
+    before starting workloads, {!Sfi} runs a battery of deliberate trap
+    tests against this build's arena/runtime and records whether each
+    deliberate violation was caught and quarantined. This module holds
+    only the report shape and its canonical rendering; the battery itself
+    lives in {!Sfi} (which needs {!Runtime}), so {!Pool} can carry a
+    report without a dependency cycle. *)
+
+type check_outcome =
+  | Caught  (** the deliberate violation trapped and was quarantined *)
+  | Missed of string  (** why the build failed the check — fail closed *)
+
+type check = {
+  name : string;  (** stable kebab-case check id, e.g. ["sfi-oob-read"] *)
+  detail : string;
+  outcome : check_outcome;
+  elapsed_s : float;
+}
+
+type report = {
+  checks : check list;
+  arena_size : int;  (** arena size the battery probed *)
+  at_s : float;  (** wall-clock start of the battery *)
+  total_s : float;
+}
+
+val check_passed : check -> bool
+
+val passed : report -> bool
+(** True iff every check caught its trap (an empty battery fails). *)
+
+val missed : report -> check list
+
+val render : report -> string
+(** Canonical line-per-check text. Stable across runs of a passing build
+    (timings excluded), so its hash serves as the attestation manifest's
+    preflight fingerprint. *)
+
+val summary : report -> string
+(** One-line verdict for logs and CLI output. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,236 @@
+type limits = {
+  max_runs : int option;
+  max_traps : int option;
+  max_fuel : int option;
+  max_wall_s : float option;
+  max_mem_bytes : int option;
+}
+
+let no_limits =
+  { max_runs = None; max_traps = None; max_fuel = None; max_wall_s = None; max_mem_bytes = None }
+
+let limits ?max_runs ?max_traps ?max_fuel ?max_wall_s ?max_mem_bytes () =
+  { max_runs; max_traps; max_fuel; max_wall_s; max_mem_bytes }
+
+type policy =
+  | Deny
+  | Throttle of { initial_backoff_s : float; max_backoff_s : float }
+  | Quarantine
+
+let policy_name = function
+  | Deny -> "deny"
+  | Throttle _ -> "throttle"
+  | Quarantine -> "quarantine"
+
+type counters = {
+  runs : int;
+  traps : int;
+  fuel : int;
+  wall_s : float;
+  peak_mem_bytes : int;
+  denied : int;
+  throttled : int;
+  quarantine_events : int;
+}
+
+let zero_counters =
+  {
+    runs = 0;
+    traps = 0;
+    fuel = 0;
+    wall_s = 0.0;
+    peak_mem_bytes = 0;
+    denied = 0;
+    throttled = 0;
+    quarantine_events = 0;
+  }
+
+type entry = {
+  mutable runs : int;
+  mutable traps : int;
+  mutable fuel : int;
+  mutable wall_s : float;
+  mutable peak_mem_bytes : int;
+  mutable denied : int;
+  mutable throttled : int;
+  mutable quarantined : bool;
+  mutable quarantine_events : int;
+  mutable backoff_s : float;  (* current throttle window; 0 = not backing off *)
+  mutable next_admit_at : float;
+}
+
+(* One mutex over the whole table: admissions and accounting from worker
+   domains must observe exact counters (a lost increment under-charges a
+   region; a double quarantine event breaks the exactly-once contract). *)
+type t = {
+  limits : limits;
+  policy : policy;
+  now : unit -> float;
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ?(now = Sesame_clock.now_s) ?(limits = no_limits) ?(policy = Deny) () =
+  { limits; policy; now; lock = Mutex.create (); entries = Hashtbl.create 16 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_of t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          runs = 0;
+          traps = 0;
+          fuel = 0;
+          wall_s = 0.0;
+          peak_mem_bytes = 0;
+          denied = 0;
+          throttled = 0;
+          quarantined = false;
+          quarantine_events = 0;
+          backoff_s = 0.0;
+          next_admit_at = neg_infinity;
+        }
+      in
+      Hashtbl.add t.entries key e;
+      e
+
+(* First limit the cumulative counters have already breached, if any.
+   [max_runs] counts admissible runs, so the (n+1)th is the breach. *)
+let breach_of limits (e : entry) =
+  let over_int limit v = match limit with Some l -> v >= l | None -> false in
+  let over_float limit v = match limit with Some l -> v >= l | None -> false in
+  if over_int limits.max_runs e.runs then Some "runs"
+  else if over_int limits.max_traps e.traps then Some "traps"
+  else if over_int limits.max_fuel e.fuel then Some "fuel"
+  else if over_float limits.max_wall_s e.wall_s then Some "wall-clock"
+  else if over_int limits.max_mem_bytes e.peak_mem_bytes then Some "memory"
+  else None
+
+type admission =
+  | Admit
+  | Deny_quota of { breached : string }
+  | Backoff of { retry_in_s : float; breached : string }
+  | Quarantined of { breached : string }
+
+let admission_message = function
+  | Admit -> "admitted"
+  | Deny_quota { breached } -> Printf.sprintf "region exceeded its %s quota" breached
+  | Backoff { retry_in_s; breached } ->
+      Printf.sprintf "region exceeded its %s quota; throttled (retry in %.3fs)" breached
+        retry_in_s
+  | Quarantined { breached } ->
+      Printf.sprintf "region quarantined after exceeding its %s quota" breached
+
+let admit t ~key =
+  with_lock t (fun () ->
+      let e = entry_of t key in
+      if e.quarantined then begin
+        e.denied <- e.denied + 1;
+        Quarantined { breached = "quota" }
+      end
+      else
+        match breach_of t.limits e with
+        | None ->
+            (* Back under quota (e.g. a wall-clock window policy upstream
+               reset the entry): stop backing off. *)
+            e.backoff_s <- 0.0;
+            Admit
+        | Some breached -> (
+            match t.policy with
+            | Deny ->
+                e.denied <- e.denied + 1;
+                Deny_quota { breached }
+            | Quarantine ->
+                (* The transition happens exactly once, under the lock. *)
+                e.quarantined <- true;
+                e.quarantine_events <- e.quarantine_events + 1;
+                e.denied <- e.denied + 1;
+                Quarantined { breached }
+            | Throttle { initial_backoff_s; max_backoff_s } ->
+                let now = t.now () in
+                if now >= e.next_admit_at then begin
+                  (* Admit one probe run, then exponentially widen the gap. *)
+                  e.backoff_s <-
+                    (if e.backoff_s <= 0.0 then initial_backoff_s
+                     else Float.min max_backoff_s (e.backoff_s *. 2.0));
+                  e.next_admit_at <- now +. e.backoff_s;
+                  Admit
+                end
+                else begin
+                  e.throttled <- e.throttled + 1;
+                  Backoff { retry_in_s = e.next_admit_at -. now; breached }
+                end))
+
+let account t ~key ~trapped ~fuel ~wall_s ~mem_bytes =
+  (* The seam fires before any counter moves: an injected accounting
+     fault must leave the books untouched and the caller must deny the
+     response rather than serve it unaccounted. Hit outside the lock so
+     the raise cannot wedge other domains. *)
+  Sesame_faults.hit Sesame_faults.Quota_account;
+  with_lock t (fun () ->
+      let e = entry_of t key in
+      e.runs <- e.runs + 1;
+      if trapped then e.traps <- e.traps + 1;
+      e.fuel <- e.fuel + fuel;
+      e.wall_s <- e.wall_s +. wall_s;
+      if mem_bytes > e.peak_mem_bytes then e.peak_mem_bytes <- mem_bytes)
+
+let counters_of (e : entry) =
+  {
+    runs = e.runs;
+    traps = e.traps;
+    fuel = e.fuel;
+    wall_s = e.wall_s;
+    peak_mem_bytes = e.peak_mem_bytes;
+    denied = e.denied;
+    throttled = e.throttled;
+    quarantine_events = e.quarantine_events;
+  }
+
+let counters_for t ~key =
+  with_lock t (fun () -> Option.map counters_of (Hashtbl.find_opt t.entries key))
+
+let quarantined t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries key with Some e -> e.quarantined | None -> false)
+
+let snapshot t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun key e acc -> (key, counters_of e) :: acc) t.entries []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let totals t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ (e : entry) (acc : counters) : counters ->
+          {
+            runs = acc.runs + e.runs;
+            traps = acc.traps + e.traps;
+            fuel = acc.fuel + e.fuel;
+            wall_s = acc.wall_s +. e.wall_s;
+            peak_mem_bytes = max acc.peak_mem_bytes e.peak_mem_bytes;
+            denied = acc.denied + e.denied;
+            throttled = acc.throttled + e.throttled;
+            quarantine_events = acc.quarantine_events + e.quarantine_events;
+          })
+        t.entries zero_counters)
+
+let describe_counters (c : counters) =
+  Printf.sprintf
+    "runs=%d traps=%d fuel=%d wall=%.3fs peak-mem=%d denied=%d throttled=%d quarantines=%d"
+    c.runs c.traps c.fuel c.wall_s c.peak_mem_bytes c.denied c.throttled c.quarantine_events
+
+(* Compact state string for the attestation manifest — what the region's
+   books said when this run was recorded. *)
+let state_string t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None -> "fresh"
+      | Some e ->
+          Printf.sprintf "runs=%d traps=%d fuel=%d denied=%d%s" e.runs e.traps e.fuel e.denied
+            (if e.quarantined then " quarantined" else ""))

@@ -62,7 +62,11 @@ let pp_trap fmt t = Format.pp_print_string fmt (trap_message t)
 
 type status = Ok of Value.t | Trapped of trap
 
-type outcome = { status : status; timings : timings }
+(** What the run actually consumed — the quota layer charges these
+    against the region's cumulative allowance. *)
+type usage = { fuel_used : int; mem_bytes : int }
+
+type outcome = { status : status; timings : timings; usage : usage }
 
 (* Per-domain sandbox state: the nesting depth that backs [guard_syscall]
    plus the active budget, so concurrent domains neither observe each
@@ -73,11 +77,19 @@ type dstate = {
   mutable fuel_limit : int;
   mutable deadline : float;  (* absolute, [infinity]: none *)
   mutable deadline_limit_s : float;
+  mutable ticks : int;  (* monotone tick count — usage metering, never restored *)
 }
 
 let dls : dstate Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { depth = 0; fuel_left = -1; fuel_limit = 0; deadline = infinity; deadline_limit_s = 0.0 })
+      {
+        depth = 0;
+        fuel_left = -1;
+        fuel_limit = 0;
+        deadline = infinity;
+        deadline_limit_s = 0.0;
+        ticks = 0;
+      })
 
 let state () = Domain.DLS.get dls
 
@@ -99,6 +111,7 @@ exception Mem_exceeded of int * int
 let tick () =
   let st = state () in
   if st.depth > 0 then begin
+    st.ticks <- st.ticks + 1;
     if st.fuel_left >= 0 then begin
       if st.fuel_left = 0 then raise (Out_of_fuel st.fuel_limit);
       st.fuel_left <- st.fuel_left - 1
@@ -135,10 +148,14 @@ let run config ~input ~f =
     | Pooled pool -> Pool.acquire pool
   in
   let t1 = now () in
+  let st = state () in
+  let ticks0 = st.ticks in
   (* Exactly one of these runs, exactly once: a clean arena is wiped and
      pooled; a trapped one is quarantined (dropped and replaced), never
-     returned to reuse. *)
+     returned to reuse. Usage is sampled first: release wipes the arena
+     and resets its high-water mark. *)
   let finish status t2 t3 t4 =
+    let usage = { fuel_used = st.ticks - ticks0; mem_bytes = Arena.high_water arena } in
     (match config.mode with
     | Naive -> ()
     | Pooled pool -> (
@@ -156,6 +173,7 @@ let run config ~input ~f =
           copy_out_s = t4 -. t3;
           teardown_s = t5 -. t4;
         };
+      usage;
     }
   in
   let check_mem () =
@@ -165,7 +183,6 @@ let run config ~input ~f =
         if used > cap then raise (Mem_exceeded (used, cap))
     | None -> ()
   in
-  let st = state () in
   let saved = (st.fuel_left, st.fuel_limit, st.deadline, st.deadline_limit_s) in
   match
     let addr_in = Copier.copy_in config.strategy arena input in

@@ -77,7 +77,14 @@ val pp_trap : Format.formatter -> trap -> unit
 
 type status = Ok of Value.t | Trapped of trap
 
-type outcome = { status : status; timings : timings }
+type usage = {
+  fuel_used : int;  (** {!tick} calls the run consumed (nested runs included) *)
+  mem_bytes : int;  (** arena high-water mark at completion *)
+}
+(** What the run actually consumed, sampled before the arena is wiped or
+    quarantined — the input to cumulative per-region quotas ({!Quota}). *)
+
+type outcome = { status : status; timings : timings; usage : usage }
 
 val run : config -> input:Value.t -> f:(Value.t -> Value.t) -> outcome
 (** Executes [f] on the copied-in input. Never raises: any guest failure

@@ -15,6 +15,25 @@
 
 module Http = Sesame_http
 
+(* Autoscaling adds a supervisor domain that samples the handoff queue
+   and the shed counter every [interval_s]. Pressure (queue depth at or
+   past [queue_high], or any shedding since the last sample) grows the
+   worker set by one burst domain up to [max_domains]; [idle_samples]
+   consecutive quiet samples shrink it by one down to the floor. Burst
+   domains run the same worker loop as the pool domains but outside the
+   pool, wrapped in [Sesame_parallel.sequentialized] so handler fan-outs
+   still degrade to their sequential path. *)
+type autoscale = {
+  min_domains : int;
+  max_domains : int;
+  interval_s : float;
+  queue_high : int;
+  idle_samples : int;
+}
+
+let default_autoscale =
+  { min_domains = 0; max_domains = 8; interval_s = 0.05; queue_high = 4; idle_samples = 10 }
+
 type config = {
   host : string;
   port : int;  (* 0 picks an ephemeral port; see port t *)
@@ -24,6 +43,7 @@ type config = {
   max_requests_per_connection : int;
   idle_timeout_s : float;
   limits : Http.Wire.limits;
+  autoscale : autoscale option;
 }
 
 let default_config =
@@ -36,6 +56,7 @@ let default_config =
     max_requests_per_connection = 1000;
     idle_timeout_s = 5.0;
     limits = Http.Wire.default_limits;
+    autoscale = None;
   }
 
 type stats = {
@@ -45,6 +66,9 @@ type stats = {
   parse_errors : int;
   timeouts : int;
   active : int;
+  burst_workers : int;
+  scale_ups : int;
+  scale_downs : int;
 }
 
 type t = {
@@ -64,9 +88,16 @@ type t = {
   shed : int Atomic.t;
   parse_errors : int Atomic.t;
   timeouts : int Atomic.t;
+  burst_target : int Atomic.t;
+  burst_active : int Atomic.t;
+  scale_ups : int Atomic.t;
+  scale_downs : int Atomic.t;
   on_error : string -> unit;
+  on_scale : workers:int -> unit;
+  mutable burst_handles : unit Domain.t list;  (* guarded by mutex *)
   mutable listener : unit Domain.t option;
   mutable driver : unit Domain.t option;
+  mutable supervisor : unit Domain.t option;
 }
 
 let port t = t.bound_port
@@ -79,6 +110,9 @@ let stats t =
     parse_errors = Atomic.get t.parse_errors;
     timeouts = Atomic.get t.timeouts;
     active = Atomic.get t.active;
+    burst_workers = Atomic.get t.burst_active;
+    scale_ups = Atomic.get t.scale_ups;
+    scale_downs = Atomic.get t.scale_downs;
   }
 
 let write_all fd s =
@@ -158,8 +192,10 @@ let handle_connection t fd =
           && requests_served < t.config.max_requests_per_connection
           && not (Atomic.get t.stopping)
         in
-        respond ~head_only ~keep_alive response;
+        (* Count before writing: a client that has read this response
+           must never observe a [served] total that excludes it. *)
         Atomic.incr t.served;
+        respond ~head_only ~keep_alive response;
         if keep_alive then serve requests_served
   in
   (try serve 0 with
@@ -181,6 +217,99 @@ let rec worker_loop t =
       handle_connection t fd;
       worker_loop t
   | None -> ()
+
+(* A burst worker is a pool-less copy of worker_loop with one extra exit
+   condition: when more burst workers are alive than the supervisor's
+   target, the first to reach the (mutex-serialized) check claims the
+   retirement by decrementing [burst_active] — so a scale-down retires
+   exactly one worker, whichever gets there first. *)
+let rec burst_loop t =
+  Mutex.lock t.mutex;
+  let rec await () =
+    if Atomic.get t.stopping || Atomic.get t.burst_active > Atomic.get t.burst_target
+    then begin
+      Atomic.decr t.burst_active;
+      None
+    end
+    else if Queue.is_empty t.queue then begin
+      Condition.wait t.nonempty t.mutex;
+      await ()
+    end
+    else Some (Queue.pop t.queue)
+  in
+  let next = await () in
+  Mutex.unlock t.mutex;
+  match next with
+  | Some fd ->
+      handle_connection t fd;
+      burst_loop t
+  | None -> ()
+
+let spawn_burst t =
+  (* Count the worker before it runs so a concurrent retirement check
+     never under-counts. *)
+  Atomic.incr t.burst_active;
+  let h =
+    Domain.spawn (fun () -> Sesame_parallel.sequentialized (fun () -> burst_loop t))
+  in
+  Mutex.lock t.mutex;
+  t.burst_handles <- h :: t.burst_handles;
+  Mutex.unlock t.mutex
+
+let supervisor_loop t auto =
+  let base = Sesame_parallel.domains t.pool in
+  let workers () = base + Atomic.get t.burst_target in
+  let floor = max base (min auto.min_domains auto.max_domains) in
+  (* Honour the floor up front: pre-spawned capacity is configuration,
+     not a scale event, so it doesn't count toward scale_ups. *)
+  if floor > base then begin
+    Atomic.set t.burst_target (floor - base);
+    for _ = 1 to floor - base do
+      spawn_burst t
+    done;
+    t.on_scale ~workers:(workers ())
+  end;
+  let shed_prev = ref (Atomic.get t.shed) in
+  let calm = ref 0 in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (try Unix.sleepf auto.interval_s with Unix.Unix_error _ -> ());
+      if not (Atomic.get t.stopping) then begin
+        Mutex.lock t.mutex;
+        let depth = Queue.length t.queue in
+        Mutex.unlock t.mutex;
+        let shed_now = Atomic.get t.shed in
+        let shed_delta = shed_now - !shed_prev in
+        shed_prev := shed_now;
+        if depth >= auto.queue_high || shed_delta > 0 then begin
+          calm := 0;
+          if workers () < auto.max_domains then begin
+            Atomic.incr t.burst_target;
+            Atomic.incr t.scale_ups;
+            spawn_burst t;
+            t.on_scale ~workers:(workers ())
+          end
+        end
+        else if depth = 0 then begin
+          incr calm;
+          if !calm >= auto.idle_samples && workers () > floor then begin
+            calm := 0;
+            Atomic.decr t.burst_target;
+            Atomic.incr t.scale_downs;
+            (* Wake a parked worker so the retirement check runs now
+               rather than at the next connection. *)
+            Mutex.lock t.mutex;
+            Condition.broadcast t.nonempty;
+            Mutex.unlock t.mutex;
+            t.on_scale ~workers:(workers ())
+          end
+        end
+        else calm := 0;
+        loop ()
+      end
+    end
+  in
+  loop ()
 
 let shed t fd =
   Atomic.incr t.shed;
@@ -216,7 +345,7 @@ let rec listener_loop t =
         listener_loop t
 
 let start ?(config = default_config) ?(on_error = fun msg -> prerr_endline ("[server] " ^ msg))
-    ~handler () =
+    ?(on_scale = fun ~workers:_ -> ()) ~handler () =
   (* A peer closing mid-write must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -256,9 +385,16 @@ let start ?(config = default_config) ?(on_error = fun msg -> prerr_endline ("[se
         shed = Atomic.make 0;
         parse_errors = Atomic.make 0;
         timeouts = Atomic.make 0;
+        burst_target = Atomic.make 0;
+        burst_active = Atomic.make 0;
+        scale_ups = Atomic.make 0;
+        scale_downs = Atomic.make 0;
         on_error;
+        on_scale;
+        burst_handles = [];
         listener = None;
         driver = None;
+        supervisor = None;
       }
     in
     (* One worker loop per pool domain: run_chunks distributes them, the
@@ -270,6 +406,9 @@ let start ?(config = default_config) ?(on_error = fun msg -> prerr_endline ("[se
              let chunks = Sesame_parallel.domains t.pool in
              Sesame_parallel.run_chunks t.pool ~chunks (fun _ -> worker_loop t)));
     t.listener <- Some (Domain.spawn (fun () -> listener_loop t));
+    (match config.autoscale with
+    | None -> ()
+    | Some auto -> t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t auto)));
     t
   with
   | t -> Ok t
@@ -301,5 +440,19 @@ let stop t =
     Mutex.unlock t.mutex;
     Option.iter Domain.join t.driver;
     t.driver <- None;
+    (* Join the supervisor before snapshotting burst handles: once it has
+       exited no new burst workers can appear, so the snapshot is the
+       complete set. Workers spawned after [stopping] was set exit on
+       their first check without needing a wakeup. *)
+    Option.iter Domain.join t.supervisor;
+    t.supervisor <- None;
+    let bursts =
+      Mutex.lock t.mutex;
+      let hs = t.burst_handles in
+      t.burst_handles <- [];
+      Mutex.unlock t.mutex;
+      hs
+    in
+    List.iter Domain.join bursts;
     Sesame_parallel.shutdown t.pool
   end

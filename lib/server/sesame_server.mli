@@ -10,6 +10,24 @@
 
 module Http = Sesame_http
 
+type autoscale = {
+  min_domains : int;
+      (** floor on total handler workers; when above [config.domains]
+          the difference is pre-spawned as burst workers at start *)
+  max_domains : int;  (** ceiling on total handler workers *)
+  interval_s : float;  (** supervisor sampling period *)
+  queue_high : int;
+      (** handoff-queue depth that counts as pressure; any shedding
+          since the last sample counts as pressure too *)
+  idle_samples : int;
+      (** consecutive quiet samples (empty queue, no shedding) before
+          one burst worker is retired *)
+}
+
+val default_autoscale : autoscale
+(** floor 0 (the pool alone), ceiling 8, 50 ms sampling, queue depth 4,
+    10 quiet samples to shrink. *)
+
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
@@ -23,6 +41,13 @@ type config = {
   max_requests_per_connection : int;
   idle_timeout_s : float;  (** SO_RCVTIMEO on each connection *)
   limits : Http.Wire.limits;
+  autoscale : autoscale option;
+      (** [None] (the default) keeps the fixed [domains]-sized worker
+          set; [Some] adds a supervisor domain that grows the set with
+          burst workers under queue/shed pressure and shrinks it when
+          idle. Burst workers run outside the pool but under the same
+          reentrancy guard, so handler fan-outs still degrade to their
+          sequential path. *)
 }
 
 val default_config : config
@@ -35,6 +60,7 @@ type t
 val start :
   ?config:config ->
   ?on_error:(string -> unit) ->
+  ?on_scale:(workers:int -> unit) ->
   handler:(Http.Request.t -> Http.Response.t) ->
   unit ->
   (t, string) result
@@ -42,7 +68,13 @@ val start :
     are running. Handler exceptions become redacted 500s ("internal
     error"); the exception text goes to [on_error] (default stderr).
     HEAD requests are dispatched to the handler as GET and answered
-    with the body stripped, so routers only register GET routes. *)
+    with the body stripped, so routers only register GET routes.
+
+    [on_scale] fires from the supervisor domain after every change to
+    the total worker count (including the initial floor pre-spawn),
+    with the new total — wire it to [Pool.set_capacity] to keep sandbox
+    arenas in step with handler concurrency. Never called when
+    [config.autoscale] is [None]. *)
 
 val port : t -> int
 (** The bound port (useful with [config.port = 0]). *)
@@ -54,11 +86,15 @@ type stats = {
   parse_errors : int;  (** requests answered 400/413/431 *)
   timeouts : int;  (** connections closed by the idle deadline *)
   active : int;  (** currently accepted-but-unfinished connections *)
+  burst_workers : int;  (** autoscaler burst workers currently alive *)
+  scale_ups : int;  (** demand-driven grow events *)
+  scale_downs : int;  (** idle-driven shrink events *)
 }
 
 val stats : t -> stats
 
 val stop : t -> unit
 (** Stops accepting, drains queued connections, nudges in-flight ones to
-    close after their current response, joins every domain, and shuts the
-    pool down. Idempotent. *)
+    close after their current response, joins every domain (including
+    the autoscale supervisor and its burst workers — so stop may wait
+    out one [interval_s] sample), and shuts the pool down. Idempotent. *)

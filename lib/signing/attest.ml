@@ -1,0 +1,486 @@
+(* The signed run-attestation log.
+
+   Append-only, CRC-framed (the WAL's framing idiom: magic header, then
+   [u32 len | u32 crc | payload] little-endian frames), with every frame
+   carrying an HMAC-style signature under the attestor's secret. Two
+   frame kinds close the loop between static verdicts and runtime
+   isolation: an [Approval] binds a region-body hash to the Scrutinizer
+   verdict it was installed under, and a [Run] manifest binds one
+   sandbox invocation to {body hash, verdict fingerprint, budgets,
+   outcome, quota state, preflight report hash}. The verifier replays
+   the log and fails on any run whose body hash has no approving
+   verdict — or any frame whose CRC or signature does not check out. *)
+
+let magic = "SSMATT01"
+let header_size = String.length magic
+let frame_header = 8
+
+let default_secret = "sesame-attestor-secret"
+let default_signer = "sesame-attestor"
+
+(* Standard CRC-32 (IEEE), table-driven; kept local so [lib/signing]
+   stays below the DB/WAL layers. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc_of s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.to_int (Int32.logxor !c 0xFFFFFFFFl) land 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Frame payloads: tab-separated [key=value] pairs, values escaped so
+   tabs/newlines cannot smuggle extra fields. The signature MAC covers
+   the payload with its [mac=] field removed. *)
+
+let escape s =
+  if String.exists (fun c -> c = '%' || c = '\t' || c = '\n') s then begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string b "%25"
+        | '\t' -> Buffer.add_string b "%09"
+        | '\n' -> Buffer.add_string b "%0A"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         (match String.sub s (!i + 1) 2 with
+         | "25" -> Buffer.add_char b '%'
+         | "09" -> Buffer.add_char b '\t'
+         | "0A" -> Buffer.add_char b '\n'
+         | other ->
+             Buffer.add_char b '%';
+             Buffer.add_string b other);
+         i := !i + 2
+       end
+       else Buffer.add_char b s.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let render_fields fields =
+  String.concat "\t" (List.map (fun (k, v) -> k ^ "=" ^ escape v) fields)
+
+let parse_fields payload =
+  String.split_on_char '\t' payload
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i ->
+             Some
+               ( String.sub kv 0 i,
+                 unescape (String.sub kv (i + 1) (String.length kv - i - 1)) )
+         | None -> None)
+
+type approval = {
+  kind : string;  (* verified | sandboxed | critical *)
+  body_hash : Sha256.t;
+  verdict : string;  (* Scrutinizer verdict fingerprint *)
+  at : int;
+}
+
+type manifest = {
+  seq : int;
+  region : string;
+  run_body_hash : Sha256.t;
+  run_verdict : string;
+  budgets : string;
+  outcome : string;  (* "ok" or the trap/denial class — never guest data *)
+  quota : string;  (* the region's quota books when this run was recorded *)
+  preflight : string;  (* hex hash of the pool's preflight report, or "none" *)
+  run_at : int;
+}
+
+type frame = Approval of approval | Run of manifest
+
+let approval_fields a =
+  [
+    ("type", "approval");
+    ("kind", a.kind);
+    ("body", Sha256.to_hex a.body_hash);
+    ("verdict", a.verdict);
+    ("at", string_of_int a.at);
+  ]
+
+let run_fields m =
+  [
+    ("type", "run");
+    ("seq", string_of_int m.seq);
+    ("region", m.region);
+    ("body", Sha256.to_hex m.run_body_hash);
+    ("verdict", m.run_verdict);
+    ("budgets", m.budgets);
+    ("outcome", m.outcome);
+    ("quota", m.quota);
+    ("preflight", m.preflight);
+    ("at", string_of_int m.run_at);
+  ]
+
+let signed_payload ~secret ~signer ~at fields =
+  let body = render_fields (fields @ [ ("signer", signer) ]) in
+  let signature = Signature.sign ~secret ~reviewer:signer ~at (Sha256.digest_string body) in
+  body ^ "\tmac=" ^ Sha256.to_hex signature.Signature.mac
+
+(* ------------------------------------------------------------------ *)
+(* Recorder *)
+
+type recorder = {
+  path : string;
+  secret : string;
+  signer : string;
+  fsync : bool;
+  fd : Unix.file_descr;
+  lock : Lockfile.File_lock.held;
+  mutex : Mutex.t;
+  seq : int Atomic.t;
+  mutable closed : bool;
+}
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int n)
+
+let create_recorder ?(fsync = false) ?(secret = default_secret) ?(signer = default_signer) path =
+  match Lockfile.File_lock.acquire (path ^ ".lock") with
+  | Error e ->
+      Error (Printf.sprintf "attest %s: %s" path (Lockfile.File_lock.error_message e))
+  | Ok lock -> (
+      match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Lockfile.File_lock.release lock;
+          Error (Printf.sprintf "attest %s: %s" path (Unix.error_message e))
+      | fd -> (
+          match
+            let size = (Unix.fstat fd).Unix.st_size in
+            if size = 0 then begin
+              write_all fd magic 0 header_size;
+              if fsync then Unix.fsync fd
+            end;
+            ()
+          with
+          | () ->
+              Ok
+                {
+                  path;
+                  secret;
+                  signer;
+                  fsync;
+                  fd;
+                  lock;
+                  mutex = Mutex.create ();
+                  seq = Atomic.make 0;
+                  closed = false;
+                }
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with _ -> ());
+              Lockfile.File_lock.release lock;
+              Error (Printf.sprintf "attest %s: %s" path (Unix.error_message e))))
+
+let close_recorder r =
+  Mutex.lock r.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.mutex)
+    (fun () ->
+      if not r.closed then begin
+        r.closed <- true;
+        (try Unix.close r.fd with _ -> ());
+        Lockfile.File_lock.release r.lock
+      end)
+
+(* Every append hits the [attest-append] seam before anything is
+   written, and [attest-fsync] between write and flush: an injected
+   fault at either leaves the caller with an error it must convert into
+   a denial — a run that cannot be attested must not be served. *)
+let append_frame r fields ~at =
+  Mutex.lock r.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.mutex)
+    (fun () ->
+      if r.closed then Error "attestation log is closed"
+      else
+        match
+          Sesame_faults.hit Sesame_faults.Attest_append;
+          let payload = signed_payload ~secret:r.secret ~signer:r.signer ~at fields in
+          let buf = Buffer.create (String.length payload + frame_header) in
+          add_u32 buf (String.length payload);
+          add_u32 buf (crc_of payload);
+          Buffer.add_string buf payload;
+          let s = Buffer.contents buf in
+          write_all r.fd s 0 (String.length s);
+          if r.fsync then begin
+            Sesame_faults.hit Sesame_faults.Attest_fsync;
+            Unix.fsync r.fd
+          end
+        with
+        | () -> Ok ()
+        | exception Sesame_faults.Injected { point; action; transient } ->
+            Error (Sesame_faults.injected_message point action ~transient)
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "attest append: %s" (Unix.error_message e)))
+
+let now_unix () = int_of_float (Unix.gettimeofday ())
+
+let append_approval r ~kind ~body_hash ~verdict =
+  let at = now_unix () in
+  append_frame r (approval_fields { kind; body_hash; verdict; at }) ~at
+
+let append_run r ~region ~body_hash ~verdict ~budgets ~outcome ~quota ~preflight =
+  let at = now_unix () in
+  let seq = 1 + Atomic.fetch_and_add r.seq 1 in
+  append_frame r
+    (run_fields
+       {
+         seq;
+         region;
+         run_body_hash = body_hash;
+         run_verdict = verdict;
+         budgets;
+         outcome;
+         quota;
+         preflight;
+         run_at = at;
+       })
+    ~at
+
+(* ------------------------------------------------------------------ *)
+(* The ambient recorder: installed once at boot (bench serve, the demo
+   with [--attest-log]); regions consult it at make and per run. *)
+
+let ambient : recorder option Atomic.t = Atomic.make None
+
+let install r = Atomic.set ambient (Some r)
+
+let uninstall () = Atomic.set ambient None
+
+let current () = Atomic.get ambient
+
+(* ------------------------------------------------------------------ *)
+(* Verifier *)
+
+type verify_summary = {
+  approvals : int;
+  runs : int;
+  distinct_bodies : int;
+  torn_tail : bool;  (** an incomplete trailing frame was ignored *)
+}
+
+let field fields k = List.assoc_opt k fields
+
+let u32_at s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let verify_payload ~secret ~offset payload =
+  let fields = parse_fields payload in
+  match (field fields "type", field fields "signer", field fields "at", field fields "mac") with
+  | None, _, _, _ -> Error (Printf.sprintf "frame at %d: no type" offset)
+  | _, None, _, _ | _, _, None, _ | _, _, _, None ->
+      Error (Printf.sprintf "frame at %d: missing signature fields" offset)
+  | Some ty, Some signer, Some at, Some mac -> (
+      match (int_of_string_opt at, Sha256.of_hex mac) with
+      | None, _ | _, None -> Error (Printf.sprintf "frame at %d: malformed signature fields" offset)
+      | Some at, Some mac -> (
+          match String.index_opt payload '\t' with
+          | None -> Error (Printf.sprintf "frame at %d: malformed payload" offset)
+          | Some _ -> (
+              (* The MAC covers everything before the trailing "\tmac=…". *)
+              let suffix = "\tmac=" in
+              match
+                let rec find i =
+                  if i < 0 then None
+                  else if
+                    i + String.length suffix <= String.length payload
+                    && String.sub payload i (String.length suffix) = suffix
+                  then Some i
+                  else find (i - 1)
+                in
+                find (String.length payload - 1)
+              with
+              | None -> Error (Printf.sprintf "frame at %d: unsigned" offset)
+              | Some cut ->
+                  let body = String.sub payload 0 cut in
+                  let signature =
+                    {
+                      Signature.reviewer = signer;
+                      signed_at = at;
+                      digest = Sha256.digest_string body;
+                      mac;
+                    }
+                  in
+                  if Signature.verifies_with ~secret signature then Ok (ty, fields)
+                  else Error (Printf.sprintf "frame at %d: signature does not verify" offset))))
+
+let parse_frame ~secret ~offset payload =
+  match verify_payload ~secret ~offset payload with
+  | Error _ as e -> e
+  | Ok (ty, fields) -> (
+      let need k =
+        match field fields k with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "frame at %d: missing %s" offset k)
+      in
+      let ( let* ) = Result.bind in
+      match ty with
+      | "approval" ->
+          let* kind = need "kind" in
+          let* body = need "body" in
+          let* verdict = need "verdict" in
+          let* at = need "at" in
+          let* body_hash =
+            Option.to_result ~none:(Printf.sprintf "frame at %d: bad body hash" offset)
+              (Sha256.of_hex body)
+          in
+          let* at =
+            Option.to_result ~none:(Printf.sprintf "frame at %d: bad at" offset)
+              (int_of_string_opt at)
+          in
+          Ok (Approval { kind; body_hash; verdict; at })
+      | "run" ->
+          let* seq = need "seq" in
+          let* region = need "region" in
+          let* body = need "body" in
+          let* verdict = need "verdict" in
+          let* budgets = need "budgets" in
+          let* outcome = need "outcome" in
+          let* quota = need "quota" in
+          let* preflight = need "preflight" in
+          let* at = need "at" in
+          let* run_body_hash =
+            Option.to_result ~none:(Printf.sprintf "frame at %d: bad body hash" offset)
+              (Sha256.of_hex body)
+          in
+          let* seq =
+            Option.to_result ~none:(Printf.sprintf "frame at %d: bad seq" offset)
+              (int_of_string_opt seq)
+          in
+          let* run_at =
+            Option.to_result ~none:(Printf.sprintf "frame at %d: bad at" offset)
+              (int_of_string_opt at)
+          in
+          Ok
+            (Run
+               {
+                 seq;
+                 region;
+                 run_body_hash;
+                 run_verdict = verdict;
+                 budgets;
+                 outcome;
+                 quota;
+                 preflight;
+                 run_at;
+               })
+      | other -> Error (Printf.sprintf "frame at %d: unknown type %S" offset other))
+
+let read_frames ~secret path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let n = String.length contents in
+      if n < header_size || String.sub contents 0 header_size <> magic then
+        Error (Printf.sprintf "%s: bad magic" path)
+      else begin
+        let frames = ref [] in
+        let torn = ref false in
+        let err = ref None in
+        let pos = ref header_size in
+        while !err = None && (not !torn) && !pos < n do
+          if !pos + frame_header > n then torn := true
+          else begin
+            let len = u32_at contents !pos in
+            let crc = u32_at contents (!pos + 4) in
+            if !pos + frame_header + len > n then torn := true
+            else begin
+              let payload = String.sub contents (!pos + frame_header) len in
+              if crc_of payload <> crc then
+                err := Some (Printf.sprintf "frame at %d: CRC mismatch" !pos)
+              else begin
+                match parse_frame ~secret ~offset:!pos payload with
+                | Error e -> err := Some e
+                | Ok frame ->
+                    frames := frame :: !frames;
+                    pos := !pos + frame_header + len
+              end
+            end
+          end
+        done;
+        match !err with
+        | Some e -> Error e
+        | None -> Ok (List.rev !frames, !torn)
+      end
+
+(* Replay: collect the approved body-hash set, then demand every run's
+   body hash be in it. A torn trailing frame (crash mid-append) is
+   tolerated and reported; a CRC or signature failure anywhere is not. *)
+let verify ?(secret = default_secret) path =
+  match read_frames ~secret path with
+  | Error _ as e -> e
+  | Ok (frames, torn_tail) ->
+      let approved = Hashtbl.create 16 in
+      let bodies = Hashtbl.create 16 in
+      let approvals = ref 0 in
+      let runs = ref 0 in
+      let err = ref None in
+      List.iter
+        (fun frame ->
+          if !err = None then
+            match frame with
+            | Approval a ->
+                incr approvals;
+                Hashtbl.replace approved (Sha256.to_hex a.body_hash) a.verdict
+            | Run m ->
+                incr runs;
+                let hex = Sha256.to_hex m.run_body_hash in
+                Hashtbl.replace bodies hex ();
+                if not (Hashtbl.mem approved hex) then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "run #%d (region %s) has no approving verdict for body %s" m.seq
+                         m.region (String.sub hex 0 12)))
+        frames;
+      (match !err with
+      | Some e -> Error e
+      | None ->
+          Ok
+            {
+              approvals = !approvals;
+              runs = !runs;
+              distinct_bodies = Hashtbl.length bodies;
+              torn_tail;
+            })
+
+let frames ?(secret = default_secret) path =
+  Result.map fst (read_frames ~secret path)

@@ -54,3 +54,110 @@ let equal a b =
   Smap.equal
     (fun p q -> p.version = q.version && List.sort compare p.deps = List.sort compare q.deps)
     a b
+
+(* ------------------------------------------------------------------ *)
+
+module File_lock = struct
+  type held = { path : string; mutable released : bool }
+
+  type error =
+    | Held of { pid : int; age_s : float }
+    | Io of string
+
+  let error_message = function
+    | Held { pid; age_s } ->
+        Printf.sprintf "lock held by live pid %d (age %.1fs)" pid age_s
+    | Io msg -> msg
+
+  (* [kill pid 0] probes liveness without signalling. EPERM means the
+     process exists but belongs to someone else — alive. Only ESRCH
+     proves death; anything unexpected is treated as alive so we never
+     break a lock we can't reason about. *)
+  let pid_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+    | exception _ -> true
+
+  let read_owner path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> (
+        match String.split_on_char ' ' (String.trim contents) with
+        | [ pid; at ] -> (
+            match (int_of_string_opt pid, float_of_string_opt at) with
+            | Some pid, Some at -> Some (pid, at)
+            | _ -> None)
+        | _ -> None)
+    | exception _ -> None
+
+  let try_create path =
+    match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+    | fd ->
+        let line = Printf.sprintf "%d %.3f\n" (Unix.getpid ()) (Unix.gettimeofday ()) in
+        let ok =
+          try
+            ignore (Unix.write_substring fd line 0 (String.length line));
+            true
+          with _ -> false
+        in
+        (try Unix.close fd with _ -> ());
+        if ok then Ok { path; released = false }
+        else begin
+          (try Unix.unlink path with _ -> ());
+          Error (Io (Printf.sprintf "could not write lock owner into %s" path))
+        end
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Error (Held { pid = -1; age_s = 0.0 })
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Io (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+  let default_warn msg = prerr_endline ("sesame: " ^ msg)
+
+  (* A lock left by a SIGKILL'd process must not wedge the system
+     forever: a lock whose owner is dead, unparsable, or older than
+     [stale_after_s] is broken with a logged warning and re-acquired.
+     The break-then-retry loop is bounded — two waiters racing to break
+     the same stale lock resolve in one round (unlink is idempotent;
+     exactly one O_EXCL create wins). *)
+  let acquire ?(stale_after_s = 600.0) ?(warn = default_warn) path =
+    let rec go attempts =
+      match try_create path with
+      | Ok held -> Ok held
+      | Error (Io _ as e) -> Error e
+      | Error (Held _) when attempts > 0 -> (
+          let stale reason =
+            warn (Printf.sprintf "breaking stale lock %s (%s)" path reason);
+            (try Unix.unlink path with _ -> ());
+            go (attempts - 1)
+          in
+          match read_owner path with
+          | None ->
+              (* Unparsable or vanished: either a corrupt leftover or the
+                 holder released between our create and read — retry
+                 either way. *)
+              if Sys.file_exists path then stale "unreadable owner" else go (attempts - 1)
+          | Some (pid, at) ->
+              let age_s = Unix.gettimeofday () -. at in
+              if not (pid_alive pid) then stale (Printf.sprintf "pid %d is dead" pid)
+              else if age_s > stale_after_s then
+                stale (Printf.sprintf "held %.0fs by pid %d, past the %.0fs bound" age_s pid
+                         stale_after_s)
+              else Error (Held { pid; age_s }))
+      | Error (Held _) -> (
+          match read_owner path with
+          | Some (pid, at) -> Error (Held { pid; age_s = Unix.gettimeofday () -. at })
+          | None -> Error (Held { pid = -1; age_s = 0.0 }))
+    in
+    go 3
+
+  let release held =
+    if not held.released then begin
+      held.released <- true;
+      try Unix.unlink held.path with _ -> ()
+    end
+
+  let with_lock ?stale_after_s ?warn path f =
+    match acquire ?stale_after_s ?warn path with
+    | Error e -> Error e
+    | Ok held -> Ok (Fun.protect ~finally:(fun () -> release held) f)
+end

@@ -40,3 +40,39 @@ val parse : string -> (t, string) result
 val render : t -> string
 
 val equal : t -> t -> bool
+
+(** Advisory filesystem locks with stale-lock recovery.
+
+    Guards mutable signing artifacts (the attestation log) against
+    concurrent writers from other processes. Acquisition is an atomic
+    [O_CREAT|O_EXCL] create recording [pid start-time]; a lock left
+    behind by a SIGKILL'd process is detected — owner pid dead
+    ([ESRCH]), owner record unreadable, or the lock older than
+    [stale_after_s] — and {e broken} with a logged warning instead of
+    wedging every later writer forever. *)
+module File_lock : sig
+  type held
+
+  type error =
+    | Held of { pid : int; age_s : float }
+        (** a live process holds the lock; [pid = -1] if unreadable *)
+    | Io of string
+
+  val error_message : error -> string
+
+  val pid_alive : int -> bool
+  (** Liveness probe via [kill pid 0]. [EPERM] counts as alive; only
+      [ESRCH] proves death (never break a lock we can't reason about). *)
+
+  val acquire : ?stale_after_s:float -> ?warn:(string -> unit) -> string -> (held, error) result
+  (** [acquire path] takes the lock at [path]. [stale_after_s] defaults
+      to 600; [warn] (default: stderr) receives one line per broken
+      stale lock. Bounded retries, so two waiters racing to break the
+      same stale lock resolve deterministically. *)
+
+  val release : held -> unit
+  (** Idempotent. *)
+
+  val with_lock :
+    ?stale_after_s:float -> ?warn:(string -> unit) -> string -> (unit -> 'a) -> ('a, error) result
+end

@@ -163,6 +163,8 @@ let drive_seam app point =
       Apps.Websubmit.handle app (req ~cookies:"user=student0@school.edu" Http.Meth.GET "/view/1")
   | F.Db_wal_append | F.Db_wal_fsync | F.Db_checkpoint_write | F.Db_checkpoint_rename ->
       invalid_arg "durable seams are driven by the wal matrix"
+  | F.Preflight_trap_miss | F.Quota_account | F.Attest_append | F.Attest_fsync ->
+      invalid_arg "hardening seams are driven by the hardening matrix below"
 
 let matrix_case app (point, action) =
   let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
@@ -617,12 +619,133 @@ let failclosed_tests =
         | _ -> Alcotest.fail "expected denial");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The hardening seams. Unlike the in-memory matrix these are not driven
+   through an endpoint: each seam's contract is local and fail-closed —
+   a missed preflight confirmation refuses the pool, a faulted
+   accounting call leaves the books untouched, a faulted attestation
+   append returns an error the region must turn into a denial. Every
+   action (corrupt escalates to raise at payload-free seams) must behave
+   identically, and every seam must recover the moment it is disarmed. *)
+
+module Sbx = Sesame_sandbox
+module Sign = Sesame_signing
+
+let attest_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sesame-faults-attest-%d-%d.log" (Unix.getpid ()) !counter)
+    in
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; path ^ ".lock" ];
+    path
+
+let hardening_actions = [ F.Raise; F.Corrupt; F.Exhaust ]
+
+(* [check] returns the seam's traversal count — it must read [F.hits]
+   itself, before anything (including its own recovery step) disarms the
+   injector and clears the counters. *)
+let hardening_case point action check =
+  let name = Printf.sprintf "%s × %s" (F.point_name point) (F.action_name action) in
+  test name (fun () ->
+      let traversals = with_plans [ F.plan ~nth:0 point action ] check in
+      check_bool "seam traversed" true (traversals > 0))
+
+let preflight_seam_cases =
+  List.map
+    (fun action ->
+      hardening_case F.Preflight_trap_miss action (fun () ->
+          (match Sbx.Sfi.create_pool () with
+          | Ok _ -> Alcotest.fail "pool constructed despite missed trap confirmations"
+          | Error report -> check_bool "fails closed" false (Sbx.Preflight.passed report));
+          F.hits F.Preflight_trap_miss))
+    hardening_actions
+  @ [
+      test "preflight recovers once disarmed" (fun () ->
+          match Sbx.Sfi.create_pool () with
+          | Ok (_, report) -> check_bool "passes" true (Sbx.Preflight.passed report)
+          | Error report -> Alcotest.fail (Sbx.Preflight.summary report));
+    ]
+
+let quota_seam_cases =
+  List.map
+    (fun action ->
+      hardening_case F.Quota_account action (fun () ->
+          let q = Sbx.Quota.create () in
+          match Sbx.Quota.account q ~key:"r" ~trapped:false ~fuel:7 ~wall_s:0.1 ~mem_bytes:64 with
+          | () -> Alcotest.fail "account succeeded under an injected fault"
+          | exception F.Injected _ ->
+              (* The seam fires before any counter moves: the books must
+                 be untouched, so the caller's denial is the only trace. *)
+              check_bool "books untouched" true (Sbx.Quota.counters_for q ~key:"r" = None);
+              F.hits F.Quota_account))
+    hardening_actions
+  @ [
+      test "accounting recovers once disarmed" (fun () ->
+          let q = Sbx.Quota.create () in
+          Sbx.Quota.account q ~key:"r" ~trapped:false ~fuel:7 ~wall_s:0.1 ~mem_bytes:64;
+          match Sbx.Quota.counters_for q ~key:"r" with
+          | Some c -> check_int "charged" 7 c.Sbx.Quota.fuel
+          | None -> Alcotest.fail "no books after a clean account");
+    ]
+
+(* [attest-append] fires before anything is written, so the refused
+   frame never reaches the log; [attest-fsync] fires between write and
+   flush — the bytes are in the file (a real crash would lose them with
+   the page cache), but the caller still gets the error and must deny.
+   [expect_frames] pins both behaviours down. *)
+let attest_seam_case ~fsync ~expect_frames point action =
+  hardening_case point action (fun () ->
+      let path = attest_path () in
+      (* The recorder is created before the plan can fire: nth:0 plans
+         are armed by [hardening_case], and creation appends nothing. *)
+      match Sign.Attest.create_recorder ~fsync path with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+          let traversals =
+            Fun.protect
+              ~finally:(fun () -> Sign.Attest.close_recorder r)
+              (fun () ->
+                let hash = Sign.Sha256.digest_string "body" in
+                (match
+                   Sign.Attest.append_approval r ~kind:"sandboxed" ~body_hash:hash ~verdict:"v"
+                 with
+                | Ok () -> Alcotest.fail "append acknowledged under an injected fault"
+                | Error _ -> ());
+                let traversals = F.hits point in
+                F.disarm ();
+                (match
+                   Sign.Attest.append_approval r ~kind:"sandboxed" ~body_hash:hash ~verdict:"v"
+                 with
+                | Ok () -> ()
+                | Error m -> Alcotest.fail ("append after disarm: " ^ m));
+                traversals)
+          in
+          let s =
+            match Sign.Attest.verify path with Ok s -> s | Error m -> Alcotest.fail m
+          in
+          check_int "log holds exactly the expected frames" expect_frames
+            s.Sign.Attest.approvals;
+          traversals)
+
+let attest_seam_cases =
+  List.map (attest_seam_case ~fsync:false ~expect_frames:1 F.Attest_append) hardening_actions
+  @ List.map (attest_seam_case ~fsync:true ~expect_frames:2 F.Attest_fsync) hardening_actions
+
+let hardening_matrix_tests =
+  preflight_seam_cases @ quota_seam_cases @ attest_seam_cases
+
 let () =
   Alcotest.run "faults"
     [
       ("injector", injector_tests);
       ("matrix", matrix_tests);
       ("wal-matrix", wal_matrix_tests);
+      ("hardening-matrix", hardening_matrix_tests);
       ("retry", retry_tests);
       ("breaker", breaker_tests);
       ("fail-closed", failclosed_tests);
