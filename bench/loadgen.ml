@@ -29,9 +29,12 @@ let post ?(cookies = "") ?(body = "") label path =
 type summary = {
   target_rps : float;
   achieved_rps : float;
+  goodput_rps : float;  (* post-warmup 2xx per measured second *)
   completed : int;  (* post-warmup requests with any response *)
   ok : int;  (* post-warmup 2xx responses *)
   non_2xx : int;
+  shed_503 : int;  (* post-warmup 503s (a subset of non_2xx) *)
+  suppressed : int;  (* post-warmup arrivals withheld honoring Retry-After *)
   errors : int;  (* connection failures, resets, client parse errors *)
   p50_ms : float;
   p99_ms : float;
@@ -41,11 +44,13 @@ type summary = {
 }
 
 (* One client's slice of the global arrival schedule, plus its recorded
-   outcomes. Arrays are sized up front so recording allocates nothing. *)
+   outcomes. Arrays are sized up front so recording allocates nothing.
+   statuses.(i) = 0 means error, -1 means the arrival was withheld
+   because the server's Retry-After window was still open. *)
 type client = {
   schedule : float array;  (* absolute seconds, relative to run start *)
   latencies : float array;  (* -1.0 = no response recorded *)
-  statuses : int array;  (* 0 = error *)
+  statuses : int array;
   mutable errors : int;
 }
 
@@ -129,28 +134,43 @@ let run_client ~host ~port ~t0 (requests : string array) (c : client) =
     conn := None;
     source := None
   in
+  (* An honest client respects Retry-After: after a 503 naming a window,
+     arrivals scheduled inside it are withheld (recorded as suppressed,
+     not sent). Goodput is then what a polite client actually gets, not
+     what a hammering one extracts from a shedding server. *)
+  let retry_until = ref neg_infinity in
   let n = Array.length c.schedule in
   for i = 0 to n - 1 do
     let scheduled = t0 +. c.schedule.(i) in
     let wait = scheduled -. now () in
     if wait > 0.0 then Unix.sleepf wait;
-    match
-      let fd, src = ensure_conn () in
-      write_all fd requests.(i mod Array.length requests);
-      Http.Wire.read_response src
-    with
-    | `Response (status, headers, _) ->
-        c.latencies.(i) <- now () -. scheduled;
-        c.statuses.(i) <- status;
-        (* The server says when it will hang up (max-requests, errors,
-           shedding); respect it instead of failing the next send. *)
-        if Http.Headers.get headers "Connection" = Some "close" then drop_conn ()
-    | `Eof | `Error _ ->
-        c.errors <- c.errors + 1;
-        drop_conn ()
-    | exception (Unix.Unix_error _ | Failure _) ->
-        c.errors <- c.errors + 1;
-        drop_conn ()
+    if now () < !retry_until then c.statuses.(i) <- -1
+    else
+      match
+        let fd, src = ensure_conn () in
+        write_all fd requests.(i mod Array.length requests);
+        Http.Wire.read_response src
+      with
+      | `Response (status, headers, _) ->
+          c.latencies.(i) <- now () -. scheduled;
+          c.statuses.(i) <- status;
+          if status = 503 then begin
+            match Http.Headers.get headers "Retry-After" with
+            | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some s when s > 0 -> retry_until := now () +. float_of_int s
+                | Some _ | None -> ())
+            | None -> ()
+          end;
+          (* The server says when it will hang up (max-requests, errors,
+             shedding); respect it instead of failing the next send. *)
+          if Http.Headers.get headers "Connection" = Some "close" then drop_conn ()
+      | `Eof | `Error _ ->
+          c.errors <- c.errors + 1;
+          drop_conn ()
+      | exception (Unix.Unix_error _ | Failure _) ->
+          c.errors <- c.errors + 1;
+          drop_conn ()
   done;
   drop_conn ()
 
@@ -183,15 +203,23 @@ let run ?(connections = 8) ?(warmup_s = 0.5) ?(poisson = true) ?(seed = 42)
      for connection setup, cold caches and scheduler ramp-up. *)
   let latencies = ref [] in
   let completed = ref 0 and ok = ref 0 and non_2xx = ref 0 and errors = ref 0 in
+  let shed_503 = ref 0 and suppressed = ref 0 in
   Array.iter
     (fun c ->
       errors := !errors + c.errors;
       Array.iteri
         (fun i scheduled ->
-          if scheduled >= warmup_s && c.latencies.(i) >= 0.0 then begin
-            incr completed;
-            latencies := c.latencies.(i) :: !latencies;
-            if c.statuses.(i) >= 200 && c.statuses.(i) < 300 then incr ok else incr non_2xx
+          if scheduled >= warmup_s then begin
+            if c.statuses.(i) = -1 then incr suppressed
+            else if c.latencies.(i) >= 0.0 then begin
+              incr completed;
+              latencies := c.latencies.(i) :: !latencies;
+              if c.statuses.(i) >= 200 && c.statuses.(i) < 300 then incr ok
+              else begin
+                incr non_2xx;
+                if c.statuses.(i) = 503 then incr shed_503
+              end
+            end
           end)
         c.schedule)
     clients;
@@ -201,9 +229,12 @@ let run ?(connections = 8) ?(warmup_s = 0.5) ?(poisson = true) ?(seed = 42)
   {
     target_rps = rate;
     achieved_rps = float_of_int !completed /. measured_s;
+    goodput_rps = float_of_int !ok /. measured_s;
     completed = !completed;
     ok = !ok;
     non_2xx = !non_2xx;
+    shed_503 = !shed_503;
+    suppressed = !suppressed;
     errors = !errors;
     p50_ms = pct 50.0;
     p99_ms = pct 99.0;

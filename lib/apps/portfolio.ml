@@ -319,13 +319,7 @@ let seed t ~candidates =
 
 (* ------------------------------------------------------------------ *)
 
-let conn_error e =
-  match e with
-  | Conn.Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
-  | Conn.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | Conn.Breaker_open _ ->
-      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
-  | Conn.Db_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
+let conn_error e = Conn.error_response e
 
 (* Explicit variants, no catch-all: region failures carry internal
    detail (trap renderings, hash/decode messages) that must never reach

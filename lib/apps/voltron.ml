@@ -373,13 +373,7 @@ let seed t ~classes ~students_per_class =
 
 (* ------------------------------------------------------------------ *)
 
-let conn_error e =
-  match e with
-  | Conn.Untrusted_context -> Http.Response.error Http.Status.Forbidden "untrusted context"
-  | Conn.Policy_denied _ -> Http.Response.error Http.Status.Forbidden "policy check failed"
-  | Conn.Breaker_open _ ->
-      Http.Response.error (Http.Status.Code 503) "service temporarily unavailable"
-  | Conn.Db_error _ -> Http.Response.error Http.Status.Internal_error "internal error"
+let conn_error e = Conn.error_response e
 
 let authenticate request = Http.Request.cookie request "user"
 

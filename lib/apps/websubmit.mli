@@ -100,6 +100,14 @@ val answer_count : t -> int
 
 val conn : t -> C.Sesame_conn.t
 val database : t -> Db.Database.t
+
+val recover : t -> (Wal.Durable.t, string) result
+(** Leave brownout (see {!C.Sesame_conn.exit_brownout}): recover a fresh
+    writable store from disk, swap it into the connector, and rebind the
+    app's direct-db paths (authentication, registration, [answer_count])
+    to the recovered handle. Returns the new store so durable callers
+    can rebind checkpoint/flush plumbing; the old handle is closed. *)
+
 val router : t -> Http.Router.t
 
 val seed : t -> students:int -> questions:int -> (unit, string) result

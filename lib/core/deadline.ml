@@ -1,0 +1,3 @@
+(* Re-export so applications see the request budget as
+   [Sesame_core.Deadline] next to the rest of the enforcement surface. *)
+include Sesame_deadline

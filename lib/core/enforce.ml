@@ -299,8 +299,15 @@ let rec check_verbose policy ctx =
         let verdict = compute policy ctx in
         (* A check that itself mutated the database moved the epoch; the
            verdict it produced belongs to the old world and must not be
-           stored against the new one. *)
-        if epoch () = c.at then begin
+           stored against the new one. A deadline expiry is likewise
+           never cached: it is a fact about this request's budget, not
+           about the policy — the next request must recompute. *)
+        let budget_refusal =
+          match verdict with
+          | Error msg -> Sesame_deadline.is_deadline_error msg
+          | Ok () -> false
+        in
+        if epoch () = c.at && not budget_refusal then begin
           if Hashtbl.length c.tbl >= max_entries then Hashtbl.reset c.tbl;
           Hashtbl.add c.tbl key verdict
         end;
@@ -320,8 +327,24 @@ and compute policy ctx =
           (* Evaluate every member (no short-circuit), then report the
              leftmost denial: same verdict and message as the sequential
              walk, paid for with the tail checks the sequential walk
-             would have skipped on a denial. *)
-          first_denial (Parallel.map_array ~cutoff:1 p (fun m -> check_verbose m ctx) arr)
+             would have skipped on a denial.
+
+             The ambient deadline is domain-local, so it is captured
+             here and re-installed inside each pool task; a task whose
+             budget is already gone refuses without computing, so a
+             wide conjunction abandons in one sweep of cheap refusals
+             rather than grinding through its tail over budget. *)
+          let budget = Sesame_deadline.current () in
+          let expired_verdict =
+            lazy (Error (Sesame_deadline.error_message "policy fan-out"))
+          in
+          first_denial
+            (Parallel.map_array ~cutoff:1 p
+               (fun m ->
+                 if Sesame_deadline.expired budget then Lazy.force expired_verdict
+                 else
+                   Sesame_deadline.with_deadline budget (fun () -> check_verbose m ctx))
+               arr)
       | None ->
           let rec walk i =
             if i = n then Ok ()

@@ -259,13 +259,15 @@ module Critical = struct
     name : string;
     f : context:Context.t -> 'a -> 'b;
     digest : Sign.Sha256.t;
+    digest_hex : string;  (* keys the quota books, like [Sandboxed.body_hex] *)
     review_loc : int;
     keystore : Sign.Keystore.t;
+    quota : Sbx.Quota.t option;
     mutable signature : Sign.Signature.t option;
   }
 
   let make ~app ~program ?(allowlist = Scrut.Allowlist.default) ~spec ~lockfile ~keystore
-      ~f () =
+      ?quota ~f () =
     let graph = Scrut.Callgraph.collect program ~allowlist spec in
     let input =
       {
@@ -296,8 +298,10 @@ module Critical = struct
                 name = spec.Scrut.Spec.name;
                 f;
                 digest;
+                digest_hex = Sign.Sha256.to_hex digest;
                 review_loc;
                 keystore;
+                quota;
                 signature = None;
               })
 
@@ -325,10 +329,52 @@ module Critical = struct
 
   let ( let* ) = Result.bind
 
+  let quota_counters t =
+    Option.bind t.quota (fun q -> Sbx.Quota.counters_for q ~key:t.digest_hex)
+
+  (* Critical runs go through the same books as sandboxed ones: the
+     raw-policy path is not exempt from admission. Fuel and memory are 0
+     (the body runs unsandboxed, so only wall-clock and run counts are
+     observable); an exception still charges a trap before re-raising. *)
   let run t ~context pcon =
+    let deny state = Error (Quota_denied { region = t.name; state }) in
     let* () =
       if Build_mode.is_release () then validate_signature t else Ok ()
     in
+    let* () =
+      match t.quota with
+      | None -> Ok ()
+      | Some q -> (
+          match Sbx.Quota.admit q ~key:t.digest_hex with
+          | Sbx.Quota.Admit -> Ok ()
+          | refused -> deny (Sbx.Quota.admission_message refused))
+    in
     let* () = check_policy (Pcon.policy pcon) context in
-    Ok (t.f ~context (Pcon.Internal.unwrap pcon))
+    let started = Sesame_clock.now_s () in
+    let account ~trapped =
+      match t.quota with
+      | None -> Ok ()
+      | Some q -> (
+          match
+            Sbx.Quota.account q ~key:t.digest_hex ~trapped ~fuel:0
+              ~wall_s:(Sesame_clock.now_s () -. started)
+              ~mem_bytes:0
+          with
+          | () -> Ok ()
+          | exception Sesame_faults.Injected _ ->
+              (* The books could not be charged: the run must not be
+                 served unaccounted. *)
+              deny "usage accounting failed; result withheld")
+    in
+    match t.f ~context (Pcon.Internal.unwrap pcon) with
+    | result ->
+        let* () = account ~trapped:false in
+        Ok result
+    | exception exn ->
+        (* Charge the trap even though the caller sees the exception —
+           a region that always raises must still exhaust its quota. An
+           injected accounting fault here is moot: the raise already
+           withholds the result. *)
+        (match account ~trapped:true with Ok () | Error _ -> ());
+        raise exn
 end

@@ -136,12 +136,15 @@ module Critical : sig
     spec:Scrut.Spec.t ->
     lockfile:Sign.Lockfile.t ->
     keystore:Sign.Keystore.t ->
+    ?quota:Sbx.Quota.t ->
     f:(context:Context.t -> 'a -> 'b) ->
     unit ->
     (('a, 'b) t, error) result
   (** Hashes the region (normalized sources of its call graph + pinned
       dependency versions, §7.3); fails if a reached external dependency is
-      not in the lockfile. *)
+      not in the lockfile. When [quota] is given, runs are admitted and
+      accounted against it, keyed by the region digest — the raw-policy
+      path is not exempt from the books. *)
 
   val name : _ t -> string
   val digest : _ t -> Sign.Sha256.t
@@ -161,8 +164,13 @@ module Critical : sig
       under a registered, unrevoked reviewer key, and must cover the
       region's {e current} digest. *)
 
+  val quota_counters : _ t -> Sbx.Quota.counters option
+
   val run : ('a, 'b) t -> context:Context.t -> 'a Pcon.t -> ('b, error) result
-  (** Validates the signature (release mode only), checks the input's
-      policy against [context], then runs [f] on the raw data. The result
-      is {e not} wrapped: critical regions may externalize. *)
+  (** Validates the signature (release mode only), admits the run against
+      the quota (if any — refusals surface as [Quota_denied]), checks the
+      input's policy against [context], then runs [f] on the raw data and
+      charges the books (fuel/mem 0 — the body is unsandboxed — wall-clock
+      and trap counts are real). The result is {e not} wrapped: critical
+      regions may externalize. *)
 end

@@ -10,6 +10,8 @@ type error =
     }
   | Db_error of { message : string; transient : bool }
   | Breaker_open of { sink : string }
+  | Deadline_exceeded of { sink : string; message : string }
+  | Brownout_write_refused of { sink : string }
 
 let pp_error fmt = function
   | Untrusted_context ->
@@ -26,6 +28,11 @@ let pp_error fmt = function
         message
   | Breaker_open { sink } ->
       Format.fprintf fmt "circuit breaker open for sink %s: failing closed" sink
+  | Deadline_exceeded { sink; message } ->
+      Format.fprintf fmt "request budget exhausted at sink %s: %s" sink message
+  | Brownout_write_refused { sink } ->
+      Format.fprintf fmt
+        "durable store is in read-only brownout: write refused at sink %s" sink
 
 (* Transient faults are worth retrying (contention, lost connections, the
    injector's Exhaust action); everything else — SQL errors, missing
@@ -42,21 +49,38 @@ let is_transient_db_message message =
   let lower = String.lowercase_ascii message in
   List.exists (contains_substring lower) transient_markers
 
-let db_error message = Db_error { message; transient = is_transient_db_message message }
+(* Deadline refusals surface through the ordinary error channel as
+   messages prefixed [Sesame_deadline.marker]; reclassify them so they
+   are never mistaken for backend faults (and never retried — a request
+   that is out of budget only gets further out of budget). *)
+let db_error_at ~sink message =
+  if Sesame_deadline.is_deadline_error message then Deadline_exceeded { sink; message }
+  else Db_error { message; transient = is_transient_db_message message }
+
+let db_error message = db_error_at ~sink:"db" message
 
 (* The one client-facing rendering of connector errors. Bodies are
    generic on purpose: backend messages (SQL errors, quarantine reasons,
    injected-fault descriptions) carry schema and infrastructure detail
    that must never be echoed to the requester — the structured error and
-   the server log keep it. *)
-let error_response = function
+   the server log keep it. Every 503 carries Retry-After: each of those
+   states (open breaker, exhausted budget, brownout) is expected to
+   clear, and honest load generators use the hint to back off. *)
+let unavailable ~retry_after_s body =
+  Sesame_http.Response.add_header
+    (Sesame_http.Response.error (Sesame_http.Status.Code 503) body)
+    "Retry-After"
+    (string_of_int (max 0 retry_after_s))
+
+let error_response ?(retry_after_s = 1) = function
   | Untrusted_context ->
       Sesame_http.Response.error Sesame_http.Status.Forbidden "untrusted context"
   | Policy_denied _ ->
       Sesame_http.Response.error Sesame_http.Status.Forbidden "policy check failed"
-  | Breaker_open _ ->
-      Sesame_http.Response.error (Sesame_http.Status.Code 503)
-        "service temporarily unavailable"
+  | Breaker_open _ -> unavailable ~retry_after_s "service temporarily unavailable"
+  | Deadline_exceeded _ -> unavailable ~retry_after_s "request deadline exceeded"
+  | Brownout_write_refused _ ->
+      unavailable ~retry_after_s "store is read-only while degraded"
   | Db_error _ ->
       Sesame_http.Response.error Sesame_http.Status.Internal_error "internal error"
 
@@ -109,7 +133,10 @@ type sink_stats = {
 type policy_source = Db.Schema.t -> Db.Row.t -> Policy.t
 
 type t = {
-  db : Db.Database.t;
+  mutable db : Db.Database.t;
+  (* [db] is mutable for one reason only: {!exit_brownout} swaps in the
+     recovered store. Every request-path read goes through
+     [with_brownout_read], which re-reads the field per attempt. *)
   bindings : (string * string, policy_source) Hashtbl.t;  (* (table, column) *)
   (* Optional binding-level row-predicate translations: the pushdown
      source. [f ctx] must admit exactly the rows whose bound policy
@@ -139,6 +166,13 @@ type t = {
   agg_cache :
     (string * string * Db.Expr.t * string list * Db.Value.t list, Policy.t) Hashtbl.t;
   mutable agg_epoch : int;
+  (* Brownout: installed by [create_durable]. [snapshot_load] rebuilds
+     the last consistent on-disk state read-only; [reopen] closes the
+     poisoned store and recovers a fresh writable one. *)
+  mutable snapshot_load : (unit -> (Db.Database.t, string) result) option;
+  mutable reopen : (unit -> (Sesame_wal.Durable.t, string) result) option;
+  mutable brownout : Db.Database.t option;
+  mutable brownout_entries : int;
 }
 
 let busy_sleep seconds =
@@ -164,6 +198,10 @@ let create db =
     now = Sesame_clock.now_s;
     agg_cache = Hashtbl.create 16;
     agg_epoch = min_int;
+    snapshot_load = None;
+    reopen = None;
+    brownout = None;
+    brownout_entries = 0;
   }
 
 let database t = t.db
@@ -207,7 +245,30 @@ let create_durable ?config ~dir () =
   | Error _ as e -> e
   | Ok store ->
       store_ref := Some store;
-      Ok ({ (create (Sesame_wal.Durable.db store)) with bindings }, store)
+      let snapshot_load () =
+        match Sesame_wal.Durable.read_state ~dir with
+        | Ok (db, _, _) -> Ok db
+        | Error e -> Error (Sesame_wal.Durable.error_message e)
+      in
+      let reopen () =
+        (match !store_ref with
+        | Some old -> ignore (Sesame_wal.Durable.close old : (unit, string) result)
+        | None -> ());
+        match Sesame_wal.Durable.open_store ?config ~provenance ~dir () with
+        | Error e -> Error (Sesame_wal.Durable.error_message e)
+        | Ok store' ->
+            store_ref := Some store';
+            Ok store'
+      in
+      let t =
+        {
+          (create (Sesame_wal.Durable.db store)) with
+          bindings;
+          snapshot_load = Some snapshot_load;
+          reopen = Some reopen;
+        }
+      in
+      Ok (t, store)
 
 let configure_resilience t ?retry ?breaker ?seed ?sleep ?now () =
   Option.iter (fun r -> t.retry <- r) retry;
@@ -291,6 +352,15 @@ let with_resilience t ~sink op =
       h.short_circuited <- h.short_circuited + 1;
       Error (Breaker_open { sink })
   | Closed | Half_open ->
+      (* A deadline expiry raised mid-operation (e.g. from a scan
+         checkpoint reached outside the statement executor) is a verdict
+         on this request's budget, not a health signal: surface it
+         structured, feed the breaker nothing, never retry. *)
+      let op () =
+        try op ()
+        with Sesame_deadline.Expired what ->
+          Error (Deadline_exceeded { sink; message = Sesame_deadline.error_message what })
+      in
       let rec attempt k =
         h.attempts <- h.attempts + 1;
         match op () with
@@ -342,6 +412,93 @@ let ( let* ) = Result.bind
 let require_trusted context =
   if Context.is_trusted context then Ok () else Error Untrusted_context
 
+(* Sink handoff: a request that has already missed its budget is refused
+   before any policy check or backend call runs. *)
+let deadline_guard ~sink =
+  match Sesame_deadline.guard ("sink " ^ sink) with
+  | Ok () -> Ok ()
+  | Error message -> Error (Deadline_exceeded { sink; message })
+
+(* ------------------------------------------------------------------ *)
+(* Brownout: read-only degraded serving over the last consistent on-disk
+   snapshot while the live store is poisoned. *)
+
+(* The poison guard's client-facing message (Sesame_db.Database.guard). *)
+let is_quarantine_message msg = contains_substring msg "quarantined"
+
+let in_brownout t = t.brownout <> None
+let brownout_entries t = t.brownout_entries
+
+(* Build (or reuse) the brownout snapshot. The Brownout_enter seam fires
+   only on the transition; an injected fault there models the snapshot
+   recovery itself failing, in which case reads keep failing closed
+   exactly as they did before brownout existed. *)
+let enter_brownout t =
+  match t.brownout with
+  | Some db -> Some db
+  | None -> (
+      match t.snapshot_load with
+      | None -> None
+      | Some load -> (
+          match
+            Sesame_faults.hit Sesame_faults.Brownout_enter;
+            load ()
+          with
+          | Ok db ->
+              t.brownout <- Some db;
+              t.brownout_entries <- t.brownout_entries + 1;
+              Some db
+          | Error _ -> None
+          | exception Sesame_faults.Injected _ -> None))
+
+(* Run a read against the live store; when it refuses because the store
+   is poisoned, fall back to the snapshot and mark the in-flight
+   response degraded. Policy bindings are connector state, not database
+   state, so snapshot rows are wrapped and checked exactly like live
+   ones — brownout weakens freshness, never enforcement. *)
+let with_brownout_read t op =
+  match op t.db with
+  | Error (Db_error { message; _ }) as e when is_quarantine_message message -> (
+      match enter_brownout t with
+      | None -> e
+      | Some snap ->
+          Sesame_http.Serving.mark_degraded "snapshot";
+          op snap)
+  | r -> r
+
+(* A write against a poisoned-but-recoverable store is a structured
+   read-only refusal (503 + Retry-After), not an opaque internal error:
+   the client may retry after recovery. Stores without a snapshot path
+   (purely in-memory fixtures) keep the old fail-closed rendering. *)
+let classify_write_error t ~sink msg =
+  if is_quarantine_message msg && t.snapshot_load <> None then
+    Error (Brownout_write_refused { sink })
+  else Error (db_error_at ~sink msg)
+
+(* Leave brownout: close the poisoned store, recover a fresh writable
+   one from disk, and swap it in. The Brownout_exit seam models a
+   recovery that fails mid-exit — the connector then {e stays} degraded
+   (snapshot reads, refused writes) rather than resuming on a
+   half-recovered store. Returns the new store handle so callers can
+   rebind checkpoint/flush plumbing. *)
+let exit_brownout t =
+  match t.reopen with
+  | None -> Error "connector has no durable store to recover"
+  | Some reopen -> (
+      match
+        Sesame_faults.hit Sesame_faults.Brownout_exit;
+        reopen ()
+      with
+      | Ok store ->
+          t.db <- Sesame_wal.Durable.db store;
+          t.brownout <- None;
+          Hashtbl.reset t.agg_cache;
+          Enforce.bump ();
+          Ok store
+      | Error _ as e -> e
+      | exception Sesame_faults.Injected { point; action; transient } ->
+          Error (Sesame_faults.injected_message point action ~transient))
+
 (* Fail closed: a policy check that raises — from its own (trusted but
    fallible) code, or from an injected fault at the policy-check seam —
    is a denial, never an escape hatch. *)
@@ -357,6 +514,10 @@ let check_param context ~sink ~index pcon =
     Enforce.check_verbose (Pcon.policy pcon) context
   with
   | Ok () -> Ok ()
+  | Error msg when Sesame_deadline.is_deadline_error msg ->
+      (* A check abandoned for budget is not a verdict on the policy:
+         surface it as the budget refusal it is, not as a denial. *)
+      Error (Deadline_exceeded { sink; message = msg })
   | Error msg -> denied msg
   | exception Sesame_faults.Injected _ -> denied "policy check aborted by injected fault"
   | exception exn ->
@@ -389,10 +550,12 @@ let wrap_select_rows t schema rows =
 let query t ~context sql ~params =
   let* () = require_trusted context in
   let sink = "db::query" in
+  let* () = deadline_guard ~sink in
   let* () = check_params context ~sink params in
   with_resilience t ~sink @@ fun () ->
-  match Db.Database.select_rows t.db sql ~params:(unwrap_params params) with
-  | Error msg -> Error (db_error msg)
+  with_brownout_read t @@ fun db ->
+  match Db.Database.select_rows db sql ~params:(unwrap_params params) with
+  | Error msg -> Error (db_error_at ~sink msg)
   | Ok (schema, rows) -> Ok (wrap_select_rows t schema rows)
 
 (* [query] restricted to the rows whose [on]-column policy admits the
@@ -408,8 +571,10 @@ let query t ~context sql ~params =
 let query_filtered t ~context ~on sql ~params =
   let* () = require_trusted context in
   let sink = "db::query" in
+  let* () = deadline_guard ~sink in
   let* () = check_params context ~sink params in
   with_resilience t ~sink @@ fun () ->
+  with_brownout_read t @@ fun db ->
   let raw_params = unwrap_params params in
   let pushed =
     if not (Enforce.pushdown_enabled ()) then None
@@ -421,14 +586,14 @@ let query_filtered t ~context ~on sql ~params =
   in
   match pushed with
   | Some pred -> (
-      match Db.Database.select_rows_under t.db sql ~params:raw_params ~pred:(Some pred) with
-      | Error msg -> Error (db_error msg)
+      match Db.Database.select_rows_under db sql ~params:raw_params ~pred:(Some pred) with
+      | Error msg -> Error (db_error_at ~sink msg)
       | Ok (schema, rows) ->
           Enforce.note_pushdown ();
           Ok (wrap_select_rows t schema rows))
   | None -> (
-      match Db.Database.select_rows t.db sql ~params:raw_params with
-      | Error msg -> Error (db_error msg)
+      match Db.Database.select_rows db sql ~params:raw_params with
+      | Error msg -> Error (db_error_at ~sink msg)
       | Ok (schema, rows) ->
           let table = Db.Schema.name schema in
           let keep row = Enforce.check (cell_policy t ~table schema row on) context in
@@ -445,14 +610,16 @@ let query_filtered t ~context ~on sql ~params =
 let query_agg t ~context sql ~params =
   let* () = require_trusted context in
   let sink = "db::query" in
+  let* () = deadline_guard ~sink in
   let* () = check_params context ~sink params in
   with_resilience t ~sink @@ fun () ->
+  with_brownout_read t @@ fun db ->
   let raw_params = unwrap_params params in
   match Db.Sql.parse sql ~params:raw_params with
-  | Error msg -> Error (db_error msg)
+  | Error msg -> Error (db_error_at ~sink msg)
   | Ok (Db.Sql.Select_agg { table; aggregates; where; group_by } as stmt) -> (
-      match Db.Database.table t.db table with
-      | None -> Error (db_error (Printf.sprintf "no table named %s" table))
+      match Db.Database.table db table with
+      | None -> Error (db_error_at ~sink (Printf.sprintf "no table named %s" table))
       | Some tbl -> (
           let schema = Db.Table.schema tbl in
           let agg_column = function
@@ -460,8 +627,8 @@ let query_agg t ~context sql ~params =
             | Db.Sql.Count c | Db.Sql.Sum c | Db.Sql.Avg c | Db.Sql.Min c | Db.Sql.Max c ->
                 Some c
           in
-          match Db.Database.exec_stmt t.db stmt with
-          | Error msg -> Error (db_error msg)
+          match Db.Database.exec_stmt db stmt with
+          | Error msg -> Error (db_error_at ~sink msg)
           | Ok (Db.Database.Affected _) -> Error (db_error "aggregate returned no rows")
           | Ok (Db.Database.Rows { columns; rows }) ->
               (* Matching rows grouped by their GROUP BY key; forced at
@@ -641,6 +808,7 @@ let query_agg t ~context sql ~params =
 let insert t ~context ~table cells =
   let* () = require_trusted context in
   let sink = "db::insert" in
+  let* () = deadline_guard ~sink in
   let* () = check_params context ~sink (List.map snd cells) in
   (* Goes through the statement executor so it pays the same (possibly
      modeled) round-trip cost as any other write. *)
@@ -656,16 +824,17 @@ let insert t ~context ~table cells =
   match Db.Database.exec_stmt t.db stmt with
   | Ok (Db.Database.Affected _) -> Ok ()
   | Ok (Db.Database.Rows _) -> Error (db_error "INSERT returned rows")
-  | Error msg -> Error (db_error msg)
+  | Error msg -> classify_write_error t ~sink msg
 
 let execute t ~context sql ~params =
   let* () = require_trusted context in
   let sink = "db::execute" in
+  let* () = deadline_guard ~sink in
   let* () = check_params context ~sink params in
   with_resilience t ~sink @@ fun () ->
   match Db.Database.exec t.db sql ~params:(unwrap_params params) with
   | Ok (Db.Database.Affected n) -> Ok n
   | Ok (Db.Database.Rows _) -> Error (db_error "execute expects UPDATE/DELETE/INSERT")
-  | Error msg -> Error (db_error msg)
+  | Error msg -> classify_write_error t ~sink msg
 
 let param _t v = Pcon.wrap_no_policy v

@@ -35,16 +35,24 @@ type error =
   | Breaker_open of { sink : string }
       (** the sink's circuit breaker is open: the call was rejected
           without touching the database *)
+  | Deadline_exceeded of { sink : string; message : string }
+      (** the request's deadline budget ran out at (or inside) this
+          sink; never retried — the refusal is fast by design *)
+  | Brownout_write_refused of { sink : string }
+      (** the durable store is poisoned and serving read-only from its
+          last consistent snapshot; writes refuse until recovery *)
 
 val pp_error : Format.formatter -> error -> unit
 
-val error_response : error -> Sesame_http.Response.t
+val error_response : ?retry_after_s:int -> error -> Sesame_http.Response.t
 (** The shared client-facing rendering: every variant maps to a generic
     body ("internal error", "policy check failed", …) so backend error
     strings — SQL messages, quarantine reasons, injected-fault
     descriptions — are never echoed to the requester. Applications
     should route connector errors through this instead of formatting
-    their own bodies. *)
+    their own bodies. Every 503 rendering ({!Breaker_open},
+    {!Deadline_exceeded}, {!Brownout_write_refused}) carries a
+    [Retry-After] header ([retry_after_s], default 1). *)
 
 val is_transient_db_message : string -> bool
 (** The transient/permanent classifier applied to backend error strings
@@ -74,6 +82,31 @@ val create_durable :
     must {!Sesame_wal.Provenance.register} their own before calling
     (and before any reopen). Attach bindings before serving traffic so
     provenance is in place from the first write. *)
+
+(** {1 Brownout (degraded read-only serving)}
+
+    When the durable store poisons mid-flight (a journal fault, a quota
+    quarantine), a durable connector does not go dark: the first read to
+    notice rebuilds the last consistent on-disk state via
+    {!Sesame_wal.Durable.read_state} and serves reads from it — under
+    full policy enforcement — while marking each such response degraded
+    ({!Sesame_http.Serving.mark_degraded}); writes refuse with
+    {!Brownout_write_refused} until {!exit_brownout} recovers the
+    store. In-memory connectors have no snapshot and keep the original
+    whole-store fail-closed behavior. *)
+
+val in_brownout : t -> bool
+(** Is a brownout snapshot currently serving reads? *)
+
+val brownout_entries : t -> int
+(** Times this connector transitioned into brownout (monotone). *)
+
+val exit_brownout : t -> (Sesame_wal.Durable.t, string) result
+(** Close the poisoned store, recover a fresh writable one from disk,
+    and swap it in; clears the snapshot. On failure (including an
+    injected [brownout-exit] fault) the connector {e stays} degraded.
+    Returns the new store handle so callers can rebind checkpoint and
+    flush plumbing. Errors on connectors without a durable store. *)
 
 (** {1 Resilience} *)
 

@@ -277,13 +277,26 @@ let run_insert tbl ~columns ~values =
    error channel — classifiable by the connector's retry machinery — not
    as an exception unwinding through the server. *)
 let protect_faults f =
-  try f ()
-  with Sesame_faults.Injected { point; action; transient } ->
-    Error (Sesame_faults.injected_message point action ~transient)
+  try f () with
+  | Sesame_faults.Injected { point; action; transient } ->
+      Error (Sesame_faults.injected_message point action ~transient)
+  | Sesame_deadline.Expired what -> Error (Sesame_deadline.error_message what)
+
+(* Write admission: a mutation that has already missed its budget is
+   refused here, before the engine applies anything — memory and journal
+   never diverge over a deadline, so a late write can be refused without
+   poisoning the store and without a torn journal record. The scan
+   checkpoints inside [Table] can still abandon a mutation during its
+   read phase (before any row changed); once the apply loop starts the
+   statement runs to completion, journal included. *)
+let admit_write () =
+  Sesame_faults.hit Sesame_faults.Wal_commit_deadline;
+  Sesame_deadline.guard "wal commit admission"
 
 let exec_stmt t stmt =
   protect_faults @@ fun () ->
   let* () = guard t in
+  let* () = Sesame_deadline.guard "db statement" in
   charge t;
   match stmt with
   | Sql.Select { table; columns; where; order_by; limit } ->
@@ -294,18 +307,21 @@ let exec_stmt t stmt =
       run_agg_select tbl ~aggregates ~where ~group_by
   | Sql.Insert { table; columns; values } ->
       let* tbl = lookup t table in
+      let* () = admit_write () in
       let* result = run_insert tbl ~columns ~values in
       let* () = journal_applied t (J_stmt stmt) in
       Ok result
   | Sql.Update { table; set; where } ->
       let* tbl = lookup t table in
       let* () = Expr.validate (Table.schema tbl) where in
+      let* () = admit_write () in
       let* n = Table.update tbl ~where ~set in
       let* () = journal_applied t (J_stmt stmt) in
       Ok (Affected n)
   | Sql.Delete { table; where } ->
       let* tbl = lookup t table in
       let* () = Expr.validate (Table.schema tbl) where in
+      let* () = admit_write () in
       let n = Table.delete tbl ~where in
       let* () = journal_applied t (J_stmt stmt) in
       Ok (Affected n)
@@ -334,6 +350,7 @@ let select_rows_under t src ~params ~pred =
       in
       let* result =
         protect_faults (fun () ->
+            let* () = Sesame_deadline.guard "db statement" in
             charge t;
             run_plain_select tbl ~columns:None ~where ~order_by ~limit)
       in

@@ -32,6 +32,22 @@ type t = {
 let auto_index_scans = 8
 let auto_index_min_rows = 256
 
+(* Cooperative cancellation: long scans poll the ambient request deadline
+   every [scan_checkpoint_rows] slots (power of two so the poll gate is a
+   mask). An expired budget aborts the scan via [Sesame_deadline.Expired]
+   before any mutation has been applied — callers observe a structured
+   refusal, never a partial row set presented as complete. [fold]/[iter]
+   stay checkpoint-free on purpose: they feed durable checkpointing,
+   which must not be aborted by whichever request happened to trigger it. *)
+let scan_checkpoint_rows = 256
+
+let scan_checkpoint counter =
+  incr counter;
+  if !counter land (scan_checkpoint_rows - 1) = 0 then begin
+    Sesame_faults.hit Sesame_faults.Db_scan_cancel;
+    Sesame_deadline.check "db scan"
+  end
+
 let create schema =
   let pk_col = Option.map (Schema.column_index_exn schema) (Schema.primary_key schema) in
   {
@@ -199,8 +215,10 @@ let matching_slots t ~where =
         candidates
   | None ->
       record_scan_votes t ~where;
+      let scanned = ref 0 in
       let acc = ref [] in
       for slot = t.size - 1 downto 0 do
+        scan_checkpoint scanned;
         match t.rows.(slot) with
         | Some row -> if Expr.eval_exn t.schema row where then acc := slot :: !acc
         | None -> ()
@@ -225,10 +243,12 @@ let select ?limit t ~where =
         record_scan_votes t ~where;
         (* Direct array walk, stopping as soon as [limit] rows matched —
            no candidate list is materialized for the common full scan. *)
+        let scanned = ref 0 in
         let acc = ref [] in
         let found = ref 0 in
         let slot = ref 0 in
         while !found < cap && !slot < t.size do
+          scan_checkpoint scanned;
           (match t.rows.(!slot) with
           | Some row ->
               if Expr.eval_exn t.schema row where then begin

@@ -1,0 +1,64 @@
+(* Absolute monotonic-clock deadlines, carried in domain-local storage.
+
+   Representation: nanoseconds on Sesame_clock's monotonic clock.
+   Int64.max_int stands for "no deadline" so comparisons stay branch-free
+   (min works unchanged for tightening). *)
+
+type t = int64
+
+let none : t = Int64.max_int
+let is_none (t : t) = Int64.equal t none
+
+let after_s (s : float) : t =
+  Int64.add (Sesame_clock.now_ns ()) (Int64.of_float (s *. 1e9))
+
+let after_ms (ms : int) : t = after_s (float_of_int ms /. 1000.)
+
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
+let current () : t = Domain.DLS.get key
+
+let with_deadline (d : t) (f : unit -> 'a) : 'a =
+  let prev = current () in
+  let tightened = if Int64.compare d prev < 0 then d else prev in
+  if Int64.equal tightened prev then f ()
+  else begin
+    Domain.DLS.set key tightened;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+  end
+
+let unrestricted (f : unit -> 'a) : 'a =
+  let prev = current () in
+  if is_none prev then f ()
+  else begin
+    Domain.DLS.set key none;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+  end
+
+let remaining_s (t : t) : float =
+  if is_none t then infinity
+  else Int64.to_float (Int64.sub t (Sesame_clock.now_ns ())) /. 1e9
+
+let remaining_ms (t : t) : int =
+  if is_none t then max_int
+  else
+    let ms = remaining_s t *. 1000. in
+    if ms <= 0. then 0 else int_of_float ms
+
+let expired (t : t) : bool =
+  (not (is_none t)) && Int64.compare (Sesame_clock.now_ns ()) t >= 0
+
+let expired_now () = expired (current ())
+
+exception Expired of string
+
+let marker = "deadline exceeded"
+let error_message what = Printf.sprintf "%s: %s over budget" marker what
+
+let is_deadline_error msg =
+  String.length msg >= String.length marker
+  && String.sub msg 0 (String.length marker) = marker
+
+let check what = if expired_now () then raise (Expired what)
+
+let guard what =
+  if expired_now () then Error (error_message what) else Ok ()

@@ -14,6 +14,10 @@ type point =
   | Quota_account
   | Attest_append
   | Attest_fsync
+  | Db_scan_cancel
+  | Wal_commit_deadline
+  | Brownout_enter
+  | Brownout_exit
 
 let all_points =
   [
@@ -32,6 +36,10 @@ let all_points =
     Quota_account;
     Attest_append;
     Attest_fsync;
+    Db_scan_cancel;
+    Wal_commit_deadline;
+    Brownout_enter;
+    Brownout_exit;
   ]
 
 let point_index = function
@@ -50,8 +58,12 @@ let point_index = function
   | Quota_account -> 12
   | Attest_append -> 13
   | Attest_fsync -> 14
+  | Db_scan_cancel -> 15
+  | Wal_commit_deadline -> 16
+  | Brownout_enter -> 17
+  | Brownout_exit -> 18
 
-let n_points = 15
+let n_points = 19
 
 let point_name = function
   | Arena_alloc -> "arena-alloc"
@@ -69,6 +81,10 @@ let point_name = function
   | Quota_account -> "quota-account"
   | Attest_append -> "attest-append"
   | Attest_fsync -> "attest-fsync"
+  | Db_scan_cancel -> "db-scan-cancel"
+  | Wal_commit_deadline -> "wal-commit-deadline"
+  | Brownout_enter -> "brownout-enter"
+  | Brownout_exit -> "brownout-exit"
 
 let point_of_string s =
   List.find_opt (fun p -> point_name p = s) all_points

@@ -50,6 +50,25 @@ type point =
   | Attest_fsync
       (** the [fsync] between attestation-frame write and
           acknowledgement; a fault models a manifest the disk never saw *)
+  | Db_scan_cancel
+      (** the cooperative cancellation checkpoint inside long table scans
+          ([Sesame_db.Table]); a fault models a scan whose budget check
+          itself misfires — the scan must abandon with a structured
+          refusal, never return a partial row set as if complete *)
+  | Wal_commit_deadline
+      (** the write-admission deadline check before a mutation is applied
+          and journaled ([Sesame_db.Database]); a fault refuses the write
+          at admission — before any state changed, so nothing is torn and
+          the store must not poison *)
+  | Brownout_enter
+      (** the transition into read-only brownout serving
+          ([Sesame_core.Sesame_conn]); a fault models the snapshot
+          recovery itself failing — reads must then fail closed exactly
+          as before brownout existed *)
+  | Brownout_exit
+      (** the transition out of brownout back to full service; a fault
+          keeps the store degraded (reads from snapshot, writes refused)
+          rather than resuming with a half-recovered store *)
 
 val all_points : point list
 val point_name : point -> string

@@ -20,6 +20,7 @@ let with_cookie ?attributes t ~name ~value =
   { t with headers = Headers.add t.headers "Set-Cookie" header }
 
 let header t name = Headers.get t.headers name
+let add_header t name value = { t with headers = Headers.add t.headers name value }
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%a@,%a%s@]" Status.pp t.status Headers.pp t.headers t.body

@@ -16,4 +16,9 @@ val with_cookie :
 (** Appends a Set-Cookie header. *)
 
 val header : t -> string -> string option
+
+val add_header : t -> string -> string -> t
+(** [add_header t name value] appends one header (duplicates allowed,
+    as for [Set-Cookie]). *)
+
 val pp : Format.formatter -> t -> unit

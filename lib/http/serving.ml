@@ -1,0 +1,15 @@
+(* Per-request serving annotations, carried in domain-local storage.
+
+   The connection worker clears the slot before invoking the handler;
+   any layer underneath (today: the connector's brownout read path) can
+   mark the in-flight response as degraded, and the server surfaces the
+   mark as an [X-Sesame-Degraded] header. DLS is safe here because a
+   worker domain serves one request at a time. *)
+
+let degraded : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let reset () = Domain.DLS.set degraded None
+let mark_degraded reason = Domain.DLS.set degraded (Some reason)
+let degraded_reason () = Domain.DLS.get degraded
+
+let header_name = "X-Sesame-Degraded"

@@ -1,0 +1,19 @@
+(** Per-request serving annotations (domain-local).
+
+    A layer below the handler can mark the in-flight response as served
+    in a degraded mode (e.g. brownout snapshot reads while the durable
+    store is poisoned); the server clears the mark before each request
+    and, when set, stamps {!header_name} on the response so clients can
+    tell a fresh answer from a last-known-good one. *)
+
+val reset : unit -> unit
+(** Clear the mark. Called by the server before invoking the handler. *)
+
+val mark_degraded : string -> unit
+(** Mark the in-flight request as degraded, with a short reason token
+    (e.g. ["snapshot"]). Later marks overwrite earlier ones. *)
+
+val degraded_reason : unit -> string option
+
+val header_name : string
+(** ["X-Sesame-Degraded"]. *)

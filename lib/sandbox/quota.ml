@@ -1,16 +1,30 @@
+(* A rate allowance over a sliding window, alongside the cumulative
+   books: at most [max_runs] admissions in any [window_s]-second span.
+   Admission timestamps are kept per entry and pruned at the leading
+   edge, so memory is bounded by [max_runs] per region. *)
+type window = { max_runs : int; window_s : float }
+
 type limits = {
   max_runs : int option;
   max_traps : int option;
   max_fuel : int option;
   max_wall_s : float option;
   max_mem_bytes : int option;
+  runs_per_window : window option;
 }
 
 let no_limits =
-  { max_runs = None; max_traps = None; max_fuel = None; max_wall_s = None; max_mem_bytes = None }
+  {
+    max_runs = None;
+    max_traps = None;
+    max_fuel = None;
+    max_wall_s = None;
+    max_mem_bytes = None;
+    runs_per_window = None;
+  }
 
-let limits ?max_runs ?max_traps ?max_fuel ?max_wall_s ?max_mem_bytes () =
-  { max_runs; max_traps; max_fuel; max_wall_s; max_mem_bytes }
+let limits ?max_runs ?max_traps ?max_fuel ?max_wall_s ?max_mem_bytes ?runs_per_window () =
+  { max_runs; max_traps; max_fuel; max_wall_s; max_mem_bytes; runs_per_window }
 
 type policy =
   | Deny
@@ -57,6 +71,7 @@ type entry = {
   mutable quarantine_events : int;
   mutable backoff_s : float;  (* current throttle window; 0 = not backing off *)
   mutable next_admit_at : float;
+  window_admits : float Queue.t;  (* admission times inside the sliding window *)
 }
 
 (* One mutex over the whole table: admissions and accounting from worker
@@ -94,6 +109,7 @@ let entry_of t key =
           quarantine_events = 0;
           backoff_s = 0.0;
           next_admit_at = neg_infinity;
+          window_admits = Queue.create ();
         }
       in
       Hashtbl.add t.entries key e;
@@ -126,45 +142,91 @@ let admission_message = function
   | Quarantined { breached } ->
       Printf.sprintf "region quarantined after exceeding its %s quota" breached
 
+(* Drop admission timestamps that have slid out of the window. *)
+let prune_window w (e : entry) ~now =
+  while
+    (not (Queue.is_empty e.window_admits)) && Queue.peek e.window_admits <= now -. w.window_s
+  do
+    ignore (Queue.pop e.window_admits)
+  done
+
 let admit t ~key =
   with_lock t (fun () ->
       let e = entry_of t key in
+      let now = t.now () in
       if e.quarantined then begin
         e.denied <- e.denied + 1;
         Quarantined { breached = "quota" }
       end
-      else
-        match breach_of t.limits e with
-        | None ->
-            (* Back under quota (e.g. a wall-clock window policy upstream
-               reset the entry): stop backing off. *)
-            e.backoff_s <- 0.0;
-            Admit
-        | Some breached -> (
+      else begin
+        (* Windowed rate check, after pruning the leading edge. Unlike
+           the cumulative books it self-heals: once enough admissions
+           slide out of the window, runs admit again with no operator
+           action. The throttle decision therefore lands exactly on the
+           window boundary — retry when the oldest admission expires —
+           rather than on an exponential backoff. *)
+        let window_breach =
+          match t.limits.runs_per_window with
+          | Some w ->
+              prune_window w e ~now;
+              if Queue.length e.window_admits >= w.max_runs then
+                Some (w, "runs-per-window")
+              else None
+          | None -> None
+        in
+        let record_admission () =
+          if t.limits.runs_per_window <> None then Queue.push now e.window_admits;
+          Admit
+        in
+        match window_breach with
+        | Some (w, breached) -> (
             match t.policy with
             | Deny ->
                 e.denied <- e.denied + 1;
                 Deny_quota { breached }
             | Quarantine ->
-                (* The transition happens exactly once, under the lock. *)
                 e.quarantined <- true;
                 e.quarantine_events <- e.quarantine_events + 1;
                 e.denied <- e.denied + 1;
                 Quarantined { breached }
-            | Throttle { initial_backoff_s; max_backoff_s } ->
-                let now = t.now () in
-                if now >= e.next_admit_at then begin
-                  (* Admit one probe run, then exponentially widen the gap. *)
-                  e.backoff_s <-
-                    (if e.backoff_s <= 0.0 then initial_backoff_s
-                     else Float.min max_backoff_s (e.backoff_s *. 2.0));
-                  e.next_admit_at <- now +. e.backoff_s;
-                  Admit
-                end
-                else begin
-                  e.throttled <- e.throttled + 1;
-                  Backoff { retry_in_s = e.next_admit_at -. now; breached }
-                end))
+            | Throttle _ ->
+                let retry_in_s =
+                  Float.max 0.0 (Queue.peek e.window_admits +. w.window_s -. now)
+                in
+                e.throttled <- e.throttled + 1;
+                Backoff { retry_in_s; breached })
+        | None -> (
+            match breach_of t.limits e with
+            | None ->
+                (* Back under quota (e.g. a wall-clock window policy upstream
+                   reset the entry): stop backing off. *)
+                e.backoff_s <- 0.0;
+                record_admission ()
+            | Some breached -> (
+                match t.policy with
+                | Deny ->
+                    e.denied <- e.denied + 1;
+                    Deny_quota { breached }
+                | Quarantine ->
+                    (* The transition happens exactly once, under the lock. *)
+                    e.quarantined <- true;
+                    e.quarantine_events <- e.quarantine_events + 1;
+                    e.denied <- e.denied + 1;
+                    Quarantined { breached }
+                | Throttle { initial_backoff_s; max_backoff_s } ->
+                    if now >= e.next_admit_at then begin
+                      (* Admit one probe run, then exponentially widen the gap. *)
+                      e.backoff_s <-
+                        (if e.backoff_s <= 0.0 then initial_backoff_s
+                         else Float.min max_backoff_s (e.backoff_s *. 2.0));
+                      e.next_admit_at <- now +. e.backoff_s;
+                      record_admission ()
+                    end
+                    else begin
+                      e.throttled <- e.throttled + 1;
+                      Backoff { retry_in_s = e.next_admit_at -. now; breached }
+                    end))
+      end)
 
 let account t ~key ~trapped ~fuel ~wall_s ~mem_bytes =
   (* The seam fires before any counter moves: an injected accounting

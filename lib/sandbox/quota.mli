@@ -19,12 +19,22 @@
     moves, so an injected accounting fault leaves the books untouched
     and the caller must deny the response. *)
 
+type window = { max_runs : int; window_s : float }
+(** A sliding-window rate allowance: at most [max_runs] admissions in
+    any [window_s]-second span. Unlike the cumulative books this
+    self-heals — admissions sliding out of the window free capacity
+    with no operator action — so under [Throttle] the retry hint lands
+    exactly on the window boundary (when the oldest admission expires)
+    instead of an exponential backoff. Memory is bounded by [max_runs]
+    timestamps per region. *)
+
 type limits = {
   max_runs : int option;  (** admissible runs; the (n+1)th breaches *)
   max_traps : int option;
   max_fuel : int option;  (** cumulative {!Runtime.tick} calls *)
   max_wall_s : float option;  (** cumulative guest wall-clock *)
   max_mem_bytes : int option;  (** peak arena high-water mark *)
+  runs_per_window : window option;  (** sliding-window rate, e.g. runs/hour *)
 }
 
 val no_limits : limits
@@ -35,6 +45,7 @@ val limits :
   ?max_fuel:int ->
   ?max_wall_s:float ->
   ?max_mem_bytes:int ->
+  ?runs_per_window:window ->
   unit ->
   limits
 

@@ -141,6 +141,22 @@ let trap_of_exn = function
 
 let run config ~input ~f =
   let budget = config.budget in
+  (* The region's wall budget is capped by the ambient request deadline
+     (Sesame_deadline): a region can never outlive the request that
+     spawned it, even when its configured budget is looser or absent. An
+     already-expired request yields a zero budget, trapped on the first
+     tick or at the post-execution check. *)
+  let wall_budget_s =
+    let ambient = Sesame_deadline.current () in
+    let remaining =
+      if Sesame_deadline.is_none ambient then None
+      else Some (Float.max 0.0 (Sesame_deadline.remaining_s ambient))
+    in
+    match (budget.deadline_s, remaining) with
+    | Some d, Some r -> Some (Float.min d r)
+    | Some d, None -> Some d
+    | None, r -> r
+  in
   let t0 = now () in
   let arena =
     match config.mode with
@@ -195,7 +211,7 @@ let run config ~input ~f =
         st.fuel_left <- fuel;
         st.fuel_limit <- fuel
     | None -> ());
-    (match budget.deadline_s with
+    (match wall_budget_s with
     | Some d ->
         (* A nested sandbox may tighten, never extend, the deadline. *)
         if t2 +. d < st.deadline then begin
@@ -221,7 +237,7 @@ let run config ~input ~f =
     in
     (* A guest that never ticked but overran its deadline is still caught
        before its result is copied out. *)
-    (match budget.deadline_s with
+    (match wall_budget_s with
     | Some d when now () -. t2 > d -> raise (Past_deadline d)
     | _ -> ());
     let t3 = now () in

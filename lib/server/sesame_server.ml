@@ -43,6 +43,11 @@ type config = {
   max_requests_per_connection : int;
   idle_timeout_s : float;
   limits : Http.Wire.limits;
+  default_deadline_ms : int;  (* per-request budget when the client names none; 0 = unbounded *)
+  max_deadline_ms : int;  (* ceiling on client-requested X-Deadline-Ms *)
+  retry_after_s : int;  (* stamped on every 503 this server originates *)
+  health_paths : string list;  (* never shed at request level *)
+  shed_mutations_at : int;  (* active conns at/above this shed non-health mutations *)
   autoscale : autoscale option;
 }
 
@@ -57,12 +62,18 @@ let default_config =
     idle_timeout_s = 5.0;
     limits = Http.Wire.default_limits;
     autoscale = None;
+    default_deadline_ms = 5_000;
+    max_deadline_ms = 30_000;
+    retry_after_s = 1;
+    health_paths = [ "/health"; "/healthz" ];
+    shed_mutations_at = 192;
   }
 
 type stats = {
   accepted : int;
   served : int;
   shed : int;
+  mutations_shed : int;
   parse_errors : int;
   timeouts : int;
   active : int;
@@ -86,6 +97,7 @@ type t = {
   accepted : int Atomic.t;
   served : int Atomic.t;
   shed : int Atomic.t;
+  mutations_shed : int Atomic.t;
   parse_errors : int Atomic.t;
   timeouts : int Atomic.t;
   burst_target : int Atomic.t;
@@ -107,6 +119,7 @@ let stats t =
     accepted = Atomic.get t.accepted;
     served = Atomic.get t.served;
     shed = Atomic.get t.shed;
+    mutations_shed = Atomic.get t.mutations_shed;
     parse_errors = Atomic.get t.parse_errors;
     timeouts = Atomic.get t.timeouts;
     active = Atomic.get t.active;
@@ -148,6 +161,30 @@ let error_body = function
     as e ->
       Http.Wire.error_message e
 
+(* Every 503 this server originates carries Retry-After, so honest
+   clients (and the load generator) know when to come back instead of
+   hammering an overloaded server. *)
+let unavailable t body =
+  Http.Response.add_header
+    (Http.Response.error Http.Status.Service_unavailable body)
+    "Retry-After"
+    (string_of_int t.config.retry_after_s)
+
+(* The request's wall budget: the client's X-Deadline-Ms (capped by the
+   server ceiling) or the configured default. 0 means unbounded. *)
+let request_budget_ms t request =
+  let requested =
+    match Http.Request.header request "x-deadline-ms" with
+    | None -> None
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some ms when ms > 0 -> Some ms
+        | Some _ | None -> None)
+  in
+  match requested with
+  | Some ms -> min ms t.config.max_deadline_ms
+  | None -> t.config.default_deadline_ms
+
 let handle_connection t fd =
   Mutex.lock t.mutex;
   Hashtbl.replace t.open_conns fd ();
@@ -175,16 +212,48 @@ let handle_connection t fd =
         let request =
           if head_only then { request with Http.Request.meth = Http.Meth.GET } else request
         in
+        (* Admission by priority class: health probes are always
+           answered; mutations are shed (503 + Retry-After) ahead of
+           reads once active connections cross the watermark — reads and
+           health stay useful right up to the hard connection cap. *)
+        let health = List.mem request.Http.Request.path t.config.health_paths in
+        let mutation = not (Http.Meth.equal request.Http.Request.meth Http.Meth.GET) in
         let response =
-          try t.handler request
-          with exn ->
-            (* Same redaction discipline as Router.dispatch: the client
-               sees a fixed body, the log sees the exception. *)
-            t.on_error
-              (Printf.sprintf "%s %s: handler raised %s"
-                 (Http.Meth.to_string request.Http.Request.meth)
-                 request.Http.Request.path (Printexc.to_string exn));
-            Http.Response.error Http.Status.Internal_error "internal error"
+          if
+            mutation && (not health)
+            && Atomic.get t.active >= t.config.shed_mutations_at
+          then begin
+            Atomic.incr t.mutations_shed;
+            unavailable t "server overloaded; mutations shed before reads"
+          end
+          else begin
+            (* Fresh per-request serving state, then the whole handler
+               runs under the request's wall budget: every blocking
+               layer below (enforcement fan-out, DB scans, WAL
+               admission, sandbox runs) observes the same deadline. *)
+            Http.Serving.reset ();
+            let run () =
+              try t.handler request
+              with exn ->
+                (* Same redaction discipline as Router.dispatch: the
+                   client sees a fixed body, the log sees the
+                   exception. *)
+                t.on_error
+                  (Printf.sprintf "%s %s: handler raised %s"
+                     (Http.Meth.to_string request.Http.Request.meth)
+                     request.Http.Request.path (Printexc.to_string exn));
+                Http.Response.error Http.Status.Internal_error "internal error"
+            in
+            let budget_ms = request_budget_ms t request in
+            let response =
+              if budget_ms <= 0 then run ()
+              else Sesame_deadline.with_deadline (Sesame_deadline.after_ms budget_ms) run
+            in
+            match Http.Serving.degraded_reason () with
+            | None -> response
+            | Some reason ->
+                Http.Response.add_header response Http.Serving.header_name reason
+          end
         in
         let requests_served = requests_served + 1 in
         let keep_alive =
@@ -317,7 +386,7 @@ let shed t fd =
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
      write_all fd
        (Http.Wire.write_response ~keep_alive:false
-          (Http.Response.error Http.Status.Service_unavailable "server at connection capacity"))
+          (unavailable t "server at connection capacity"))
    with Unix.Unix_error _ -> ());
   close_quietly fd;
   Atomic.decr t.active
@@ -383,6 +452,7 @@ let start ?(config = default_config) ?(on_error = fun msg -> prerr_endline ("[se
         accepted = Atomic.make 0;
         served = Atomic.make 0;
         shed = Atomic.make 0;
+        mutations_shed = Atomic.make 0;
         parse_errors = Atomic.make 0;
         timeouts = Atomic.make 0;
         burst_target = Atomic.make 0;

@@ -41,6 +41,22 @@ type config = {
   max_requests_per_connection : int;
   idle_timeout_s : float;  (** SO_RCVTIMEO on each connection *)
   limits : Http.Wire.limits;
+  default_deadline_ms : int;
+      (** wall budget stamped on each request when the client sends no
+          [X-Deadline-Ms]; 0 leaves the request unbounded *)
+  max_deadline_ms : int;
+      (** ceiling on a client-requested [X-Deadline-Ms] — clients may
+          tighten their budget freely but never extend past this *)
+  retry_after_s : int;
+      (** [Retry-After] value stamped on every 503 the server
+          originates (accept-time sheds and mutation sheds alike) *)
+  health_paths : string list;
+      (** paths never shed at request level — health probes keep
+          answering while everything else degrades *)
+  shed_mutations_at : int;
+      (** active connections at/above this shed non-health mutations
+          (anything but GET/HEAD) with 503 + [Retry-After], so reads
+          keep their capacity right up to [max_connections] *)
   autoscale : autoscale option;
       (** [None] (the default) keeps the fixed [domains]-sized worker
           set; [Some] adds a supervisor domain that grows the set with
@@ -53,7 +69,9 @@ type config = {
 val default_config : config
 (** 127.0.0.1:ephemeral, [max 2 (Sesame_parallel.env_domains ())]
     handler domains, 256 connections, 1000 requests/connection, 5 s idle
-    timeout, {!Http.Wire.default_limits}. *)
+    timeout, {!Http.Wire.default_limits}; 5 s default deadline, 30 s
+    deadline ceiling, [Retry-After: 1], health at [/health]/[/healthz],
+    mutations shed at 192 active connections. *)
 
 type t
 
@@ -83,6 +101,9 @@ type stats = {
   accepted : int;
   served : int;  (** requests answered, across all connections *)
   shed : int;  (** connections refused with 503 at capacity *)
+  mutations_shed : int;
+      (** requests refused with 503 by the mutation watermark (these
+          {e are} also counted in [served]: the client got an answer) *)
   parse_errors : int;  (** requests answered 400/413/431 *)
   timeouts : int;  (** connections closed by the idle deadline *)
   active : int;  (** currently accepted-but-unfinished connections *)

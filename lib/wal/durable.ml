@@ -340,6 +340,10 @@ let replay_record db ~lsn record =
                 | Error detail -> Error (Replay_failed { lsn; detail }))))
 
 let recover ~dir ~config =
+  (* Recovery may run on a request-serving domain (a brownout exit
+     reopens the store mid-traffic); its replay must not be abandoned by
+     that request's budget. *)
+  Sesame_deadline.unrestricted @@ fun () ->
   let wal_file = Filename.concat dir "wal" in
   (* A leftover temp file is a crash mid-checkpoint: the rename never
      happened, so the old checkpoint + WAL are authoritative. *)
@@ -409,6 +413,57 @@ let recover ~dir ~config =
     | Error detail -> fail dir (Corrupt_record { offset = valid_end; detail })
   in
   Ok (db, writer, ckpt_lsn, last_lsn, replayed)
+
+(* Read-only snapshot recovery: the brownout read path. When the live
+   store poisons mid-flight (journal fault, quota quarantine), reads can
+   continue from the last consistent on-disk state — checkpoint plus
+   every intact WAL record. Strictly side-effect-free on the directory:
+   no temp-file cleanup, no torn-tail truncation, no quarantine marker,
+   no writer — so it can run while the (poisoned) writer still owns the
+   files. A torn tail is tolerated, not repaired: the valid prefix is
+   replayed and the tear is left for a real reopen to truncate. Replay
+   runs with the ambient request deadline suspended: the snapshot build
+   happens on whichever request's domain noticed the poisoning, and an
+   aborted half-replayed snapshot would help nobody. *)
+let read_state ~dir =
+  Sesame_deadline.unrestricted @@ fun () ->
+  let wal_file = Filename.concat dir "wal" in
+  let db = Db.create () in
+  let* ckpt_lsn =
+    match Checkpoint.load ~dir with
+    | Error detail -> fail dir (Corrupt_checkpoint detail)
+    | Ok None -> Ok 0L
+    | Ok (Some (lsn, tables)) ->
+        let rec install = function
+          | [] -> Ok lsn
+          | (schema, rows) :: rest -> (
+              match Db.restore_table db schema rows with
+              | Ok () -> install rest
+              | Error detail -> fail dir (Corrupt_checkpoint detail))
+        in
+        install tables
+  in
+  let* records =
+    if Sys.file_exists wal_file then
+      match Wal.scan wal_file with
+      | Ok (records, _, _) -> Ok records
+      | Error detail -> fail dir (Corrupt_record { offset = 0; detail })
+    else Ok []
+  in
+  let rec replay last_lsn n = function
+    | [] -> Ok (last_lsn, n)
+    | ({ offset; payload } : Wal.record) :: rest -> (
+        match decode_record payload with
+        | Error detail -> fail dir (Corrupt_record { offset; detail })
+        | Ok (lsn, record) ->
+            if Int64.compare lsn ckpt_lsn <= 0 then replay last_lsn n rest
+            else (
+              match replay_record db ~lsn record with
+              | Ok () -> replay lsn (n + 1) rest
+              | Error reason -> fail dir reason))
+  in
+  let* last_lsn, replayed = replay ckpt_lsn 0 records in
+  Ok (db, last_lsn, replayed)
 
 let open_store ?(config = default_config) ~provenance ~dir () =
   let ensure_dir () =

@@ -102,6 +102,16 @@ val clear_quarantine : dir:string -> unit
 (** Operator override: removes the [QUARANTINE] marker so the next
     {!open_store} re-attempts recovery. *)
 
+val read_state : dir:string -> (Sesame_db.Database.t * int64 * int, error) result
+(** Read-only snapshot recovery, for brownout serving: rebuilds the last
+    consistent state (checkpoint + every intact WAL record) into a fresh
+    in-memory database without touching the directory — no truncation,
+    no quarantine marker, no writer. A torn tail is tolerated (the valid
+    prefix is replayed); everything a real recovery would refuse is
+    still refused. Returns [(db, last_lsn, replayed)]. The returned
+    database has no journal hook: mutations against it succeed silently
+    in memory only — callers must not expose it for writes. *)
+
 (** {1 Introspection (tests, benchmarks)} *)
 
 val next_lsn : t -> int64

@@ -556,6 +556,45 @@ let critical_tests =
     test "review burden reflects in-crate call graph" (fun () ->
         let region, _, _ = make_cr () in
         check_bool "positive" true (Region.Critical.review_burden_loc region > 0));
+    test "quota gates admission before the body and keeps exact books" (fun () ->
+        let quota =
+          Sbx.Quota.create ~limits:(Sbx.Quota.limits ~max_runs:2 ()) ()
+        in
+        let sent = ref [] in
+        let region =
+          Result.get_ok
+            (Region.Critical.make ~app:"test" ~program:(region_program ()) ~spec:leaky_spec
+               ~lockfile ~keystore:(keystore ()) ~quota
+               ~f:(fun ~context:_ body -> sent := body :: !sent)
+               ())
+        in
+        Build_mode.with_mode Build_mode.Debug (fun () ->
+            let run () =
+              Region.Critical.run region
+                ~context:(Context.untrusted ~user:"ada" ())
+                (Mock.pcon "body")
+            in
+            (match run () with Ok () -> () | Error e -> Alcotest.fail (Region.error_to_string e));
+            (match run () with Ok () -> () | Error e -> Alcotest.fail (Region.error_to_string e));
+            (* Third run breaches the allowance: refused before the body,
+               with a structured denial naming the limit, not region data. *)
+            (match run () with
+            | Error (Region.Quota_denied { region = name; state }) ->
+                check_str "names the region" "regions::mailer" name;
+                let contains hay needle =
+                  let n = String.length hay and m = String.length needle in
+                  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+                  go 0
+                in
+                check_bool "names the breached limit" true (contains state "runs")
+            | Ok () -> Alcotest.fail "admitted past the allowance"
+            | Error e -> Alcotest.fail (Region.error_to_string e));
+            check_int "body ran only within the allowance" 2 (List.length !sent);
+            match Region.Critical.quota_counters region with
+            | None -> Alcotest.fail "no quota books for the region"
+            | Some c ->
+                check_int "runs" 2 c.Sbx.Quota.runs;
+                check_int "denied" 1 c.Sbx.Quota.denied));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -245,6 +245,97 @@ let quota_tests =
         let totals = Sbx.Quota.totals q in
         check_int "totals sum across regions" (admitted + 40) totals.Sbx.Quota.runs;
         check_int "snapshot lists both regions" 2 (List.length (Sbx.Quota.snapshot q)));
+    test "sliding window self-heals as admissions expire" (fun () ->
+        let clock = ref 0.0 in
+        let q =
+          Sbx.Quota.create ~now:(fun () -> !clock)
+            ~limits:
+              (Sbx.Quota.limits
+                 ~runs_per_window:{ Sbx.Quota.max_runs = 2; window_s = 10.0 }
+                 ())
+            ~policy:(Sbx.Quota.Throttle { initial_backoff_s = 1.0; max_backoff_s = 64.0 })
+            ()
+        in
+        let admit () = Sbx.Quota.admit q ~key:"w" in
+        let expect_admit label =
+          match admit () with
+          | Sbx.Quota.Admit -> charge q "w"
+          | other -> Alcotest.failf "%s: %s" label (Sbx.Quota.admission_message other)
+        in
+        expect_admit "first of the window";
+        clock := 4.0;
+        expect_admit "second of the window";
+        (* Full window: the retry hint is when the OLDEST admission
+           slides out (t=10), not an exponential backoff. *)
+        (match admit () with
+        | Sbx.Quota.Backoff { retry_in_s; breached } ->
+            check_str "window breach label" "runs-per-window" breached;
+            Alcotest.(check (float 1e-6)) "retry at window boundary" 6.0 retry_in_s
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        clock := 9.0;
+        (match admit () with
+        | Sbx.Quota.Backoff { retry_in_s; _ } ->
+            Alcotest.(check (float 1e-6)) "hint tracks the clock" 1.0 retry_in_s
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        (* t=10.5: the t=0 admission has slid out — capacity came back
+           with no operator action. *)
+        clock := 10.5;
+        expect_admit "self-healed after the boundary";
+        match Sbx.Quota.counters_for q ~key:"w" with
+        | None -> Alcotest.fail "no books"
+        | Some c ->
+            check_int "window admissions ran" 3 c.Sbx.Quota.runs;
+            check_int "window refusals counted as throttled" 2 c.Sbx.Quota.throttled);
+    test "window under deny policy refuses without a probe" (fun () ->
+        let clock = ref 0.0 in
+        let q =
+          Sbx.Quota.create ~now:(fun () -> !clock)
+            ~limits:
+              (Sbx.Quota.limits
+                 ~runs_per_window:{ Sbx.Quota.max_runs = 1; window_s = 5.0 }
+                 ())
+            ()
+        in
+        (match Sbx.Quota.admit q ~key:"d" with
+        | Sbx.Quota.Admit -> charge q "d"
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        for _ = 1 to 3 do
+          match Sbx.Quota.admit q ~key:"d" with
+          | Sbx.Quota.Deny_quota { breached } ->
+              check_str "breach label" "runs-per-window" breached
+          | other -> Alcotest.fail (Sbx.Quota.admission_message other)
+        done;
+        clock := 5.5;
+        match Sbx.Quota.admit q ~key:"d" with
+        | Sbx.Quota.Admit -> ()
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+    test "window composes with the cumulative books" (fun () ->
+        (* Window capacity returns at t=3, but by then the cumulative
+           run ceiling (2) has been spent: the window self-heals, the
+           books do not. *)
+        let clock = ref 0.0 in
+        let q =
+          Sbx.Quota.create ~now:(fun () -> !clock)
+            ~limits:
+              (Sbx.Quota.limits ~max_runs:2
+                 ~runs_per_window:{ Sbx.Quota.max_runs = 1; window_s = 3.0 }
+                 ())
+            ()
+        in
+        (match Sbx.Quota.admit q ~key:"c" with
+        | Sbx.Quota.Admit -> charge q "c"
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        (match Sbx.Quota.admit q ~key:"c" with
+        | Sbx.Quota.Deny_quota { breached } -> check_str "window first" "runs-per-window" breached
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        clock := 3.5;
+        (match Sbx.Quota.admit q ~key:"c" with
+        | Sbx.Quota.Admit -> charge q "c"
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
+        clock := 7.0;
+        match Sbx.Quota.admit q ~key:"c" with
+        | Sbx.Quota.Deny_quota { breached } -> check_str "cumulative ceiling" "runs" breached
+        | other -> Alcotest.fail (Sbx.Quota.admission_message other));
   ]
 
 (* ------------------------------------------------------------------ *)
