@@ -769,6 +769,149 @@ end
 
 module Audit = C.Policy.Make (Audit_family)
 
+(* A verdict that depends on one user's consent row — a pk probe, so
+   its footprint is a single (table, shard) slot. *)
+module Profile_family = struct
+  type s = { db : Db.Database.t; who : string }
+
+  let name = "bench::profile"
+
+  let check s _ctx =
+    match
+      Db.Database.exec s.db "SELECT consent FROM profiles WHERE who = ?"
+        ~params:[ Db.Value.Text s.who ]
+    with
+    | Ok (Db.Database.Rows { rows = [ [| Db.Value.Bool b |] ]; _ }) -> b
+    | _ -> false
+
+  let join = None
+  let no_folding = false
+  let describe s = "Profile(" ^ s.who ^ ")"
+end
+
+module Profile = C.Policy.Make (Profile_family)
+
+(* Mixed read/write serving: policy checks read the consent table while
+   application write traffic (event inserts) flows alongside — the
+   Sesame serving mix. Under the old global epoch every write evicted
+   every cached verdict; per-shard epoch vectors keep verdicts warm
+   because the writes never touch the slots the checks read. *)
+let parcheck_mixed () =
+  header "Parcheck mixed: read/write interleave, global epoch vs per-shard vectors";
+  let n_users = 1000 and n_ops = 30_000 in
+  let db = Db.Database.create () in
+  let col name ty = { Db.Schema.name; ty; nullable = false } in
+  (match
+     Db.Database.create_table db
+       (Db.Schema.make_exn ~name:"profiles" ~primary_key:"who"
+          [ col "who" Db.Value.Ttext; col "consent" Db.Value.Tbool ])
+   with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  (match
+     Db.Database.create_table db
+       (Db.Schema.make_exn ~name:"events" ~primary_key:"id"
+          [ col "id" Db.Value.Tint; col "actor" Db.Value.Ttext; col "body" Db.Value.Ttext ])
+   with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let user i = Printf.sprintf "user%d@bench.io" i in
+  for i = 0 to n_users - 1 do
+    match
+      Db.Database.exec db "INSERT INTO profiles VALUES (?, ?)"
+        ~params:[ Db.Value.Text (user i); Db.Value.Bool true ]
+    with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  done;
+  let policies = Array.init n_users (fun i -> Profile.make { db; who = user i }) in
+  let contexts = Array.init n_users (fun i -> C.Mock.context ~user:(user i) ()) in
+  let next_event = ref 0 in
+  let rng = ref 123456789 in
+  let rnd m =
+    (* Power-of-two-modulus LCG: the low bits cycle, so draw from the
+       high ones. *)
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng lsr 15 mod m
+  in
+  let run ~write_pct =
+    C.Enforce.bump ();
+    C.Enforce.reset_stats ();
+    rng := 123456789;
+    let lat = Array.make n_ops 0.0 in
+    let reads = ref 0 in
+    for _ = 1 to n_ops do
+      if rnd 100 < write_pct then begin
+        incr next_event;
+        match
+          Db.Database.exec db "INSERT INTO events VALUES (?, ?, ?)"
+            ~params:
+              [
+                Db.Value.Int !next_event;
+                Db.Value.Text (user (rnd n_users));
+                Db.Value.Text "event";
+              ]
+        with
+        | Ok _ -> ()
+        | Error m -> failwith m
+      end
+      else begin
+        let u = rnd n_users in
+        let t0 = Sesame_clock.now_s () in
+        ignore (Sys.opaque_identity (C.Enforce.check policies.(u) contexts.(u)));
+        lat.(!reads) <- Sesame_clock.now_s () -. t0;
+        incr reads
+      end
+    done;
+    let st = C.Enforce.stats () in
+    let total = st.C.Enforce.hits + st.C.Enforce.misses in
+    let hit_rate =
+      if total = 0 then 0.0 else float_of_int st.C.Enforce.hits /. float_of_int total
+    in
+    (hit_rate, Array.sub lat 0 !reads, st)
+  in
+  C.Enforce.set_memoization true;
+  C.Enforce.set_pool None;
+  Printf.printf "%-10s %-10s %10s %12s %12s %8s %8s\n" "mix" "epochs" "hit rate"
+    "read median" "read p99" "hits" "misses";
+  let rows =
+    List.concat_map
+      (fun (mix, write_pct) ->
+        List.map
+          (fun (epochs, precise) ->
+            C.Enforce.set_precise_invalidation precise;
+            let hit_rate, lat, st = run ~write_pct in
+            Printf.printf "%-10s %-10s %9.1f%% %9.2f us %9.2f us %8d %8d\n" mix epochs
+              (100.0 *. hit_rate)
+              (us (median lat))
+              (us (p99 lat))
+              st.C.Enforce.hits st.C.Enforce.misses;
+            ( (mix, epochs, hit_rate),
+              Json.Obj
+                [
+                  ("mix", Json.Str mix);
+                  ("epochs", Json.Str epochs);
+                  ("write_pct", Json.Int write_pct);
+                  ("hit_rate", Json.Num hit_rate);
+                  ("read_median_us", Json.Num (us (median lat)));
+                  ("read_p99_us", Json.Num (us (p99 lat)));
+                  ("cache_hits", Json.Int st.C.Enforce.hits);
+                  ("cache_misses", Json.Int st.C.Enforce.misses);
+                ] ))
+          [ ("global", false); ("per-shard", true) ])
+      [ ("90/10", 10); ("50/50", 50) ]
+  in
+  C.Enforce.set_precise_invalidation true;
+  let gate_ok =
+    List.exists
+      (fun ((mix, epochs, hit_rate), _) ->
+        mix = "90/10" && epochs = "per-shard" && hit_rate >= 0.8)
+      rows
+  in
+  Printf.printf "mixed gate (per-shard 90/10 hit rate >= 80%%): %s\n"
+    (if gate_ok then "ok" else "FAILED");
+  (List.map snd rows, gate_ok)
+
 let parcheck () =
   header "Parcheck: memoization x domain-parallel fan-out on the enforcement hot path";
   let n_policies = 10_000 in
@@ -799,6 +942,7 @@ let parcheck () =
   let saved_memo = C.Enforce.memoization () in
   let saved_elide = C.Enforce.elision () in
   let saved_push = C.Enforce.pushdown_enabled () in
+  let saved_precise = C.Enforce.precise_invalidation () in
   let bench_pool =
     Sesame_parallel.create ~domains:(max 4 (Sesame_parallel.env_domains ())) ()
   in
@@ -875,10 +1019,32 @@ let parcheck () =
           ])
       modes
   in
+  (* Coarse vs precise on the Get Aggregates warm path: the per-entry
+     footprint bookkeeping must stay within the established overhead
+     band (<= +9% on warm medians). *)
+  C.Enforce.set_memoization true;
+  C.Enforce.set_pool None;
+  C.Enforce.set_elision false;
+  C.Enforce.set_pushdown false;
+  C.Enforce.set_precise_invalidation false;
+  C.Enforce.bump ();
+  let _, agg_warm_coarse = sample_cold ~n:9 aggregates in
+  C.Enforce.set_precise_invalidation true;
+  C.Enforce.bump ();
+  let _, agg_warm_precise = sample_cold ~n:9 aggregates in
+  let coarse_us = us (median agg_warm_coarse) in
+  let precise_us = us (median agg_warm_precise) in
+  let overhead_pct =
+    if coarse_us = 0.0 then 0.0 else (precise_us -. coarse_us) /. coarse_us *. 100.0
+  in
+  Printf.printf "\nagg warm: coarse %.0f us, precise %.0f us (%+.1f%%; band <= +9%%)\n"
+    coarse_us precise_us overhead_pct;
+  let mixed_rows, mixed_gate_ok = parcheck_mixed () in
   C.Enforce.set_memoization saved_memo;
   C.Enforce.set_pool saved_pool;
   C.Enforce.set_elision saved_elide;
   C.Enforce.set_pushdown saved_push;
+  C.Enforce.set_precise_invalidation saved_precise;
   C.Enforce.bump ();
   Sesame_parallel.shutdown bench_pool;
   Json.to_file "BENCH_parcheck.json"
@@ -889,6 +1055,12 @@ let parcheck () =
          ("pool_domains", Json.Int (Sesame_parallel.domains bench_pool));
          ("host_cores", Json.Int (Domain.recommended_domain_count ()));
          ("modes", Json.List rows);
+         ("mixed", Json.List mixed_rows);
+         ("mixed_gate_ok", Json.Bool mixed_gate_ok);
+         ("agg_warm_coarse_us", Json.Num coarse_us);
+         ("agg_warm_precise_us", Json.Num precise_us);
+         ("agg_precise_overhead_pct", Json.Num overhead_pct);
+         ("agg_overhead_ok", Json.Bool (overhead_pct <= 9.0));
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -1054,11 +1226,11 @@ let wal_ablation () =
       (ms recovery)
   in
   durable "wal, no sync"
-    { W.Durable.sync = W.Durable.No_sync; batch = 1; checkpoint_every = None };
+    { W.Durable.sync = W.Durable.No_sync; batch = 1; checkpoint_every = None; window_ns = 0L };
   durable "wal, fsync each commit"
-    { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = None };
+    { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = None; window_ns = 0L };
   durable "wal+checkpoint (64)"
-    { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = Some 64 };
+    { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = Some 64; window_ns = 0L };
   Printf.printf
     "\n(recovery column: reopen cost — WAL replay for the first two, checkpoint\n\
     \ load + short-tail replay for the last)\n"
@@ -1293,9 +1465,9 @@ let serve () =
         domains connections duration_s warmup_s;
       Printf.printf "%-12s %10s %10s %9s %9s %9s %9s %7s %7s %6s %6s %5s\n" "target rps"
         "achieved" "goodput" "p50" "p99" "p99.9" "max" "ok" "non2xx" "shed" "supp" "errs";
-      let run_rate ~overload rate =
+      let run_rate ?(targets = live) ~overload rate =
         let before = Sesame_server.stats server in
-        let s = Loadgen.run ~connections ~warmup_s ~port ~rate ~duration_s live in
+        let s = Loadgen.run ~connections ~warmup_s ~port ~rate ~duration_s targets in
         let after = Sesame_server.stats server in
         let shed = after.Sesame_server.shed - before.Sesame_server.shed in
         let mutations_shed =
@@ -1349,7 +1521,33 @@ let serve () =
         if serve_env_int "SERVE_OVERLOAD" 1 = 0 || saturation_rps <= 0.0 then []
         else [ run_rate ~overload:true (2.0 *. saturation_rps) ]
       in
-      let rows = List.map snd (base @ overload_rows) in
+      (* The mixed 90/10 row: the same read targets with one POST per
+         ten requests (a youchat message send — a write to a table none
+         of the read endpoints' policies depend on), over the same
+         sockets. Loadgen cycles the target list, so 9 reads + 1 write
+         per cycle. *)
+      let mixed_rows =
+        let send =
+          Loadgen.post ~cookies:"user=user0@chat.io" ~body:"body=hello+from+loadgen"
+            "youchat-send" "/youchat/send"
+        in
+        if serve_env_int "SERVE_MIXED" 1 = 0 then []
+        else if not (probe_2xx send) then begin
+          Printf.printf "!! dropping mixed row: youchat-send not 2xx in probe\n";
+          []
+        end
+        else begin
+          let reads = Array.of_list live in
+          let targets =
+            List.init 9 (fun i -> reads.(i mod Array.length reads)) @ [ send ]
+          in
+          Printf.printf "mixed 90/10 (9 reads : 1 youchat-send write per cycle):\n";
+          let s, row = run_rate ~targets ~overload:false (List.hd rates) in
+          ignore s;
+          [ (match row with Json.Obj fields -> Json.Obj (("mix", Json.Str "90/10") :: fields) | j -> j) ]
+        end
+      in
+      let rows = List.map snd (base @ overload_rows) @ mixed_rows in
       let final = Sesame_server.stats server in
       let pool = Sbx.Pool.stats sandbox_pool in
       let pool_min, pool_max = Sbx.Pool.bounds sandbox_pool in

@@ -36,13 +36,46 @@ let note_elision () = Atomic.incr elisions
 
 (* ------------------------------------------------------------------ *)
 (* Epoch: table generation + policy-binding bumps. A verdict may depend
-   on database state its check read, so any accepted mutation anywhere
-   must retire every cached verdict; rebinding a (table, column) policy
-   changes what future rows mean, so it bumps too. *)
+   on database state its check read; rebinding a (table, column) policy
+   changes what future rows mean, so it bumps too.
+
+   Two invalidation modes share this counter:
+
+   - Coarse (the original scheme): [epoch () = bumps + global table
+     generation]; any accepted mutation anywhere retires every cached
+     verdict. Sound, but a 10% write mix keeps every cache cold.
+
+   - Precise (default): each cached verdict carries the read footprint
+     its computation recorded (the (table, shard) generation slots it
+     actually depended on — see {!Sesame_db.Footprint}) plus a [base]
+     of [bumps + structural epoch]; it is reusable while those slots
+     and the base are unchanged. A write to one shard of one table
+     retires exactly the verdicts that read it. Validity in this mode
+     is a subset of coarse validity: everything the coarse epoch counts
+     either lands in a recorded slot (row mutations), in the structural
+     epoch (create/drop/clear/touch), or in [bumps] — so a verdict the
+     precise mode reuses is one the coarse mode would also have reused
+     had nothing else moved. *)
 
 let bumps = Atomic.make 0
 let bump () = Atomic.incr bumps
 let epoch () = Atomic.get bumps + Sesame_db.Table.generation ()
+
+let precise = Atomic.make true
+let set_precise_invalidation on = Atomic.set precise on
+let precise_invalidation () = Atomic.get precise
+
+(* The footprint-mode base: binding bumps plus schema-level events
+   (create/drop/clear/restore/touch). Row mutations are excluded on
+   purpose — they are covered per-slot by the footprints. *)
+let base () = Atomic.get bumps + Sesame_db.Epoch.structure ()
+
+(* Plan certificates revalidate against this instead of the per-row
+   [epoch]: a certificate's meaning can only change when a binding is
+   rebound ([bumps]) or the schema landscape moves ([structure]), never
+   from row traffic. Certificate validity stays a subset of verdict
+   validity, which stays a subset of the old global-epoch validity. *)
+let cert_epoch () = Atomic.get bumps + Sesame_db.Epoch.structure ()
 
 let memoize = Atomic.make true
 let set_memoization on = Atomic.set memoize on
@@ -94,13 +127,16 @@ let pool () =
 (* The enforcement plan: elision certificates compiled from the static
    pass. A certificate says "every check of family F at sink S (under
    endpoint E) whose context satisfies the guard is identically Ok".
-   Certificates are keyed by the same epoch as the verdict cache: while
-   the epoch an entry was last validated under is current, the fast path
-   is one guard evaluation; when the epoch moves, the entry's
-   [revalidate] closure (supplied by the installer, typically checking
-   policy-binding versions and table schemas) must re-approve it or the
-   entry is dropped and the residual runtime check runs. Certificate
-   validity is therefore a subset of epoch validity — a certificate can
+   Certificates are keyed by [cert_epoch] (binding bumps + structural
+   schema events): while the epoch an entry was last validated under is
+   current, the fast path is one guard evaluation; when it moves, the
+   entry's [revalidate] closure (supplied by the installer, typically
+   checking policy-binding versions and table schemas) must re-approve
+   it or the entry is dropped and the residual runtime check runs.
+   Row mutations never move [cert_epoch] — a certificate's claim is
+   about binding/schema state, which rows cannot change — so
+   certificate validity is a subset of footprint-vector validity, which
+   is a subset of the old global-epoch validity: a certificate can
    never outlive the verdicts it stands in for. *)
 
 module Plan = struct
@@ -174,10 +210,12 @@ module Plan = struct
           (fun (e, sinks) -> if path_covers e ep then Some sinks else None)
           (Atomic.get decls)
 
-  (* Is this one entry usable right now? Epoch-current entries answer
-     with a guard evaluation; stale ones must revalidate first. *)
+  (* Is this one entry usable right now? Entries current against the
+     certificate epoch (binding bumps + structural events; row traffic
+     does not move it) answer with a guard evaluation; stale ones must
+     revalidate first. *)
   let entry_live entry =
-    let e = epoch () in
+    let e = cert_epoch () in
     if Atomic.get entry.pe_checked_at = e then true
     else if entry.pe_revalidate () then begin
       Atomic.set entry.pe_checked_at e;
@@ -236,19 +274,33 @@ end
 (* ------------------------------------------------------------------ *)
 (* Per-domain verdict cache. Domain-local on purpose: no lock on the hot
    path, and invalidation needs no cross-domain coordination — each
-   domain notices the epoch moved at its next lookup and resets. The key
-   pairs the policy instance id with the full context; equality is
-   structural over the whole context, so the (Hashtbl.hash) fingerprint
-   only routes to a bucket and can never alias two different contexts
-   into one verdict. *)
+   domain validates entries against the live epochs at its next lookup.
+   The key pairs the policy instance id with the full context; equality
+   is structural over the whole context, so the (Hashtbl.hash)
+   fingerprint only routes to a bucket and can never alias two different
+   contexts into one verdict.
+
+   In precise mode an entry carries the footprint its computation
+   recorded and the [base] it was computed under, and is valid while
+   both are unchanged — entries over untouched tables/shards survive
+   writes elsewhere. In coarse mode the whole cache resets whenever the
+   global epoch moves, exactly as before. *)
+
+type entry = {
+  e_verdict : (unit, string) result;
+  e_base : int;  (* [base ()] at compute time (precise mode only) *)
+  e_fp : Sesame_db.Footprint.snapshot;
+}
 
 type cache = {
-  mutable at : int;  (* epoch the cached verdicts were computed under *)
-  tbl : (int * Context.t, (unit, string) result) Hashtbl.t;
+  mutable at : int;  (* coarse mode: epoch the verdicts were computed under *)
+  mutable precise_mode : bool;  (* the flag value the entries were stored under *)
+  tbl : (int * Context.t, entry) Hashtbl.t;
 }
 
 let caches : cache Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { at = min_int; tbl = Hashtbl.create 1024 })
+  Domain.DLS.new_key (fun () ->
+      { at = min_int; precise_mode = Atomic.get precise; tbl = Hashtbl.create 1024 })
 
 (* Fresh policy instances (one-shot ids) leave dead entries behind; a cap
    bounds the table between epochs. Resetting forgets live entries too,
@@ -257,10 +309,20 @@ let max_entries = 65536
 
 let domain_cache () =
   let c = Domain.DLS.get caches in
-  let e = epoch () in
-  if c.at <> e then begin
+  let p = Atomic.get precise in
+  if c.precise_mode <> p then begin
+    (* Mode flip: entries stored under the other validity discipline
+       are not comparable — drop them. *)
     Hashtbl.reset c.tbl;
-    c.at <- e
+    c.precise_mode <- p;
+    c.at <- epoch ()
+  end
+  else if not p then begin
+    let e = epoch () in
+    if c.at <> e then begin
+      Hashtbl.reset c.tbl;
+      c.at <- e
+    end
   end;
   c
 
@@ -290,28 +352,70 @@ let rec check_verbose policy ctx =
   else begin
     let c = domain_cache () in
     let key = (Policy.id policy, ctx) in
-    match Hashtbl.find_opt c.tbl key with
-    | Some verdict ->
+    let live =
+      match Hashtbl.find_opt c.tbl key with
+      | None -> None
+      | Some e when not c.precise_mode ->
+          (* Coarse mode: [domain_cache] reset on any epoch move, so a
+             present entry is current by construction. *)
+          Some e
+      | Some e ->
+          if e.e_base = base () && Sesame_db.Footprint.valid e.e_fp then Some e
+          else begin
+            (* Something this verdict read has changed (or a binding was
+               rebound): retire just this entry. *)
+            Hashtbl.remove c.tbl key;
+            None
+          end
+    in
+    match live with
+    | Some e ->
         Atomic.incr hits;
-        verdict
+        (* The reused verdict's reads become the caller's reads — an
+           enclosing recording (an aggregate-cache capture, an outer
+           conjunction) must inherit them to stay sound. *)
+        if c.precise_mode then Sesame_db.Footprint.merge_ambient e.e_fp;
+        e.e_verdict
     | None ->
         Atomic.incr misses;
-        let verdict = compute policy ctx in
-        (* A check that itself mutated the database moved the epoch; the
-           verdict it produced belongs to the old world and must not be
-           stored against the new one. A deadline expiry is likewise
-           never cached: it is a fact about this request's budget, not
-           about the policy — the next request must recompute. *)
-        let budget_refusal =
-          match verdict with
-          | Error msg -> Sesame_deadline.is_deadline_error msg
-          | Ok () -> false
-        in
-        if epoch () = c.at && not budget_refusal then begin
-          if Hashtbl.length c.tbl >= max_entries then Hashtbl.reset c.tbl;
-          Hashtbl.add c.tbl key verdict
-        end;
-        verdict
+        if c.precise_mode then begin
+          let b = base () in
+          let verdict, fp = Sesame_db.Footprint.scope (fun () -> compute policy ctx) in
+          (* A deadline expiry is never cached: it is a fact about this
+             request's budget, not about the policy — the next request
+             must recompute. A check that itself mutated the database
+             bumped a shard its footprint recorded (or the structural
+             epoch), so the store-time validity test below fails and the
+             verdict — which belongs to the old world — is not stored. *)
+          let budget_refusal =
+            match verdict with
+            | Error msg -> Sesame_deadline.is_deadline_error msg
+            | Ok () -> false
+          in
+          if (not budget_refusal) && b = base () && Sesame_db.Footprint.valid fp
+          then begin
+            if Hashtbl.length c.tbl >= max_entries then Hashtbl.reset c.tbl;
+            Hashtbl.replace c.tbl key { e_verdict = verdict; e_base = b; e_fp = fp }
+          end;
+          verdict
+        end
+        else begin
+          let verdict = compute policy ctx in
+          (* A check that itself mutated the database moved the epoch;
+             the verdict it produced belongs to the old world and must
+             not be stored against the new one. *)
+          let budget_refusal =
+            match verdict with
+            | Error msg -> Sesame_deadline.is_deadline_error msg
+            | Ok () -> false
+          in
+          if epoch () = c.at && not budget_refusal then begin
+            if Hashtbl.length c.tbl >= max_entries then Hashtbl.reset c.tbl;
+            Hashtbl.replace c.tbl key
+              { e_verdict = verdict; e_base = 0; e_fp = Sesame_db.Footprint.empty }
+          end;
+          verdict
+        end
   end
 
 and compute policy ctx =
@@ -338,13 +442,25 @@ and compute policy ctx =
           let expired_verdict =
             lazy (Error (Sesame_deadline.error_message "policy fan-out"))
           in
-          first_denial
-            (Parallel.map_array ~cutoff:1 p
-               (fun m ->
-                 if Sesame_deadline.expired budget then Lazy.force expired_verdict
-                 else
-                   Sesame_deadline.with_deadline budget (fun () -> check_verbose m ctx))
-               arr)
+          (* Footprint scopes are domain-local, so a member evaluated on
+             a pool worker records into the worker's (empty) stack. Each
+             task therefore runs under its own scope and ships its
+             footprint back; merging them here makes the caller's
+             ambient scope see everything any member read — exactly what
+             the sequential walk's nested scopes would have recorded. *)
+          let results =
+            Parallel.map_array ~cutoff:1 p
+              (fun m ->
+                if Sesame_deadline.expired budget then
+                  (Lazy.force expired_verdict, Sesame_db.Footprint.empty)
+                else
+                  Sesame_db.Footprint.scope (fun () ->
+                      Sesame_deadline.with_deadline budget (fun () ->
+                          check_verbose m ctx)))
+              arr
+          in
+          Array.iter (fun (_, fp) -> Sesame_db.Footprint.merge_ambient fp) results;
+          first_denial (Array.map fst results)
       | None ->
           let rec walk i =
             if i = n then Ok ()
@@ -356,3 +472,36 @@ and compute policy ctx =
           walk 0)
 
 let check policy ctx = Result.is_ok (check_verbose policy ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Validity capture for external caches (Sesame_conn's per-group
+   aggregate cache): run a computation, come back with a token that
+   answers "may I still reuse its result?" under whichever invalidation
+   mode is active. Precise tokens carry the computation's read
+   footprint and stay valid across unrelated writes; coarse tokens pin
+   the global epoch, reproducing the old reset-on-any-write behavior. *)
+
+module Validity = struct
+  type t =
+    | Precise of { v_base : int; v_fp : Sesame_db.Footprint.snapshot }
+    | Coarse of int
+
+  let capture f =
+    if Atomic.get precise then begin
+      (* Sample the base before running: if a binding rebinds or a
+         table drops mid-computation, the token is born stale —
+         conservative, never wrong. *)
+      let b = base () in
+      let v, fp = Sesame_db.Footprint.scope f in
+      (v, Precise { v_base = b; v_fp = fp })
+    end
+    else (f (), Coarse (epoch ()))
+
+  let valid = function
+    | Precise { v_base; v_fp } -> v_base = base () && Sesame_db.Footprint.valid v_fp
+    | Coarse e -> e = epoch ()
+
+  let merge_ambient = function
+    | Precise { v_fp; _ } -> Sesame_db.Footprint.merge_ambient v_fp
+    | Coarse _ -> ()
+end

@@ -158,14 +158,18 @@ type t = {
   mutable sleep : float -> unit;
   mutable now : unit -> float;
   (* Aggregate group-policy cache: (table, column, WHERE, GROUP BY,
-     group key) -> the conjunction of the group's per-row policies.
-     Valid for one Enforce epoch — any table mutation or policy
-     rebinding moves the epoch and the whole cache is dropped, so a
-     warm aggregate request never rebuilds (or even rescans for) a
-     conjunction over unchanged rows. *)
+     group key) -> the conjunction of the group's per-row policies,
+     stored with the validity token its build was captured under
+     ({!Enforce.Validity}). Entries revalidate individually: in precise
+     mode a write that touches none of an entry's recorded (table,
+     shard) slots leaves that group warm — the old scheme reset the
+     whole cache on any epoch move. Guarded by [agg_lock]: server
+     domains share the connector. *)
   agg_cache :
-    (string * string * Db.Expr.t * string list * Db.Value.t list, Policy.t) Hashtbl.t;
-  mutable agg_epoch : int;
+    ( string * string * Db.Expr.t * string list * Db.Value.t list,
+      Policy.t * Enforce.Validity.t )
+    Hashtbl.t;
+  agg_lock : Mutex.t;
   (* Brownout: installed by [create_durable]. [snapshot_load] rebuilds
      the last consistent on-disk state read-only; [reopen] closes the
      poisoned store and recovers a fresh writable one. *)
@@ -174,6 +178,11 @@ type t = {
   mutable brownout : Db.Database.t option;
   mutable brownout_entries : int;
 }
+
+(* Stale aggregate-cache entries are removed when probed; entries never
+   probed again would otherwise accumulate, so a cap bounds the table.
+   A reset is a cold start, never a wrong answer. *)
+let agg_cache_max = 4096
 
 let busy_sleep seconds =
   if seconds > 0.0 then begin
@@ -197,7 +206,7 @@ let create db =
     sleep = busy_sleep;
     now = Sesame_clock.now_s;
     agg_cache = Hashtbl.create 16;
-    agg_epoch = min_int;
+    agg_lock = Mutex.create ();
     snapshot_load = None;
     reopen = None;
     brownout = None;
@@ -492,7 +501,9 @@ let exit_brownout t =
       | Ok store ->
           t.db <- Sesame_wal.Durable.db store;
           t.brownout <- None;
+          Mutex.lock t.agg_lock;
           Hashtbl.reset t.agg_cache;
+          Mutex.unlock t.agg_lock;
           Enforce.bump ();
           Ok store
       | Error _ as e -> e
@@ -633,10 +644,16 @@ let query_agg t ~context sql ~params =
           | Ok (Db.Database.Rows { columns; rows }) ->
               (* Matching rows grouped by their GROUP BY key; forced at
                  most once per request, and only when some cell misses
-                 the group-policy cache. *)
+                 the group-policy cache. The member select is captured
+                 under its own validity scope and the token is kept with
+                 the result: every group build that consumes [grouped]
+                 — not just the one that forced it — must inherit the
+                 select's read footprint, or later groups would cache
+                 with a footprint that omits the scan they depend on. *)
               let grouped =
                 lazy
-                  (let matching = Array.of_list (Db.Table.select tbl ~where) in
+                  (Enforce.Validity.capture @@ fun () ->
+                   let matching = Array.of_list (Db.Table.select tbl ~where) in
                    let groups : (Db.Value.t list, Db.Row.t list ref) Hashtbl.t =
                      Hashtbl.create 16
                    in
@@ -672,7 +689,8 @@ let query_agg t ~context sql ~params =
                    (matching, groups))
               in
               let members_for key =
-                let matching, groups = Lazy.force grouped in
+                let (matching, groups), select_validity = Lazy.force grouped in
+                Enforce.Validity.merge_ambient select_validity;
                 if group_by = [] then Array.to_list matching
                 else
                   match Hashtbl.find_opt groups key with
@@ -745,17 +763,35 @@ let query_agg t ~context sql ~params =
                   Policy.no_policy
                 end
                 else begin
-                  let e = Enforce.epoch () in
-                  if t.agg_epoch <> e then begin
-                    Hashtbl.reset t.agg_cache;
-                    t.agg_epoch <- e
-                  end;
                   let cache_key = (table, column, where, group_by, key) in
-                  match Hashtbl.find_opt t.agg_cache cache_key with
-                  | Some policy -> policy
+                  (* Per-entry revalidation: probe under the lock, check
+                     the stored token, and drop only the entries whose
+                     own footprint went stale — warm groups survive
+                     writes to other tables and other shards. The lock
+                     covers lookups and inserts only, never the build. *)
+                  let cached =
+                    Mutex.lock t.agg_lock;
+                    let found =
+                      match Hashtbl.find_opt t.agg_cache cache_key with
+                      | Some (_, v) as hit when Enforce.Validity.valid v -> hit
+                      | Some _ ->
+                          Hashtbl.remove t.agg_cache cache_key;
+                          None
+                      | None -> None
+                    in
+                    Mutex.unlock t.agg_lock;
+                    found
+                  in
+                  match cached with
+                  | Some (policy, v) ->
+                      (* The reused conjunction's reads become this
+                         request's reads (for any enclosing capture). *)
+                      Enforce.Validity.merge_ambient v;
+                      policy
                   | None ->
-                      let members = members_for key in
-                      let policy =
+                      let policy, validity =
+                        Enforce.Validity.capture @@ fun () ->
+                        let members = members_for key in
                         match pushdown_admits column members with
                         | Some true ->
                             Enforce.note_pushdown ();
@@ -766,10 +802,17 @@ let query_agg t ~context sql ~params =
                                  (fun row -> cell_policy t ~table schema row column)
                                  members)
                       in
-                      (* The member select above is a read — it cannot
-                         have moved the epoch — so the entry is valid
-                         for [e]. *)
-                      Hashtbl.add t.agg_cache cache_key policy;
+                      (* The member select is a read, so the token is
+                         normally born valid; it can be stale only if a
+                         writer raced the build, in which case caching
+                         would be unsound and we skip it. *)
+                      if Enforce.Validity.valid validity then begin
+                        Mutex.lock t.agg_lock;
+                        if Hashtbl.length t.agg_cache >= agg_cache_max then
+                          Hashtbl.reset t.agg_cache;
+                        Hashtbl.replace t.agg_cache cache_key (policy, validity);
+                        Mutex.unlock t.agg_lock
+                      end;
                       policy
                 end
               in

@@ -1,0 +1,51 @@
+(** Per-table, per-shard mutation generations.
+
+    Each table owns a generation vector — one counter per hash shard of
+    its primary-key space plus a whole-table total. Mutations bump only
+    the shards they touch; caches upstream record the (table, shard)
+    slots a computation actually read (via {!Footprint}) and revalidate
+    by comparing just those, so unrelated writes keep them warm.
+
+    Epochs are keyed by table {e name} and deliberately survive
+    drop/recreate: resetting a counter could make a stale footprint
+    revalidate against a table with different contents. The legacy
+    process-wide counter ({!global}, the old [Table.generation]) is
+    still bumped on every mutation for coarse-mode callers. *)
+
+val shard_count : int
+(** Fixed power of two; {!shard_of_value} masks into it. *)
+
+type table_epoch
+
+val for_table : string -> table_epoch
+(** The (unique, persistent) epoch vector for a table name. *)
+
+val shard_of_value : Value.t -> int
+(** Hash partition of a primary-key value into [0 .. shard_count-1]. *)
+
+val shard_gen : table_epoch -> int -> int
+val total_gen : table_epoch -> int
+
+val bump_shard : table_epoch -> int -> unit
+(** One-key mutation: bumps that shard, the table total, and {!global}. *)
+
+val bump_table : table_epoch -> unit
+(** Whole-table mutation: bumps every shard, the total, and {!global}. *)
+
+val bump_structural : string -> unit
+(** Schema-level event (create/drop/clear/restore) on the named table:
+    {!bump_table} plus a {!structure} bump. *)
+
+val global : unit -> int
+(** Legacy process-wide mutation epoch: moves on every accepted
+    mutation, exactly like the old [Table.generation]. *)
+
+val structure : unit -> int
+(** Structural epoch: create/drop/clear/restore/touch only. Plan
+    certificates revalidate against this (plus [Enforce.bump]) instead
+    of the per-row {!global}, so row traffic does not force certificate
+    revalidation. *)
+
+val touch : unit -> unit
+(** A mutation the table layer cannot see: bumps {!global} and
+    {!structure}. *)

@@ -1,0 +1,57 @@
+(* A writer-preferring readers/writer lock.
+
+   Table reads (index probes, snapshot copies) run concurrently under
+   [rd]; mutations and index builds serialize under [wr]. Writer
+   preference — new readers queue once a writer is waiting — keeps a
+   steady read stream from starving the 10%-writes side of the mixed
+   workloads. Not re-entrant: the table layer never nests its own
+   operations (predicate evaluation is pure), and callers must not
+   re-enter the table from inside a callback run under the lock. *)
+
+type t = {
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;  (* active readers *)
+  mutable writer : bool;  (* a writer holds the lock *)
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let rd t f =
+  Mutex.lock t.mutex;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mutex;
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.signal t.can_write;
+      Mutex.unlock t.mutex)
+
+let wr t f =
+  Mutex.lock t.mutex;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.mutex
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.mutex;
+      t.writer <- false;
+      if t.waiting_writers > 0 then Condition.signal t.can_write
+      else Condition.broadcast t.can_read;
+      Mutex.unlock t.mutex)

@@ -1,0 +1,11 @@
+(** Writer-preferring readers/writer lock for table access.
+
+    Many concurrent [rd] sections; [wr] sections exclusive. New readers
+    queue behind a waiting writer so a steady read stream cannot starve
+    writes. Sections release the lock on exception. Not re-entrant. *)
+
+type t
+
+val create : unit -> t
+val rd : t -> (unit -> 'a) -> 'a
+val wr : t -> (unit -> 'a) -> 'a

@@ -1,18 +1,29 @@
 (** A mutable table: rows stored in insertion order, with a hash index on
     the primary key (when the schema declares one) and optional secondary
-    hash indexes used to serve equality lookups without a scan. *)
+    hash indexes used to serve equality lookups without a scan.
+
+    Thread-safe: mutations and index builds serialize on a per-table
+    writer-preferring RW lock; reads run concurrently, and full scans
+    copy the slot array under the read lock and evaluate off-lock, so a
+    long scan sees a consistent statement-level snapshot instead of
+    racing writers. Every mutation bumps the table's per-shard epoch
+    vector ({!Epoch}) and every read records its dependency into the
+    ambient {!Footprint} scope, which is what makes precise verdict- and
+    aggregate-cache invalidation upstream sound. *)
 
 type t
 
 val generation : unit -> int
-(** Process-wide mutation epoch: bumped whenever any table accepts a
-    mutation (insert/update/delete/clear) and by {!touch}. Verdict caches
-    upstream compare against it to invalidate. Monotonic; exact under
+(** Legacy process-wide mutation epoch ({!Epoch.global}): bumped
+    whenever any table accepts a mutation (insert/update/delete/clear)
+    and by {!touch}. Coarse verdict caches compare against it; precise
+    ones record per-shard footprints instead. Monotonic; exact under
     concurrent readers. *)
 
 val touch : unit -> unit
-(** Bumps {!generation} — for mutations the table layer cannot see
-    (table creation/drop, policy re-registration). *)
+(** Bumps {!generation} and the structural epoch ({!Epoch.structure}) —
+    for mutations the table layer cannot see (policy re-registration
+    and other out-of-band events). *)
 
 val create : Schema.t -> t
 val schema : t -> Schema.t

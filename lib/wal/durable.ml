@@ -10,9 +10,15 @@ type config = {
   sync : sync_mode;
   batch : int;
   checkpoint_every : int option;
+  window_ns : int64;
+      (* group-commit time window (0 = count-only): an append flushes
+         once the oldest buffered frame has waited this long, so frames
+         from different tables/shards coalesce into one fsync without
+         an unbounded unsynced tail *)
 }
 
-let default_config = { sync = Fsync; batch = 1; checkpoint_every = Some 256 }
+let default_config =
+  { sync = Fsync; batch = 1; checkpoint_every = Some 256; window_ns = 0L }
 
 type reason =
   | Quarantined of string
@@ -59,6 +65,18 @@ type t = {
   mutable since_ckpt : int;
   mutable replayed : int;
   mutable last_ckpt_error : string option;
+  (* Distinct tables journaled into the current (unflushed) group-commit
+     window, and the widest window seen — the coalescing evidence. *)
+  mutable window_tables : string list;
+  mutable max_coalesced_tables : int;
+}
+
+type commit_stats = {
+  appended : int;  (* frames journaled *)
+  flushes : int;  (* batched writes (each covers >= 1 frame) *)
+  fsyncs : int;
+  max_coalesced_tables : int;
+      (* most distinct tables whose frames shared one flush window *)
 }
 
 let db t = t.db
@@ -239,7 +257,8 @@ let checkpoint t =
         t.writer <- None;
         let* () = Wal.create (wal_path t) in
         let* w' =
-          Wal.open_writer ~sync:(t.config.sync = Fsync) ~batch:t.config.batch (wal_path t)
+          Wal.open_writer ~window_ns:t.config.window_ns ~sync:(t.config.sync = Fsync)
+            ~batch:t.config.batch (wal_path t)
         in
         t.writer <- Some w';
         Ok ()
@@ -281,7 +300,31 @@ let journal t event =
         | Db.J_create schema -> encode_create_record ~lsn schema
         | Db.J_drop name -> encode_drop_record ~lsn name
       in
+      let event_table =
+        match (event : Db.journal_event) with
+        | Db.J_stmt (Sql.Insert { table; _ })
+        | Db.J_stmt (Sql.Update { table; _ })
+        | Db.J_stmt (Sql.Delete { table; _ }) ->
+            Some table
+        | Db.J_stmt (Sql.Select _ | Sql.Select_agg _) -> None
+        | Db.J_create schema -> Some (Schema.name schema)
+        | Db.J_drop name -> Some name
+      in
+      let flushes_before = Wal.flushes w in
       let* () = Wal.append w payload in
+      (* Coalescing evidence: count the distinct tables whose frames
+         shared this flush window. The append above may have closed the
+         window (count or time trigger), in which case the set — this
+         frame included — is complete. *)
+      (match event_table with
+      | Some name when not (List.mem name t.window_tables) ->
+          t.window_tables <- name :: t.window_tables
+      | _ -> ());
+      if Wal.flushes w > flushes_before then begin
+        t.max_coalesced_tables <-
+          max t.max_coalesced_tables (List.length t.window_tables);
+        t.window_tables <- []
+      end;
       t.next_lsn <- Int64.succ lsn;
       t.since_ckpt <- t.since_ckpt + 1;
       (match t.config.checkpoint_every with
@@ -295,6 +338,15 @@ let journal t event =
 
 let flush t =
   match t.writer with None -> Error "durable store closed" | Some w -> Wal.flush w
+
+let commit_stats t =
+  match t.writer with
+  | None ->
+      { appended = 0; flushes = 0; fsyncs = 0;
+        max_coalesced_tables = t.max_coalesced_tables }
+  | Some w ->
+      { appended = Wal.appended w; flushes = Wal.flushes w; fsyncs = Wal.fsyncs w;
+        max_coalesced_tables = t.max_coalesced_tables }
 
 let close t =
   match t.writer with
@@ -407,7 +459,8 @@ let recover ~dir ~config =
   in
   let* writer =
     match
-      Wal.open_writer ~sync:(config.sync = Fsync) ~batch:config.batch wal_file
+      Wal.open_writer ~window_ns:config.window_ns ~sync:(config.sync = Fsync)
+        ~batch:config.batch wal_file
     with
     | Ok w -> Ok w
     | Error detail -> fail dir (Corrupt_record { offset = valid_end; detail })
@@ -507,6 +560,8 @@ let open_store ?(config = default_config) ~provenance ~dir () =
           since_ckpt = 0;
           replayed;
           last_ckpt_error = None;
+          window_tables = [];
+          max_coalesced_tables = 0;
         }
       in
       Db.set_journal db (Some (journal t));

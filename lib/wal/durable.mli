@@ -43,11 +43,17 @@ type config = {
   batch : int;  (** group-commit size, [>= 1] *)
   checkpoint_every : int option;
       (** checkpoint after this many journaled records; [None] = manual only *)
+  window_ns : int64;
+      (** group-commit time window ([0] = count-only): an append also
+          flushes once the oldest buffered frame has waited this long,
+          so frames from different tables and shards coalesce into one
+          [fsync] without an unbounded unsynced tail *)
 }
 
 val default_config : config
-(** [{ sync = Fsync; batch = 1; checkpoint_every = Some 256 }] — the
-    strict mode: every acknowledged write survives any crash. *)
+(** [{ sync = Fsync; batch = 1; checkpoint_every = Some 256;
+    window_ns = 0L }] — the strict mode: every acknowledged write
+    survives any crash. *)
 
 type reason =
   | Quarantined of string
@@ -88,6 +94,17 @@ val dir : t -> string
 
 val flush : t -> (unit, string) result
 (** Force out buffered group-commit frames. *)
+
+type commit_stats = {
+  appended : int;  (** frames journaled since the WAL (re)opened *)
+  flushes : int;  (** batched writes; coalescing ratio = appended/flushes *)
+  fsyncs : int;  (** 0 under {!No_sync} *)
+  max_coalesced_tables : int;
+      (** most distinct tables whose frames shared one flush window —
+          evidence that group commit coalesces across tables/shards *)
+}
+
+val commit_stats : t -> commit_stats
 
 val checkpoint : t -> (unit, string) result
 (** Snapshot now and reset the WAL. Failure is recoverable (the store

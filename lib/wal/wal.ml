@@ -37,16 +37,24 @@ type writer = {
   mutable closed : bool;
   sync : bool;
   batch : int;
+  window_ns : int64;  (* 0 = no time trigger *)
+  mutable window_start : int64;  (* when the oldest pending frame buffered *)
+  mutable flushes : int;
+  mutable fsyncs : int;
 }
 
-let open_writer ~sync ~batch path =
+let open_writer ?(window_ns = 0L) ~sync ~batch path =
   try
     let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
     Ok { fd; buf = Buffer.create 4096; pending = 0; appended = 0; closed = false;
-         sync; batch = max 1 batch }
+         sync; batch = max 1 batch;
+         window_ns = (if Int64.compare window_ns 0L > 0 then window_ns else 0L);
+         window_start = 0L; flushes = 0; fsyncs = 0 }
   with Unix.Unix_error (e, _, _) -> io_error "open" e
 
 let appended w = w.appended
+let flushes w = w.flushes
+let fsyncs w = w.fsyncs
 
 let flush w =
   if w.closed then Error "wal flush: writer closed"
@@ -58,6 +66,7 @@ let flush w =
     | () ->
         Buffer.clear w.buf;
         w.pending <- 0;
+        w.flushes <- w.flushes + 1;
         if not w.sync then Ok ()
         else begin
           (* The seam sits between write and fsync: an injected fault here
@@ -65,7 +74,9 @@ let flush w =
              acknowledged. *)
           Sesame_faults.hit Sesame_faults.Db_wal_fsync;
           match Unix.fsync w.fd with
-          | () -> Ok ()
+          | () ->
+              w.fsyncs <- w.fsyncs + 1;
+              Ok ()
           | exception Unix.Unix_error (e, _, _) -> io_error "fsync" e
         end
   end
@@ -74,12 +85,25 @@ let append w payload =
   if w.closed then Error "wal append: writer closed"
   else begin
     Sesame_faults.hit Sesame_faults.Db_wal_append;
+    if w.pending = 0 then w.window_start <- Sesame_clock.now_ns ();
     add_u32 w.buf (String.length payload);
     add_u32 w.buf (crc_of payload);
     Buffer.add_string w.buf payload;
     w.pending <- w.pending + 1;
     w.appended <- w.appended + 1;
-    if w.pending >= w.batch then flush w else Ok ()
+    (* Group commit coalesces frames — from any table, any shard — into
+       one write+fsync: by count once [batch] frames are pending, or by
+       time once the oldest pending frame has waited [window_ns]. The
+       window lets a large batch keep its throughput without leaving a
+       trickle of writes unsynced indefinitely. *)
+    let window_expired =
+      Int64.compare w.window_ns 0L > 0
+      && Int64.compare
+           (Int64.sub (Sesame_clock.now_ns ()) w.window_start)
+           w.window_ns
+         >= 0
+    in
+    if w.pending >= w.batch || window_expired then flush w else Ok ()
   end
 
 let close w =

@@ -35,13 +35,20 @@ val create : string -> (unit, string) result
 (** Creates (or truncates to) a fresh log containing only the magic
     header, [fsync]ed. *)
 
-val open_writer : sync:bool -> batch:int -> string -> (writer, string) result
+val open_writer :
+  ?window_ns:int64 -> sync:bool -> batch:int -> string -> (writer, string) result
 (** Opens an existing log for appending. [batch] (clamped to [>= 1]) is
     the group-commit size: frames buffer in memory until that many are
     pending, then are written in one [write] and, when [sync], one
     [fsync]. With [batch = 1] and [sync = true] every acknowledged
     append is durable; larger batches trade a bounded tail of
-    acknowledged-but-buffered frames for throughput. *)
+    acknowledged-but-buffered frames for throughput.
+
+    [window_ns] (default 0 = off) adds a time trigger: an append also
+    flushes once the oldest pending frame has been buffered for at
+    least that long, so group commit coalesces frames across tables and
+    shards within one fsync window without an unbounded unsynced
+    tail. *)
 
 val append : writer -> string -> (unit, string) result
 (** Frames [payload] and group-commits. An [Error] (or an injected
@@ -57,6 +64,13 @@ val close : writer -> (unit, string) result
 
 val appended : writer -> int
 (** Frames appended since {!open_writer} (for checkpoint pacing/tests). *)
+
+val flushes : writer -> int
+(** Buffered-batch writes performed (each covers ≥ 1 frame); the
+    group-commit coalescing ratio is [appended / flushes]. *)
+
+val fsyncs : writer -> int
+(** [fsync]s performed (0 when the writer is not [sync]). *)
 
 (** {1 Scanning} *)
 

@@ -58,7 +58,7 @@ let fresh_dir =
     Unix.mkdir dir 0o755;
     dir
 
-let no_ckpt = { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = None }
+let no_ckpt = { W.Durable.sync = W.Durable.Fsync; batch = 1; checkpoint_every = None; window_ns = 0L }
 
 let open_store ?(config = no_ckpt) dir =
   W.Provenance.reset ();
@@ -222,7 +222,7 @@ let checkpoint_idempotent () =
    buffered tail is exactly the window No_sync/batching trades away. *)
 let group_commit_window () =
   let dir = fresh_dir () in
-  let config = { W.Durable.sync = W.Durable.No_sync; batch = 8; checkpoint_every = None } in
+  let config = { W.Durable.sync = W.Durable.No_sync; batch = 8; checkpoint_every = None; window_ns = 0L } in
   let t = open_store_exn ~config dir in
   (match Db.Database.create_table (W.Durable.db t) notes_schema with
   | Ok () -> ()
@@ -239,6 +239,58 @@ let group_commit_window () =
   let t' = open_store_exn dir in
   check_int "close flushed the last frame" 3 (count t');
   close_exn t'
+
+(* The time trigger: with a (tiny) window armed, an append flushes once
+   the oldest buffered frame has waited long enough — the batch count
+   never fills, yet the file grows. *)
+let time_window_flushes () =
+  let dir = fresh_dir () in
+  let config =
+    { W.Durable.sync = W.Durable.No_sync; batch = 100; checkpoint_every = None; window_ns = 1L }
+  in
+  let t = open_store_exn ~config dir in
+  (match Db.Database.create_table (W.Durable.db t) notes_schema with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "create: %s" m);
+  insert t 1;
+  insert t 2;
+  let stats = W.Durable.commit_stats t in
+  check_bool "window flushed before the batch filled" true (stats.W.Durable.flushes >= 1);
+  check_int "no fsync under No_sync" 0 stats.W.Durable.fsyncs;
+  check_bool "file grew" true (file_size (wal_path dir) > W.Wal.header_size);
+  close_exn t
+
+(* Frames from different tables coalesce into one flush window — the
+   cross-table group-commit evidence commit_stats reports. *)
+let coalesces_across_tables () =
+  let dir = fresh_dir () in
+  let config =
+    { W.Durable.sync = W.Durable.Fsync; batch = 3; checkpoint_every = None; window_ns = 0L }
+  in
+  let t = open_store_exn ~config dir in
+  let second_schema =
+    Db.Schema.make_exn ~name:"audit" ~primary_key:"id"
+      [
+        { Db.Schema.name = "id"; ty = Db.Value.Tint; nullable = false };
+        { Db.Schema.name = "owner"; ty = Db.Value.Ttext; nullable = false };
+        { Db.Schema.name = "note"; ty = Db.Value.Ttext; nullable = false };
+      ]
+  in
+  List.iter
+    (fun schema ->
+      match Db.Database.create_table (W.Durable.db t) schema with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "create: %s" m)
+    [ notes_schema; second_schema ];
+  (* Two creates buffered; the insert is the 3rd frame and triggers the
+     flush — three frames, two distinct tables, one write+fsync. *)
+  insert t 1;
+  let stats = W.Durable.commit_stats t in
+  check_int "three frames" 3 stats.W.Durable.appended;
+  check_int "one batched write" 1 stats.W.Durable.flushes;
+  check_int "one fsync" 1 stats.W.Durable.fsyncs;
+  check_bool "two tables shared the window" true (stats.W.Durable.max_coalesced_tables >= 2);
+  close_exn t
 
 (* ------------------------------------------------------------------ *)
 (* The torn-tail matrix: truncate the log at every byte offset — every
@@ -443,6 +495,8 @@ let () =
           test "checkpoint resets the log" checkpoint_resets_log;
           test "checkpoint covered records are skipped" checkpoint_idempotent;
           test "group-commit buffering window" group_commit_window;
+          test "time window flushes before the batch fills" time_window_flushes;
+          test "group commit coalesces frames across tables" coalesces_across_tables;
         ] );
       ("crash-matrix", [ test "torn tail truncated at every byte offset" torn_tail_matrix ]);
       ( "fail-closed",
